@@ -1,0 +1,112 @@
+// Ablation: Chandy–Lamport snapshot cost vs subsystem count.
+//
+// Paper §2.2.5 adopts distributed snapshots for checkpoint requests; this
+// bench measures how the marker algorithm scales along a chain of N
+// subsystems with traffic in flight: marks exchanged, recorded channel
+// state, wall time to completion, and the restore determinism check.
+#include <chrono>
+
+#include "bench_util.hpp"
+#include "dist/node.hpp"
+#include "../tests/helpers.hpp"
+
+using namespace pia;
+using namespace pia::bench;
+using namespace pia::dist;
+using namespace std::chrono_literals;
+
+namespace {
+
+struct Chain {
+  NodeCluster cluster;
+  std::vector<Subsystem*> subsystems;
+  pia::testing::Sink* sink = nullptr;
+
+  explicit Chain(std::size_t n, std::uint64_t events) {
+    // ss0 produces; each ssK relays to ssK+1; the last sinks.
+    for (std::size_t i = 0; i < n; ++i) {
+      subsystems.push_back(&cluster.add_node("n" + std::to_string(i))
+                                .add_subsystem("ss" + std::to_string(i)));
+    }
+    auto& producer = subsystems[0]->scheduler().emplace<pia::testing::Producer>(
+        "p", events, ticks(10));
+    NetId out = subsystems[0]->scheduler().make_net("out");
+    subsystems[0]->scheduler().attach(out, producer.id(), "out");
+
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      Subsystem& here = *subsystems[i];
+      Subsystem& next = *subsystems[i + 1];
+      const NetId in_next = next.scheduler().make_net("in");
+      if (i + 2 == n) {
+        sink = &next.scheduler().emplace<pia::testing::Sink>("s");
+        next.scheduler().attach(in_next, sink->id(), "in");
+      } else {
+        auto& relay = next.scheduler().emplace<pia::testing::Relay>("r");
+        next.scheduler().attach(in_next, relay.id(), "in");
+        const NetId out_next = next.scheduler().make_net("out");
+        next.scheduler().attach(out_next, relay.id(), "out");
+        out = out_next;
+      }
+      const ChannelPair ch =
+          cluster.connect_checked(here, next, ChannelMode::kConservative);
+      split_net(here, ch.a,
+                i == 0 ? here.scheduler().net_id("out")
+                       : here.scheduler().net_id("out"),
+                next, ch.b, in_next);
+      (void)out;
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  header("Ablation: Chandy-Lamport snapshot scaling along a chain");
+  constexpr std::uint64_t kEvents = 400;
+
+  std::printf("\n%6s %10s %10s %12s %12s %12s\n", "N", "wall [ms]",
+              "marks", "recorded", "ckpt bytes", "replay");
+  for (const std::size_t n : {2u, 3u, 4u, 6u, 8u}) {
+    Chain chain(n, kEvents);
+    chain.cluster.start_all();
+    // Let traffic get in flight, snapshot from the middle, run out.
+    Subsystem& initiator = *chain.subsystems[n / 2];
+    const std::uint64_t token = initiator.initiate_snapshot();
+    const double seconds = timed([&] {
+      chain.cluster.run_all(Subsystem::RunConfig{.stall_timeout = 30'000ms});
+    });
+
+    bool complete = true;
+    std::uint64_t marks = 0;
+    std::uint64_t bytes = 0;
+    for (Subsystem* s : chain.subsystems) {
+      complete &= s->snapshot_complete(token);
+      marks += s->stats().marks_received;
+      if (auto latest = s->checkpoints().latest())
+        bytes += s->checkpoints().stored_bytes(*latest);
+    }
+    const auto original = chain.sink->received;
+
+    // Coordinated restore + replay must reproduce the original tail.
+    bool replay_ok = false;
+    if (complete) {
+      for (Subsystem* s : chain.subsystems) s->restore_snapshot(token);
+      chain.cluster.run_all(Subsystem::RunConfig{.stall_timeout = 30'000ms});
+      replay_ok = (chain.sink->received == original) &&
+                  original.size() == kEvents;
+      if (!replay_ok)
+        std::printf("  [n=%zu] original=%zu replay=%zu\n", n, original.size(),
+                    chain.sink->received.size());
+    }
+
+    std::printf("%6zu %10.2f %10llu %12s %12llu %12s\n", n, seconds * 1e3,
+                static_cast<unsigned long long>(marks),
+                complete ? "complete" : "!! OPEN",
+                static_cast<unsigned long long>(bytes),
+                replay_ok ? "identical" : "!! DIVERGED");
+  }
+  note("\nmarks grow with channel count (2 per channel per snapshot); the\n"
+       "FIFO marker rule keeps every cut consistent, so coordinated\n"
+       "restores replay the original execution exactly.");
+  return 0;
+}

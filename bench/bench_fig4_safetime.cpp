@@ -1,0 +1,103 @@
+// Fig. 4 reproduction: the safe-time protocol among three subsystems.
+//
+// SS1 sits between SS2 and SS3; before advancing it "must first get safe
+// times from both SS2 and SS3", and the time a subsystem reports removes
+// all restrictions from the requester (else deadlock).  This bench runs the
+// figure's topology with traffic flowing SS2 -> SS1 -> SS3, sweeps the
+// declared channel lookahead, and reports the protocol's price: safe-time
+// messages per committed event and overall progress rate.  Completion
+// itself is the deadlock-freedom check.
+#include <chrono>
+
+#include "bench_util.hpp"
+#include "dist/node.hpp"
+#include "../tests/helpers.hpp"
+
+using namespace pia;
+using namespace pia::bench;
+using namespace pia::dist;
+using namespace std::chrono_literals;
+
+namespace {
+
+struct Outcome {
+  bool complete = false;
+  double seconds = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t committed = 0;
+};
+
+Outcome run_chain(VirtualTime lookahead, std::uint64_t events) {
+  NodeCluster cluster;
+  Subsystem& ss1 = cluster.add_node("n1").add_subsystem("ss1");
+  Subsystem& ss2 = cluster.add_node("n2").add_subsystem("ss2");
+  Subsystem& ss3 = cluster.add_node("n3").add_subsystem("ss3");
+
+  auto& producer =
+      ss2.scheduler().emplace<pia::testing::Producer>("p", events, ticks(10));
+  auto& relay = ss1.scheduler().emplace<pia::testing::Relay>("r", ticks(3));
+  auto& sink = ss3.scheduler().emplace<pia::testing::Sink>("s");
+
+  const NetId fwd2 = ss2.scheduler().make_net("fwd");
+  ss2.scheduler().attach(fwd2, producer.id(), "out");
+  const NetId fwd1 = ss1.scheduler().make_net("fwd");
+  ss1.scheduler().attach(fwd1, relay.id(), "in");
+  const NetId out1 = ss1.scheduler().make_net("out");
+  ss1.scheduler().attach(out1, relay.id(), "out");
+  const NetId out3 = ss3.scheduler().make_net("out");
+  ss3.scheduler().attach(out3, sink.id(), "in");
+
+  const ChannelPair c12 =
+      cluster.connect_checked(ss1, ss2, ChannelMode::kConservative);
+  const ChannelPair c13 =
+      cluster.connect_checked(ss1, ss3, ChannelMode::kConservative);
+  split_net(ss1, c12.a, fwd1, ss2, c12.b, fwd2);
+  split_net(ss1, c13.a, out1, ss3, c13.b, out3);
+
+  // The producer emits every 10 ticks and the relay adds 3: both ends can
+  // honestly declare that much reaction slack.
+  ss2.set_lookahead(c12.b, lookahead);
+  ss1.set_lookahead(c13.a, lookahead);
+
+  cluster.start_all();
+  Outcome outcome;
+  outcome.seconds = timed([&] {
+    const auto results =
+        cluster.run_all(Subsystem::RunConfig{.stall_timeout = 30'000ms});
+    outcome.complete = true;
+    for (const auto& [name, r] : results)
+      outcome.complete &= (r == Subsystem::RunOutcome::kQuiescent);
+  });
+  outcome.complete &= (sink.received.size() == events);
+  outcome.committed = sink.received.size();
+  for (Subsystem* s : {&ss1, &ss2, &ss3}) {
+    outcome.grants += s->stats().grants_sent;
+    outcome.requests += s->stats().requests_sent;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  header("Fig. 4: safe-time exchange among SS1..SS3 (deadlock-free chain)");
+  constexpr std::uint64_t kEvents = 2'000;
+
+  std::printf("\n%-18s %10s %10s %10s %14s %10s\n", "lookahead [ticks]",
+              "wall [ms]", "grants", "requests", "grants/event", "status");
+  for (const VirtualTime lookahead :
+       {ticks(0), ticks(5), ticks(10), ticks(50), ticks(200)}) {
+    const Outcome o = run_chain(lookahead, kEvents);
+    std::printf("%-18s %10.2f %10llu %10llu %14.2f %10s\n",
+                lookahead.str().c_str(), o.seconds * 1e3,
+                static_cast<unsigned long long>(o.grants),
+                static_cast<unsigned long long>(o.requests),
+                static_cast<double>(o.grants) /
+                    static_cast<double>(o.committed ? o.committed : 1),
+                o.complete ? "complete" : "!! STALLED");
+  }
+  note("\nself-restriction removal keeps the chain deadlock-free at every\n"
+       "lookahead; declared slack trades safe-time chatter for pipelining.");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Microbenchmarks of the kernel primitives (google-benchmark).
+//
+// These are the constants everything else is built from: event dispatch,
+// serialization, checkpoint capture/restore, delta encoding, protocol
+// rendering and the frame codec.
+#include <benchmark/benchmark.h>
+
+#include "base/rng.hpp"
+#include "core/checkpoint.hpp"
+#include "core/protocols.hpp"
+#include "core/scheduler.hpp"
+#include "transport/frame.hpp"
+#include "../tests/helpers.hpp"
+
+using namespace pia;
+
+namespace {
+
+void BM_EventDispatch(benchmark::State& state) {
+  Scheduler sched("bench");
+  auto& producer = sched.emplace<pia::testing::Producer>(
+      "p", UINT64_MAX / 2, ticks(1));
+  auto& sink = sched.emplace<pia::testing::Sink>("s");
+  sched.connect(producer.id(), "out", sink.id(), "in");
+  sched.init();
+  for (auto _ : state) {
+    sched.step();
+    if (sink.received.size() > 1'000'000) {
+      sink.received.clear();  // keep memory flat
+      sink.times.clear();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventDispatch);
+
+void BM_ValueSerialize(benchmark::State& state) {
+  const Value value{Bytes(static_cast<std::size_t>(state.range(0)))};
+  for (auto _ : state) {
+    serial::OutArchive ar;
+    value.save(ar);
+    benchmark::DoNotOptimize(ar.bytes().data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ValueSerialize)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_CheckpointRequest(benchmark::State& state) {
+  Scheduler sched("bench");
+  for (int i = 0; i < state.range(0); ++i)
+    sched.emplace<pia::testing::Sink>("s" + std::to_string(i));
+  CheckpointManager mgr(sched);
+  sched.init();
+  for (auto _ : state) {
+    const SnapshotId snap = mgr.request();
+    benchmark::DoNotOptimize(snap);
+    mgr.discard_all();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CheckpointRequest)->Arg(4)->Arg(32)->Arg(128);
+
+void BM_DeltaEncode(benchmark::State& state) {
+  Rng rng(1);
+  Bytes base(static_cast<std::size_t>(state.range(0)));
+  for (auto& b : base) b = static_cast<std::byte>(rng.below(256));
+  Bytes target = base;
+  for (std::size_t i = 0; i < target.size(); i += 97)
+    target[i] = static_cast<std::byte>(rng.below(256));
+  for (auto _ : state) {
+    Bytes d = delta::encode(base, target);
+    benchmark::DoNotOptimize(d.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DeltaEncode)->Arg(1024)->Arg(65536);
+
+void BM_ProtocolEncode(benchmark::State& state) {
+  TransferEncoder encoder;
+  const Bytes payload(1024);
+  const RunLevel& level = state.range(0) == 0   ? runlevels::kTransaction
+                          : state.range(0) == 1 ? runlevels::kPacket
+                          : state.range(0) == 2 ? runlevels::kWord
+                                                : runlevels::kHardware;
+  for (auto _ : state) {
+    auto emissions = encoder.encode(payload, level);
+    benchmark::DoNotOptimize(emissions.data());
+  }
+  state.SetLabel(level.name);
+}
+BENCHMARK(BM_ProtocolEncode)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_FrameCodec(benchmark::State& state) {
+  const Bytes payload(static_cast<std::size_t>(state.range(0)));
+  transport::FrameDecoder decoder;
+  for (auto _ : state) {
+    const Bytes frame = transport::encode_frame(payload);
+    decoder.feed(frame);
+    auto out = decoder.next();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FrameCodec)->Arg(64)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

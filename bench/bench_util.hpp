@@ -1,0 +1,42 @@
+// Shared helpers for the paper-reproduction bench binaries: wall-clock
+// timing and row printing in the style of the paper's tables.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace pia::bench {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("%s\n", text.c_str());
+}
+
+/// Times a callable and returns wall seconds.
+inline double timed(const std::function<void()>& fn) {
+  const WallTimer timer;
+  fn();
+  return timer.seconds();
+}
+
+}  // namespace pia::bench

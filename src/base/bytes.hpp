@@ -1,0 +1,37 @@
+// Byte-buffer conveniences shared by serialization and transport.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pia {
+
+using Bytes = std::vector<std::byte>;
+using BytesView = std::span<const std::byte>;
+
+inline Bytes to_bytes(std::string_view s) {
+  Bytes out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+inline std::string to_string(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// FNV-1a, used for cheap content fingerprints (checkpoint dedup, tests).
+inline std::uint64_t fnv1a(BytesView b) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::byte x : b) {
+    h ^= static_cast<std::uint64_t>(x);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace pia

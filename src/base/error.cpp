@@ -1,0 +1,43 @@
+#include "base/error.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace pia {
+
+const char* to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kInvalidArgument: return "invalid_argument";
+    case ErrorKind::kPrecondition:    return "precondition";
+    case ErrorKind::kState:           return "state";
+    case ErrorKind::kSerialization:   return "serialization";
+    case ErrorKind::kTransport:       return "transport";
+    case ErrorKind::kProtocol:        return "protocol";
+    case ErrorKind::kConsistency:     return "consistency";
+    case ErrorKind::kTopology:        return "topology";
+    case ErrorKind::kNotFound:        return "not_found";
+  }
+  return "unknown";
+}
+
+Error::Error(ErrorKind kind, std::string message)
+    : std::runtime_error(std::string("[") + to_string(kind) + "] " +
+                         std::move(message)),
+      kind_(kind) {}
+
+void raise(ErrorKind kind, std::string message) {
+  throw Error(kind, std::move(message));
+}
+
+namespace detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream os;
+  os << "check failed: (" << expr << ") at " << file << ":" << line << ": "
+     << message;
+  throw Error(ErrorKind::kPrecondition, os.str());
+}
+
+}  // namespace detail
+}  // namespace pia

@@ -1,0 +1,58 @@
+// Error handling for the Pia framework.
+//
+// Following the Core Guidelines (E.2): throw an exception to signal that a
+// function cannot perform its task.  All framework errors derive from
+// pia::Error and carry a category so callers can discriminate without string
+// matching.  PIA_CHECK/PIA_REQUIRE are used for invariants and preconditions
+// that indicate misuse of the API rather than environmental failure.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pia {
+
+enum class ErrorKind {
+  kInvalidArgument,   // caller passed something nonsensical
+  kPrecondition,      // API misuse (wiring, lifecycle)
+  kState,             // object not in a state that permits the operation
+  kSerialization,     // archive underflow / version mismatch
+  kTransport,         // socket / pipe failure
+  kProtocol,          // malformed channel message
+  kConsistency,       // virtual-time consistency violation detected
+  kTopology,          // subsystem graph violates the simple-cycle rule
+  kNotFound,          // lookup failure (registry, port name, ...)
+};
+
+[[nodiscard]] const char* to_string(ErrorKind kind);
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorKind kind, std::string message);
+
+  [[nodiscard]] ErrorKind kind() const { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+/// Throws Error{kind, message}.  Out-of-line so the throw does not bloat
+/// every call site.
+[[noreturn]] void raise(ErrorKind kind, std::string message);
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace pia
+
+/// Invariant check: always on (simulation correctness beats the nanoseconds).
+#define PIA_CHECK(expr, message)                                         \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::pia::detail::check_failed(#expr, __FILE__, __LINE__, (message)); \
+  } while (false)
+
+/// Precondition check: documents intent at API boundaries.
+#define PIA_REQUIRE(expr, message) PIA_CHECK(expr, message)

@@ -1,0 +1,69 @@
+// Strongly typed identifiers used throughout the Pia framework.
+//
+// Components, ports, nets, subsystems, nodes and channels are all referred to
+// by small integer handles.  Mixing them up is a classic source of silent
+// bugs in simulation kernels, so each gets a distinct non-convertible type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace pia {
+
+/// CRTP-free strong id: a 32-bit handle tagged with a phantom type.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type v) : value_(v) {}
+
+  /// Sentinel meaning "no object".
+  static constexpr Id invalid() {
+    return Id{std::numeric_limits<underlying_type>::max()};
+  }
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return *this != invalid(); }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    if (!id.valid()) return os << Tag::prefix() << "<invalid>";
+    return os << Tag::prefix() << id.value_;
+  }
+
+ private:
+  underlying_type value_ = std::numeric_limits<underlying_type>::max();
+};
+
+struct ComponentTag { static constexpr const char* prefix() { return "comp#"; } };
+struct PortTag      { static constexpr const char* prefix() { return "port#"; } };
+struct NetTag       { static constexpr const char* prefix() { return "net#"; } };
+struct SubsystemTag { static constexpr const char* prefix() { return "ss#"; } };
+struct NodeTag      { static constexpr const char* prefix() { return "node#"; } };
+struct ChannelTag   { static constexpr const char* prefix() { return "chan#"; } };
+struct SnapshotTag  { static constexpr const char* prefix() { return "snap#"; } };
+
+using ComponentId = Id<ComponentTag>;
+using PortId      = Id<PortTag>;
+using NetId       = Id<NetTag>;
+using SubsystemId = Id<SubsystemTag>;
+using NodeId      = Id<NodeTag>;
+using ChannelId   = Id<ChannelTag>;
+using SnapshotId  = Id<SnapshotTag>;
+
+}  // namespace pia
+
+namespace std {
+template <typename Tag>
+struct hash<pia::Id<Tag>> {
+  size_t operator()(pia::Id<Tag> id) const noexcept {
+    return std::hash<typename pia::Id<Tag>::underlying_type>{}(id.value());
+  }
+};
+}  // namespace std

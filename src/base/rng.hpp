@@ -1,0 +1,48 @@
+// Deterministic pseudo-random numbers for workload generators and models.
+//
+// Simulation runs must be reproducible, so everything that needs randomness
+// (latency jitter, page content, handwriting strokes, ...) takes an explicit
+// Rng seeded by the caller.  The generator is SplitMix64: tiny, fast and
+// statistically fine for workload shaping.
+#pragma once
+
+#include <cstdint>
+
+namespace pia {
+
+class Rng {
+ public:
+  constexpr explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound).  bound must be > 0.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    return next() % bound;  // modulo bias is irrelevant for workload shaping
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace pia

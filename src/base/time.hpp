@@ -1,0 +1,71 @@
+// Virtual time.
+//
+// Pia maintains a two-level hierarchical view of virtual time (paper §2.1):
+// every component has a *local* time and every subsystem a *subsystem* time
+// that is always <= the local time of each of its components.  All of those
+// are values of this one strong type, counted in integer ticks (we interpret
+// one tick as a nanosecond of simulated time, but nothing in the kernel
+// depends on the unit).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace pia {
+
+class VirtualTime {
+ public:
+  using rep = std::int64_t;
+
+  constexpr VirtualTime() = default;
+  constexpr explicit VirtualTime(rep ticks) : ticks_(ticks) {}
+
+  /// Simulation epoch.
+  static constexpr VirtualTime zero() { return VirtualTime{0}; }
+  /// "Never": later than every reachable time.  Used as the safe time of a
+  /// channel with no pending restriction and as the event-queue sentinel.
+  static constexpr VirtualTime infinity() {
+    return VirtualTime{std::numeric_limits<rep>::max()};
+  }
+
+  [[nodiscard]] constexpr rep ticks() const { return ticks_; }
+  [[nodiscard]] constexpr bool is_infinite() const {
+    return ticks_ == std::numeric_limits<rep>::max();
+  }
+
+  friend constexpr auto operator<=>(VirtualTime, VirtualTime) = default;
+
+  constexpr VirtualTime operator+(VirtualTime d) const {
+    if (is_infinite() || d.is_infinite()) return infinity();
+    return VirtualTime{ticks_ + d.ticks_};
+  }
+  constexpr VirtualTime operator-(VirtualTime d) const {
+    if (is_infinite()) return infinity();
+    return VirtualTime{ticks_ - d.ticks_};
+  }
+  constexpr VirtualTime& operator+=(VirtualTime d) { return *this = *this + d; }
+
+  friend std::ostream& operator<<(std::ostream& os, VirtualTime t) {
+    if (t.is_infinite()) return os << "t=inf";
+    return os << "t=" << t.ticks_;
+  }
+
+  [[nodiscard]] std::string str() const {
+    return is_infinite() ? "inf" : std::to_string(ticks_);
+  }
+
+ private:
+  rep ticks_ = 0;
+};
+
+/// A duration literal helper: ticks(5) reads better than VirtualTime{5} at
+/// call sites that mean a *delay* rather than an absolute instant.
+constexpr VirtualTime ticks(VirtualTime::rep n) { return VirtualTime{n}; }
+
+constexpr VirtualTime min(VirtualTime a, VirtualTime b) { return a < b ? a : b; }
+constexpr VirtualTime max(VirtualTime a, VirtualTime b) { return a < b ? b : a; }
+
+}  // namespace pia

@@ -1,0 +1,49 @@
+#include "core/assertional.hpp"
+
+#include "base/error.hpp"
+
+namespace pia {
+
+void AssertionalMethod::add_rule(std::string name, Condition condition,
+                                 Action action) {
+  PIA_REQUIRE(condition != nullptr && action != nullptr,
+              "assertional rule '" + name + "' needs condition and action");
+  rules_.push_back(
+      Rule{std::move(name), std::move(condition), std::move(action)});
+}
+
+AssertionalMethod::Step AssertionalMethod::feed(const Value& stimulus) {
+  for (const Rule& rule : rules_) {
+    if (!rule.condition(state_, stimulus)) continue;
+    Result result = rule.action(state_, stimulus);
+
+    Step step;
+    step.fired_rule = &rule.name;
+    step.emissions = std::move(result.emissions);
+    step.delay = result.delay;
+    if (result.set_reg) state_.reg = *result.set_reg;
+    state_.accumulator.insert(state_.accumulator.end(),
+                              result.append.begin(), result.append.end());
+    if (result.complete) {
+      step.completed = std::move(state_.accumulator);
+      state_.accumulator.clear();
+    }
+    return step;
+  }
+  if (strict_)
+    raise(ErrorKind::kProtocol,
+          "no assertional rule matched stimulus " + stimulus.str());
+  return Step{};
+}
+
+void AssertionalMethod::save(serial::OutArchive& ar) const {
+  ar.put_i64(state_.reg);
+  ar.put_bytes(state_.accumulator);
+}
+
+void AssertionalMethod::restore(serial::InArchive& ar) {
+  state_.reg = ar.get_i64();
+  state_.accumulator = ar.get_bytes();
+}
+
+}  // namespace pia

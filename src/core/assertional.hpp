@@ -1,0 +1,96 @@
+// Assertion-based communication methods (paper §2, citing Hines &
+// Borriello, Codes/CASHE'97).
+//
+// "In the cases where the user must provide additional instructions for
+// levels of detail not currently in any library, we allow these to be
+// entered as a set of assertions which describe the activating conditions,
+// and results of any action."
+//
+// An AssertionalMethod is exactly that: a user-declared rule table.  Each
+// rule has an *activating condition* — a predicate over the method's state
+// register and the stimulus value — and a *result* — emissions to drive,
+// state updates, time to consume and optionally a payload completion.  The
+// engine evaluates rules in declaration order and fires the first match,
+// so a custom detail level can be described without writing a component.
+//
+// The state register is a single integer plus a byte accumulator, which is
+// enough to express the library's own levels (see tests, which re-derive
+// the word-level protocol as a rule table) and is trivially checkpointable.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/bytes.hpp"
+#include "core/value.hpp"
+#include "serial/archive.hpp"
+
+namespace pia {
+
+class AssertionalMethod {
+ public:
+  /// The method's whole mutable state: checkpointable by construction.
+  struct State {
+    std::int64_t reg = 0;   // user-defined mode/counter register
+    Bytes accumulator;      // bytes gathered so far
+  };
+
+  /// What a fired rule does.
+  struct Result {
+    /// Values to drive out, in order (each may consume `delay` first).
+    std::vector<Value> emissions;
+    /// New register value (nullopt = unchanged).
+    std::optional<std::int64_t> set_reg;
+    /// Bytes to append to the accumulator.
+    Bytes append;
+    /// Virtual time consumed by the action.
+    VirtualTime delay = VirtualTime::zero();
+    /// If set, the accumulator completes as a payload and is cleared.
+    bool complete = false;
+  };
+
+  using Condition =
+      std::function<bool(const State& state, const Value& stimulus)>;
+  using Action =
+      std::function<Result(const State& state, const Value& stimulus)>;
+
+  struct Rule {
+    std::string name;       // for diagnostics
+    Condition condition;    // activating condition
+    Action action;          // result of the action
+  };
+
+  /// Declares a rule; evaluation order = declaration order.
+  void add_rule(std::string name, Condition condition, Action action);
+
+  [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
+
+  /// Outcome of feeding one stimulus.
+  struct Step {
+    const std::string* fired_rule = nullptr;  // nullptr: no rule matched
+    std::vector<Value> emissions;
+    VirtualTime delay;
+    std::optional<Bytes> completed;  // reassembled payload, if any
+  };
+
+  /// Applies the first matching rule to `stimulus`.  Throws
+  /// Error{kProtocol} if no rule matches and `strict` was set.
+  Step feed(const Value& stimulus);
+
+  void set_strict(bool strict) { strict_ = strict; }
+
+  [[nodiscard]] const State& state() const { return state_; }
+  void reset() { state_ = State{}; }
+
+  void save(serial::OutArchive& ar) const;
+  void restore(serial::InArchive& ar);
+
+ private:
+  std::vector<Rule> rules_;
+  State state_;
+  bool strict_ = false;
+};
+
+}  // namespace pia

@@ -1,0 +1,345 @@
+#include "core/checkpoint.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+#include "base/log.hpp"
+#include "serial/archive.hpp"
+
+namespace pia {
+
+CheckpointManager::CheckpointManager(Scheduler& scheduler,
+                                     CheckpointPolicy policy)
+    : scheduler_(scheduler), policy_(policy) {
+  if (policy_ == CheckpointPolicy::kDeferred) {
+    PIA_REQUIRE(!scheduler_.on_schedule_hook && !scheduler_.pre_dispatch_hook,
+                "scheduler hooks already in use; CheckpointManager(kDeferred) "
+                "must own them");
+    scheduler_.on_schedule_hook = [this](const Event& e) { on_schedule(e); };
+    scheduler_.pre_dispatch_hook = [this](const Event& e) {
+      on_pre_dispatch(e);
+    };
+  }
+}
+
+CheckpointManager::~CheckpointManager() {
+  if (policy_ == CheckpointPolicy::kDeferred) {
+    scheduler_.on_schedule_hook = nullptr;
+    scheduler_.pre_dispatch_hook = nullptr;
+  }
+}
+
+SnapshotId CheckpointManager::request() {
+  const SnapshotId id{next_snapshot_++};
+  Snapshot snap;
+  snap.requested_at = scheduler_.now();
+
+  if (policy_ == CheckpointPolicy::kImmediate) {
+    // Handlers run to completion, so right now every component is at a safe
+    // point: capture a consistent cut directly.
+    snap.queue_snapshot = scheduler_.snapshot_queue();
+    snapshots_.emplace(id, std::move(snap));
+    Snapshot& stored = snapshots_.at(id);
+    for (ComponentId comp : scheduler_.component_ids())
+      save_component(stored, comp);
+    stored.finalized = true;
+  } else {
+    PIA_REQUIRE(!armed_.has_value(),
+                "a deferred checkpoint request is already outstanding");
+    snapshots_.emplace(id, std::move(snap));
+    armed_ = id;
+    sent_by_unsaved_.clear();
+    deliveries_since_request_.clear();
+  }
+  stats_.checkpoints_taken++;
+  return id;
+}
+
+void CheckpointManager::on_schedule(const Event& event) {
+  if (!armed_) return;
+  Snapshot& snap = snapshots_.at(*armed_);
+  const bool source_unsaved =
+      !event.source.valid() || !snap.images.contains(event.source);
+  sent_by_unsaved_.emplace(event.seq, source_unsaved);
+}
+
+void CheckpointManager::on_pre_dispatch(const Event& event) {
+  if (!armed_) return;
+  Snapshot& snap = snapshots_.at(*armed_);
+
+  // Save-before-receive: the target's image must be taken before this
+  // delivery mutates it.  This is the rule that prevents the domino effect.
+  // (deferred_save_delay_ != 0 deliberately breaks it for the ablation.)
+  if (!snap.images.contains(event.target)) {
+    const std::uint32_t seen = deliveries_since_request_[event.target];
+    if (seen >= deferred_save_delay_) {
+      save_component(snap, event.target);
+      record_pending_for(snap, event.target);
+    } else {
+      deliveries_since_request_[event.target] = seen + 1;
+    }
+  }
+
+  // The event being dispatched has left the queue; if its (restored) sender
+  // will not regenerate it, it is channel state and must be recorded so the
+  // restore can redeliver it.
+  const auto tag = sent_by_unsaved_.find(event.seq);
+  const bool needs_recording =
+      tag == sent_by_unsaved_.end() /* scheduled before the request */ ||
+      tag->second;
+  if (needs_recording) {
+    snap.channel_events.push_back(event);
+    stats_.recorded_channel_events++;
+  }
+
+  if (snap.images.size() == scheduler_.component_count()) {
+    snap.finalized = true;
+    armed_.reset();
+    sent_by_unsaved_.clear();
+    deliveries_since_request_.clear();
+  }
+}
+
+void CheckpointManager::save_component(Snapshot& snap, ComponentId id) {
+  Bytes image = scheduler_.component(id).save_image();
+  StoredImage stored;
+
+  if (incremental_) {
+    // Find the most recent older snapshot holding an image for this
+    // component and store a delta against it.
+    for (auto it = snapshots_.rbegin(); it != snapshots_.rend(); ++it) {
+      if (&it->second == &snap) continue;
+      if (!it->second.images.contains(id)) continue;
+      const Bytes base = materialize_image(it->first, id);
+      Bytes encoded = delta::encode(base, image);
+      if (encoded.size() < image.size()) {
+        stored.is_delta = true;
+        stored.delta_base = it->first;
+        stored.data = std::move(encoded);
+        stats_.incremental_image_bytes += stored.data.size();
+      }
+      break;
+    }
+  }
+  if (!stored.is_delta) {
+    stored.data = std::move(image);
+    stats_.full_image_bytes += stored.data.size();
+  }
+  snap.images.emplace(id, std::move(stored));
+}
+
+void CheckpointManager::record_pending_for(Snapshot& snap, ComponentId id) {
+  // Undelivered events already queued for this component whose senders were
+  // unsaved at send time: restored senders will not resend them.
+  for (const Event& e : scheduler_.snapshot_queue()) {
+    if (e.target != id) continue;
+    const auto tag = sent_by_unsaved_.find(e.seq);
+    const bool needs_recording =
+        tag == sent_by_unsaved_.end() || tag->second;
+    if (needs_recording) {
+      snap.channel_events.push_back(e);
+      stats_.recorded_channel_events++;
+    }
+  }
+}
+
+Bytes CheckpointManager::materialize_image(SnapshotId id,
+                                           ComponentId comp) const {
+  const auto it = snapshots_.find(id);
+  PIA_REQUIRE(it != snapshots_.end(), "unknown snapshot");
+  const auto img = it->second.images.find(comp);
+  PIA_REQUIRE(img != it->second.images.end(),
+              "snapshot has no image for component");
+  if (!img->second.is_delta) return img->second.data;
+  const Bytes base = materialize_image(img->second.delta_base, comp);
+  return delta::apply(base, img->second.data);
+}
+
+void CheckpointManager::finalize(SnapshotId id) {
+  auto it = snapshots_.find(id);
+  PIA_REQUIRE(it != snapshots_.end(), "unknown snapshot");
+  Snapshot& snap = it->second;
+  if (snap.finalized) return;
+  PIA_CHECK(armed_ == id, "finalize of a non-armed deferred snapshot");
+  for (ComponentId comp : scheduler_.component_ids()) {
+    if (!snap.images.contains(comp)) {
+      save_component(snap, comp);
+      record_pending_for(snap, comp);
+    }
+  }
+  snap.finalized = true;
+  armed_.reset();
+  sent_by_unsaved_.clear();
+}
+
+bool CheckpointManager::complete(SnapshotId id) const {
+  const auto it = snapshots_.find(id);
+  PIA_REQUIRE(it != snapshots_.end(), "unknown snapshot");
+  return it->second.finalized;
+}
+
+void CheckpointManager::restore(SnapshotId id) {
+  auto it = snapshots_.find(id);
+  PIA_REQUIRE(it != snapshots_.end(), "unknown snapshot");
+  if (!it->second.finalized) finalize(id);
+  Snapshot& snap = it->second;
+
+  // 1. Component images.
+  VirtualTime min_local = VirtualTime::infinity();
+  for (ComponentId comp : scheduler_.component_ids()) {
+    scheduler_.component(comp).restore_image(materialize_image(id, comp));
+    min_local = min(min_local, scheduler_.component(comp).local_time());
+  }
+
+  // 2. Event queue: recorded channel state (plus, for immediate snapshots,
+  //    the full queue as captured).  Original seq numbers are kept so that
+  //    re-execution dispatches in the original deterministic order.
+  std::vector<Event> queue = snap.queue_snapshot;
+  queue.insert(queue.end(), snap.channel_events.begin(),
+               snap.channel_events.end());
+  std::sort(queue.begin(), queue.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  queue.erase(std::unique(queue.begin(), queue.end(),
+                          [](const Event& a, const Event& b) {
+                            return a.seq == b.seq;
+                          }),
+              queue.end());
+  scheduler_.replace_queue(std::move(queue));
+
+  // 3. Subsystem time: never later than any local time or pending event.
+  VirtualTime now = min(min_local, scheduler_.next_event_time());
+  if (now.is_infinite()) now = snap.requested_at;
+  scheduler_.set_now(now);
+
+  // A restore invalidates any armed later request.
+  if (armed_ && *armed_ != id) {
+    snapshots_.erase(*armed_);
+    armed_.reset();
+    sent_by_unsaved_.clear();
+  }
+  // Snapshots later than the restore point describe a future that no longer
+  // exists.
+  snapshots_.erase(snapshots_.upper_bound(id), snapshots_.end());
+
+  stats_.restores++;
+  PIA_DEBUG("restored snapshot " << id << " at " << scheduler_.now());
+}
+
+SnapshotId CheckpointManager::restore_latest() {
+  PIA_REQUIRE(!snapshots_.empty(), "no checkpoint to restore");
+  const SnapshotId id = snapshots_.rbegin()->first;
+  restore(id);
+  return id;
+}
+
+std::optional<SnapshotId> CheckpointManager::latest() const {
+  if (snapshots_.empty()) return std::nullopt;
+  return snapshots_.rbegin()->first;
+}
+
+std::optional<SnapshotId> CheckpointManager::latest_at_or_before(
+    VirtualTime t) const {
+  std::optional<SnapshotId> best;
+  for (const auto& [id, snap] : snapshots_) {
+    if (snap.requested_at <= t) best = id;
+    else break;  // snapshots_ is ordered by id, and ids advance with time
+  }
+  return best;
+}
+
+VirtualTime CheckpointManager::snapshot_time(SnapshotId id) const {
+  const auto it = snapshots_.find(id);
+  PIA_REQUIRE(it != snapshots_.end(), "unknown snapshot");
+  return it->second.requested_at;
+}
+
+std::size_t CheckpointManager::stored_bytes(SnapshotId id) const {
+  const auto it = snapshots_.find(id);
+  PIA_REQUIRE(it != snapshots_.end(), "unknown snapshot");
+  std::size_t total = 0;
+  for (const auto& [comp, img] : it->second.images) total += img.data.size();
+  return total;
+}
+
+void CheckpointManager::discard_before(SnapshotId id) {
+  // Deltas may chain backwards; materialize any snapshot >= id whose delta
+  // base would be collected.
+  for (auto it = snapshots_.lower_bound(id); it != snapshots_.end(); ++it) {
+    for (auto& [comp, img] : it->second.images) {
+      if (img.is_delta && img.delta_base < id) {
+        Bytes full = materialize_image(it->first, comp);
+        img.is_delta = false;
+        img.data = std::move(full);
+      }
+    }
+  }
+  snapshots_.erase(snapshots_.begin(), snapshots_.lower_bound(id));
+}
+
+void CheckpointManager::discard_all() {
+  snapshots_.clear();
+  armed_.reset();
+  sent_by_unsaved_.clear();
+}
+
+namespace delta {
+
+Bytes encode(BytesView base, BytesView target) {
+  serial::OutArchive ar;
+  // Runs of differing bytes between base and target (over the common
+  // prefix), then the target tail beyond the base length.
+  const std::size_t common = std::min(base.size(), target.size());
+  std::vector<std::pair<std::size_t, std::size_t>> runs;  // offset, length
+  std::size_t i = 0;
+  while (i < common) {
+    if (base[i] == target[i]) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    // Merge gaps shorter than 8 bytes into one run: each run costs ~2-4
+    // bytes of header, so tiny gaps are cheaper to include than to skip.
+    std::size_t last_diff = i;
+    while (i < common && i - last_diff < 8) {
+      if (base[i] != target[i]) last_diff = i;
+      ++i;
+    }
+    runs.emplace_back(start, last_diff + 1 - start);
+  }
+  ar.put_varint(runs.size());
+  for (const auto& [offset, length] : runs) {
+    ar.put_varint(offset);
+    ar.put_varint(length);
+    ar.put_raw(target.subspan(offset, length));
+  }
+  ar.put_varint(target.size());
+  if (target.size() > base.size())
+    ar.put_raw(target.subspan(base.size()));
+  return std::move(ar).take();
+}
+
+Bytes apply(BytesView base, BytesView delta_bytes) {
+  serial::InArchive ar(delta_bytes);
+  Bytes out(base.begin(), base.end());
+  const std::uint64_t run_count = ar.get_varint();
+  for (std::uint64_t r = 0; r < run_count; ++r) {
+    const std::uint64_t offset = ar.get_varint();
+    const std::uint64_t length = ar.get_varint();
+    if (offset + length > out.size())
+      raise(ErrorKind::kSerialization, "delta run beyond base image");
+    for (std::uint64_t k = 0; k < length; ++k)
+      out[offset + k] = static_cast<std::byte>(ar.get_u8());
+  }
+  const std::uint64_t target_size = ar.get_varint();
+  if (target_size < out.size()) {
+    out.resize(target_size);
+  } else if (target_size > out.size()) {
+    const std::size_t tail = target_size - out.size();
+    for (std::size_t k = 0; k < tail; ++k)
+      out.push_back(static_cast<std::byte>(ar.get_u8()));
+  }
+  return out;
+}
+
+}  // namespace delta
+}  // namespace pia

@@ -1,0 +1,112 @@
+#include "core/component.hpp"
+
+#include "base/error.hpp"
+
+namespace pia {
+
+namespace {
+constexpr std::uint32_t kImageVersion = 1;
+}
+
+Component::Component(std::string name) : name_(std::move(name)) {}
+
+const Port& Component::port(PortIndex i) const {
+  PIA_REQUIRE(i < ports_.size(), "port index out of range on " + name_);
+  return ports_[i];
+}
+
+PortIndex Component::find_port(std::string_view port_name) const {
+  for (PortIndex i = 0; i < ports_.size(); ++i)
+    if (ports_[i].name == port_name) return i;
+  raise(ErrorKind::kNotFound,
+        "component '" + name_ + "' has no port '" + std::string(port_name) +
+            "'");
+}
+
+PortIndex Component::add_input(std::string port_name, PortSync sync) {
+  ports_.push_back(Port{.name = std::move(port_name),
+                        .dir = PortDir::kIn,
+                        .sync = sync});
+  return static_cast<PortIndex>(ports_.size() - 1);
+}
+
+PortIndex Component::add_output(std::string port_name) {
+  ports_.push_back(Port{.name = std::move(port_name), .dir = PortDir::kOut});
+  return static_cast<PortIndex>(ports_.size() - 1);
+}
+
+Port& Component::mutable_port(PortIndex i) {
+  PIA_REQUIRE(i < ports_.size(), "port index out of range on " + name_);
+  return ports_[i];
+}
+
+PortIndex Component::add_inout(std::string port_name, PortSync sync) {
+  ports_.push_back(Port{.name = std::move(port_name),
+                        .dir = PortDir::kInOut,
+                        .sync = sync});
+  return static_cast<PortIndex>(ports_.size() - 1);
+}
+
+void Component::send(PortIndex out_port, Value value,
+                     VirtualTime extra_delay) {
+  PIA_REQUIRE(context_ != nullptr,
+              "send() outside a scheduled handler on " + name_);
+  context_->context_send(*this, out_port, std::move(value), extra_delay);
+}
+
+void Component::send_at(PortIndex out_port, Value value, VirtualTime when) {
+  PIA_REQUIRE(context_ != nullptr,
+              "send_at() outside a scheduled handler on " + name_);
+  context_->context_send_at(*this, out_port, std::move(value), when);
+}
+
+void Component::wake_after(VirtualTime delay) {
+  wake_at(local_time_ + delay);
+}
+
+void Component::wake_at(VirtualTime when) {
+  PIA_REQUIRE(context_ != nullptr,
+              "wake_at() outside a scheduled handler on " + name_);
+  PIA_REQUIRE(when >= local_time_, "wake_at() into the past on " + name_);
+  context_->context_wake(*this, when);
+}
+
+void Component::advance(VirtualTime delta) {
+  PIA_REQUIRE(delta >= VirtualTime::zero(),
+              "advance() by negative time on " + name_);
+  local_time_ += delta;
+}
+
+void Component::request_runlevel(const RunLevel& level) {
+  PIA_REQUIRE(context_ != nullptr,
+              "request_runlevel() outside a scheduled handler on " + name_);
+  context_->context_request_runlevel(*this, level);
+}
+
+Bytes Component::save_image() const {
+  serial::OutArchive ar;
+  serial::begin_section(ar, "pia.component", kImageVersion);
+  ar.put_string(name_);
+  serial::write(ar, local_time_);
+  ar.put_string(runlevel_.name);
+  ar.put_i64(runlevel_.detail);
+  save_state(ar);
+  return std::move(ar).take();
+}
+
+void Component::restore_image(BytesView image) {
+  serial::InArchive ar(image);
+  serial::expect_section(ar, "pia.component");
+  const std::string stored_name = ar.get_string();
+  if (stored_name != name_) {
+    raise(ErrorKind::kSerialization,
+          "checkpoint image for '" + stored_name +
+              "' restored into component '" + name_ + "'");
+  }
+  local_time_ = serial::read<VirtualTime>(ar);
+  runlevel_.name = ar.get_string();
+  runlevel_.detail = static_cast<int>(ar.get_i64());
+  restore_state(ar);
+}
+
+}  // namespace pia

@@ -1,0 +1,174 @@
+// Process-style components (paper §3.1).
+//
+// The original Pia ran each component as a Java thread and tricked the VM
+// scheduler into running exactly one at a time ("have all the threads queue
+// up on mutexes and have the scheduler signal the one it wants to run").
+// The modern C++ equivalent is a coroutine: ProcessComponent lets behaviour
+// be written as straight-line code —
+//
+//   Process body() override {
+//     co_await delay(ticks(100));
+//     for (;;) {
+//       auto [port, value] = co_await receive();
+//       advance(ticks(50));
+//       send(out_, Value{value.as_word() + 1});
+//     }
+//   }
+//
+// — while the subsystem scheduler remains the only dispatcher, exactly as
+// in the reactive model.  A suspended coroutine frame cannot be serialized,
+// so process components refuse checkpoint restores (like hardware bridges,
+// they belong in conservative regions); use reactive components where
+// rollback must reach.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "core/component.hpp"
+
+namespace pia {
+
+class ProcessComponent : public Component {
+ public:
+  class Process {
+   public:
+    struct promise_type {
+      Process get_return_object() {
+        return Process{
+            std::coroutine_handle<promise_type>::from_promise(*this)};
+      }
+      std::suspend_always initial_suspend() noexcept { return {}; }
+      std::suspend_always final_suspend() noexcept { return {}; }
+      void return_void() {}
+      void unhandled_exception() { exception = std::current_exception(); }
+      std::exception_ptr exception;
+    };
+
+    Process() = default;
+    explicit Process(std::coroutine_handle<promise_type> handle)
+        : handle_(handle) {}
+    Process(Process&& other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr)) {}
+    Process& operator=(Process&& other) noexcept {
+      if (this != &other) {
+        destroy();
+        handle_ = std::exchange(other.handle_, nullptr);
+      }
+      return *this;
+    }
+    Process(const Process&) = delete;
+    Process& operator=(const Process&) = delete;
+    ~Process() { destroy(); }
+
+    [[nodiscard]] bool done() const { return !handle_ || handle_.done(); }
+
+    void resume() {
+      if (done()) return;
+      handle_.resume();
+      if (handle_.done() && handle_.promise().exception)
+        std::rethrow_exception(handle_.promise().exception);
+    }
+
+   private:
+    void destroy() {
+      if (handle_) handle_.destroy();
+      handle_ = nullptr;
+    }
+    std::coroutine_handle<promise_type> handle_;
+  };
+
+  /// A value delivered to the process: which port, and what.
+  struct Delivery {
+    PortIndex port;
+    Value value;
+  };
+
+  using Component::Component;
+
+  /// The process body, written as a coroutine.  Runs from simulation start;
+  /// when it co_returns the component goes quiet.
+  virtual Process body() = 0;
+
+  // --- awaitables ------------------------------------------------------------
+
+  /// Suspends the process for `d` of virtual time.
+  [[nodiscard]] auto delay(VirtualTime d) {
+    struct Awaiter {
+      ProcessComponent& self;
+      VirtualTime duration;
+      bool await_ready() const noexcept {
+        return duration == VirtualTime::zero();
+      }
+      void await_suspend(std::coroutine_handle<>) {
+        self.waiting_for_wake_ = true;
+        self.wake_after(duration);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  /// Suspends until a value arrives on any input port (or pops one already
+  /// queued in the mailbox) — the paper's "continue until it is ready to
+  /// receive a value from another component".
+  [[nodiscard]] auto receive() {
+    struct Awaiter {
+      ProcessComponent& self;
+      bool await_ready() const noexcept { return !self.mailbox_.empty(); }
+      void await_suspend(std::coroutine_handle<>) {
+        self.waiting_for_receive_ = true;
+      }
+      Delivery await_resume() {
+        Delivery delivery = std::move(self.mailbox_.front());
+        self.mailbox_.pop_front();
+        return delivery;
+      }
+    };
+    return Awaiter{*this};
+  }
+
+  // --- kernel glue (final: the coroutine IS the behaviour) --------------------
+
+  void on_init() final {
+    process_ = body();
+    process_->resume();  // run to the first suspension point
+  }
+
+  void on_receive(PortIndex port, const Value& value) final {
+    mailbox_.push_back(Delivery{port, value});
+    if (waiting_for_receive_) {
+      waiting_for_receive_ = false;
+      process_->resume();
+    }
+  }
+
+  void on_wake() final {
+    if (!waiting_for_wake_) return;
+    waiting_for_wake_ = false;
+    process_->resume();
+  }
+
+  /// A suspended coroutine frame has no serializable representation.
+  void restore_state(serial::InArchive&) final {
+    raise(ErrorKind::kState,
+          "process component '" + name() +
+              "' cannot rewind: coroutine frames are not serializable; "
+              "use a reactive Component where rollback must reach");
+  }
+
+  [[nodiscard]] bool finished() const {
+    return process_.has_value() && process_->done();
+  }
+  [[nodiscard]] std::size_t mailbox_size() const { return mailbox_.size(); }
+
+ private:
+  std::optional<Process> process_;
+  std::deque<Delivery> mailbox_;
+  bool waiting_for_receive_ = false;
+  bool waiting_for_wake_ = false;
+};
+
+}  // namespace pia

@@ -1,0 +1,289 @@
+#include "core/protocols.hpp"
+
+#include "base/error.hpp"
+
+namespace pia {
+namespace {
+
+// Wire tags distinguishing Packet-valued emissions.
+constexpr std::uint8_t kTagTransaction = 0x01;
+constexpr std::uint8_t kTagPacketFrame = 0x02;
+
+// Header word announcing a word-level transfer: magic in the upper half,
+// payload byte count in the lower half.
+constexpr std::uint64_t kWordHeaderMagic = 0x5049414C00000000ULL;
+constexpr std::uint64_t kWordHeaderMask = 0xFFFFFFFF00000000ULL;
+
+std::size_t div_round_up(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+VirtualTime half(VirtualTime t) { return VirtualTime{t.ticks() / 2}; }
+
+}  // namespace
+
+namespace framing {
+
+Bytes make_packet(std::uint16_t seq, bool last, BytesView chunk) {
+  PIA_REQUIRE(seq < 0x8000, "packet sequence number overflow");
+  Bytes frame;
+  frame.reserve(3 + chunk.size());
+  frame.push_back(std::byte{kTagPacketFrame});
+  frame.push_back(std::byte{static_cast<std::uint8_t>(seq & 0xFF)});
+  frame.push_back(std::byte{static_cast<std::uint8_t>(
+      ((seq >> 8) & 0x7F) | (last ? 0x80 : 0x00))});
+  frame.insert(frame.end(), chunk.begin(), chunk.end());
+  return frame;
+}
+
+PacketHeader parse_packet(BytesView frame, BytesView& chunk_out) {
+  if (frame.size() < 3 ||
+      static_cast<std::uint8_t>(frame[0]) != kTagPacketFrame)
+    raise(ErrorKind::kProtocol, "malformed packet frame");
+  const auto lo = static_cast<std::uint8_t>(frame[1]);
+  const auto hi = static_cast<std::uint8_t>(frame[2]);
+  chunk_out = frame.subspan(3);
+  return PacketHeader{
+      .seq = static_cast<std::uint16_t>(lo | ((hi & 0x7F) << 8)),
+      .last = (hi & 0x80) != 0,
+  };
+}
+
+}  // namespace framing
+
+std::vector<TransferEncoder::Emission> TransferEncoder::encode(
+    BytesView payload, const RunLevel& level) const {
+  std::vector<Emission> out;
+
+  if (level.name == runlevels::kTransaction.name) {
+    Bytes frame;
+    frame.reserve(1 + payload.size());
+    frame.push_back(std::byte{kTagTransaction});
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    out.push_back({timing_.transaction_latency, Value{std::move(frame)}});
+    return out;
+  }
+
+  if (level.name == runlevels::kPacket.name) {
+    const std::size_t packets =
+        payload.empty() ? 1 : div_round_up(payload.size(), kPacketPayload);
+    for (std::size_t i = 0; i < packets; ++i) {
+      const std::size_t begin = i * kPacketPayload;
+      const std::size_t len =
+          std::min(kPacketPayload, payload.size() - begin);
+      out.push_back({timing_.packet_period,
+                     Value{framing::make_packet(
+                         static_cast<std::uint16_t>(i), i + 1 == packets,
+                         payload.subspan(begin, len))}});
+    }
+    return out;
+  }
+
+  if (level.name == runlevels::kWord.name ||
+      level.name == "byteLevel" /* paper's WubbleU alias */) {
+    out.push_back({timing_.word_period,
+                   Value{kWordHeaderMagic |
+                         static_cast<std::uint64_t>(payload.size())}});
+    for (std::size_t i = 0; i < payload.size(); i += kWordBytes) {
+      std::uint64_t word = 0;
+      for (std::size_t k = 0; k < kWordBytes && i + k < payload.size(); ++k)
+        word |= static_cast<std::uint64_t>(
+                    static_cast<std::uint8_t>(payload[i + k]))
+                << (8 * k);
+      out.push_back({timing_.word_period, Value{word}});
+    }
+    return out;
+  }
+
+  if (level.name == runlevels::kHardware.name) {
+    for (std::byte b : payload) {
+      out.push_back({half(timing_.byte_period), Value{Logic::kHigh}});
+      out.push_back({half(timing_.byte_period),
+                     Value{static_cast<std::uint64_t>(
+                         static_cast<std::uint8_t>(b))}});
+    }
+    out.push_back({timing_.byte_period, Value{Logic::kLow}});
+    return out;
+  }
+
+  raise(ErrorKind::kInvalidArgument,
+        "no communication method for runlevel '" + level.name + "'");
+}
+
+VirtualTime TransferEncoder::duration(std::size_t payload_size,
+                                      const RunLevel& level) const {
+  if (level.name == runlevels::kTransaction.name)
+    return timing_.transaction_latency;
+  if (level.name == runlevels::kPacket.name) {
+    const std::size_t packets =
+        payload_size == 0 ? 1 : div_round_up(payload_size, kPacketPayload);
+    return VirtualTime{timing_.packet_period.ticks() *
+                       static_cast<VirtualTime::rep>(packets)};
+  }
+  if (level.name == runlevels::kWord.name || level.name == "byteLevel") {
+    const std::size_t words = 1 + div_round_up(payload_size, kWordBytes);
+    return VirtualTime{timing_.word_period.ticks() *
+                       static_cast<VirtualTime::rep>(words)};
+  }
+  if (level.name == runlevels::kHardware.name) {
+    return VirtualTime{timing_.byte_period.ticks() *
+                       static_cast<VirtualTime::rep>(payload_size + 1)};
+  }
+  raise(ErrorKind::kInvalidArgument,
+        "no communication method for runlevel '" + level.name + "'");
+}
+
+std::size_t TransferEncoder::event_count(std::size_t payload_size,
+                                         const RunLevel& level) const {
+  if (level.name == runlevels::kTransaction.name) return 1;
+  if (level.name == runlevels::kPacket.name)
+    return payload_size == 0 ? 1 : div_round_up(payload_size, kPacketPayload);
+  if (level.name == runlevels::kWord.name || level.name == "byteLevel")
+    return 1 + div_round_up(payload_size, kWordBytes);
+  if (level.name == runlevels::kHardware.name) return 2 * payload_size + 1;
+  raise(ErrorKind::kInvalidArgument,
+        "no communication method for runlevel '" + level.name + "'");
+}
+
+std::optional<Bytes> TransferDecoder::feed(const Value& value) {
+  switch (state_) {
+    case State::kIdle: {
+      switch (value.kind()) {
+        case Value::Kind::kPacket: {
+          const Bytes& frame = value.as_packet();
+          if (frame.empty()) raise(ErrorKind::kProtocol, "empty frame");
+          const auto tag = static_cast<std::uint8_t>(frame[0]);
+          if (tag == kTagTransaction) {
+            return Bytes(frame.begin() + 1, frame.end());
+          }
+          if (tag == kTagPacketFrame) {
+            BytesView chunk;
+            const auto header = framing::parse_packet(frame, chunk);
+            if (header.seq != 0)
+              raise(ErrorKind::kProtocol,
+                    "packet transfer started mid-stream (seq != 0)");
+            partial_.assign(chunk.begin(), chunk.end());
+            if (header.last) {
+              Bytes done = std::move(partial_);
+              reset();
+              return done;
+            }
+            expected_ = 1;  // next expected seq
+            state_ = State::kPackets;
+            return std::nullopt;
+          }
+          raise(ErrorKind::kProtocol, "unknown frame tag");
+        }
+        case Value::Kind::kWord: {
+          const std::uint64_t w = value.as_word();
+          if ((w & kWordHeaderMask) != kWordHeaderMagic)
+            raise(ErrorKind::kProtocol,
+                  "word transfer started without header word");
+          expected_ = static_cast<std::size_t>(w & 0xFFFFFFFFULL);
+          partial_.clear();
+          if (expected_ == 0) {
+            reset();
+            return Bytes{};
+          }
+          state_ = State::kWords;
+          return std::nullopt;
+        }
+        case Value::Kind::kLogic: {
+          if (value.as_logic() == Logic::kHigh) {
+            partial_.clear();
+            state_ = State::kStrobed;
+            return std::nullopt;
+          }
+          if (value.as_logic() == Logic::kLow) {
+            // Empty hardware-level transfer (strobeless end edge).
+            reset();
+            return Bytes{};
+          }
+          raise(ErrorKind::kProtocol, "X/Z strobe on idle decoder");
+        }
+        default:
+          raise(ErrorKind::kProtocol,
+                "unexpected value on idle decoder: " + value.str());
+      }
+    }
+
+    case State::kWords: {
+      const std::uint64_t w = value.as_word();
+      for (std::size_t k = 0; k < kWordBytes && partial_.size() < expected_;
+           ++k)
+        partial_.push_back(std::byte{static_cast<std::uint8_t>(w >> (8 * k))});
+      if (partial_.size() >= expected_) {
+        Bytes done = std::move(partial_);
+        reset();
+        return done;
+      }
+      return std::nullopt;
+    }
+
+    case State::kPackets: {
+      BytesView chunk;
+      const auto header = framing::parse_packet(value.as_packet(), chunk);
+      if (header.seq != expected_)
+        raise(ErrorKind::kProtocol,
+              "packet sequence gap: expected " + std::to_string(expected_) +
+                  ", got " + std::to_string(header.seq));
+      partial_.insert(partial_.end(), chunk.begin(), chunk.end());
+      ++expected_;
+      if (header.last) {
+        Bytes done = std::move(partial_);
+        reset();
+        return done;
+      }
+      return std::nullopt;
+    }
+
+    case State::kStrobed: {
+      // Awaiting the data byte following a strobe edge.
+      const std::uint64_t w = value.as_word();
+      if (w > 0xFF)
+        raise(ErrorKind::kProtocol, "hardware-level data exceeds one byte");
+      partial_.push_back(std::byte{static_cast<std::uint8_t>(w)});
+      state_ = State::kBytes;
+      return std::nullopt;
+    }
+
+    case State::kBytes: {
+      if (value.kind() == Value::Kind::kLogic) {
+        if (value.as_logic() == Logic::kHigh) {
+          state_ = State::kStrobed;
+          return std::nullopt;
+        }
+        if (value.as_logic() == Logic::kLow) {  // end-of-transfer edge
+          Bytes done = std::move(partial_);
+          reset();
+          return done;
+        }
+      }
+      raise(ErrorKind::kProtocol, "expected strobe edge between bytes");
+    }
+
+    case State::kWordsExpectLength:
+      break;  // retained for image compatibility; never entered
+  }
+  raise(ErrorKind::kProtocol, "corrupt decoder state");
+}
+
+void TransferDecoder::reset() {
+  state_ = State::kIdle;
+  expected_ = 0;
+  partial_.clear();
+}
+
+void TransferDecoder::save(serial::OutArchive& ar) const {
+  ar.put_varint(static_cast<std::uint64_t>(state_));
+  ar.put_varint(expected_);
+  ar.put_bytes(partial_);
+}
+
+void TransferDecoder::restore(serial::InArchive& ar) {
+  state_ = static_cast<State>(ar.get_varint());
+  expected_ = static_cast<std::size_t>(ar.get_varint());
+  partial_ = ar.get_bytes();
+}
+
+}  // namespace pia

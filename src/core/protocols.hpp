@@ -1,0 +1,125 @@
+// The standard communication-protocol library (paper §2).
+//
+// "We are in the process of building a library of standard communication
+// protocols, each with several built-in detail levels."  This module is that
+// library: a TransferEncoder renders an abstract payload transfer as a
+// sequence of timed value emissions at the detail level selected by the
+// component's current runlevel, and a TransferDecoder reassembles the
+// payload on the far side regardless of level.  Because both ends agree on
+// the rendering per level, a runlevel switch at a safe point (between
+// transfers) is transparent to the application.
+//
+// Detail levels:
+//   transactionLevel  one Packet value carrying the whole payload
+//   packetLevel       1 KB Packet values, 2-byte header each (seq | last)
+//   wordLevel         a length word, then 4-byte words (the paper's "word
+//                     passage": individual four-byte words across the net)
+//   hardwareLevel     a strobed byte bus: Logic strobe edge + data byte per
+//                     byte transferred (2 events/byte)
+//
+// Timing: a TimingProfile gives the virtual-time cost of each unit at each
+// level, so switching levels also changes how finely time is resolved.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/bytes.hpp"
+#include "base/time.hpp"
+#include "core/runlevel.hpp"
+#include "core/value.hpp"
+#include "serial/archive.hpp"
+
+namespace pia {
+
+/// Virtual-time cost per protocol unit.  Defaults approximate a late-90s
+/// embedded serial link (ticks are nanoseconds).
+struct TimingProfile {
+  VirtualTime byte_period{ticks(4000)};          // hardwareLevel, per byte
+  VirtualTime word_period{ticks(16000)};         // wordLevel, per 4-byte word
+  VirtualTime packet_period{ticks(4000000)};     // packetLevel, per 1 KB
+  VirtualTime transaction_latency{ticks(8000000)};  // transactionLevel, flat
+
+  static TimingProfile uniform(VirtualTime t) {
+    return TimingProfile{t, t, t, t};
+  }
+};
+
+inline constexpr std::size_t kPacketPayload = 1024;  // the paper's 1 KB packets
+inline constexpr std::size_t kWordBytes = 4;         // four-byte words
+
+class TransferEncoder {
+ public:
+  struct Emission {
+    VirtualTime delay;  // virtual time consumed before this value is driven
+    Value value;
+  };
+
+  explicit TransferEncoder(TimingProfile timing = {}) : timing_(timing) {}
+
+  [[nodiscard]] const TimingProfile& timing() const { return timing_; }
+
+  /// Renders `payload` at `level`.  The sum of emission delays is the
+  /// modeled transfer duration; the number of emissions is the event cost.
+  [[nodiscard]] std::vector<Emission> encode(BytesView payload,
+                                             const RunLevel& level) const;
+
+  /// Modeled duration of a transfer without materializing the emissions.
+  [[nodiscard]] VirtualTime duration(std::size_t payload_size,
+                                     const RunLevel& level) const;
+
+  /// Number of events a transfer costs at a level (the bandwidth the
+  /// designer saves by dropping detail, paper §2).
+  [[nodiscard]] std::size_t event_count(std::size_t payload_size,
+                                        const RunLevel& level) const;
+
+ private:
+  TimingProfile timing_;
+};
+
+/// Reassembles payloads from the emission stream of any detail level.  The
+/// decoder is checkpointable (save/restore) and reports whether it is
+/// mid-transfer, which components use to implement at_safe_point().
+class TransferDecoder {
+ public:
+  /// Feed one received value; returns a completed payload when the transfer
+  /// finishes.  Throws Error{kProtocol} on a malformed stream (e.g. a
+  /// runlevel switch in the middle of a transfer — exactly the hazard safe
+  /// points exist to prevent).
+  std::optional<Bytes> feed(const Value& value);
+
+  [[nodiscard]] bool mid_transfer() const { return state_ != State::kIdle; }
+  void reset();
+
+  void save(serial::OutArchive& ar) const;
+  void restore(serial::InArchive& ar);
+
+ private:
+  enum class State : std::uint8_t {
+    kIdle,
+    kWordsExpectLength,  // unused marker retained for image compatibility
+    kWords,              // collecting 4-byte words
+    kPackets,            // collecting 1 KB packets
+    kStrobed,            // hardware level: strobe seen, awaiting data byte
+    kBytes,              // hardware level: collecting bytes
+  };
+
+  State state_ = State::kIdle;
+  std::size_t expected_ = 0;  // total payload bytes of in-flight transfer
+  Bytes partial_;
+};
+
+/// Layered on the encoder: header/framing helpers shared with pia_dist and
+/// the WubbleU MAC.  A packet-level frame is [seq lo, seq hi | last-flag]
+/// then payload.
+namespace framing {
+[[nodiscard]] Bytes make_packet(std::uint16_t seq, bool last, BytesView chunk);
+struct PacketHeader {
+  std::uint16_t seq;
+  bool last;
+};
+[[nodiscard]] PacketHeader parse_packet(BytesView frame, BytesView& chunk_out);
+}  // namespace framing
+
+}  // namespace pia

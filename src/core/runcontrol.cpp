@@ -1,0 +1,222 @@
+#include "core/runcontrol.hpp"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+#include "base/error.hpp"
+
+namespace pia {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class TokKind {
+  kIdent, kInteger, kWhen, kColon, kComma, kArrow, kAndAnd, kOrOr,
+  kGreaterEqual, kDot, kLParen, kRParen, kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  std::size_t column = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& line) : line_(line) { advance(); }
+
+  [[nodiscard]] const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  Token expect(TokKind kind, const char* what) {
+    if (current_.kind != kind) {
+      raise(ErrorKind::kInvalidArgument,
+            "run-control parse error at column " +
+                std::to_string(current_.column) + ": expected " + what +
+                ", found '" + current_.text + "'");
+    }
+    return take();
+  }
+
+ private:
+  void advance() {
+    while (pos_ < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[pos_])))
+      ++pos_;
+    current_.column = pos_ + 1;
+    if (pos_ >= line_.size()) {
+      current_ = {TokKind::kEnd, "<end>", pos_ + 1};
+      return;
+    }
+    const char c = line_[pos_];
+    auto two = [&](char a, char b, TokKind kind, const char* text) {
+      if (c == a && pos_ + 1 < line_.size() && line_[pos_ + 1] == b) {
+        current_ = {kind, text, pos_ + 1};
+        pos_ += 2;
+        return true;
+      }
+      return false;
+    };
+    if (two('-', '>', TokKind::kArrow, "->")) return;
+    if (two('&', '&', TokKind::kAndAnd, "&&")) return;
+    if (two('|', '|', TokKind::kOrOr, "||")) return;
+    if (two('>', '=', TokKind::kGreaterEqual, ">=")) return;
+    switch (c) {
+      case ':': current_ = {TokKind::kColon, ":", pos_ + 1}; ++pos_; return;
+      case ',': current_ = {TokKind::kComma, ",", pos_ + 1}; ++pos_; return;
+      case '.': current_ = {TokKind::kDot, ".", pos_ + 1}; ++pos_; return;
+      case '(': current_ = {TokKind::kLParen, "(", pos_ + 1}; ++pos_; return;
+      case ')': current_ = {TokKind::kRParen, ")", pos_ + 1}; ++pos_; return;
+      default: break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t end = pos_;
+      while (end < line_.size() &&
+             std::isdigit(static_cast<unsigned char>(line_[end])))
+        ++end;
+      current_ = {TokKind::kInteger, line_.substr(pos_, end - pos_), pos_ + 1};
+      pos_ = end;
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t end = pos_;
+      while (end < line_.size() &&
+             (std::isalnum(static_cast<unsigned char>(line_[end])) ||
+              line_[end] == '_'))
+        ++end;
+      std::string word = line_.substr(pos_, end - pos_);
+      pos_ = end;
+      if (word == "when") {
+        current_ = {TokKind::kWhen, std::move(word), pos_ + 1};
+      } else {
+        current_ = {TokKind::kIdent, std::move(word), pos_ + 1};
+      }
+      return;
+    }
+    raise(ErrorKind::kInvalidArgument,
+          std::string("run-control lex error at column ") +
+              std::to_string(pos_ + 1) + ": unexpected character '" + c + "'");
+  }
+
+  const std::string& line_;
+  std::size_t pos_ = 0;
+  Token current_{TokKind::kEnd, "", 0};
+};
+
+// ---------------------------------------------------------------------------
+// Recursive-descent condition parser
+// ---------------------------------------------------------------------------
+
+SwitchCondition parse_or(Lexer& lex);
+
+SwitchCondition parse_leaf(Lexer& lex) {
+  if (lex.peek().kind == TokKind::kLParen) {
+    lex.take();
+    SwitchCondition inner = parse_or(lex);
+    lex.expect(TokKind::kRParen, "')'");
+    return inner;
+  }
+  const Token comp = lex.expect(TokKind::kIdent, "component name");
+  lex.expect(TokKind::kDot, "'.'");
+  const Token field = lex.expect(TokKind::kIdent, "'time'");
+  if (field.text != "time") {
+    raise(ErrorKind::kInvalidArgument,
+          "run-control parse error: only '.time' conditions are supported, "
+          "found '." + field.text + "'");
+  }
+  lex.expect(TokKind::kGreaterEqual, "'>='");
+  const Token value = lex.expect(TokKind::kInteger, "integer time");
+  return SwitchCondition::at_least(comp.text,
+                                   VirtualTime{std::stoll(value.text)});
+}
+
+SwitchCondition parse_and(Lexer& lex) {
+  SwitchCondition lhs = parse_leaf(lex);
+  while (lex.peek().kind == TokKind::kAndAnd) {
+    lex.take();
+    lhs = SwitchCondition::conj(std::move(lhs), parse_leaf(lex));
+  }
+  return lhs;
+}
+
+SwitchCondition parse_or(Lexer& lex) {
+  SwitchCondition lhs = parse_and(lex);
+  while (lex.peek().kind == TokKind::kOrOr) {
+    lex.take();
+    lhs = SwitchCondition::disj(std::move(lhs), parse_and(lex));
+  }
+  return lhs;
+}
+
+}  // namespace
+
+RunControlParser::RunControlParser() {
+  define_runlevel(runlevels::kHardware);
+  define_runlevel(runlevels::kWord);
+  define_runlevel(runlevels::kPacket);
+  define_runlevel(runlevels::kTransaction);
+  // The paper's WubbleU switchpoint uses "byteLevel"; alias it between word
+  // and hardware detail.
+  define_runlevel(RunLevel{"byteLevel", 2});
+}
+
+void RunControlParser::define_runlevel(const RunLevel& level) {
+  runlevels_[level.name] = level;
+}
+
+std::vector<Switchpoint> RunControlParser::parse(
+    const std::string& script) const {
+  std::vector<Switchpoint> out;
+  std::istringstream in(script);
+  std::string line;
+  std::string pending;  // statements may wrap lines until ':'+actions end
+  while (std::getline(in, line)) {
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    const auto is_blank = line.find_first_not_of(" \t\r") == std::string::npos;
+    if (is_blank) continue;
+    // A line starting with "when" begins a new statement; otherwise it
+    // continues the previous one.
+    const auto first = line.find_first_not_of(" \t");
+    if (line.compare(first, 4, "when") == 0 && !pending.empty()) {
+      out.push_back(parse_statement(pending));
+      pending.clear();
+    }
+    pending += " " + line;
+  }
+  if (!pending.empty()) out.push_back(parse_statement(pending));
+  return out;
+}
+
+Switchpoint RunControlParser::parse_statement(const std::string& line) const {
+  Lexer lex(line);
+  lex.expect(TokKind::kWhen, "'when'");
+  Switchpoint sp{.condition = parse_or(lex), .actions = {}, .fired = false};
+  lex.expect(TokKind::kColon, "':'");
+  for (;;) {
+    const Token comp = lex.expect(TokKind::kIdent, "component name");
+    lex.expect(TokKind::kArrow, "'->'");
+    const Token level = lex.expect(TokKind::kIdent, "runlevel name");
+    const auto it = runlevels_.find(level.text);
+    if (it == runlevels_.end()) {
+      raise(ErrorKind::kNotFound,
+            "run-control script names unknown runlevel '" + level.text + "'");
+    }
+    sp.actions.push_back(RunLevelAction{comp.text, it->second});
+    if (lex.peek().kind != TokKind::kComma) break;
+    lex.take();
+  }
+  lex.expect(TokKind::kEnd, "end of statement");
+  PIA_REQUIRE(!sp.actions.empty(), "switchpoint with no actions");
+  return sp;
+}
+
+}  // namespace pia

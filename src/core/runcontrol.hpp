@@ -1,0 +1,50 @@
+// Run-control scripts.
+//
+// The paper's trigger (b) for runlevel changes is "a switchpoint defined in
+// the simulation run control file".  This module parses that file format.
+// Grammar (one statement per line; '#' starts a comment):
+//
+//   statement  := "when" condition ":" action ("," action)*
+//   condition  := or_expr
+//   or_expr    := and_expr ("||" and_expr)*
+//   and_expr   := primary ("&&" primary)*
+//   primary    := leaf | "(" or_expr ")"
+//   leaf       := IDENT ".time" ">=" INTEGER
+//   action     := IDENT "->" IDENT          // component -> runlevel name
+//
+// The paper's example reads, in this syntax:
+//
+//   when I2CComponent.time >= 67: I2CComponent -> hardwareLevel,
+//                                 VidCamComponent -> byteLevel
+//
+// Runlevel names resolve through a caller-supplied table (the standard
+// levels of runlevel.hpp are preloaded).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/runlevel.hpp"
+
+namespace pia {
+
+class RunControlParser {
+ public:
+  RunControlParser();
+
+  /// Registers a runlevel name usable in scripts.
+  void define_runlevel(const RunLevel& level);
+
+  /// Parses a whole script; throws Error{kInvalidArgument} with a
+  /// line/column diagnostic on malformed input.
+  [[nodiscard]] std::vector<Switchpoint> parse(const std::string& script) const;
+
+  /// Parses a single `when ...` statement.
+  [[nodiscard]] Switchpoint parse_statement(const std::string& line) const;
+
+ private:
+  std::map<std::string, RunLevel> runlevels_;
+};
+
+}  // namespace pia

@@ -1,0 +1,74 @@
+#include "core/runlevel.hpp"
+
+#include <utility>
+
+#include "base/error.hpp"
+
+namespace pia {
+
+SwitchCondition SwitchCondition::at_least(std::string component,
+                                          VirtualTime t) {
+  SwitchCondition c;
+  c.op_ = Op::kLeaf;
+  c.component_ = std::move(component);
+  c.threshold_ = t;
+  return c;
+}
+
+SwitchCondition SwitchCondition::conj(SwitchCondition lhs,
+                                      SwitchCondition rhs) {
+  SwitchCondition c;
+  c.op_ = Op::kAnd;
+  c.lhs_ = std::make_shared<SwitchCondition>(std::move(lhs));
+  c.rhs_ = std::make_shared<SwitchCondition>(std::move(rhs));
+  return c;
+}
+
+SwitchCondition SwitchCondition::disj(SwitchCondition lhs,
+                                      SwitchCondition rhs) {
+  SwitchCondition c;
+  c.op_ = Op::kOr;
+  c.lhs_ = std::make_shared<SwitchCondition>(std::move(lhs));
+  c.rhs_ = std::make_shared<SwitchCondition>(std::move(rhs));
+  return c;
+}
+
+bool SwitchCondition::eval(const LocalTimeView& times) const {
+  switch (op_) {
+    case Op::kLeaf: return times(component_) >= threshold_;
+    case Op::kAnd: return lhs_->eval(times) && rhs_->eval(times);
+    case Op::kOr: return lhs_->eval(times) || rhs_->eval(times);
+  }
+  raise(ErrorKind::kState, "corrupt switch condition");
+}
+
+std::string SwitchCondition::str() const {
+  switch (op_) {
+    case Op::kLeaf:
+      return component_ + ".time >= " + threshold_.str();
+    case Op::kAnd:
+      return "(" + lhs_->str() + " && " + rhs_->str() + ")";
+    case Op::kOr:
+      return "(" + lhs_->str() + " || " + rhs_->str() + ")";
+  }
+  return "?";
+}
+
+std::vector<std::string> SwitchCondition::referenced_components() const {
+  std::vector<std::string> out;
+  switch (op_) {
+    case Op::kLeaf:
+      out.push_back(component_);
+      break;
+    case Op::kAnd:
+    case Op::kOr: {
+      out = lhs_->referenced_components();
+      auto rhs = rhs_->referenced_components();
+      out.insert(out.end(), rhs.begin(), rhs.end());
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace pia

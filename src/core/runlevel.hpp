@@ -1,0 +1,87 @@
+// Runlevels — dynamically switchable levels of communication detail
+// (paper §2.1.3).
+//
+// A runlevel names how much detail a component renders: "hardwareLevel"
+// toggles individual wires, "wordLevel" passes 4-byte words, "packetLevel"
+// passes 1 KB packets, "transactionLevel" passes whole transfers.  Changes
+// are triggered by (a) the user/API, (b) *switchpoints* — conditions over
+// component local times loaded from a run-control script — or (c) imperative
+// switch statements inside component code.  A switch takes effect only at a
+// safe point, i.e. where the interface state is stable and consistent.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/time.hpp"
+
+namespace pia {
+
+struct RunLevel {
+  std::string name = "default";
+  /// Relative detail: higher = more detailed = more events per transfer.
+  int detail = 0;
+
+  friend bool operator==(const RunLevel&, const RunLevel&) = default;
+};
+
+/// The standard levels used by the built-in protocol library.
+namespace runlevels {
+inline const RunLevel kHardware{"hardwareLevel", 3};     // wire edges
+inline const RunLevel kWord{"wordLevel", 2};             // 4-byte words
+inline const RunLevel kPacket{"packetLevel", 1};         // 1 KB packets
+inline const RunLevel kTransaction{"transactionLevel", 0};  // whole transfers
+}  // namespace runlevels
+
+/// Resolves a component name to its current local time.
+using LocalTimeView =
+    std::function<VirtualTime(const std::string& component)>;
+
+/// Boolean expression over component local times:
+///   leaf:  <component>.time >= T
+///   nodes: conjunction / disjunction (paper: "the condition can include
+///          conjuncts and disjuncts of conditions across multiple
+///          components").
+class SwitchCondition {
+ public:
+  static SwitchCondition at_least(std::string component, VirtualTime t);
+  static SwitchCondition conj(SwitchCondition lhs, SwitchCondition rhs);
+  static SwitchCondition disj(SwitchCondition lhs, SwitchCondition rhs);
+
+  [[nodiscard]] bool eval(const LocalTimeView& times) const;
+  [[nodiscard]] std::string str() const;
+
+  /// Component names referenced anywhere in the expression.
+  [[nodiscard]] std::vector<std::string> referenced_components() const;
+
+ private:
+  enum class Op { kLeaf, kAnd, kOr };
+
+  Op op_ = Op::kLeaf;
+  std::string component_;
+  VirtualTime threshold_;
+  std::shared_ptr<const SwitchCondition> lhs_;
+  std::shared_ptr<const SwitchCondition> rhs_;
+};
+
+/// One `component -> runlevel` assignment fired by a switchpoint.
+struct RunLevelAction {
+  std::string component;
+  RunLevel level;
+};
+
+/// A switchpoint: "as soon as the condition holds, apply the actions".
+/// The paper's example —
+///   I2CComponent.time >= 67: I2CComponent->hardwareLevel,
+///                            VidCamComponent->byteLevel
+/// — notes the condition may reference only some of the affected components;
+/// the others switch at whatever their local time happens to be.
+struct Switchpoint {
+  SwitchCondition condition;
+  std::vector<RunLevelAction> actions;
+  bool fired = false;
+};
+
+}  // namespace pia

@@ -1,0 +1,186 @@
+#include "core/sealed.hpp"
+
+#include "base/error.hpp"
+#include "base/rng.hpp"
+#include "serial/archive.hpp"
+
+namespace pia {
+namespace {
+
+std::uint64_t key_seed(const std::string& key) {
+  // FNV-1a over the key string seeds the keystream generator.
+  return fnv1a(BytesView{reinterpret_cast<const std::byte*>(key.data()),
+                         key.size()});
+}
+
+void xor_keystream(Bytes& data, const std::string& key) {
+  Rng stream(key_seed(key));
+  std::uint64_t block = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i % 8 == 0) block = stream.next();
+    data[i] ^= static_cast<std::byte>(block >> (8 * (i % 8)));
+  }
+}
+
+constexpr std::uint64_t kIntegrityMagic = 0x5649504552F00DULL;  // "VIPER"
+
+}  // namespace
+
+SealedBlob SealedBlob::seal(BytesView plaintext, const std::string& key) {
+  serial::OutArchive ar;
+  ar.put_varint(kIntegrityMagic);
+  ar.put_varint(fnv1a(plaintext));
+  ar.put_bytes(plaintext);
+  Bytes data = std::move(ar).take();
+  xor_keystream(data, key);
+  SealedBlob blob;
+  blob.ciphertext_ = std::move(data);
+  return blob;
+}
+
+SealedBlob SealedBlob::from_ciphertext(Bytes ciphertext) {
+  SealedBlob blob;
+  blob.ciphertext_ = std::move(ciphertext);
+  return blob;
+}
+
+Bytes SealedBlob::unseal(const std::string& key) const {
+  Bytes data = ciphertext_;
+  xor_keystream(data, key);
+  try {
+    serial::InArchive ar(data);
+    if (ar.get_varint() != kIntegrityMagic)
+      raise(ErrorKind::kState, "sealed blob: wrong key or corrupt data");
+    const std::uint64_t digest = ar.get_varint();
+    Bytes plaintext = ar.get_bytes();
+    if (fnv1a(plaintext) != digest)
+      raise(ErrorKind::kState, "sealed blob: integrity check failed");
+    return plaintext;
+  } catch (const Error& e) {
+    if (e.kind() == ErrorKind::kSerialization)
+      raise(ErrorKind::kState, "sealed blob: wrong key or corrupt data");
+    throw;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SealedComponent
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Routes the inner model's kernel calls through the wrapper so the inner
+/// component never touches the scheduler directly.
+class InnerShim final : public ComponentContext {
+ public:
+  explicit InnerShim(SealedComponent& wrapper) : wrapper_(wrapper) {}
+
+  void context_send(Component&, PortIndex port, Value value,
+                    VirtualTime extra_delay) override {
+    wrapper_.forward_send(port, std::move(value), extra_delay);
+  }
+  void context_send_at(Component&, PortIndex port, Value value,
+                       VirtualTime when) override {
+    wrapper_.forward_send_at(port, std::move(value), when);
+  }
+  void context_wake(Component&, VirtualTime when) override {
+    wrapper_.forward_wake(when);
+  }
+  void context_request_runlevel(Component&, const RunLevel& level) override {
+    wrapper_.forward_runlevel(level);
+  }
+
+ private:
+  SealedComponent& wrapper_;
+};
+
+}  // namespace
+
+SealedComponent::SealedComponent(std::string name, SealedBlob blob,
+                                 std::string key, InnerFactory factory)
+    : Component(std::move(name)), blob_(std::move(blob)) {
+  const Bytes parameters = blob_.unseal(key);
+  inner_ = factory(this->name() + ".inner", parameters);
+  PIA_CHECK(inner_ != nullptr, "sealed inner factory returned nullptr");
+  shim_ = std::make_unique<InnerShim>(*this);
+  inner_->context_ = shim_.get();
+  // Mirror the inner model's port list so the wrapper is wire-compatible.
+  for (const Port& p : inner_->ports()) {
+    switch (p.dir) {
+      case PortDir::kIn: add_input(p.name, p.sync); break;
+      case PortDir::kOut: add_output(p.name); break;
+      case PortDir::kInOut: add_inout(p.name, p.sync); break;
+    }
+  }
+}
+
+SealedComponent::~SealedComponent() = default;
+
+void SealedComponent::sync_in() { inner_->local_time_ = local_time(); }
+
+void SealedComponent::sync_out() {
+  if (inner_->local_time() > local_time())
+    advance(inner_->local_time() - local_time());
+}
+
+void SealedComponent::forward_send(PortIndex port, Value value,
+                                   VirtualTime extra_delay) {
+  sync_out();  // charge any computation the inner model accrued so far
+  send(port, std::move(value), extra_delay);
+}
+
+void SealedComponent::forward_send_at(PortIndex port, Value value,
+                                      VirtualTime when) {
+  sync_out();
+  send_at(port, std::move(value), when);
+}
+
+void SealedComponent::forward_wake(VirtualTime when) { wake_at(when); }
+
+void SealedComponent::forward_runlevel(const RunLevel& level) {
+  request_runlevel(level);
+}
+
+void SealedComponent::on_init() {
+  sync_in();
+  inner_->on_init();
+  sync_out();
+}
+
+void SealedComponent::on_receive(PortIndex port, const Value& value) {
+  sync_in();
+  inner_->on_receive(port, value);
+  sync_out();
+}
+
+void SealedComponent::on_wake() {
+  sync_in();
+  inner_->on_wake();
+  sync_out();
+}
+
+bool SealedComponent::at_safe_point() const {
+  return inner_->at_safe_point();
+}
+
+void SealedComponent::save_state(serial::OutArchive& ar) const {
+  // The image carries the sealed parameter blob plus the inner model's
+  // runtime state; neither reveals the parameters in plaintext.
+  ar.put_bytes(blob_.ciphertext());
+  serial::OutArchive inner_ar;
+  inner_->save_state(inner_ar);
+  ar.put_bytes(std::move(inner_ar).take());
+}
+
+void SealedComponent::restore_state(serial::InArchive& ar) {
+  const Bytes ciphertext = ar.get_bytes();
+  if (ciphertext != blob_.ciphertext())
+    raise(ErrorKind::kSerialization,
+          "sealed component image carries a different IP blob");
+  const Bytes inner_state = ar.get_bytes();
+  serial::InArchive inner_ar(inner_state);
+  inner_->restore_state(inner_ar);
+  inner_->local_time_ = local_time();
+}
+
+}  // namespace pia

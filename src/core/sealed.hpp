@@ -1,0 +1,83 @@
+// Intellectual-property protection (paper §1).
+//
+// "It should facilitate the inclusion of intellectual property (IP), such as
+// algorithms, new processors, special purpose ICs, etc. without compromising
+// the internals of the IP" — the paper cites Viper's encrypted,
+// unsynthesizable models.  This module provides the same capability pattern:
+// a vendor ships a SealedBlob — model parameters encrypted under a key — and
+// a SealedComponent wrapper that unseals them only transiently, inside the
+// vendor's own factory, to construct the inner model.  The simulation sees
+// ports and behaviour; it can never read the parameters back out.
+//
+// The cipher is a keyed XOR keystream (SplitMix64 over the key), which
+// stands in for whatever commercial scheme a vendor would use; the
+// framework-facing API is what this reproduction demonstrates.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "base/bytes.hpp"
+#include "core/component.hpp"
+
+namespace pia {
+
+class SealedBlob {
+ public:
+  /// Vendor side: seal plaintext parameters under `key`.
+  static SealedBlob seal(BytesView plaintext, const std::string& key);
+
+  /// Wrap already-encrypted bytes (e.g. loaded from a vendor file).
+  static SealedBlob from_ciphertext(Bytes ciphertext);
+
+  [[nodiscard]] const Bytes& ciphertext() const { return ciphertext_; }
+
+  /// Unseal with `key`.  A wrong key yields garbage that fails the embedded
+  /// integrity check and throws Error{kState} — it never yields plaintext.
+  [[nodiscard]] Bytes unseal(const std::string& key) const;
+
+ private:
+  SealedBlob() = default;
+  Bytes ciphertext_;
+};
+
+/// A component whose behaviour is supplied by a vendor factory taking the
+/// unsealed parameters.  The wrapper forwards ports and events to the inner
+/// model and exposes nothing else; checkpoint images contain the *sealed*
+/// blob, so a saved simulation does not leak IP either.
+class SealedComponent : public Component {
+ public:
+  using InnerFactory = std::function<std::unique_ptr<Component>(
+      const std::string& instance, BytesView parameters)>;
+
+  SealedComponent(std::string name, SealedBlob blob, std::string key,
+                  InnerFactory factory);
+  ~SealedComponent() override;
+
+  void on_init() override;
+  void on_receive(PortIndex port, const Value& value) override;
+  void on_wake() override;
+  [[nodiscard]] bool at_safe_point() const override;
+  void save_state(serial::OutArchive& ar) const override;
+  void restore_state(serial::InArchive& ar) override;
+
+  [[nodiscard]] const Component& inner() const { return *inner_; }
+  [[nodiscard]] Component& inner() { return *inner_; }
+
+  // Internal plumbing used by the inner model's context shim; not part of
+  // the user API.
+  void forward_send(PortIndex port, Value value, VirtualTime extra_delay);
+  void forward_send_at(PortIndex port, Value value, VirtualTime when);
+  void forward_wake(VirtualTime when);
+  void forward_runlevel(const RunLevel& level);
+
+ private:
+  void sync_in();   // push the wrapper's local time into the inner model
+  void sync_out();  // pull computation time accrued by the inner model
+
+  SealedBlob blob_;
+  std::unique_ptr<Component> inner_;
+  std::unique_ptr<ComponentContext> shim_;
+};
+
+}  // namespace pia

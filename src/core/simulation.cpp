@@ -1,0 +1,53 @@
+#include "core/simulation.hpp"
+
+#include "base/error.hpp"
+#include "base/log.hpp"
+
+namespace pia {
+
+Simulation::Simulation(std::string name, CheckpointPolicy policy)
+    : scheduler_(std::move(name)),
+      checkpoints_(std::make_unique<CheckpointManager>(scheduler_, policy)) {}
+
+Component& Simulation::create(const std::string& type_name,
+                              const std::string& instance,
+                              const ComponentRegistry& registry) {
+  auto component = registry.create(type_name, instance);
+  Component& ref = *component;
+  scheduler_.add(std::move(component));
+  return ref;
+}
+
+NetId Simulation::connect(Component& from, std::string_view out_port,
+                          Component& to, std::string_view in_port,
+                          VirtualTime delay) {
+  return scheduler_.connect(from.id(), out_port, to.id(), in_port, delay);
+}
+
+void Simulation::load_run_control(const std::string& script) {
+  for (Switchpoint& sp : parser_.parse(script))
+    scheduler_.add_switchpoint(std::move(sp));
+}
+
+void Simulation::enable_optimistic_rewind(RewindCallback on_rewind) {
+  scheduler_.violation_handler = [this, on_rewind](const Event& event,
+                                                   Component& target) {
+    const auto snapshot = checkpoints_->latest_at_or_before(event.time);
+    if (!snapshot) return false;  // nothing to rewind to: hard error
+
+    PIA_INFO("optimistic violation: event at "
+             << event.time << " hit '" << target.name() << "' at local "
+             << target.local_time() << "; rewinding");
+    ++rewinds_;
+    // Let the model mark the offending location synchronous *before* the
+    // restore so re-execution takes the conservative path.
+    if (on_rewind) on_rewind(event, target);
+    checkpoints_->restore(*snapshot);
+    // The violating event still has to be delivered; it now arrives in the
+    // re-executed timeline.
+    scheduler_.inject(event);
+    return true;
+  };
+}
+
+}  // namespace pia

@@ -1,0 +1,83 @@
+// Simulation: Pia on a single host (paper §2.1).
+//
+// The facade most users start from: one subsystem scheduler, a checkpoint
+// manager, the run-control loader and the optimistic-interrupt rewind
+// policy, assembled and wired together.  A Pia node with a single subsystem
+// "behaves very much like the single host version of Pia" — pia_dist builds
+// exactly on the pieces exposed here.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/checkpoint.hpp"
+#include "core/registry.hpp"
+#include "core/runcontrol.hpp"
+#include "core/scheduler.hpp"
+
+namespace pia {
+
+class Simulation {
+ public:
+  explicit Simulation(std::string name = "pia",
+                      CheckpointPolicy policy = CheckpointPolicy::kImmediate);
+
+  [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] const Scheduler& scheduler() const { return scheduler_; }
+  [[nodiscard]] CheckpointManager& checkpoints() { return *checkpoints_; }
+  [[nodiscard]] RunControlParser& run_control_parser() { return parser_; }
+
+  // --- convenience pass-throughs -------------------------------------------
+
+  template <typename T, typename... Args>
+  T& emplace(Args&&... args) {
+    return scheduler_.emplace<T>(std::forward<Args>(args)...);
+  }
+
+  /// Instantiate a registered component type by name (class-loader style).
+  Component& create(const std::string& type_name, const std::string& instance,
+                    const ComponentRegistry& registry =
+                        ComponentRegistry::global());
+
+  NetId connect(Component& from, std::string_view out_port, Component& to,
+                std::string_view in_port,
+                VirtualTime delay = VirtualTime::zero());
+
+  void init() { scheduler_.init(); }
+  bool step() { return scheduler_.step(); }
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX) {
+    return scheduler_.run(max_events);
+  }
+  std::uint64_t run_until(VirtualTime t) { return scheduler_.run_until(t); }
+  [[nodiscard]] VirtualTime now() const { return scheduler_.now(); }
+
+  /// Parses a run-control script and installs its switchpoints.
+  void load_run_control(const std::string& script);
+
+  // --- optimistic interrupt handling (paper §2.1.1) --------------------------
+  //
+  // "the simulator can make the optimistic assumption and treat all memory
+  // as safe.  When the system detects a violation of this assumption it can
+  // dynamically mark the relevant addresses as synchronous, then rewind
+  // using Pia's checkpoint and restore facilities."
+  //
+  // enable_optimistic_rewind() installs a violation handler that (1) invokes
+  // the model's on_rewind callback — where it marks the offending location
+  // synchronous so re-execution is conservative — then (2) restores the most
+  // recent checkpoint at or before the violating event and (3) re-injects
+  // the event.
+
+  using RewindCallback =
+      std::function<void(const Event& violating, Component& target)>;
+
+  void enable_optimistic_rewind(RewindCallback on_rewind = nullptr);
+  [[nodiscard]] std::uint64_t rewinds() const { return rewinds_; }
+
+ private:
+  Scheduler scheduler_;
+  std::unique_ptr<CheckpointManager> checkpoints_;
+  RunControlParser parser_;
+  std::uint64_t rewinds_ = 0;
+};
+
+}  // namespace pia

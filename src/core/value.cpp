@@ -1,0 +1,83 @@
+#include "core/value.hpp"
+
+#include "base/error.hpp"
+
+namespace pia {
+
+const char* to_string(Logic logic) {
+  switch (logic) {
+    case Logic::kLow: return "0";
+    case Logic::kHigh: return "1";
+    case Logic::kUnknown: return "X";
+    case Logic::kHighZ: return "Z";
+  }
+  return "?";
+}
+
+Logic Value::as_logic() const {
+  if (const auto* p = std::get_if<Logic>(&data_)) return *p;
+  raise(ErrorKind::kState, "Value is not Logic: " + str());
+}
+
+std::uint64_t Value::as_word() const {
+  if (const auto* p = std::get_if<std::uint64_t>(&data_)) return *p;
+  raise(ErrorKind::kState, "Value is not Word: " + str());
+}
+
+const Bytes& Value::as_packet() const {
+  if (const auto* p = std::get_if<Bytes>(&data_)) return *p;
+  raise(ErrorKind::kState, "Value is not Packet: " + str());
+}
+
+const std::string& Value::as_token() const {
+  if (const auto* p = std::get_if<Token>(&data_)) return p->name;
+  raise(ErrorKind::kState, "Value is not Token: " + str());
+}
+
+std::size_t Value::modeled_bytes() const {
+  switch (kind()) {
+    case Kind::kVoid:
+    case Kind::kLogic:
+    case Kind::kToken: return 0;
+    case Kind::kWord: return 4;
+    case Kind::kPacket: return as_packet().size();
+  }
+  return 0;
+}
+
+std::string Value::str() const {
+  switch (kind()) {
+    case Kind::kVoid: return "void";
+    case Kind::kLogic: return std::string("logic:") + to_string(as_logic());
+    case Kind::kWord: return "word:" + std::to_string(as_word());
+    case Kind::kPacket:
+      return "packet[" + std::to_string(as_packet().size()) + "]";
+    case Kind::kToken: return "token:" + as_token();
+  }
+  return "?";
+}
+
+void Value::save(serial::OutArchive& ar) const {
+  ar.put_varint(static_cast<std::uint64_t>(kind()));
+  switch (kind()) {
+    case Kind::kVoid: break;
+    case Kind::kLogic: ar.put_u8(static_cast<std::uint8_t>(as_logic())); break;
+    case Kind::kWord: ar.put_varint(as_word()); break;
+    case Kind::kPacket: ar.put_bytes(as_packet()); break;
+    case Kind::kToken: ar.put_string(as_token()); break;
+  }
+}
+
+Value Value::load(serial::InArchive& ar) {
+  const auto kind = static_cast<Kind>(ar.get_varint());
+  switch (kind) {
+    case Kind::kVoid: return Value{};
+    case Kind::kLogic: return Value{static_cast<Logic>(ar.get_u8())};
+    case Kind::kWord: return Value{ar.get_varint()};
+    case Kind::kPacket: return Value{ar.get_bytes()};
+    case Kind::kToken: return Value::token(ar.get_string());
+  }
+  raise(ErrorKind::kSerialization, "unknown Value kind");
+}
+
+}  // namespace pia

@@ -1,0 +1,79 @@
+// Signal values carried by nets.
+//
+// Pia renders the same logical communication at several detail levels
+// (paper §2.1.3): a transfer can appear as individual bus wires toggling
+// (Logic), as a word placed on a bus (Word), as a 1 KB packet (Packet) or as
+// a whole high-level transaction (Token).  The Value type is the union of
+// those representations; which one a component emits depends on its current
+// runlevel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "base/bytes.hpp"
+#include "serial/archive.hpp"
+
+namespace pia {
+
+/// Four-state logic for wire-level detail.
+enum class Logic : std::uint8_t {
+  kLow = 0,
+  kHigh = 1,
+  kUnknown = 2,   // X
+  kHighZ = 3,     // Z
+};
+
+[[nodiscard]] const char* to_string(Logic logic);
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t { kVoid, kLogic, kWord, kPacket, kToken };
+
+  Value() = default;
+  /* implicit */ Value(Logic logic) : data_(logic) {}
+  /* implicit */ Value(std::uint64_t word) : data_(word) {}
+  /* implicit */ Value(Bytes packet) : data_(std::move(packet)) {}
+  /// Named high-level transaction (e.g. "DMA_COMPLETE").
+  static Value token(std::string name) {
+    Value v;
+    v.data_ = Token{std::move(name)};
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const {
+    return static_cast<Kind>(data_.index());
+  }
+
+  [[nodiscard]] bool is_void() const { return kind() == Kind::kVoid; }
+
+  [[nodiscard]] Logic as_logic() const;
+  [[nodiscard]] std::uint64_t as_word() const;
+  [[nodiscard]] const Bytes& as_packet() const;
+  [[nodiscard]] const std::string& as_token() const;
+
+  /// Payload size in modeled bytes — what a channel at this detail level
+  /// puts on the wire.  Logic = 0 (a single wire edge), Word = 4 (the paper
+  /// passes four-byte words), Packet = its length, Token = 0.
+  [[nodiscard]] std::size_t modeled_bytes() const;
+
+  [[nodiscard]] std::string str() const;
+
+  bool operator==(const Value& other) const = default;
+
+  void save(serial::OutArchive& ar) const;
+  static Value load(serial::InArchive& ar);
+
+ private:
+  struct Void {
+    bool operator==(const Void&) const = default;
+  };
+  struct Token {
+    std::string name;
+    bool operator==(const Token&) const = default;
+  };
+  std::variant<Void, Logic, std::uint64_t, Bytes, Token> data_;
+};
+
+}  // namespace pia

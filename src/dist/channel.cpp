@@ -1,0 +1,107 @@
+#include "dist/channel.hpp"
+
+#include "base/error.hpp"
+#include "serial/archive.hpp"
+
+namespace pia::dist {
+
+ChannelComponent::ChannelComponent(std::string name)
+    : Component(std::move(name)) {
+  // Remote events are accepted at whatever local time the proxy has reached;
+  // their real timestamps travel inside the payload and are re-applied with
+  // send_at, so the port is asynchronous.
+  rx_ = add_input("rx", PortSync::kAsynchronous);
+}
+
+PortIndex ChannelComponent::add_split_net() {
+  const auto index = static_cast<std::uint32_t>(hidden_ports_.size());
+  const PortIndex port =
+      add_inout("hidden" + std::to_string(index), PortSync::kAsynchronous);
+  mutable_port(port).hidden = true;  // invisible to the designer (Fig. 2)
+  hidden_ports_.push_back(port);
+  return port;
+}
+
+PortIndex ChannelComponent::hidden_port(std::uint32_t net_index) const {
+  PIA_REQUIRE(net_index < hidden_ports_.size(),
+              "split net index out of range on " + name());
+  return hidden_ports_[net_index];
+}
+
+Value ChannelComponent::encode_remote(std::uint32_t net_index,
+                                      const Value& value) {
+  serial::OutArchive ar;
+  ar.put_varint(net_index);
+  value.save(ar);
+  return Value{std::move(ar).take()};
+}
+
+void ChannelComponent::on_receive(PortIndex port, const Value& value) {
+  if (port == rx_) {
+    // Remote traffic: decode and re-drive onto the local net piece at the
+    // original timestamp (== this delivery's event time == local_time()).
+    serial::InArchive ar(value.as_packet());
+    const auto net_index = static_cast<std::uint32_t>(ar.get_varint());
+    const Value payload = Value::load(ar);
+    send_at(hidden_port(net_index), payload, local_time());
+    return;
+  }
+  // Local traffic heard on a hidden port: forward across the channel.
+  for (std::uint32_t i = 0; i < hidden_ports_.size(); ++i) {
+    if (hidden_ports_[i] == port) {
+      PIA_CHECK(outbound_ != nullptr,
+                "channel component '" + name() + "' has no outbound hook");
+      outbound_(i, value, local_time());
+      return;
+    }
+  }
+  raise(ErrorKind::kState,
+        "value on unexpected port of channel component " + name());
+}
+
+// ---------------------------------------------------------------------------
+
+ChannelEndpoint::ChannelEndpoint(std::string name, ChannelMode mode,
+                                 transport::LinkPtr link,
+                                 std::uint32_t origin_id)
+    : name_(std::move(name)),
+      mode_(mode),
+      link_(std::move(link)),
+      origin_id_(origin_id) {
+  PIA_REQUIRE(link_ != nullptr, "channel endpoint without a link");
+}
+
+SendId ChannelEndpoint::send_event(std::uint32_t net_index,
+                                   const Value& value, VirtualTime time) {
+  const SendId id{.origin = origin_id_, .counter = next_send_counter_++};
+  ++event_msgs_sent;
+  send_message(EventMsg{
+      .id = id, .net_index = net_index, .time = time, .value = value});
+  output_log.push_back(OutputRecord{
+      .id = id, .net_index = net_index, .time = time, .value = value});
+  return id;
+}
+
+namespace {
+bool is_control(const ChannelMessage& message) {
+  return std::holds_alternative<StatusMsg>(message) ||
+         std::holds_alternative<ProbeMsg>(message) ||
+         std::holds_alternative<ProbeReply>(message) ||
+         std::holds_alternative<TerminateMsg>(message);
+}
+}  // namespace
+
+void ChannelEndpoint::send_message(const ChannelMessage& message) {
+  if (!is_control(message)) ++msgs_sent;
+  link_->send(encode_message(message));
+}
+
+std::optional<ChannelMessage> ChannelEndpoint::poll() {
+  auto raw = link_->try_recv();
+  if (!raw) return std::nullopt;
+  ChannelMessage message = decode_message(*raw);
+  if (!is_control(message)) ++msgs_received;
+  return message;
+}
+
+}  // namespace pia::dist

@@ -1,0 +1,179 @@
+// Channels and channel components (paper §2.2.1, Fig. 2).
+//
+// "Between each pair of communicating subsystems is a channel, across which
+// all communication occurs.  Each channel is associated with a pair of dummy
+// components (one on each subsystem).  Each of the hidden ports is the
+// property of one of these channel components. ... Channel components are
+// not self contained, rather, they are proxies for the subsystems on the
+// opposite side of the channel."
+//
+// A net split across two subsystems becomes two local nets; each local piece
+// gains a hidden inout port owned by the ChannelComponent.  Local traffic on
+// the net reaches the hidden port and is forwarded over the Link as an
+// EventMsg; remote EventMsgs are injected to the channel component, which
+// re-drives them onto the local piece at their original timestamp.  Channel
+// components have no thread of their own — they run inside the subsystem's
+// scheduler like any component (the paper: they "use the subsystem's own").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "base/ids.hpp"
+#include "core/component.hpp"
+#include "dist/protocol.hpp"
+#include "transport/link.hpp"
+
+namespace pia::dist {
+
+enum class ChannelMode : std::uint8_t { kConservative, kOptimistic };
+
+class ChannelComponent final : public Component {
+ public:
+  /// Callback invoked when local traffic must cross the channel.
+  using OutboundFn =
+      std::function<void(std::uint32_t net_index, const Value& value,
+                         VirtualTime time)>;
+
+  explicit ChannelComponent(std::string name);
+
+  /// Registers the next split net; returns its index in the channel's
+  /// split-net table and the hidden port to attach to the local net piece.
+  /// Both subsystems must register split nets in the same order.
+  PortIndex add_split_net();
+  [[nodiscard]] std::uint32_t split_net_count() const {
+    return static_cast<std::uint32_t>(hidden_ports_.size());
+  }
+  [[nodiscard]] PortIndex hidden_port(std::uint32_t net_index) const;
+
+  void set_outbound(OutboundFn fn) { outbound_ = std::move(fn); }
+
+  /// Encodes a remote event for injection onto this component's rx port.
+  [[nodiscard]] static Value encode_remote(std::uint32_t net_index,
+                                           const Value& value);
+
+  /// The rx port index remote events are injected on.
+  [[nodiscard]] PortIndex rx_port() const { return rx_; }
+
+  void on_receive(PortIndex port, const Value& value) override;
+
+ private:
+  PortIndex rx_;                         // unwired input fed by the endpoint
+  std::vector<PortIndex> hidden_ports_;  // one inout per split net
+  OutboundFn outbound_;
+};
+
+/// One side of a channel: the Link plus all per-channel protocol state.
+/// Plain data driven by the Subsystem; kept separate from ChannelComponent
+/// because this state must survive rollbacks that rewind the component.
+class ChannelEndpoint {
+ public:
+  ChannelEndpoint(std::string name, ChannelMode mode, transport::LinkPtr link,
+                  std::uint32_t origin_id);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] ChannelMode mode() const { return mode_; }
+  [[nodiscard]] transport::Link& link() { return *link_; }
+
+  // --- outbound ------------------------------------------------------------
+
+  /// Sends an EventMsg and appends it to the output log.  Returns its id.
+  SendId send_event(std::uint32_t net_index, const Value& value,
+                    VirtualTime time);
+  void send_message(const ChannelMessage& message);
+
+  // --- inbound -------------------------------------------------------------
+
+  /// Non-blocking: next decoded message, if any.
+  std::optional<ChannelMessage> poll();
+
+  // --- conservative state ----------------------------------------------------
+
+  VirtualTime granted_in = VirtualTime::zero();   // peer's promise to us
+  std::uint64_t granted_in_seen = 0;  // our sends the peer had seen then
+  VirtualTime granted_in_lookahead;   // peer's declared reaction slack
+  VirtualTime granted_out = VirtualTime::zero();  // our last promise to peer
+  std::uint64_t granted_out_seen = 0;
+  bool request_outstanding = false;
+  std::uint64_t next_request_id = 1;
+
+  /// EventMsg counters on this channel (grant grounding).
+  std::uint64_t event_msgs_sent = 0;
+  std::uint64_t event_msgs_received = 0;
+  /// Entries trimmed off the front of the logs by fossil collection.
+  std::uint64_t output_trimmed = 0;
+  std::uint64_t input_trimmed = 0;
+
+  /// The barrier this channel imposes: the peer's grant, clamped to the
+  /// timestamp of our first send it had not yet seen plus the reaction
+  /// slack it declared (CMB channel-clock grounding + lookahead).
+  [[nodiscard]] VirtualTime effective_grant() const {
+    if (granted_in_seen >= event_msgs_sent) return granted_in;
+    if (granted_in_seen < output_trimmed) return granted_in;  // pre-GVT
+    const std::size_t index =
+        static_cast<std::size_t>(granted_in_seen - output_trimmed);
+    if (index >= output_log.size()) return granted_in;
+    return min(granted_in,
+               output_log[index].time + granted_in_lookahead);
+  }
+  /// Horizon slack: the minimum virtual-time delay between dispatching a
+  /// local event and any resulting value crossing this channel (net delays
+  /// plus mandatory processing).  Added to the safe times we grant.
+  VirtualTime lookahead = VirtualTime::zero();
+  /// Reaction slack: the minimum virtual-time delay between RECEIVING a
+  /// peer event and sending anything back across this channel.  Sent
+  /// inside grants so the peer can run ahead of its unacknowledged sends;
+  /// a pure sink honestly declares infinity.
+  VirtualTime reaction_lookahead = VirtualTime::zero();
+
+  // --- optimistic logs --------------------------------------------------------
+
+  struct OutputRecord {
+    SendId id;
+    std::uint32_t net_index;
+    VirtualTime time;
+    Value value;
+    bool retracted = false;
+  };
+  struct InputRecord {
+    SendId id;
+    std::uint32_t net_index;
+    VirtualTime time;
+    Value value;
+    bool retracted = false;
+  };
+  std::vector<OutputRecord> output_log;
+  std::vector<InputRecord> input_log;
+  std::size_t injected_count = 0;  // input_log prefix already injected
+
+  /// Lazy cancellation: output_log entries in [replay_cursor, size) were
+  /// sent by a rolled-back execution and await confirmation.  A
+  /// re-execution that regenerates an entry identically consumes it without
+  /// resending; an entry whose send time passes unregenerated is retracted.
+  std::size_t replay_cursor = 0;
+
+  // --- counters (quiescence detection, status, GVT) ----------------------------
+
+  std::uint64_t msgs_sent = 0;      // all non-status messages
+  std::uint64_t msgs_received = 0;  // all non-status messages
+  StatusMsg peer_status{};          // last status received
+  bool peer_status_seen = false;
+  std::uint64_t msgs_sent_at_last_status_push = UINT64_MAX;
+  bool idle_at_last_status_push = false;
+
+  // --- wiring ------------------------------------------------------------------
+
+  ComponentId channel_component;  // the proxy living in the local scheduler
+  std::vector<NetId> split_nets;  // local net piece per net index
+
+ private:
+  std::string name_;
+  ChannelMode mode_;
+  transport::LinkPtr link_;
+  std::uint32_t origin_id_;
+  std::uint64_t next_send_counter_ = 0;
+};
+
+}  // namespace pia::dist

@@ -1,0 +1,163 @@
+#include "dist/node.hpp"
+
+#include <atomic>
+#include <future>
+#include <thread>
+
+#include "base/error.hpp"
+#include "base/log.hpp"
+
+namespace pia::dist {
+
+std::uint32_t PiaNode::next_node_seed_ = 0;
+
+PiaNode::PiaNode(std::string name)
+    : name_(std::move(name)),
+      // Subsystem numeric ids must be process-unique so SendIds never
+      // collide across channels.
+      next_subsystem_id_(next_node_seed_ += 1000) {}
+
+Subsystem& PiaNode::add_subsystem(const std::string& subsystem_name) {
+  subsystems_.push_back(
+      std::make_unique<Subsystem>(subsystem_name, next_subsystem_id_++));
+  return *subsystems_.back();
+}
+
+Subsystem& PiaNode::subsystem(const std::string& subsystem_name) {
+  for (auto& s : subsystems_)
+    if (s->name() == subsystem_name) return *s;
+  raise(ErrorKind::kNotFound,
+        "node '" + name_ + "' has no subsystem '" + subsystem_name + "'");
+}
+
+std::vector<Subsystem*> PiaNode::subsystems() {
+  std::vector<Subsystem*> out;
+  out.reserve(subsystems_.size());
+  for (auto& s : subsystems_) out.push_back(s.get());
+  return out;
+}
+
+void PiaNode::start_all() {
+  for (auto& s : subsystems_)
+    if (!s->started()) s->start();
+}
+
+ChannelPair connect(Subsystem& a, Subsystem& b, ChannelMode mode, Wire wire,
+                    transport::LatencyModel latency) {
+  transport::LinkPair pair;
+  switch (wire) {
+    case Wire::kLoopback:
+      pair = transport::make_loopback_pair();
+      break;
+    case Wire::kTcp: {
+      transport::TcpListener listener(0);
+      auto client = std::async(std::launch::async, [&] {
+        return transport::tcp_connect(listener.port());
+      });
+      pair.a = listener.accept();
+      pair.b = client.get();
+      break;
+    }
+  }
+  const bool has_latency = latency.base.count() > 0 ||
+                           latency.per_byte.count() > 0 ||
+                           latency.jitter_max.count() > 0;
+  if (has_latency) {
+    pair.a = transport::make_latency_link(std::move(pair.a), latency);
+    pair.b = transport::make_latency_link(std::move(pair.b), latency);
+  }
+  const std::string channel_name = a.name() + "<->" + b.name();
+  return ChannelPair{
+      .a = a.add_channel(channel_name, mode, std::move(pair.a)),
+      .b = b.add_channel(channel_name, mode, std::move(pair.b)),
+  };
+}
+
+void split_net(Subsystem& a, ChannelId chan_a, NetId net_a, Subsystem& b,
+               ChannelId chan_b, NetId net_b) {
+  const std::uint32_t index_a = a.export_net(chan_a, net_a);
+  const std::uint32_t index_b = b.export_net(chan_b, net_b);
+  PIA_CHECK(index_a == index_b,
+            "split-net registration order differs between '" + a.name() +
+                "' and '" + b.name() + "'");
+}
+
+PiaNode& NodeCluster::add_node(const std::string& node_name) {
+  nodes_.push_back(std::make_unique<PiaNode>(node_name));
+  return *nodes_.back();
+}
+
+PiaNode& NodeCluster::node(const std::string& node_name) {
+  for (auto& n : nodes_)
+    if (n->name() == node_name) return *n;
+  raise(ErrorKind::kNotFound, "no node named '" + node_name + "'");
+}
+
+std::vector<Subsystem*> NodeCluster::all_subsystems() {
+  std::vector<Subsystem*> out;
+  for (auto& n : nodes_)
+    for (Subsystem* s : n->subsystems()) out.push_back(s);
+  return out;
+}
+
+ChannelPair NodeCluster::connect_checked(Subsystem& a, Subsystem& b,
+                                         ChannelMode mode, Wire wire,
+                                         transport::LatencyModel latency) {
+  topology_.add_channel(a.name(), b.name());
+  topology_.validate();  // fail fast at wiring time
+  return connect(a, b, mode, wire, latency);
+}
+
+void NodeCluster::start_all() {
+  topology_.validate();
+  for (auto& n : nodes_) n->start_all();
+}
+
+std::map<std::string, Subsystem::RunOutcome> NodeCluster::run_all(
+    const Subsystem::RunConfig& config) {
+  std::map<std::string, Subsystem::RunOutcome> outcomes;
+  std::vector<Subsystem*> subs = all_subsystems();
+  std::vector<std::thread> threads;
+  std::vector<Subsystem::RunOutcome> results(subs.size(),
+                                             Subsystem::RunOutcome::kStalled);
+  std::vector<std::exception_ptr> errors(subs.size());
+  threads.reserve(subs.size());
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        results[i] = subs[i]->run(config);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+    outcomes[subs[i]->name()] = results[i];
+  }
+  return outcomes;
+}
+
+VirtualTime NodeCluster::compute_gvt() {
+  // Requires that no runner thread is active.  Drain repeatedly until one
+  // full pass moves nothing — then no messages are in flight and the min
+  // local floor is an exact GVT.
+  std::vector<Subsystem*> subs = all_subsystems();
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (Subsystem* s : subs) moved |= s->drain();
+  }
+  VirtualTime gvt = VirtualTime::infinity();
+  for (Subsystem* s : subs) gvt = min(gvt, s->local_virtual_floor());
+  return gvt;
+}
+
+VirtualTime NodeCluster::fossil_collect_all() {
+  const VirtualTime gvt = compute_gvt();
+  for (Subsystem* s : all_subsystems()) s->fossil_collect(gvt);
+  return gvt;
+}
+
+}  // namespace pia::dist

@@ -1,0 +1,112 @@
+// Pia nodes and clusters (paper §2, Fig. 1).
+//
+// "The Pia simulation system is a set of Pia nodes that can be
+// interconnected through a network.  Each node contains a number of sockets
+// and each socket can facilitate a connection to a design tool ... or a
+// device."  A PiaNode hosts one or more subsystems and runs each on its own
+// thread; channels between subsystems ride on loopback pipes when both live
+// in the same process and on TCP sockets when they do not.  NodeCluster is
+// the in-process harness gluing several nodes together for tests, examples
+// and benches — including the coordinated GVT barrier used for fossil
+// collection.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/subsystem.hpp"
+#include "dist/topology.hpp"
+#include "transport/latency.hpp"
+#include "transport/tcp.hpp"
+
+namespace pia::dist {
+
+class PiaNode {
+ public:
+  explicit PiaNode(std::string name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Creates a subsystem hosted on this node.
+  Subsystem& add_subsystem(const std::string& subsystem_name);
+
+  [[nodiscard]] Subsystem& subsystem(const std::string& subsystem_name);
+  [[nodiscard]] std::vector<Subsystem*> subsystems();
+
+  /// start() every subsystem (after wiring and channel setup).
+  void start_all();
+
+ private:
+  friend class NodeCluster;
+  std::string name_;
+  std::vector<std::unique_ptr<Subsystem>> subsystems_;
+  std::uint32_t next_subsystem_id_;
+  static std::uint32_t next_node_seed_;
+};
+
+struct ChannelPair {
+  ChannelId a;
+  ChannelId b;
+};
+
+/// How the two endpoints of a channel are physically connected.
+enum class Wire {
+  kLoopback,  // in-process pipe (same node, or co-located nodes)
+  kTcp,       // real sockets over localhost (the "Internet" of Fig. 1)
+};
+
+/// Connects two subsystems with a channel.  `latency` models the wide-area
+/// path (applied in both directions).  The subsystems may live on the same
+/// node or different nodes; the transport is chosen by `wire`.
+ChannelPair connect(Subsystem& a, Subsystem& b, ChannelMode mode,
+                    Wire wire = Wire::kLoopback,
+                    transport::LatencyModel latency = {});
+
+/// Splits a logical net across a channel: `net_a` is its piece inside `a`,
+/// `net_b` inside `b` (Fig. 2).  Call once per shared net, in the same order
+/// as any other exports on this channel.
+void split_net(Subsystem& a, ChannelId chan_a, NetId net_a, Subsystem& b,
+               ChannelId chan_b, NetId net_b);
+
+class NodeCluster {
+ public:
+  PiaNode& add_node(const std::string& node_name);
+  [[nodiscard]] PiaNode& node(const std::string& node_name);
+  [[nodiscard]] std::vector<Subsystem*> all_subsystems();
+
+  /// Records a channel for topology validation; connect() via the cluster
+  /// helper does this automatically.
+  ChannelPair connect_checked(Subsystem& a, Subsystem& b, ChannelMode mode,
+                              Wire wire = Wire::kLoopback,
+                              transport::LatencyModel latency = {});
+
+  /// Validates topology and starts every subsystem.
+  void start_all();
+
+  /// Runs every subsystem on its own thread until each returns; returns the
+  /// outcome per subsystem name.
+  std::map<std::string, Subsystem::RunOutcome> run_all(
+      const Subsystem::RunConfig& config);
+  std::map<std::string, Subsystem::RunOutcome> run_all() {
+    return run_all(Subsystem::RunConfig{});
+  }
+
+  /// Global virtual time at a drained barrier: with no runner active, keeps
+  /// draining all subsystems until no channel has pending traffic, then
+  /// takes the min local floor.  (A cross-process deployment would use
+  /// Mattern's token algorithm instead; in-process the barrier is exact.)
+  [[nodiscard]] VirtualTime compute_gvt();
+
+  /// compute_gvt() + fossil_collect(gvt) on every subsystem.
+  VirtualTime fossil_collect_all();
+
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+
+ private:
+  std::vector<std::unique_ptr<PiaNode>> nodes_;
+  Topology topology_;
+};
+
+}  // namespace pia::dist

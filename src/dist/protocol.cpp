@@ -1,0 +1,174 @@
+#include "dist/protocol.hpp"
+
+#include "base/error.hpp"
+#include "serial/archive.hpp"
+
+namespace pia::dist {
+namespace {
+
+enum class Tag : std::uint8_t {
+  kEvent = 1,
+  kSafeTimeRequest,
+  kSafeTimeGrant,
+  kMark,
+  kRetract,
+  kRunLevel,
+  kStatus,
+  kProbe,
+  kProbeReply,
+  kTerminate,
+};
+
+void write_send_id(serial::OutArchive& ar, const SendId& id) {
+  ar.put_varint(id.origin);
+  ar.put_varint(id.counter);
+}
+
+SendId read_send_id(serial::InArchive& ar) {
+  SendId id;
+  id.origin = static_cast<std::uint32_t>(ar.get_varint());
+  id.counter = ar.get_varint();
+  return id;
+}
+
+}  // namespace
+
+Bytes encode_message(const ChannelMessage& message) {
+  serial::OutArchive ar;
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, EventMsg>) {
+          ar.put_u8(static_cast<std::uint8_t>(Tag::kEvent));
+          write_send_id(ar, m.id);
+          ar.put_varint(m.net_index);
+          serial::write(ar, m.time);
+          m.value.save(ar);
+        } else if constexpr (std::is_same_v<T, SafeTimeRequest>) {
+          ar.put_u8(static_cast<std::uint8_t>(Tag::kSafeTimeRequest));
+          ar.put_varint(m.request_id);
+        } else if constexpr (std::is_same_v<T, SafeTimeGrant>) {
+          ar.put_u8(static_cast<std::uint8_t>(Tag::kSafeTimeGrant));
+          ar.put_varint(m.request_id);
+          serial::write(ar, m.safe_time);
+          ar.put_varint(m.events_seen);
+          serial::write(ar, m.lookahead);
+        } else if constexpr (std::is_same_v<T, MarkMsg>) {
+          ar.put_u8(static_cast<std::uint8_t>(Tag::kMark));
+          ar.put_varint(m.token);
+        } else if constexpr (std::is_same_v<T, RetractMsg>) {
+          ar.put_u8(static_cast<std::uint8_t>(Tag::kRetract));
+          write_send_id(ar, m.id);
+          serial::write(ar, m.time);
+        } else if constexpr (std::is_same_v<T, RunLevelMsg>) {
+          ar.put_u8(static_cast<std::uint8_t>(Tag::kRunLevel));
+          ar.put_string(m.component);
+          ar.put_string(m.level_name);
+          ar.put_i64(m.detail);
+        } else if constexpr (std::is_same_v<T, StatusMsg>) {
+          ar.put_u8(static_cast<std::uint8_t>(Tag::kStatus));
+          serial::write(ar, m.now);
+          ar.put_varint(m.msgs_sent);
+          ar.put_varint(m.msgs_received);
+          ar.put_bool(m.idle);
+        } else if constexpr (std::is_same_v<T, ProbeMsg>) {
+          ar.put_u8(static_cast<std::uint8_t>(Tag::kProbe));
+          ar.put_varint(m.origin);
+          ar.put_varint(m.nonce);
+        } else if constexpr (std::is_same_v<T, ProbeReply>) {
+          ar.put_u8(static_cast<std::uint8_t>(Tag::kProbeReply));
+          ar.put_varint(m.origin);
+          ar.put_varint(m.nonce);
+          ar.put_bool(m.ok);
+        } else if constexpr (std::is_same_v<T, TerminateMsg>) {
+          ar.put_u8(static_cast<std::uint8_t>(Tag::kTerminate));
+          ar.put_varint(m.token);
+        }
+      },
+      message);
+  return std::move(ar).take();
+}
+
+ChannelMessage decode_message(BytesView data) {
+  serial::InArchive ar(data);
+  const auto tag = static_cast<Tag>(ar.get_u8());
+  switch (tag) {
+    case Tag::kEvent: {
+      EventMsg m;
+      m.id = read_send_id(ar);
+      m.net_index = static_cast<std::uint32_t>(ar.get_varint());
+      m.time = serial::read<VirtualTime>(ar);
+      m.value = Value::load(ar);
+      return m;
+    }
+    case Tag::kSafeTimeRequest:
+      return SafeTimeRequest{.request_id = ar.get_varint()};
+    case Tag::kSafeTimeGrant: {
+      SafeTimeGrant m;
+      m.request_id = ar.get_varint();
+      m.safe_time = serial::read<VirtualTime>(ar);
+      m.events_seen = ar.get_varint();
+      m.lookahead = serial::read<VirtualTime>(ar);
+      return m;
+    }
+    case Tag::kMark:
+      return MarkMsg{.token = ar.get_varint()};
+    case Tag::kRetract: {
+      RetractMsg m;
+      m.id = read_send_id(ar);
+      m.time = serial::read<VirtualTime>(ar);
+      return m;
+    }
+    case Tag::kRunLevel: {
+      RunLevelMsg m;
+      m.component = ar.get_string();
+      m.level_name = ar.get_string();
+      m.detail = static_cast<std::int32_t>(ar.get_i64());
+      return m;
+    }
+    case Tag::kStatus: {
+      StatusMsg m;
+      m.now = serial::read<VirtualTime>(ar);
+      m.msgs_sent = ar.get_varint();
+      m.msgs_received = ar.get_varint();
+      m.idle = ar.get_bool();
+      return m;
+    }
+    case Tag::kProbe: {
+      ProbeMsg m;
+      m.origin = ar.get_varint();
+      m.nonce = ar.get_varint();
+      return m;
+    }
+    case Tag::kProbeReply: {
+      ProbeReply m;
+      m.origin = ar.get_varint();
+      m.nonce = ar.get_varint();
+      m.ok = ar.get_bool();
+      return m;
+    }
+    case Tag::kTerminate:
+      return TerminateMsg{.token = ar.get_varint()};
+  }
+  raise(ErrorKind::kProtocol, "unknown channel message tag");
+}
+
+const char* message_name(const ChannelMessage& message) {
+  return std::visit(
+      [](const auto& m) -> const char* {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, EventMsg>) return "event";
+        else if constexpr (std::is_same_v<T, SafeTimeRequest>) return "safe_time_request";
+        else if constexpr (std::is_same_v<T, SafeTimeGrant>) return "safe_time_grant";
+        else if constexpr (std::is_same_v<T, MarkMsg>) return "mark";
+        else if constexpr (std::is_same_v<T, RetractMsg>) return "retract";
+        else if constexpr (std::is_same_v<T, RunLevelMsg>) return "runlevel";
+        else if constexpr (std::is_same_v<T, ProbeMsg>) return "probe";
+        else if constexpr (std::is_same_v<T, ProbeReply>) return "probe_reply";
+        else if constexpr (std::is_same_v<T, TerminateMsg>) return "terminate";
+        else return "status";
+      },
+      message);
+}
+
+}  // namespace pia::dist

@@ -1,0 +1,129 @@
+// The inter-subsystem channel protocol.
+//
+// Everything two subsystems exchange travels as one of these messages over a
+// FIFO Link (paper §2.2): timestamped net events, safe-time requests and
+// grants (conservative channels, §2.2.3), retractions (optimistic rollback,
+// §2.2.4), Chandy–Lamport marks (§2.2.5), runlevel coordination and idle
+// status for termination/GVT.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "base/ids.hpp"
+#include "base/time.hpp"
+#include "core/value.hpp"
+
+namespace pia::dist {
+
+/// Globally unique identifier of a sent event: (origin subsystem, counter).
+/// Retractions name the event they cancel by this id.
+struct SendId {
+  std::uint32_t origin = 0;
+  std::uint64_t counter = 0;
+
+  friend bool operator==(const SendId&, const SendId&) = default;
+};
+
+/// A net event crossing the channel: "value appeared on split net
+/// `net_index` at virtual time `time`".
+struct EventMsg {
+  SendId id;
+  std::uint32_t net_index = 0;  // index into the channel's split-net table
+  VirtualTime time;
+  Value value;
+};
+
+/// "How far may I advance without consulting you again?"
+struct SafeTimeRequest {
+  std::uint64_t request_id = 0;
+};
+
+/// The grant: the reporting subsystem's own horizon with all restrictions
+/// from the requester removed (self-restriction removal, §2.2.3).
+///
+/// `events_seen` grounds the promise: it is how many of the requester's
+/// EventMsgs the grantor had received when computing the grant.  Events the
+/// grantor has not yet seen could still provoke responses as early as their
+/// own timestamps, so the requester clamps its barrier to the first unseen
+/// send's time (the CMB channel-clock argument).
+struct SafeTimeGrant {
+  std::uint64_t request_id = 0;  // 0 for unsolicited (null-message) grants
+  VirtualTime safe_time;
+  std::uint64_t events_seen = 0;
+  /// The grantor's declared reaction slack: it promises never to send a
+  /// message earlier than `unseen event time + lookahead` in response to a
+  /// requester event it has not seen yet.  Lets the requester run several
+  /// events ahead per grant instead of lock-stepping one per round trip.
+  VirtualTime lookahead;
+};
+
+/// Chandy–Lamport marker.  `token` identifies the snapshot request so a
+/// subsystem checkpoints only once per request (§2.2.5).
+struct MarkMsg {
+  std::uint64_t token = 0;
+};
+
+/// Anti-message: cancel a previously sent EventMsg (optimistic rollback).
+struct RetractMsg {
+  SendId id;
+  VirtualTime time;  // timestamp of the event being cancelled
+};
+
+/// Runlevel coordination across a channel (§2.2.1: channel components
+/// "may be responsible for coordinating run levels between the components").
+struct RunLevelMsg {
+  std::string component;
+  std::string level_name;
+  std::int32_t detail = 0;
+};
+
+/// Periodic status: enables quiescence detection (both sides idle with
+/// matched message counters means nothing is in flight) and GVT estimation.
+/// Counters cover all non-status messages on this channel.
+struct StatusMsg {
+  VirtualTime now;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_received = 0;
+  bool idle = false;
+
+  friend bool operator==(const StatusMsg&, const StatusMsg&) = default;
+};
+
+/// Diffusing termination probe (Dijkstra–Scholten echo over the subsystem
+/// forest).  An idle subsystem floods a probe; each relay forwards it away
+/// from the arrival channel and replies with the conjunction of its
+/// subtree's answers AND its own idleness at reply time.  FIFO links make
+/// the answers truthful: any event a peer sent before its reply is received
+/// before the reply.
+struct ProbeMsg {
+  std::uint64_t origin = 0;  // (subsystem id << 32) | nonce
+  std::uint64_t nonce = 0;
+};
+
+struct ProbeReply {
+  std::uint64_t origin = 0;
+  std::uint64_t nonce = 0;
+  bool ok = false;
+};
+
+/// Broadcast by the subsystem whose probe confirmed global quiescence;
+/// flooded over the tree, it tells everyone to stop.  Quiescence is a
+/// stable property, so the flood is race-free.
+struct TerminateMsg {
+  std::uint64_t token = 0;
+};
+
+using ChannelMessage =
+    std::variant<EventMsg, SafeTimeRequest, SafeTimeGrant, MarkMsg,
+                 RetractMsg, RunLevelMsg, StatusMsg, ProbeMsg, ProbeReply,
+                 TerminateMsg>;
+
+[[nodiscard]] Bytes encode_message(const ChannelMessage& message);
+[[nodiscard]] ChannelMessage decode_message(BytesView data);
+
+[[nodiscard]] const char* message_name(const ChannelMessage& message);
+
+}  // namespace pia::dist

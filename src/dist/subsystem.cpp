@@ -1,0 +1,790 @@
+#include "dist/subsystem.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+#include "base/log.hpp"
+
+namespace pia::dist {
+
+Subsystem::Subsystem(std::string name, std::uint32_t numeric_id)
+    : name_(std::move(name)),
+      id_(numeric_id),
+      scheduler_(name_),
+      checkpoints_(scheduler_, CheckpointPolicy::kImmediate) {}
+
+ChannelId Subsystem::add_channel(const std::string& channel_name,
+                                 ChannelMode mode, transport::LinkPtr link) {
+  PIA_REQUIRE(!started_, "add_channel after start on " + name_);
+  const ChannelId id{static_cast<std::uint32_t>(channels_.size())};
+  auto endpoint = std::make_unique<ChannelEndpoint>(channel_name, mode,
+                                                    std::move(link), id_);
+  auto proxy = std::make_unique<ChannelComponent>("__chan_" + channel_name);
+  ChannelComponent& proxy_ref = *proxy;
+  endpoint->channel_component = scheduler_.add(std::move(proxy));
+
+  ChannelEndpoint* raw = endpoint.get();
+  proxy_ref.set_outbound([this, raw](std::uint32_t net_index,
+                                     const Value& value, VirtualTime time) {
+    send_or_suppress(*raw, net_index, value, time);
+  });
+  channels_.push_back(std::move(endpoint));
+  return id;
+}
+
+ChannelEndpoint& Subsystem::channel(ChannelId id) {
+  PIA_REQUIRE(id.valid() && id.value() < channels_.size(), "bad channel id");
+  return *channels_[id.value()];
+}
+
+std::uint32_t Subsystem::export_net(ChannelId channel_id, NetId local_net) {
+  ChannelEndpoint& endpoint = channel(channel_id);
+  auto& proxy = static_cast<ChannelComponent&>(
+      scheduler_.component(endpoint.channel_component));
+  const PortIndex hidden = proxy.add_split_net();
+  scheduler_.attach(local_net, proxy.id(), proxy.port(hidden).name);
+  endpoint.split_nets.push_back(local_net);
+  return proxy.split_net_count() - 1;
+}
+
+void Subsystem::set_lookahead(ChannelId channel_id, VirtualTime lookahead) {
+  channel(channel_id).lookahead = lookahead;
+}
+
+void Subsystem::set_reaction_lookahead(ChannelId channel_id,
+                                       VirtualTime lookahead) {
+  channel(channel_id).reaction_lookahead = lookahead;
+}
+
+void Subsystem::send_runlevel(ChannelId channel_id,
+                              const std::string& component,
+                              const RunLevel& level) {
+  channel(channel_id).send_message(RunLevelMsg{
+      .component = component, .level_name = level.name,
+      .detail = level.detail});
+}
+
+void Subsystem::start() {
+  PIA_REQUIRE(!started_, "subsystem '" + name_ + "' already started");
+  started_ = true;
+  scheduler_.init();
+  // Base checkpoint: the rollback target of last resort.
+  take_checkpoint();
+}
+
+SnapshotId Subsystem::take_checkpoint() {
+  const SnapshotId snap = checkpoints_.request();
+  SnapshotPositions positions;
+  positions.out.reserve(channels_.size());
+  positions.in.reserve(channels_.size());
+  for (const auto& c : channels_) {
+    positions.out.push_back(c->output_log.size());
+    positions.in.push_back(c->injected_count);
+    positions.cursor.push_back(c->replay_cursor);
+  }
+  snapshot_positions_[snap] = std::move(positions);
+  stats_.checkpoints++;
+  dispatches_since_checkpoint_ = 0;
+  return snap;
+}
+
+void Subsystem::take_periodic_checkpoint_if_due() {
+  if (!has_optimistic_channel()) return;
+  if (++dispatches_since_checkpoint_ >= checkpoint_interval_)
+    take_checkpoint();
+}
+
+bool Subsystem::has_optimistic_channel() const {
+  return std::any_of(channels_.begin(), channels_.end(), [](const auto& c) {
+    return c->mode() == ChannelMode::kOptimistic;
+  });
+}
+
+bool Subsystem::drain() {
+  bool any = false;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::uint32_t i = 0; i < channels_.size(); ++i) {
+      while (auto message = channels_[i]->poll()) {
+        handle_message(ChannelId{i}, std::move(*message));
+        progress = true;
+        any = true;
+      }
+    }
+  }
+  return any;
+}
+
+void Subsystem::handle_message(ChannelId channel_id, ChannelMessage message) {
+  ChannelEndpoint& endpoint = channel(channel_id);
+  std::visit(
+      [&](auto&& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, EventMsg>) {
+          handle_event(channel_id, std::move(m));
+        } else if constexpr (std::is_same_v<T, SafeTimeRequest>) {
+          endpoint.granted_out = grant_for(channel_id);
+          endpoint.granted_out_seen = endpoint.event_msgs_received;
+          endpoint.send_message(
+              SafeTimeGrant{.request_id = m.request_id,
+                            .safe_time = endpoint.granted_out,
+                            .events_seen = endpoint.granted_out_seen,
+                            .lookahead = endpoint.reaction_lookahead});
+          stats_.grants_sent++;
+        } else if constexpr (std::is_same_v<T, SafeTimeGrant>) {
+          // FIFO: later grants reflect later grantor states; overwrite.
+          endpoint.granted_in = m.safe_time;
+          endpoint.granted_in_seen = m.events_seen;
+          endpoint.granted_in_lookahead = m.lookahead;
+          endpoint.request_outstanding = false;
+          stats_.grants_received++;
+        } else if constexpr (std::is_same_v<T, MarkMsg>) {
+          handle_mark(channel_id, m);
+        } else if constexpr (std::is_same_v<T, RetractMsg>) {
+          handle_retract(channel_id, m);
+        } else if constexpr (std::is_same_v<T, RunLevelMsg>) {
+          ++activity_counter_;
+          scheduler_.set_runlevel(m.component,
+                                  RunLevel{m.level_name, m.detail});
+        } else if constexpr (std::is_same_v<T, StatusMsg>) {
+          endpoint.peer_status = m;
+          endpoint.peer_status_seen = true;
+        } else if constexpr (std::is_same_v<T, ProbeMsg>) {
+          handle_probe(channel_id, m);
+        } else if constexpr (std::is_same_v<T, ProbeReply>) {
+          handle_probe_reply(channel_id, m);
+        } else if constexpr (std::is_same_v<T, TerminateMsg>) {
+          handle_terminate(channel_id, m);
+        }
+      },
+      std::move(message));
+}
+
+void Subsystem::handle_event(ChannelId channel_id, EventMsg event) {
+  ChannelEndpoint& endpoint = channel(channel_id);
+  stats_.events_received++;
+  ++endpoint.event_msgs_received;
+  ++activity_counter_;
+
+  // Chandy–Lamport channel-state recording: events arriving between our
+  // local checkpoint and this channel's mark belong to the channel state.
+  for (auto& [token, pending] : cl_snapshots_) {
+    if (pending.mark_pending[channel_id.value()])
+      pending.recorded[channel_id.value()].push_back(event);
+  }
+
+  if (event.time < scheduler_.now()) {
+    if (endpoint.mode() == ChannelMode::kConservative) {
+      raise(ErrorKind::kConsistency,
+            "conservative channel '" + endpoint.name() +
+                "' delivered an event at " + event.time.str() +
+                " behind subsystem time " + scheduler_.now().str());
+    }
+    // Optimistic straggler: rewind first, then apply.
+    rollback(event.time, std::nullopt);
+  }
+
+  endpoint.input_log.push_back(ChannelEndpoint::InputRecord{
+      .id = event.id,
+      .net_index = event.net_index,
+      .time = event.time,
+      .value = event.value});
+  inject_input(endpoint, endpoint.input_log.back());
+  endpoint.injected_count = endpoint.input_log.size();
+}
+
+void Subsystem::inject_input(ChannelEndpoint& endpoint,
+                             const ChannelEndpoint::InputRecord& record) {
+  if (record.retracted) return;
+  scheduler_.inject(Event{
+      .time = record.time,
+      .target = endpoint.channel_component,
+      .port = static_cast<ChannelComponent&>(
+                  scheduler_.component(endpoint.channel_component))
+                  .rx_port(),
+      .kind = EventKind::kDeliver,
+      .value = ChannelComponent::encode_remote(record.net_index, record.value),
+      .source = ComponentId::invalid()});
+}
+
+void Subsystem::handle_retract(ChannelId channel_id,
+                               const RetractMsg& retract) {
+  ChannelEndpoint& endpoint = channel(channel_id);
+  stats_.retracts_received++;
+  ++activity_counter_;
+
+  // Find the cancelled event (search newest-first: retractions target
+  // recent sends).
+  auto& log = endpoint.input_log;
+  std::size_t index = log.size();
+  for (std::size_t i = log.size(); i-- > 0;) {
+    if (log[i].id == retract.id) {
+      index = i;
+      break;
+    }
+  }
+  if (index == log.size())
+    raise(ErrorKind::kProtocol,
+          "retraction for unknown event on channel " + endpoint.name());
+  if (log[index].retracted) return;  // duplicate retraction
+
+  if (index >= endpoint.injected_count) {
+    // Not yet injected: tombstone it; the injection loop will skip it.
+    log[index].retracted = true;
+    return;
+  }
+  if (retract.time > scheduler_.now()) {
+    // Injected but not yet dispatched: cancel it in the queue.
+    log[index].retracted = true;
+    const Value expected =
+        ChannelComponent::encode_remote(log[index].net_index,
+                                        log[index].value);
+    bool removed = false;
+    scheduler_.erase_events_if([&](const Event& e) {
+      if (removed || e.time != retract.time ||
+          e.target != endpoint.channel_component || !(e.value == expected))
+        return false;
+      removed = true;
+      return true;
+    });
+    PIA_CHECK(removed, "retracted event not found in queue on " + name_);
+    return;
+  }
+  // Already dispatched: its effects are in component state — rewind.
+  log[index].retracted = true;
+  rollback(retract.time, std::make_pair(channel_id, index));
+}
+
+void Subsystem::rollback(
+    VirtualTime to_time,
+    std::optional<std::pair<ChannelId, std::size_t>> entry_hint) {
+  // Choose the newest snapshot that precedes `to_time` and, when undoing an
+  // already-applied input, precedes that input's injection.
+  std::optional<SnapshotId> chosen;
+  for (auto it = snapshot_positions_.rbegin();
+       it != snapshot_positions_.rend(); ++it) {
+    if (!checkpoints_.contains(it->first)) continue;
+    if (checkpoints_.snapshot_time(it->first) > to_time) continue;
+    if (entry_hint &&
+        it->second.in[entry_hint->first.value()] > entry_hint->second)
+      continue;
+    chosen = it->first;
+    break;
+  }
+  PIA_CHECK(chosen.has_value(),
+            "no checkpoint to roll back to on " + name_ + " (target " +
+                to_time.str() + ")");
+
+  const SnapshotPositions positions = snapshot_positions_.at(*chosen);
+  checkpoints_.restore(*chosen);
+  scrub_retracted(positions);
+  stats_.rollbacks++;
+  dispatches_since_checkpoint_ = 0;
+
+  // Forget snapshots describing the discarded future.
+  for (auto it = snapshot_positions_.upper_bound(*chosen);
+       it != snapshot_positions_.end();)
+    it = snapshot_positions_.erase(it);
+
+  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
+    ChannelEndpoint& c = *channels_[i];
+    // Lazy cancellation: outputs produced after the snapshot become
+    // *unconfirmed* rather than being retracted immediately.  Re-execution
+    // that regenerates them identically will consume them silently —
+    // retracting eagerly makes every rollback echo back and forth between
+    // subsystems forever when the regenerated messages are the same.
+    c.replay_cursor = std::min(c.replay_cursor, positions.cursor[i]);
+    // Replay the inputs that arrived after the snapshot (skipping
+    // tombstones).
+    c.injected_count = positions.in[i];
+    for (std::size_t k = positions.in[i]; k < c.input_log.size(); ++k)
+      inject_input(c, c.input_log[k]);
+    c.injected_count = c.input_log.size();
+  }
+}
+
+void Subsystem::retract_output(ChannelEndpoint& endpoint,
+                               ChannelEndpoint::OutputRecord& record) {
+  if (record.retracted) return;
+  record.retracted = true;
+  endpoint.send_message(RetractMsg{.id = record.id, .time = record.time});
+  stats_.retracts_sent++;
+}
+
+void Subsystem::send_or_suppress(ChannelEndpoint& endpoint,
+                                 std::uint32_t net_index, const Value& value,
+                                 VirtualTime time) {
+  // Consume the unconfirmed tail left by a rollback.
+  while (endpoint.replay_cursor < endpoint.output_log.size()) {
+    auto& old = endpoint.output_log[endpoint.replay_cursor];
+    if (old.retracted) {
+      ++endpoint.replay_cursor;
+      continue;
+    }
+    if (old.time < time) {
+      // Passed its send time without regenerating it: it is history that
+      // no longer happens.
+      retract_output(endpoint, old);
+      ++endpoint.replay_cursor;
+      continue;
+    }
+    if (old.time == time && old.net_index == net_index &&
+        old.value == value) {
+      // Identical regeneration: the peer already has this message.
+      ++endpoint.replay_cursor;
+      return;
+    }
+    // Divergence: the rest of the old future is invalid.
+    for (std::size_t k = endpoint.replay_cursor;
+         k < endpoint.output_log.size(); ++k)
+      retract_output(endpoint, endpoint.output_log[k]);
+    endpoint.replay_cursor = endpoint.output_log.size();
+    break;
+  }
+  endpoint.send_event(net_index, value, time);
+  endpoint.replay_cursor = endpoint.output_log.size();
+  stats_.events_sent++;
+}
+
+void Subsystem::flush_unregenerated(VirtualTime upto) {
+  for (auto& cp : channels_) {
+    ChannelEndpoint& c = *cp;
+    while (c.replay_cursor < c.output_log.size()) {
+      auto& old = c.output_log[c.replay_cursor];
+      if (!old.retracted && old.time >= upto) break;
+      retract_output(c, old);
+      ++c.replay_cursor;
+    }
+  }
+}
+
+void Subsystem::scrub_retracted(const SnapshotPositions& positions) {
+  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
+    ChannelEndpoint& c = *channels_[i];
+    for (std::size_t k = 0; k < positions.in[i] && k < c.input_log.size();
+         ++k) {
+      const auto& record = c.input_log[k];
+      if (!record.retracted) continue;
+      const Value expected =
+          ChannelComponent::encode_remote(record.net_index, record.value);
+      bool removed = false;
+      scheduler_.erase_events_if([&](const Event& e) {
+        if (removed || e.time != record.time ||
+            e.target != c.channel_component || !(e.value == expected))
+          return false;
+        removed = true;
+        return true;
+      });
+    }
+  }
+}
+
+VirtualTime Subsystem::grant_for(ChannelId requester) const {
+  VirtualTime horizon = scheduler_.next_event_time();
+  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
+    if (ChannelId{i} == requester) continue;  // self-restriction removal
+    const ChannelEndpoint& c = *channels_[i];
+    if (c.mode() == ChannelMode::kConservative)
+      horizon = min(horizon, c.granted_in);
+  }
+  const ChannelEndpoint& target = *channels_[requester.value()];
+  return horizon + target.lookahead;
+}
+
+void Subsystem::push_grants() {
+  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
+    ChannelEndpoint& c = *channels_[i];
+    if (c.mode() != ChannelMode::kConservative) continue;
+    const VirtualTime grant = grant_for(ChannelId{i});
+    // Push when the promise improves in either dimension: a later horizon,
+    // or the same horizon grounded on more of the peer's sends.
+    if (grant > c.granted_out ||
+        (c.event_msgs_received > c.granted_out_seen &&
+         grant >= c.granted_out)) {
+      c.granted_out = grant;
+      c.granted_out_seen = c.event_msgs_received;
+      c.send_message(SafeTimeGrant{.request_id = 0,
+                                   .safe_time = grant,
+                                   .events_seen = c.granted_out_seen,
+                                   .lookahead = c.reaction_lookahead});
+      stats_.grants_sent++;
+    }
+  }
+}
+
+void Subsystem::push_status_if_changed() {
+  const bool idle = scheduler_.idle();
+  for (auto& cp : channels_) {
+    ChannelEndpoint& c = *cp;
+    const bool counters_changed =
+        c.msgs_sent != c.msgs_sent_at_last_status_push;
+    if (idle != c.idle_at_last_status_push || (idle && counters_changed)) {
+      c.send_message(StatusMsg{.now = scheduler_.now(),
+                               .msgs_sent = c.msgs_sent,
+                               .msgs_received = c.msgs_received,
+                               .idle = idle});
+      c.idle_at_last_status_push = idle;
+      c.msgs_sent_at_last_status_push = c.msgs_sent;
+    }
+  }
+}
+
+VirtualTime Subsystem::conservative_barrier() const {
+  VirtualTime barrier = VirtualTime::infinity();
+  for (const auto& c : channels_)
+    if (c->mode() == ChannelMode::kConservative)
+      barrier = min(barrier, c->effective_grant());
+  return barrier;
+}
+
+Subsystem::StepResult Subsystem::try_advance(VirtualTime horizon) {
+  const VirtualTime t = scheduler_.next_event_time();
+  if (t.is_infinite() || t > horizon) return StepResult::kIdle;
+  if (t > conservative_barrier()) return StepResult::kBlocked;
+  // Unconfirmed outputs older than the next dispatch cannot be regenerated
+  // any more (send times are monotone): retract them now.
+  flush_unregenerated(t);
+  scheduler_.step();
+  ++activity_counter_;
+  take_periodic_checkpoint_if_due();
+  return StepResult::kStepped;
+}
+
+bool Subsystem::quiescent() const {
+  if (terminate_received_) return true;
+  return channels_.empty() && scheduler_.idle();
+}
+
+void Subsystem::maybe_start_probe() {
+  if (my_probe_ || terminate_received_) return;
+  if (!scheduler_.idle()) return;
+  // Don't spin probe rounds: retry only after something changed.
+  if (activity_counter_ == activity_at_last_failed_probe_) return;
+  // A clean probe requires our own unconfirmed outputs settled first.
+  flush_unregenerated(VirtualTime::infinity());
+  my_probe_ = ProbeRound{.nonce = next_probe_nonce_++,
+                         .pending = channels_.size(),
+                         .ok = true,
+                         .activity_at_start = activity_counter_};
+  const std::uint64_t origin = static_cast<std::uint64_t>(id_);
+  for (auto& c : channels_)
+    c->send_message(ProbeMsg{.origin = origin, .nonce = my_probe_->nonce});
+}
+
+void Subsystem::handle_probe(ChannelId channel_id, const ProbeMsg& probe) {
+  ChannelEndpoint& from = channel(channel_id);
+  if (!scheduler_.idle()) {
+    from.send_message(ProbeReply{.origin = probe.origin,
+                                 .nonce = probe.nonce,
+                                 .ok = false});
+    return;
+  }
+  flush_unregenerated(VirtualTime::infinity());
+  if (channels_.size() == 1) {
+    from.send_message(ProbeReply{.origin = probe.origin,
+                                 .nonce = probe.nonce,
+                                 .ok = scheduler_.idle()});
+    return;
+  }
+  // Relay the wave away from the arrival channel; answer once the subtree
+  // answers (the topology is a forest, so the wave terminates).
+  RelayedProbe relayed{.from = channel_id,
+                       .pending = channels_.size() - 1,
+                       .ok = true};
+  relayed_probes_[{probe.origin, probe.nonce}] = relayed;
+  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
+    if (ChannelId{i} == channel_id) continue;
+    channels_[i]->send_message(probe);
+  }
+}
+
+void Subsystem::handle_probe_reply(ChannelId, const ProbeReply& reply) {
+  if (my_probe_ && reply.origin == static_cast<std::uint64_t>(id_) &&
+      reply.nonce == my_probe_->nonce) {
+    my_probe_->ok = my_probe_->ok && reply.ok;
+    if (--my_probe_->pending == 0) {
+      const bool confirmed = my_probe_->ok && scheduler_.idle() &&
+                             activity_counter_ == my_probe_->activity_at_start;
+      if (confirmed) {
+        terminate_received_ = true;
+        const std::uint64_t token =
+            (static_cast<std::uint64_t>(id_) << 32) | my_probe_->nonce;
+        for (auto& c : channels_)
+          c->send_message(TerminateMsg{.token = token});
+      } else {
+        activity_at_last_failed_probe_ = my_probe_->activity_at_start ==
+                                                 activity_counter_
+                                             ? activity_counter_
+                                             : UINT64_MAX;
+      }
+      my_probe_.reset();
+    }
+    return;
+  }
+  const auto it = relayed_probes_.find({reply.origin, reply.nonce});
+  if (it == relayed_probes_.end()) return;  // stale round
+  it->second.ok = it->second.ok && reply.ok;
+  if (--it->second.pending == 0) {
+    ChannelEndpoint& back = channel(it->second.from);
+    back.send_message(ProbeReply{.origin = reply.origin,
+                                 .nonce = reply.nonce,
+                                 .ok = it->second.ok && scheduler_.idle()});
+    relayed_probes_.erase(it);
+  }
+}
+
+void Subsystem::handle_terminate(ChannelId from,
+                                 const TerminateMsg& terminate) {
+  if (terminate_received_) return;
+  terminate_received_ = true;
+  // Flood away from the arrival direction only: on a tree every subsystem
+  // is reached exactly once and no terminate ever lingers unread in a link
+  // (a leftover would falsely stop a post-restore replay).
+  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
+    if (ChannelId{i} == from) continue;
+    channels_[i]->send_message(terminate);
+  }
+}
+
+Subsystem::RunOutcome Subsystem::run(const RunConfig& config) {
+  PIA_REQUIRE(started_, "run() before start() on " + name_);
+  auto last_progress = std::chrono::steady_clock::now();
+
+  for (;;) {
+    bool progressed = drain();
+
+    bool blocked = false;
+    for (int burst = 0; burst < 256; ++burst) {
+      const StepResult result = try_advance(config.horizon);
+      if (result == StepResult::kStepped) {
+        progressed = true;
+        continue;
+      }
+      blocked = (result == StepResult::kBlocked);
+      break;
+    }
+
+    push_grants();
+    push_status_if_changed();
+
+    if (terminate_received_) return RunOutcome::kQuiescent;
+    if (channels_.empty() && scheduler_.idle())
+      return RunOutcome::kQuiescent;
+
+    if (blocked) {
+      stats_.stalls++;
+      const VirtualTime next = scheduler_.next_event_time();
+      for (auto& cp : channels_) {
+        ChannelEndpoint& c = *cp;
+        if (c.mode() != ChannelMode::kConservative) continue;
+        if (c.effective_grant() >= next || c.request_outstanding) continue;
+        c.send_message(SafeTimeRequest{.request_id = c.next_request_id++});
+        c.request_outstanding = true;
+        stats_.requests_sent++;
+      }
+    }
+
+    // Horizon exit: everything below the horizon is done and conservative
+    // grants guarantee nothing earlier can still arrive.  With optimistic
+    // channels the guarantee comes from the termination probe instead.
+    const VirtualTime t = scheduler_.next_event_time();
+    if ((t.is_infinite() || t > config.horizon) &&
+        conservative_barrier() >= config.horizon &&
+        !has_optimistic_channel()) {
+      // An infinite horizon reached with infinite grants means nothing will
+      // ever arrive again: that is quiescence, not a cutoff.
+      return config.horizon.is_infinite() ? RunOutcome::kQuiescent
+                                          : RunOutcome::kHorizon;
+    }
+
+    maybe_start_probe();
+
+    if (progressed) {
+      last_progress = std::chrono::steady_clock::now();
+      continue;
+    }
+
+    // Nothing to do locally: wait briefly for channel traffic.
+    bool woke = false;
+    for (auto& cp : channels_) {
+      if (auto raw = cp->link().recv_for(std::chrono::milliseconds(1))) {
+        ChannelMessage message = decode_message(*raw);
+        if (!std::holds_alternative<StatusMsg>(message) &&
+            !std::holds_alternative<ProbeMsg>(message) &&
+            !std::holds_alternative<ProbeReply>(message) &&
+            !std::holds_alternative<TerminateMsg>(message))
+          ++cp->msgs_received;
+        handle_message(
+            ChannelId{static_cast<std::uint32_t>(&cp - channels_.data())},
+            std::move(message));
+        woke = true;
+        break;
+      }
+    }
+    if (woke) {
+      last_progress = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (std::chrono::steady_clock::now() - last_progress >
+        config.stall_timeout) {
+      return RunOutcome::kStalled;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chandy–Lamport distributed snapshots
+// ---------------------------------------------------------------------------
+
+std::uint64_t Subsystem::initiate_snapshot() {
+  const std::uint64_t token =
+      (static_cast<std::uint64_t>(id_) << 32) | next_cl_token_++;
+  PendingSnapshot pending;
+  pending.local = take_checkpoint();
+  pending.positions = snapshot_positions_.at(pending.local);
+  pending.mark_pending.assign(channels_.size(), true);
+  pending.recorded.resize(channels_.size());
+  cl_snapshots_.emplace(token, std::move(pending));
+  for (auto& c : channels_) c->send_message(MarkMsg{.token = token});
+  return token;
+}
+
+void Subsystem::handle_mark(ChannelId channel_id, const MarkMsg& mark) {
+  stats_.marks_received++;
+  auto it = cl_snapshots_.find(mark.token);
+  if (it == cl_snapshots_.end()) {
+    // First sight of this snapshot: checkpoint immediately, BEFORE
+    // receiving anything else, then relay marks (paper §2.2.5).
+    PendingSnapshot pending;
+    pending.local = take_checkpoint();
+    pending.positions = snapshot_positions_.at(pending.local);
+    pending.mark_pending.assign(channels_.size(), true);
+    pending.recorded.resize(channels_.size());
+    // The arrival channel's state is empty: everything the peer sent before
+    // its mark was already consumed (FIFO).
+    pending.mark_pending[channel_id.value()] = false;
+    it = cl_snapshots_.emplace(mark.token, std::move(pending)).first;
+    for (auto& c : channels_) c->send_message(MarkMsg{.token = mark.token});
+  } else {
+    it->second.mark_pending[channel_id.value()] = false;
+  }
+}
+
+bool Subsystem::snapshot_complete(std::uint64_t token) const {
+  const auto it = cl_snapshots_.find(token);
+  if (it == cl_snapshots_.end()) return false;
+  return std::none_of(it->second.mark_pending.begin(),
+                      it->second.mark_pending.end(),
+                      [](bool pending) { return pending; });
+}
+
+void Subsystem::restore_snapshot(std::uint64_t token) {
+  const auto it = cl_snapshots_.find(token);
+  PIA_REQUIRE(it != cl_snapshots_.end(), "unknown snapshot token");
+  PIA_REQUIRE(snapshot_complete(token),
+              "restore of an incomplete distributed snapshot");
+  const PendingSnapshot& pending = it->second;
+
+  checkpoints_.restore(pending.local);
+  scrub_retracted(pending.positions);
+  dispatches_since_checkpoint_ = 0;
+  // The subsystem is live again: any previous termination consensus or
+  // probe state described the discarded timeline.
+  terminate_received_ = false;
+  my_probe_.reset();
+  relayed_probes_.clear();
+  activity_at_last_failed_probe_ = UINT64_MAX;
+  ++activity_counter_;
+  // Anything still sitting in the links (stale grants, probe replies,
+  // statuses from the abandoned timeline) must not leak into the replay.
+  // Coordinated restores happen at global quiescence with no runner
+  // active, so whatever is pending is stale by definition.
+  for (auto& c : channels_)
+    while (c->link().try_recv()) {
+    }
+  for (auto pit = snapshot_positions_.upper_bound(pending.local);
+       pit != snapshot_positions_.end();)
+    pit = snapshot_positions_.erase(pit);
+
+  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
+    ChannelEndpoint& c = *channels_[i];
+    // Conservative promises describe the discarded future: re-negotiate.
+    c.granted_in = VirtualTime::zero();
+    c.granted_in_seen = 0;
+    c.granted_out = VirtualTime::zero();
+    c.granted_out_seen = 0;
+    c.request_outstanding = false;
+    c.peer_status_seen = false;
+    // Sends and arrivals after the cut never happened, globally: peers are
+    // being restored to states from before those sends.
+    c.output_log.resize(
+        std::min(c.output_log.size(), pending.positions.out[i]));
+    c.replay_cursor =
+        std::min(pending.positions.cursor[i], c.output_log.size());
+    c.input_log.resize(std::min(c.input_log.size(), pending.positions.in[i]));
+    c.injected_count = c.input_log.size();
+    // The recorded channel state — messages in flight at the cut — is
+    // re-delivered.
+    for (const EventMsg& event : pending.recorded[i]) {
+      c.input_log.push_back(ChannelEndpoint::InputRecord{
+          .id = event.id,
+          .net_index = event.net_index,
+          .time = event.time,
+          .value = event.value});
+      inject_input(c, c.input_log.back());
+      c.injected_count = c.input_log.size();
+    }
+    // Re-base the event counters on the truncated logs so safe-time grants
+    // index consistently on both sides after the restore.
+    c.event_msgs_sent = c.output_trimmed + c.output_log.size();
+    c.event_msgs_received = c.input_trimmed + c.input_log.size();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GVT / fossil collection
+// ---------------------------------------------------------------------------
+
+VirtualTime Subsystem::local_virtual_floor() const {
+  // Valid at a drained barrier (no messages in flight anywhere): every sent
+  // event is then reflected in some subsystem's queue, so the local floor is
+  // simply the next unprocessed event time.
+  return scheduler_.next_event_time();
+}
+
+void Subsystem::fossil_collect(VirtualTime gvt) {
+  const auto keep = checkpoints_.latest_at_or_before(gvt);
+  if (!keep) return;
+  checkpoints_.discard_before(*keep);
+  for (auto it = snapshot_positions_.begin();
+       it != snapshot_positions_.end();) {
+    if (it->first < *keep)
+      it = snapshot_positions_.erase(it);
+    else
+      ++it;
+  }
+  const SnapshotPositions& base = snapshot_positions_.at(*keep);
+  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
+    ChannelEndpoint& c = *channels_[i];
+    const std::size_t trim_out = base.out[i];
+    const std::size_t trim_in = base.in[i];
+    c.output_log.erase(c.output_log.begin(),
+                       c.output_log.begin() +
+                           static_cast<std::ptrdiff_t>(trim_out));
+    c.input_log.erase(c.input_log.begin(),
+                      c.input_log.begin() +
+                          static_cast<std::ptrdiff_t>(trim_in));
+    c.injected_count -= trim_in;
+    c.replay_cursor -= std::min(c.replay_cursor, trim_out);
+    c.output_trimmed += trim_out;
+    c.input_trimmed += trim_in;
+    for (auto& [snap, positions] : snapshot_positions_) {
+      positions.out[i] -= trim_out;
+      positions.in[i] -= trim_in;
+      positions.cursor[i] -= std::min(positions.cursor[i], trim_out);
+    }
+  }
+}
+
+}  // namespace pia::dist

@@ -1,0 +1,262 @@
+// Subsystem: one fragment of the design under test, with its scheduler and
+// channel endpoints (paper §2.2).
+//
+// A Pia node contains one or more subsystems; each subsystem owns a
+// Scheduler (the local timing kernel), a CheckpointManager, and a set of
+// channels to peer subsystems.  The subsystem drives its scheduler under the
+// distributed time rules:
+//
+//   * Conservative channels (§2.2.3): before advancing past a peer's last
+//     grant, request a safe time.  The grant we report to a requester is our
+//     own horizon with all restrictions *from that requester* removed
+//     (self-restriction removal), which is exact and deadlock-free because
+//     the topology validator only admits forests of bidirectional edges.
+//     Improved grants are also pushed unsolicited (null messages) so chains
+//     of idle subsystems converge without request storms.
+//
+//   * Optimistic channels (§2.2.4): advance freely; checkpoint every
+//     checkpoint_interval() dispatches; a straggler event or retraction
+//     rolls the subsystem back to the latest suitable snapshot, retracts the
+//     output messages produced after it (anti-messages) and replays logged
+//     inputs.
+//
+//   * Chandy–Lamport snapshots (§2.2.5): a mark received (or generated)
+//     triggers exactly one local checkpoint per token; events arriving on a
+//     channel between the local checkpoint and that channel's mark are
+//     recorded as channel state.  FIFO links make this correct.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/scheduler.hpp"
+#include "dist/channel.hpp"
+#include "dist/protocol.hpp"
+
+namespace pia::dist {
+
+struct SubsystemStats {
+  std::uint64_t events_sent = 0;        // EventMsgs to peers
+  std::uint64_t events_received = 0;    // EventMsgs from peers
+  std::uint64_t grants_sent = 0;
+  std::uint64_t grants_received = 0;
+  std::uint64_t requests_sent = 0;
+  std::uint64_t stalls = 0;             // loop iterations blocked on a grant
+  std::uint64_t rollbacks = 0;
+  std::uint64_t retracts_sent = 0;
+  std::uint64_t retracts_received = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t marks_received = 0;
+};
+
+class Subsystem {
+ public:
+  Subsystem(std::string name, std::uint32_t numeric_id);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint32_t numeric_id() const { return id_; }
+  [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] const Scheduler& scheduler() const { return scheduler_; }
+  [[nodiscard]] CheckpointManager& checkpoints() { return checkpoints_; }
+  [[nodiscard]] const SubsystemStats& stats() const { return stats_; }
+
+  // --- channel setup ---------------------------------------------------------
+
+  /// Attaches a channel to a peer subsystem over `link`.  Creates the
+  /// channel component pair member on this side.
+  ChannelId add_channel(const std::string& channel_name, ChannelMode mode,
+                        transport::LinkPtr link);
+
+  [[nodiscard]] ChannelEndpoint& channel(ChannelId id);
+  [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
+
+  /// Splits `local_net` across the channel: attaches a hidden port of the
+  /// channel component to it.  Call in the same order on both subsystems so
+  /// net indexes line up.  Returns the net's index in the channel table.
+  std::uint32_t export_net(ChannelId channel_id, NetId local_net);
+
+  /// Sets the horizon slack of a conservative channel (typically the
+  /// minimum delay of the nets it exports).
+  void set_lookahead(ChannelId channel_id, VirtualTime lookahead);
+  /// Sets the reaction slack this subsystem declares on the channel: the
+  /// minimum virtual time between receiving a peer event and sending
+  /// anything back.  Pure sinks declare VirtualTime::infinity().
+  void set_reaction_lookahead(ChannelId channel_id, VirtualTime lookahead);
+
+  // --- checkpoint cadence (optimistic operation) -------------------------------
+
+  void set_checkpoint_interval(std::uint64_t dispatches) {
+    checkpoint_interval_ = dispatches;
+  }
+  [[nodiscard]] std::uint64_t checkpoint_interval() const {
+    return checkpoint_interval_;
+  }
+
+  // --- runlevel coordination across channels ------------------------------------
+
+  /// Asks the peer subsystem to switch one of ITS components.
+  void send_runlevel(ChannelId channel_id, const std::string& component,
+                     const RunLevel& level);
+
+  // --- distributed snapshots ------------------------------------------------------
+
+  /// Starts a Chandy–Lamport snapshot; returns the token identifying it
+  /// across all subsystems.
+  std::uint64_t initiate_snapshot();
+  [[nodiscard]] bool snapshot_complete(std::uint64_t token) const;
+  /// Restores the local checkpoint of `token` plus its recorded channel
+  /// state.  All subsystems must restore the same token (coordinated by the
+  /// caller) for a consistent global restore.
+  void restore_snapshot(std::uint64_t token);
+
+  // --- execution --------------------------------------------------------------------
+
+  /// Must be called once after wiring, before the first run.  Initializes
+  /// the scheduler and takes the base checkpoint optimistic rollback needs.
+  void start();
+  [[nodiscard]] bool started() const { return started_; }
+
+  /// Processes every currently available channel message.  Returns true if
+  /// anything was consumed.
+  bool drain();
+
+  enum class StepResult { kStepped, kBlocked, kIdle };
+
+  /// Dispatches the next local event if the conservative grants allow it.
+  StepResult try_advance(VirtualTime horizon = VirtualTime::infinity());
+
+  struct RunConfig {
+    VirtualTime horizon = VirtualTime::infinity();
+    /// Give up if no progress happens for this long (deadlock guard in
+    /// tests; production would wait forever).
+    std::chrono::milliseconds stall_timeout{5000};
+  };
+
+  enum class RunOutcome { kQuiescent, kHorizon, kStalled };
+
+  /// The subsystem main loop: drain / advance / exchange grants and status
+  /// until global quiescence is observed, the horizon is guaranteed, or no
+  /// progress happens for stall_timeout.
+  RunOutcome run(const RunConfig& config);
+  RunOutcome run() { return run(RunConfig{}); }
+
+  /// True when this subsystem is locally idle and every peer reported an
+  /// idle status with matched message counters (nothing in flight).
+  [[nodiscard]] bool quiescent() const;
+
+  /// Per-subsystem contribution to GVT: min(next event, unacknowledged
+  /// optimistic sends).  A global GVT is the min over all subsystems, taken
+  /// when no messages are in flight (see NodeCluster::compute_gvt).
+  [[nodiscard]] VirtualTime local_virtual_floor() const;
+
+  /// Discards checkpoints and log prefixes older than `gvt`.
+  void fossil_collect(VirtualTime gvt);
+
+ private:
+  struct SnapshotPositions {
+    // per channel: output_log size, input injected count and lazy-replay
+    // cursor at request time
+    std::vector<std::size_t> out;
+    std::vector<std::size_t> in;
+    std::vector<std::size_t> cursor;
+  };
+
+  struct PendingSnapshot {  // Chandy–Lamport state per token
+    SnapshotId local;
+    std::vector<bool> mark_pending;  // per channel: still recording?
+    std::vector<std::vector<EventMsg>> recorded;  // channel state
+    SnapshotPositions positions;
+  };
+
+  void handle_message(ChannelId channel_id, ChannelMessage message);
+  void handle_event(ChannelId channel_id, EventMsg event);
+  void handle_retract(ChannelId channel_id, const RetractMsg& retract);
+  void handle_mark(ChannelId channel_id, const MarkMsg& mark);
+  void handle_probe(ChannelId channel_id, const ProbeMsg& probe);
+  void handle_probe_reply(ChannelId channel_id, const ProbeReply& reply);
+  void handle_terminate(ChannelId from, const TerminateMsg& terminate);
+
+  /// Outbound path with lazy cancellation: a send identical to the next
+  /// unconfirmed output-log entry is a regeneration and is suppressed; a
+  /// divergence retracts the remaining unconfirmed tail.
+  void send_or_suppress(ChannelEndpoint& endpoint, std::uint32_t net_index,
+                        const Value& value, VirtualTime time);
+  /// Retracts unconfirmed entries that can no longer be regenerated
+  /// because execution reached `upto` (sends are monotone in time).
+  void flush_unregenerated(VirtualTime upto);
+  void retract_output(ChannelEndpoint& endpoint,
+                      ChannelEndpoint::OutputRecord& record);
+
+  /// Starts a termination probe round if none is outstanding.
+  void maybe_start_probe();
+  void inject_input(ChannelEndpoint& endpoint,
+                    const ChannelEndpoint::InputRecord& record);
+  /// After a restore: remove from the restored queue any event whose input
+  /// record was retracted after the snapshot was taken (the snapshot may
+  /// still contain it as a pending delivery).
+  void scrub_retracted(const SnapshotPositions& positions);
+
+  /// The grant we can promise `requester` right now (self-restriction
+  /// removed): min over next local event and the grants peers on *other*
+  /// conservative channels gave us, plus the channel lookahead.
+  [[nodiscard]] VirtualTime grant_for(ChannelId requester) const;
+  /// Pushes improved grants on all conservative channels (null messages).
+  void push_grants();
+  void push_status_if_changed();
+
+  /// min over conservative channels of granted_in (the advance barrier).
+  [[nodiscard]] VirtualTime conservative_barrier() const;
+
+  void take_periodic_checkpoint_if_due();
+  SnapshotId take_checkpoint();
+  /// Rolls back so that an input event at `to_time` (at input-log position
+  /// `entry_hint` on `entry_channel` if known) can be (re)applied.
+  void rollback(VirtualTime to_time,
+                std::optional<std::pair<ChannelId, std::size_t>> entry_hint);
+
+  [[nodiscard]] bool has_optimistic_channel() const;
+
+  std::string name_;
+  std::uint32_t id_;
+  Scheduler scheduler_;
+  CheckpointManager checkpoints_;
+  std::vector<std::unique_ptr<ChannelEndpoint>> channels_;
+  bool started_ = false;
+
+  std::uint64_t checkpoint_interval_ = 64;
+  std::uint64_t dispatches_since_checkpoint_ = 0;
+  std::map<SnapshotId, SnapshotPositions> snapshot_positions_;
+
+  std::map<std::uint64_t, PendingSnapshot> cl_snapshots_;
+  std::uint64_t next_cl_token_ = 1;
+
+  // Termination detection (diffusing probe waves).
+  struct ProbeRound {
+    std::uint64_t nonce = 0;
+    std::size_t pending = 0;
+    bool ok = true;
+    std::uint64_t activity_at_start = 0;
+  };
+  struct RelayedProbe {
+    ChannelId from;
+    std::size_t pending = 0;
+    bool ok = true;
+  };
+  std::optional<ProbeRound> my_probe_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, RelayedProbe>
+      relayed_probes_;
+  std::uint64_t next_probe_nonce_ = 1;
+  std::uint64_t activity_counter_ = 0;  // bumps on any state-changing input
+  std::uint64_t activity_at_last_failed_probe_ = UINT64_MAX;
+  bool terminate_received_ = false;
+
+  SubsystemStats stats_;
+};
+
+}  // namespace pia::dist

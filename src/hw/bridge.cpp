@@ -1,0 +1,101 @@
+#include "hw/bridge.hpp"
+
+#include "base/error.hpp"
+#include "serial/archive.hpp"
+
+namespace pia::hw {
+namespace {
+constexpr std::uint8_t kOpWrite = 0x01;
+constexpr std::uint8_t kOpRead = 0x02;
+}  // namespace
+
+HardwareBridge::HardwareBridge(std::string name,
+                               std::unique_ptr<HardwareStub> stub,
+                               VirtualTime poll_interval,
+                               VirtualTime read_latency)
+    : Component(std::move(name)),
+      stub_(std::move(stub)),
+      poll_interval_(poll_interval),
+      read_latency_(read_latency) {
+  PIA_REQUIRE(stub_ != nullptr, "bridge needs a stub");
+  cmd_ = add_input("cmd");
+  rdata_ = add_output("rdata");
+  irq_ = add_output("irq");
+}
+
+Value HardwareBridge::encode_write(std::uint32_t addr, std::uint64_t data) {
+  serial::OutArchive ar;
+  ar.put_u8(kOpWrite);
+  ar.put_varint(addr);
+  ar.put_varint(data);
+  return Value{std::move(ar).take()};
+}
+
+Value HardwareBridge::encode_read(std::uint32_t addr) {
+  serial::OutArchive ar;
+  ar.put_u8(kOpRead);
+  ar.put_varint(addr);
+  return Value{std::move(ar).take()};
+}
+
+HardwareBridge::IrqPayload HardwareBridge::decode_irq(const Value& value) {
+  serial::InArchive ar(value.as_packet());
+  IrqPayload irq;
+  irq.line = static_cast<std::uint32_t>(ar.get_varint());
+  irq.payload = ar.get_varint();
+  return irq;
+}
+
+void HardwareBridge::on_init() {
+  stub_->set_time(VirtualTime::zero());
+  wake_after(poll_interval_);
+}
+
+void HardwareBridge::sync_hardware() {
+  stub_->run_until(local_time());
+  for (const Interrupt& irq : stub_->take_interrupts()) {
+    serial::OutArchive ar;
+    ar.put_varint(irq.line);
+    ar.put_varint(irq.payload);
+    // Buffered interrupts from the hardware's recent past are passed up at
+    // the earliest representable instant: now.
+    send_at(irq_, Value{std::move(ar).take()},
+            max(irq.time, local_time()));
+  }
+}
+
+void HardwareBridge::on_receive(PortIndex port, const Value& value) {
+  PIA_REQUIRE(port == cmd_, "unexpected port on hardware bridge");
+  sync_hardware();
+  ++bus_accesses_;
+  serial::InArchive ar(value.as_packet());
+  const std::uint8_t op = ar.get_u8();
+  const auto addr = static_cast<std::uint32_t>(ar.get_varint());
+  switch (op) {
+    case kOpWrite:
+      stub_->write_register(addr, ar.get_varint());
+      break;
+    case kOpRead: {
+      const std::uint64_t data = stub_->read_register(addr);
+      advance(read_latency_);
+      send(rdata_, Value{data});
+      break;
+    }
+    default:
+      raise(ErrorKind::kProtocol, "unknown bridge bus op");
+  }
+}
+
+void HardwareBridge::on_wake() {
+  sync_hardware();
+  wake_after(poll_interval_);
+}
+
+void HardwareBridge::restore_state(serial::InArchive&) {
+  raise(ErrorKind::kState,
+        "hardware bridge '" + name() +
+            "' cannot rewind: real hardware has no checkpoint/restore; "
+            "keep it in a conservative region");
+}
+
+}  // namespace pia::hw

@@ -1,0 +1,68 @@
+// HardwareBridge: the component that splices a HardwareStub into a
+// simulation (paper §2.3 + Fig. 1's "Remote Hardware Connection").
+//
+// The bridge "serves to match semantics between the hardware and the
+// simulator": before any bus access it lets the hardware run up to the
+// simulation's current virtual time (keeping the two clock domains in
+// lockstep), and it periodically polls so that interrupts raised by the
+// hardware surface even when the simulated side is not touching the bus.
+//
+// Bus protocol on the "cmd" input port (Packet values):
+//   [0x01][addr varint][data varint]   write register
+//   [0x02][addr varint]                read register; the value comes back
+//                                      on "rdata" as a Word
+// Interrupts appear on the "irq" output as Packets [line varint][payload
+// varint], at max(interrupt time, bridge local time) — hardware interrupts
+// from the recent past are buffered and passed up, never travel backwards.
+//
+// Hardware cannot rewind: the bridge refuses checkpoint restores, so place
+// it in a conservative region (optimistic rollback across real hardware is
+// exactly what the paper's conservative channels exist for).
+#pragma once
+
+#include <memory>
+
+#include "core/component.hpp"
+#include "hw/hwstub.hpp"
+
+namespace pia::hw {
+
+class HardwareBridge final : public Component {
+ public:
+  HardwareBridge(std::string name, std::unique_ptr<HardwareStub> stub,
+                 VirtualTime poll_interval = ticks(1'000'000),
+                 VirtualTime read_latency = ticks(500));
+
+  static Value encode_write(std::uint32_t addr, std::uint64_t data);
+  static Value encode_read(std::uint32_t addr);
+  struct IrqPayload {
+    std::uint32_t line;
+    std::uint64_t payload;
+  };
+  static IrqPayload decode_irq(const Value& value);
+
+  void on_init() override;
+  void on_receive(PortIndex port, const Value& value) override;
+  void on_wake() override;
+
+  /// Hardware state cannot be restored; see header comment.
+  void restore_state(serial::InArchive& ar) override;
+
+  [[nodiscard]] HardwareStub& stub() { return *stub_; }
+  [[nodiscard]] std::uint64_t bus_accesses() const { return bus_accesses_; }
+
+ private:
+  /// Runs the hardware up to the bridge's local time and surfaces any
+  /// buffered interrupts.
+  void sync_hardware();
+
+  std::unique_ptr<HardwareStub> stub_;
+  VirtualTime poll_interval_;
+  VirtualTime read_latency_;
+  PortIndex cmd_;
+  PortIndex rdata_;
+  PortIndex irq_;
+  std::uint64_t bus_accesses_ = 0;
+};
+
+}  // namespace pia::hw

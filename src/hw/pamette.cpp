@@ -1,0 +1,73 @@
+#include "hw/pamette.hpp"
+
+#include "base/error.hpp"
+
+namespace pia::hw {
+
+PametteDevice::PametteDevice(std::size_t register_count,
+                             VirtualTime clock_period, UserDesign design)
+    : registers_(register_count, 0),
+      clock_period_(clock_period),
+      design_(std::move(design)),
+      now_(VirtualTime::zero()),
+      next_tick_(clock_period) {
+  PIA_REQUIRE(register_count > 0, "pamette needs at least one register");
+  PIA_REQUIRE(clock_period > VirtualTime::zero(),
+              "pamette clock period must be positive");
+  PIA_REQUIRE(design_ != nullptr, "pamette needs a user design");
+}
+
+std::uint64_t PametteDevice::reg(std::uint32_t addr) const {
+  PIA_REQUIRE(addr < registers_.size(), "pamette register out of range");
+  return registers_[addr];
+}
+
+void PametteDevice::set_reg(std::uint32_t addr, std::uint64_t data) {
+  PIA_REQUIRE(addr < registers_.size(), "pamette register out of range");
+  registers_[addr] = data;
+}
+
+void PametteDevice::raise_interrupt(std::uint32_t line, std::uint64_t payload,
+                                    VirtualTime at) {
+  pending_.push_back(Interrupt{.time = at, .line = line, .payload = payload});
+}
+
+std::vector<Interrupt> PametteDevice::advance(VirtualTime t) {
+  // Clock the user design through every tick in (now, t].
+  while (next_tick_ <= t) {
+    now_ = next_tick_;
+    design_(*this, now_);
+    ++ticks_run_;
+    next_tick_ += clock_period_;
+  }
+  now_ = max(now_, t);
+  return std::move(pending_);
+}
+
+void PametteDevice::write(std::uint32_t addr, std::uint64_t data,
+                          VirtualTime at) {
+  now_ = max(now_, at);
+  set_reg(addr, data);
+}
+
+std::uint64_t PametteDevice::read(std::uint32_t addr, VirtualTime at) {
+  now_ = max(now_, at);
+  return reg(addr);
+}
+
+void PametteDevice::set_time(VirtualTime t) {
+  now_ = t;
+  next_tick_ = t + clock_period_;
+}
+
+PametteDevice::UserDesign make_timer_design(std::uint64_t period_ticks) {
+  return [period_ticks](PametteDevice& dev, VirtualTime now) {
+    if (dev.reg(1) == 0) return;  // not enabled
+    const std::uint64_t count = dev.reg(0) + 1;
+    dev.set_reg(0, count);
+    if (period_ticks != 0 && count % period_ticks == 0)
+      dev.raise_interrupt(0, count, now);
+  };
+}
+
+}  // namespace pia::hw

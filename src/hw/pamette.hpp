@@ -1,0 +1,61 @@
+// DEC Pamette board model (paper §2.3).
+//
+// "One possibility is to use a DEC Pamette board to provide the hardware
+// side of this, and the software side could be written using the Pamette
+// control library."  The Pamette was a PCI card carrying user-programmable
+// FPGAs and a register interface.  This model provides the same shape: a
+// register file visible over the bus, a clocked user design occupying the
+// FPGA slot, and interrupt lines — enough to stand in for the physical
+// board behind a HardwareStub.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "hw/hwstub.hpp"
+
+namespace pia::hw {
+
+class PametteDevice final : public Device {
+ public:
+  /// The "FPGA configuration": called once per clock tick with the device
+  /// and the tick's virtual time.  It may read/write registers and raise
+  /// interrupts.
+  using UserDesign = std::function<void(PametteDevice&, VirtualTime now)>;
+
+  PametteDevice(std::size_t register_count, VirtualTime clock_period,
+                UserDesign design);
+
+  // --- accessible to the user design ----------------------------------------
+
+  [[nodiscard]] std::uint64_t reg(std::uint32_t addr) const;
+  void set_reg(std::uint32_t addr, std::uint64_t data);
+  void raise_interrupt(std::uint32_t line, std::uint64_t payload,
+                       VirtualTime at);
+
+  // --- Device -----------------------------------------------------------------
+
+  std::vector<Interrupt> advance(VirtualTime t) override;
+  void write(std::uint32_t addr, std::uint64_t data, VirtualTime at) override;
+  std::uint64_t read(std::uint32_t addr, VirtualTime at) override;
+  void set_time(VirtualTime t) override;
+  [[nodiscard]] VirtualTime time() const override { return now_; }
+
+  [[nodiscard]] std::uint64_t ticks_run() const { return ticks_run_; }
+
+ private:
+  std::vector<std::uint64_t> registers_;
+  VirtualTime clock_period_;
+  UserDesign design_;
+  VirtualTime now_;
+  VirtualTime next_tick_;
+  std::vector<Interrupt> pending_;
+  std::uint64_t ticks_run_ = 0;
+};
+
+/// A ready-made user design: a timer that counts clock ticks into reg[0]
+/// and raises interrupt line 0 with the current count every `period_ticks`
+/// ticks (reg[1] = enable).
+PametteDevice::UserDesign make_timer_design(std::uint64_t period_ticks);
+
+}  // namespace pia::hw

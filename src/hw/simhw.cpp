@@ -1,0 +1,219 @@
+#include "hw/simhw.hpp"
+
+#include <chrono>
+
+#include "base/error.hpp"
+#include "serial/archive.hpp"
+
+namespace pia::hw {
+namespace {
+
+enum class Op : std::uint8_t {
+  kSetTime = 1,
+  kReadTime,
+  kRunUntil,
+  kStall,
+  kWrite,
+  kRead,
+  kTakeIrqs,
+};
+
+void write_interrupts(serial::OutArchive& ar,
+                      const std::vector<Interrupt>& irqs) {
+  ar.put_varint(irqs.size());
+  for (const Interrupt& irq : irqs) {
+    serial::write(ar, irq.time);
+    ar.put_varint(irq.line);
+    ar.put_varint(irq.payload);
+  }
+}
+
+std::vector<Interrupt> read_interrupts(serial::InArchive& ar) {
+  std::vector<Interrupt> irqs(ar.get_varint());
+  for (Interrupt& irq : irqs) {
+    irq.time = serial::read<VirtualTime>(ar);
+    irq.line = static_cast<std::uint32_t>(ar.get_varint());
+    irq.payload = ar.get_varint();
+  }
+  return irqs;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HardwareServer
+// ---------------------------------------------------------------------------
+
+HardwareServer::HardwareServer(std::unique_ptr<Device> device,
+                               transport::LinkPtr link)
+    : device_(std::move(device)), link_(std::move(link)) {
+  PIA_REQUIRE(device_ != nullptr && link_ != nullptr,
+              "hardware server needs a device and a link");
+  thread_ = std::thread([this] { serve(); });
+}
+
+HardwareServer::~HardwareServer() {
+  link_->close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void HardwareServer::serve() {
+  std::vector<Interrupt> buffered;
+  for (;;) {
+    std::optional<Bytes> request;
+    try {
+      request = link_->recv_for(std::chrono::milliseconds(50));
+    } catch (const Error&) {
+      return;  // client disconnected mid-frame
+    }
+    if (!request) {
+      if (link_->closed()) return;
+      continue;
+    }
+    serial::InArchive in(*request);
+    serial::OutArchive out;
+    const auto op = static_cast<Op>(in.get_u8());
+    switch (op) {
+      case Op::kSetTime:
+        device_->set_time(serial::read<VirtualTime>(in));
+        break;
+      case Op::kReadTime:
+        serial::write(out, device_->time());
+        break;
+      case Op::kRunUntil: {
+        auto irqs = device_->advance(serial::read<VirtualTime>(in));
+        buffered.insert(buffered.end(), irqs.begin(), irqs.end());
+        break;
+      }
+      case Op::kStall:
+        break;  // the device only runs inside kRunUntil: already stalled
+      case Op::kWrite: {
+        const auto addr = static_cast<std::uint32_t>(in.get_varint());
+        const std::uint64_t data = in.get_varint();
+        device_->write(addr, data, device_->time());
+        break;
+      }
+      case Op::kRead: {
+        const auto addr = static_cast<std::uint32_t>(in.get_varint());
+        out.put_varint(device_->read(addr, device_->time()));
+        break;
+      }
+      case Op::kTakeIrqs:
+        write_interrupts(out, buffered);
+        buffered.clear();
+        break;
+    }
+    commands_served_.fetch_add(1);
+    try {
+      link_->send(out.bytes());
+    } catch (const Error&) {
+      return;  // client went away
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RemoteHardwareStub
+// ---------------------------------------------------------------------------
+
+RemoteHardwareStub::RemoteHardwareStub(transport::LinkPtr link)
+    : link_(std::move(link)) {
+  PIA_REQUIRE(link_ != nullptr, "remote stub needs a link");
+}
+
+Bytes RemoteHardwareStub::rpc(BytesView request) {
+  link_->send(request);
+  ++round_trips_;
+  auto reply = link_->recv_for(std::chrono::milliseconds(10000));
+  if (!reply)
+    raise(ErrorKind::kTransport, "hardware server did not answer");
+  return *std::move(reply);
+}
+
+void RemoteHardwareStub::set_time(VirtualTime t) {
+  serial::OutArchive ar;
+  ar.put_u8(static_cast<std::uint8_t>(Op::kSetTime));
+  serial::write(ar, t);
+  rpc(ar.bytes());
+}
+
+VirtualTime RemoteHardwareStub::read_time() {
+  serial::OutArchive ar;
+  ar.put_u8(static_cast<std::uint8_t>(Op::kReadTime));
+  const Bytes reply = rpc(ar.bytes());
+  serial::InArchive in(reply);
+  return serial::read<VirtualTime>(in);
+}
+
+void RemoteHardwareStub::run_until(VirtualTime t) {
+  serial::OutArchive ar;
+  ar.put_u8(static_cast<std::uint8_t>(Op::kRunUntil));
+  serial::write(ar, t);
+  rpc(ar.bytes());
+}
+
+void RemoteHardwareStub::stall() {
+  serial::OutArchive ar;
+  ar.put_u8(static_cast<std::uint8_t>(Op::kStall));
+  rpc(ar.bytes());
+}
+
+void RemoteHardwareStub::write_register(std::uint32_t addr,
+                                        std::uint64_t data) {
+  serial::OutArchive ar;
+  ar.put_u8(static_cast<std::uint8_t>(Op::kWrite));
+  ar.put_varint(addr);
+  ar.put_varint(data);
+  rpc(ar.bytes());
+}
+
+std::uint64_t RemoteHardwareStub::read_register(std::uint32_t addr) {
+  serial::OutArchive ar;
+  ar.put_u8(static_cast<std::uint8_t>(Op::kRead));
+  ar.put_varint(addr);
+  const Bytes reply = rpc(ar.bytes());
+  serial::InArchive in(reply);
+  return in.get_varint();
+}
+
+std::vector<Interrupt> RemoteHardwareStub::take_interrupts() {
+  serial::OutArchive ar;
+  ar.put_u8(static_cast<std::uint8_t>(Op::kTakeIrqs));
+  const Bytes reply = rpc(ar.bytes());
+  serial::InArchive in(reply);
+  return read_interrupts(in);
+}
+
+// ---------------------------------------------------------------------------
+// LocalHardwareStub
+// ---------------------------------------------------------------------------
+
+LocalHardwareStub::LocalHardwareStub(std::unique_ptr<Device> device)
+    : device_(std::move(device)) {
+  PIA_REQUIRE(device_ != nullptr, "local stub needs a device");
+}
+
+void LocalHardwareStub::set_time(VirtualTime t) { device_->set_time(t); }
+VirtualTime LocalHardwareStub::read_time() { return device_->time(); }
+
+void LocalHardwareStub::run_until(VirtualTime t) {
+  auto irqs = device_->advance(t);
+  buffered_.insert(buffered_.end(), irqs.begin(), irqs.end());
+}
+
+void LocalHardwareStub::stall() {}
+
+void LocalHardwareStub::write_register(std::uint32_t addr,
+                                       std::uint64_t data) {
+  device_->write(addr, data, device_->time());
+}
+
+std::uint64_t LocalHardwareStub::read_register(std::uint32_t addr) {
+  return device_->read(addr, device_->time());
+}
+
+std::vector<Interrupt> LocalHardwareStub::take_interrupts() {
+  return std::move(buffered_);
+}
+
+}  // namespace pia::hw

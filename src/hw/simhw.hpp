@@ -1,0 +1,91 @@
+// Simulated hardware server (substitution for the paper's physical setup).
+//
+// The paper connects real devices — a DEC Pamette FPGA board, or an embedded
+// processor running a small server — behind the HardwareStub protocol.  We
+// have no Pamette, so this module provides the closest synthetic equivalent
+// that exercises the same code path: a Device model served over a transport
+// Link by a background thread speaking a small framed command protocol
+// (SET_TIME / RUN_UNTIL / READ_TIME / STALL / WRITE / READ / TAKE_IRQS).
+// The simulator side (RemoteHardwareStub) implements HardwareStub over the
+// same Link; run it over TCP + a latency model and you have the paper's
+// "Remote Hardware Connection" of Fig. 1.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "hw/hwstub.hpp"
+#include "transport/link.hpp"
+
+namespace pia::hw {
+
+/// Serves a Device over a Link until the link closes.  Runs its own thread
+/// (the "small server which resides on the embedded system", §2.3).
+class HardwareServer {
+ public:
+  HardwareServer(std::unique_ptr<Device> device, transport::LinkPtr link);
+  ~HardwareServer();
+
+  HardwareServer(const HardwareServer&) = delete;
+  HardwareServer& operator=(const HardwareServer&) = delete;
+
+  /// Commands served so far (observability for tests/benches).
+  [[nodiscard]] std::uint64_t commands_served() const {
+    return commands_served_.load();
+  }
+
+ private:
+  void serve();
+
+  std::unique_ptr<Device> device_;
+  transport::LinkPtr link_;
+  std::atomic<std::uint64_t> commands_served_{0};
+  std::thread thread_;
+};
+
+/// HardwareStub implementation that forwards every call over a Link to a
+/// HardwareServer (local pipe, or TCP for geographically remote hardware).
+class RemoteHardwareStub final : public HardwareStub {
+ public:
+  explicit RemoteHardwareStub(transport::LinkPtr link);
+
+  void set_time(VirtualTime t) override;
+  VirtualTime read_time() override;
+  void run_until(VirtualTime t) override;
+  void stall() override;
+  void write_register(std::uint32_t addr, std::uint64_t data) override;
+  std::uint64_t read_register(std::uint32_t addr) override;
+  std::vector<Interrupt> take_interrupts() override;
+
+  [[nodiscard]] std::uint64_t round_trips() const { return round_trips_; }
+
+ private:
+  Bytes rpc(BytesView request);
+
+  transport::LinkPtr link_;
+  std::uint64_t round_trips_ = 0;
+};
+
+/// In-process convenience: stub directly wrapping a Device (the case where
+/// the "hardware" is a local board on the same host).
+class LocalHardwareStub final : public HardwareStub {
+ public:
+  explicit LocalHardwareStub(std::unique_ptr<Device> device);
+
+  void set_time(VirtualTime t) override;
+  VirtualTime read_time() override;
+  void run_until(VirtualTime t) override;
+  void stall() override;
+  void write_register(std::uint32_t addr, std::uint64_t data) override;
+  std::uint64_t read_register(std::uint32_t addr) override;
+  std::vector<Interrupt> take_interrupts() override;
+
+  [[nodiscard]] Device& device() { return *device_; }
+
+ private:
+  std::unique_ptr<Device> device_;
+  std::vector<Interrupt> buffered_;
+};
+
+}  // namespace pia::hw

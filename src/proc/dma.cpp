@@ -1,0 +1,86 @@
+#include "proc/dma.hpp"
+
+#include "base/error.hpp"
+#include "serial/archive.hpp"
+
+namespace pia::proc {
+
+DmaEngine::DmaEngine(std::string name, Memory& memory,
+                     std::uint64_t bytes_per_cycle,
+                     ProcessorProfile bus_profile)
+    : Component(std::move(name)),
+      memory_(memory),
+      bytes_per_cycle_(bytes_per_cycle),
+      bus_profile_(std::move(bus_profile)) {
+  PIA_REQUIRE(bytes_per_cycle_ > 0, "DMA must move at least a byte a cycle");
+  dev_ = add_input("dev");
+  ctl_ = add_input("ctl", PortSync::kAsynchronous);
+  irq_ = add_output("irq");
+}
+
+DmaEngine::Completion DmaEngine::decode_completion(const Value& irq_value) {
+  const std::uint64_t word = irq_value.as_word();
+  return Completion{.address = static_cast<std::uint32_t>(word >> 16),
+                    .length = static_cast<std::uint32_t>(word & 0xFFFF)};
+}
+
+void DmaEngine::on_receive(PortIndex port, const Value& value) {
+  if (port == ctl_) {
+    const std::uint64_t word = value.as_word();
+    switch (word & 0b1111) {
+      case 0b0001: base_ = static_cast<std::uint32_t>(word >> 4); break;
+      case 0b0010: buffer_count_ = static_cast<std::uint32_t>(word >> 4); break;
+      case 0b0011: buffer_size_ = static_cast<std::uint32_t>(word >> 4); break;
+      case 0b0100: enabled_ = true; break;
+      case 0b0000: enabled_ = false; break;
+      default: raise(ErrorKind::kInvalidArgument, "bad DMA ctl word");
+    }
+    advance(ticks(10));
+    return;
+  }
+
+  PIA_REQUIRE(port == dev_, "value on unexpected DMA port");
+  const Bytes& frame = value.as_packet();
+  if (!enabled_) {
+    ++drops_;  // real DMA engines drop when not armed
+    return;
+  }
+  PIA_REQUIRE(frame.size() <= buffer_size_,
+              "device frame exceeds DMA buffer size");
+  const std::uint32_t addr = base_ + next_buffer_ * buffer_size_;
+  // Model the bus occupancy of the burst, then land it atomically.
+  const std::uint64_t cycles =
+      (frame.size() + bytes_per_cycle_ - 1) / bytes_per_cycle_;
+  advance(bus_profile_.time_for_cycles(cycles));
+  memory_.dma_write(addr, frame, local_time());
+
+  next_buffer_ = (next_buffer_ + 1) % buffer_count_;
+  ++transfers_;
+  bytes_ += frame.size();
+  send(irq_, Value{(static_cast<std::uint64_t>(addr) << 16) |
+                   static_cast<std::uint64_t>(frame.size())});
+}
+
+void DmaEngine::save_state(serial::OutArchive& ar) const {
+  ar.put_varint(base_);
+  ar.put_varint(buffer_count_);
+  ar.put_varint(buffer_size_);
+  ar.put_bool(enabled_);
+  ar.put_varint(next_buffer_);
+  ar.put_varint(transfers_);
+  ar.put_varint(bytes_);
+  ar.put_varint(drops_);
+}
+
+void DmaEngine::restore_state(serial::InArchive& ar) {
+  base_ = static_cast<std::uint32_t>(ar.get_varint());
+  buffer_count_ = static_cast<std::uint32_t>(ar.get_varint());
+  buffer_size_ = static_cast<std::uint32_t>(ar.get_varint());
+  enabled_ = ar.get_bool();
+  next_buffer_ = static_cast<std::uint32_t>(ar.get_varint());
+  transfers_ = ar.get_varint();
+  bytes_ = ar.get_varint();
+  drops_ = ar.get_varint();
+}
+
+}  // namespace pia::proc

@@ -1,0 +1,86 @@
+// DMA engine (paper §4: "an ASIC which transfers packets to the system
+// through DMA").
+//
+// The engine shares the CPU's Memory: device packets arriving on "dev" are
+// burst-written into a ring of buffers and a completion interrupt is raised
+// on "irq" carrying (buffer address << 16 | length).  The CPU programs it
+// over "ctl" (Word values):
+//
+//   (base  << 4) | 0b0001   set buffer base address
+//   (count << 4) | 0b0010   set buffer count (ring of `count` buffers)
+//   (size  << 4) | 0b0011   set buffer size in bytes
+//                 0b0100    enable
+//                 0b0000    disable
+//
+// Sharing memory directly (rather than sending it through events) is the
+// point: DMA bypasses the processor, and the completion interrupt is the
+// only synchronization — exactly the interrupt-consistency situation of
+// paper §2.1.1.
+#pragma once
+
+#include <cstdint>
+
+#include "core/component.hpp"
+#include "proc/memory.hpp"
+#include "proc/timing.hpp"
+
+namespace pia::proc {
+
+class DmaEngine final : public Component {
+ public:
+  /// `memory` must outlive the engine (typically the CPU's memory).
+  DmaEngine(std::string name, Memory& memory,
+            std::uint64_t bytes_per_cycle = 4,
+            ProcessorProfile bus_profile = ProcessorProfile{});
+
+  [[nodiscard]] static Value ctl_base(std::uint32_t base) {
+    return Value{(static_cast<std::uint64_t>(base) << 4) | 0b0001};
+  }
+  [[nodiscard]] static Value ctl_count(std::uint32_t count) {
+    return Value{(static_cast<std::uint64_t>(count) << 4) | 0b0010};
+  }
+  [[nodiscard]] static Value ctl_size(std::uint32_t size) {
+    return Value{(static_cast<std::uint64_t>(size) << 4) | 0b0011};
+  }
+  [[nodiscard]] static Value ctl_enable() { return Value{std::uint64_t{0b0100}}; }
+  [[nodiscard]] static Value ctl_disable() { return Value{std::uint64_t{0}}; }
+
+  struct Completion {
+    std::uint32_t address;
+    std::uint32_t length;
+  };
+  [[nodiscard]] static Completion decode_completion(const Value& irq_value);
+
+  void on_receive(PortIndex port, const Value& value) override;
+
+  void save_state(serial::OutArchive& ar) const override;
+  void restore_state(serial::InArchive& ar) override;
+
+  [[nodiscard]] std::uint64_t transfers_completed() const {
+    return transfers_;
+  }
+  [[nodiscard]] std::uint64_t bytes_transferred() const { return bytes_; }
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+
+ private:
+  Memory& memory_;
+  std::uint64_t bytes_per_cycle_;
+  ProcessorProfile bus_profile_;
+
+  PortIndex dev_;
+  PortIndex ctl_;
+  PortIndex irq_;
+
+  // Programmed state.
+  std::uint32_t base_ = 0;
+  std::uint32_t buffer_count_ = 1;
+  std::uint32_t buffer_size_ = 2048;
+  bool enabled_ = false;
+  std::uint32_t next_buffer_ = 0;
+
+  std::uint64_t transfers_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace pia::proc

@@ -1,0 +1,110 @@
+#include "proc/interrupt.hpp"
+
+#include "base/error.hpp"
+#include "serial/archive.hpp"
+
+namespace pia::proc {
+
+InterruptController::InterruptController(std::string name,
+                                         std::uint32_t line_count,
+                                         VirtualTime dispatch_latency)
+    : Component(std::move(name)),
+      lines_(line_count),
+      dispatch_latency_(dispatch_latency) {
+  PIA_REQUIRE(line_count > 0, "interrupt controller with no lines");
+  irq_ports_.reserve(line_count);
+  for (std::uint32_t i = 0; i < line_count; ++i) {
+    irq_ports_.push_back(
+        add_input("irq" + std::to_string(i), PortSync::kAsynchronous));
+  }
+  ctl_ = add_input("ctl", PortSync::kAsynchronous);
+  cpu_ = add_output("cpu");
+}
+
+Value InterruptController::encode_irq(std::uint32_t line,
+                                      std::uint64_t payload) {
+  serial::OutArchive ar;
+  ar.put_varint(line);
+  ar.put_varint(payload);
+  return Value{std::move(ar).take()};
+}
+
+InterruptController::Decoded InterruptController::decode_irq(
+    const Value& value) {
+  serial::InArchive ar(value.as_packet());
+  Decoded d;
+  d.line = static_cast<std::uint32_t>(ar.get_varint());
+  d.payload = ar.get_varint();
+  return d;
+}
+
+void InterruptController::on_receive(PortIndex port, const Value& value) {
+  if (port == ctl_) {
+    const std::uint64_t word = value.as_word();
+    const auto line = static_cast<std::uint32_t>(word >> 2);
+    PIA_REQUIRE(line < lines_.size(), "ctl write to unknown irq line");
+    switch (word & 0b11) {
+      case 0b01: lines_[line].enabled = true; break;
+      case 0b00: lines_[line].enabled = false; break;
+      case 0b10: lines_[line].in_service = false; break;
+      default:
+        raise(ErrorKind::kInvalidArgument, "bad irq ctl word");
+    }
+    advance(ticks(10));  // register write settling time
+    deliver_pending();
+    return;
+  }
+
+  for (std::uint32_t i = 0; i < irq_ports_.size(); ++i) {
+    if (irq_ports_[i] != port) continue;
+    lines_[i].latched.push_back(value.is_void() ? 0 : value.as_word());
+    deliver_pending();
+    return;
+  }
+  raise(ErrorKind::kState, "value on unexpected interrupt-controller port");
+}
+
+void InterruptController::deliver_pending() {
+  // Highest priority (lowest index) enabled line with a latched request and
+  // no interrupt already in service on it.
+  for (std::uint32_t i = 0; i < lines_.size(); ++i) {
+    Line& line = lines_[i];
+    if (!line.enabled || line.in_service || line.latched.empty()) continue;
+    const std::uint64_t payload = line.latched.front();
+    line.latched.erase(line.latched.begin());
+    line.in_service = true;
+    ++delivered_;
+    send(cpu_, encode_irq(i, payload), dispatch_latency_);
+  }
+}
+
+void InterruptController::save_state(serial::OutArchive& ar) const {
+  ar.put_varint(lines_.size());
+  for (const Line& line : lines_) {
+    ar.put_bool(line.enabled);
+    ar.put_bool(line.in_service);
+    serial::write(ar, line.latched);
+  }
+  ar.put_varint(delivered_);
+}
+
+void InterruptController::restore_state(serial::InArchive& ar) {
+  const std::uint64_t count = ar.get_varint();
+  PIA_REQUIRE(count == lines_.size(), "irq line count mismatch in image");
+  for (Line& line : lines_) {
+    line.enabled = ar.get_bool();
+    line.in_service = ar.get_bool();
+    line.latched = serial::read_vector<std::uint64_t>(ar);
+  }
+  delivered_ = ar.get_varint();
+}
+
+bool InterruptController::enabled(std::uint32_t line) const {
+  return lines_.at(line).enabled;
+}
+
+bool InterruptController::pending(std::uint32_t line) const {
+  return !lines_.at(line).latched.empty();
+}
+
+}  // namespace pia::proc

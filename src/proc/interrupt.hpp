@@ -1,0 +1,71 @@
+// Interrupt controller: prioritized, maskable interrupt fan-in.
+//
+// Devices raise lines on the controller's irq inputs; the controller
+// forwards the highest-priority enabled request to the CPU as a Packet
+// [line varint][payload varint] and latches masked ones until they are
+// unmasked.  Line 0 has the highest priority.
+//
+// Control port ("ctl", Word values):
+//   (line << 2) | 0b01   enable line
+//   (line << 2) | 0b00   disable (mask) line
+//   (line << 2) | 0b10   acknowledge line (clears in-service state)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/component.hpp"
+
+namespace pia::proc {
+
+class InterruptController final : public Component {
+ public:
+  InterruptController(std::string name, std::uint32_t lines,
+                      VirtualTime dispatch_latency = ticks(100));
+
+  [[nodiscard]] static Value encode_irq(std::uint32_t line,
+                                        std::uint64_t payload);
+  struct Decoded {
+    std::uint32_t line;
+    std::uint64_t payload;
+  };
+  [[nodiscard]] static Decoded decode_irq(const Value& value);
+
+  [[nodiscard]] static Value ctl_enable(std::uint32_t line) {
+    return Value{(static_cast<std::uint64_t>(line) << 2) | 0b01};
+  }
+  [[nodiscard]] static Value ctl_disable(std::uint32_t line) {
+    return Value{static_cast<std::uint64_t>(line) << 2};
+  }
+  [[nodiscard]] static Value ctl_ack(std::uint32_t line) {
+    return Value{(static_cast<std::uint64_t>(line) << 2) | 0b10};
+  }
+
+  void on_receive(PortIndex port, const Value& value) override;
+
+  void save_state(serial::OutArchive& ar) const override;
+  void restore_state(serial::InArchive& ar) override;
+
+  [[nodiscard]] bool enabled(std::uint32_t line) const;
+  [[nodiscard]] bool pending(std::uint32_t line) const;
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  void deliver_pending();
+
+  struct Line {
+    bool enabled = false;
+    bool in_service = false;
+    std::vector<std::uint64_t> latched;  // payloads waiting while masked
+  };
+
+  std::vector<Line> lines_;
+  std::vector<PortIndex> irq_ports_;
+  PortIndex ctl_;
+  PortIndex cpu_;
+  VirtualTime dispatch_latency_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace pia::proc

@@ -1,0 +1,54 @@
+#include "proc/software.hpp"
+
+namespace pia::proc {
+
+SoftwareComponent::SoftwareComponent(std::string name,
+                                     ProcessorProfile profile,
+                                     std::size_t memory_bytes)
+    : Component(std::move(name)),
+      timer_(std::move(profile)),
+      memory_(std::make_unique<Memory>(memory_bytes)) {}
+
+PortIndex SoftwareComponent::add_irq_input(std::string port_name,
+                                           IrqHandler handler) {
+  const PortIndex port =
+      add_input(std::move(port_name), PortSync::kAsynchronous);
+  irq_handlers_.emplace_back(port, std::move(handler));
+  return port;
+}
+
+void SoftwareComponent::on_receive(PortIndex port, const Value& value) {
+  for (const auto& [irq_port, handler] : irq_handlers_) {
+    if (irq_port == port) {
+      handler(value, delivery_time());
+      return;
+    }
+  }
+  on_data(port, value);
+}
+
+void SoftwareComponent::exec(std::uint64_t alu, std::uint64_t loads,
+                             std::uint64_t stores, std::uint64_t branches,
+                             std::uint64_t muls, std::uint64_t divs) {
+  timer_.block(alu, loads, stores, branches, muls, divs);
+  advance(timer_.take());
+}
+
+void SoftwareComponent::exec_cycles(std::uint64_t cycles) {
+  timer_.cycles(cycles);
+  advance(timer_.take());
+}
+
+void SoftwareComponent::save_state(serial::OutArchive& ar) const {
+  memory_->save(ar);
+  ar.put_varint(timer_.total_cycles());
+  save_software_state(ar);
+}
+
+void SoftwareComponent::restore_state(serial::InArchive& ar) {
+  memory_->restore(ar);
+  ar.get_varint();  // total cycles: informational, not replayed
+  restore_software_state(ar);
+}
+
+}  // namespace pia::proc

@@ -1,0 +1,21 @@
+#include "serial/archive.hpp"
+
+namespace pia::serial {
+
+void begin_section(OutArchive& ar, std::string_view name,
+                   std::uint32_t version) {
+  ar.put_string(name);
+  ar.put_varint(version);
+}
+
+std::uint32_t expect_section(InArchive& ar, std::string_view name) {
+  const std::string got = ar.get_string();
+  if (got != name) {
+    raise(ErrorKind::kSerialization,
+          "archive section mismatch: expected '" + std::string(name) +
+              "', found '" + got + "'");
+  }
+  return static_cast<std::uint32_t>(ar.get_varint());
+}
+
+}  // namespace pia::serial

@@ -1,0 +1,12 @@
+// CRC-32 (IEEE 802.3 polynomial), used to validate message frames.
+#pragma once
+
+#include <cstdint>
+
+#include "base/bytes.hpp"
+
+namespace pia::transport {
+
+[[nodiscard]] std::uint32_t crc32(BytesView data);
+
+}  // namespace pia::transport

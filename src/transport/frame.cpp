@@ -1,0 +1,63 @@
+#include "transport/frame.hpp"
+
+#include <cstring>
+
+#include "base/error.hpp"
+#include "transport/crc32.hpp"
+
+namespace pia::transport {
+namespace {
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(std::byte{static_cast<std::uint8_t>(v >> (8 * i))});
+}
+
+std::uint32_t read_u32(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[i])) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+Bytes encode_frame(BytesView payload) {
+  if (payload.size() > kMaxFramePayload)
+    raise(ErrorKind::kProtocol, "frame payload exceeds maximum");
+  Bytes out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  put_u32(out, kFrameMagic);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void FrameDecoder::feed(BytesView data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+std::optional<Bytes> FrameDecoder::next() {
+  if (buffer_.size() < kFrameHeaderSize) return std::nullopt;
+  const std::uint32_t magic = read_u32(buffer_.data());
+  if (magic != kFrameMagic)
+    raise(ErrorKind::kProtocol, "bad frame magic: stream desynchronized");
+  const std::uint32_t length = read_u32(buffer_.data() + 4);
+  if (length > kMaxFramePayload)
+    raise(ErrorKind::kProtocol, "frame length exceeds maximum");
+  if (buffer_.size() < kFrameHeaderSize + length) return std::nullopt;
+  const std::uint32_t expected_crc = read_u32(buffer_.data() + 8);
+
+  Bytes payload(buffer_.begin() + kFrameHeaderSize,
+                buffer_.begin() + static_cast<std::ptrdiff_t>(
+                                      kFrameHeaderSize + length));
+  if (crc32(payload) != expected_crc)
+    raise(ErrorKind::kProtocol, "frame CRC mismatch");
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() +
+                    static_cast<std::ptrdiff_t>(kFrameHeaderSize + length));
+  return payload;
+}
+
+}  // namespace pia::transport

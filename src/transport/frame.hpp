@@ -1,0 +1,45 @@
+// Stream framing for socket links.
+//
+// TCP delivers a byte stream; Pia channels need message boundaries.  Each
+// frame is:
+//
+//   magic   u32  0x50494146 ("PIAF")
+//   length  u32  payload byte count (little-endian)
+//   crc     u32  CRC-32 of the payload
+//   payload length bytes
+//
+// A FrameDecoder incrementally consumes stream bytes and yields complete
+// payloads; corrupt frames throw Error{kProtocol} because a desynchronized
+// channel cannot be trusted to carry virtual-time messages.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "base/bytes.hpp"
+
+namespace pia::transport {
+
+inline constexpr std::uint32_t kFrameMagic = 0x50494146;
+inline constexpr std::size_t kFrameHeaderSize = 12;
+inline constexpr std::size_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+/// Encodes one payload into a self-delimiting frame.
+[[nodiscard]] Bytes encode_frame(BytesView payload);
+
+class FrameDecoder {
+ public:
+  /// Append raw stream bytes received from the socket.
+  void feed(BytesView data);
+
+  /// Extract the next complete payload, if any.  Throws on corruption.
+  std::optional<Bytes> next();
+
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+}  // namespace pia::transport

@@ -1,0 +1,105 @@
+#include "transport/latency.hpp"
+
+#include <cstring>
+#include <thread>
+
+#include "base/error.hpp"
+
+namespace pia::transport {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+class LatencyLink final : public Link {
+ public:
+  LatencyLink(LinkPtr inner, LatencyModel model)
+      : inner_(std::move(inner)),
+        model_(model),
+        jitter_rng_(model.jitter_seed) {}
+
+  void send(BytesView message) override {
+    auto delay = std::chrono::duration_cast<Clock::duration>(model_.base) +
+                 model_.per_byte * static_cast<std::int64_t>(message.size());
+    if (model_.jitter_max.count() > 0) {
+      delay += std::chrono::microseconds(jitter_rng_.below(
+          static_cast<std::uint64_t>(model_.jitter_max.count())));
+    }
+    // FIFO: release deadlines must be monotone even with jitter.
+    auto release = Clock::now() + delay;
+    if (release < send_floor_) release = send_floor_;
+    send_floor_ = release;
+
+    const std::int64_t stamp = release.time_since_epoch().count();
+    Bytes framed(sizeof(stamp) + message.size());
+    std::memcpy(framed.data(), &stamp, sizeof(stamp));
+    std::memcpy(framed.data() + sizeof(stamp), message.data(), message.size());
+    inner_->send(framed);
+  }
+
+  std::optional<Bytes> try_recv() override {
+    if (!pending_) pending_ = inner_->try_recv();
+    return release_if_due(/*may_wait=*/false, {});
+  }
+
+  std::optional<Bytes> recv_for(std::chrono::milliseconds timeout) override {
+    const auto deadline = Clock::now() + timeout;
+    if (!pending_) {
+      pending_ = inner_->recv_for(timeout);
+      if (!pending_) return std::nullopt;
+    }
+    return release_if_due(/*may_wait=*/true, deadline);
+  }
+
+  void close() override { inner_->close(); }
+  bool closed() const override { return inner_->closed(); }
+  LinkStats stats() const override { return inner_->stats(); }
+  std::string describe() const override {
+    return inner_->describe() + "+latency";
+  }
+
+ private:
+  std::optional<Bytes> release_if_due(bool may_wait,
+                                      Clock::time_point deadline) {
+    if (!pending_) return std::nullopt;
+    if (pending_->size() < sizeof(std::int64_t))
+      raise(ErrorKind::kProtocol, "latency header missing");
+    std::int64_t stamp = 0;
+    std::memcpy(&stamp, pending_->data(), sizeof(stamp));
+    const Clock::time_point release{Clock::duration{stamp}};
+
+    const auto now = Clock::now();
+    if (release > now) {
+      if (!may_wait) return std::nullopt;
+      if (release > deadline) {
+        std::this_thread::sleep_until(deadline);
+        return std::nullopt;
+      }
+      std::this_thread::sleep_until(release);
+    }
+    Bytes out(pending_->begin() + sizeof(std::int64_t), pending_->end());
+    pending_.reset();
+    return out;
+  }
+
+  LinkPtr inner_;
+  LatencyModel model_;
+  Rng jitter_rng_;
+  Clock::time_point send_floor_{};
+  std::optional<Bytes> pending_;
+};
+
+}  // namespace
+
+LinkPtr make_latency_link(LinkPtr inner, LatencyModel model) {
+  return std::make_unique<LatencyLink>(std::move(inner), model);
+}
+
+LinkPair make_latency_pair(LatencyModel model) {
+  LinkPair pair = make_loopback_pair();
+  return LinkPair{
+      .a = make_latency_link(std::move(pair.a), model),
+      .b = make_latency_link(std::move(pair.b), model),
+  };
+}
+
+}  // namespace pia::transport

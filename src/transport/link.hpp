@@ -1,0 +1,65 @@
+// Link: the FIFO duplex message pipe connecting two Pia nodes.
+//
+// All inter-subsystem traffic — timestamped events, safe-time requests,
+// Chandy–Lamport marks, runlevel switches — flows over Links.  The
+// Chandy–Lamport snapshot algorithm (paper §2.2.5) requires FIFO channels;
+// every Link implementation guarantees order-preserving, loss-free delivery.
+//
+// Two implementations exist: an in-process loopback pair (used when several
+// subsystems share a node or for deterministic tests) and a TCP socket link
+// (the "geographically distributed" case; exercised over localhost here).
+// A LatencyLink decorator injects wide-area delay into either.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "base/bytes.hpp"
+
+namespace pia::transport {
+
+struct LinkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class Link {
+ public:
+  virtual ~Link() = default;
+
+  /// Enqueue one message.  Never blocks on the peer; throws
+  /// Error{kTransport} if the link is closed.
+  virtual void send(BytesView message) = 0;
+
+  /// Dequeue the next message if one is ready, without blocking.
+  virtual std::optional<Bytes> try_recv() = 0;
+
+  /// Dequeue the next message, waiting up to `timeout`.
+  virtual std::optional<Bytes> recv_for(std::chrono::milliseconds timeout) = 0;
+
+  /// Close this endpoint; the peer's recv calls will start returning
+  /// nullopt once drained, and its send calls will throw.
+  virtual void close() = 0;
+
+  [[nodiscard]] virtual bool closed() const = 0;
+  [[nodiscard]] virtual LinkStats stats() const = 0;
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+using LinkPtr = std::unique_ptr<Link>;
+
+/// A connected pair of in-process endpoints.
+struct LinkPair {
+  LinkPtr a;
+  LinkPtr b;
+};
+
+/// Creates a FIFO loopback pipe pair.
+LinkPair make_loopback_pair();
+
+}  // namespace pia::transport

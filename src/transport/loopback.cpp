@@ -1,0 +1,95 @@
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "base/error.hpp"
+#include "transport/link.hpp"
+
+namespace pia::transport {
+namespace {
+
+/// One direction of the pipe: a bounded-unbounded FIFO of messages.
+struct Pipe {
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::deque<Bytes> queue;
+  bool closed = false;
+};
+
+class LoopbackLink final : public Link {
+ public:
+  LoopbackLink(std::shared_ptr<Pipe> out, std::shared_ptr<Pipe> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  ~LoopbackLink() override { close(); }
+
+  void send(BytesView message) override {
+    {
+      const std::lock_guard<std::mutex> lock(out_->mutex);
+      if (out_->closed)
+        raise(ErrorKind::kTransport, "send on closed loopback link");
+      out_->queue.emplace_back(message.begin(), message.end());
+      stats_.messages_sent++;
+      stats_.bytes_sent += message.size();
+    }
+    out_->ready.notify_one();
+  }
+
+  std::optional<Bytes> try_recv() override {
+    const std::lock_guard<std::mutex> lock(in_->mutex);
+    return pop_locked();
+  }
+
+  std::optional<Bytes> recv_for(std::chrono::milliseconds timeout) override {
+    std::unique_lock<std::mutex> lock(in_->mutex);
+    in_->ready.wait_for(lock, timeout,
+                        [&] { return !in_->queue.empty() || in_->closed; });
+    return pop_locked();
+  }
+
+  void close() override {
+    for (auto& pipe : {out_, in_}) {
+      {
+        const std::lock_guard<std::mutex> lock(pipe->mutex);
+        pipe->closed = true;
+      }
+      pipe->ready.notify_all();
+    }
+  }
+
+  bool closed() const override {
+    const std::lock_guard<std::mutex> lock(out_->mutex);
+    return out_->closed;
+  }
+
+  LinkStats stats() const override { return stats_; }
+
+  std::string describe() const override { return "loopback"; }
+
+ private:
+  std::optional<Bytes> pop_locked() {
+    if (in_->queue.empty()) return std::nullopt;
+    Bytes msg = std::move(in_->queue.front());
+    in_->queue.pop_front();
+    stats_.messages_received++;
+    stats_.bytes_received += msg.size();
+    return msg;
+  }
+
+  std::shared_ptr<Pipe> out_;
+  std::shared_ptr<Pipe> in_;
+  LinkStats stats_;
+};
+
+}  // namespace
+
+LinkPair make_loopback_pair() {
+  auto forward = std::make_shared<Pipe>();
+  auto backward = std::make_shared<Pipe>();
+  return LinkPair{
+      .a = std::make_unique<LoopbackLink>(forward, backward),
+      .b = std::make_unique<LoopbackLink>(backward, forward),
+  };
+}
+
+}  // namespace pia::transport

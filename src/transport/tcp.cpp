@@ -1,0 +1,184 @@
+#include "transport/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "base/error.hpp"
+#include "transport/frame.hpp"
+
+namespace pia::transport {
+namespace {
+
+[[noreturn]] void raise_errno(const std::string& what) {
+  raise(ErrorKind::kTransport, what + ": " + std::strerror(errno));
+}
+
+class TcpLink final : public Link {
+ public:
+  explicit TcpLink(int fd) : fd_(fd) {
+    const int one = 1;
+    // Word-level co-simulation sends thousands of tiny messages; Nagle
+    // would serialize them behind ACKs and distort every timing number.
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpLink() override { close(); }
+
+  void send(BytesView message) override {
+    if (fd_ < 0) raise(ErrorKind::kTransport, "send on closed tcp link");
+    const Bytes frame = encode_frame(message);
+    std::size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        raise_errno("tcp send");
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    stats_.messages_sent++;
+    stats_.bytes_sent += message.size();
+  }
+
+  std::optional<Bytes> try_recv() override { return recv_impl(0); }
+
+  std::optional<Bytes> recv_for(std::chrono::milliseconds timeout) override {
+    return recv_impl(static_cast<int>(timeout.count()));
+  }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  bool closed() const override { return fd_ < 0 && decoder_.buffered() == 0; }
+
+  LinkStats stats() const override { return stats_; }
+
+  std::string describe() const override { return "tcp"; }
+
+ private:
+  std::optional<Bytes> recv_impl(int timeout_ms) {
+    if (auto msg = pop()) return msg;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      if (fd_ < 0) return std::nullopt;
+      const auto now = std::chrono::steady_clock::now();
+      // Round the remaining wait UP: truncating 0.9 ms to 0 would turn the
+      // poll into a busy spin (and starve peers of CPU).
+      const int remaining =
+          timeout_ms == 0
+              ? 0
+              : static_cast<int>(std::max<std::int64_t>(
+                    0, std::chrono::ceil<std::chrono::milliseconds>(
+                           deadline - now)
+                           .count()));
+      pollfd pfd{.fd = fd_, .events = POLLIN, .revents = 0};
+      const int pr = ::poll(&pfd, 1, remaining);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        raise_errno("tcp poll");
+      }
+      if (pr == 0) return std::nullopt;  // timed out
+
+      std::byte chunk[16384];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        raise_errno("tcp recv");
+      }
+      if (n == 0) {  // peer closed
+        ::close(fd_);
+        fd_ = -1;
+        return pop();
+      }
+      decoder_.feed(BytesView{chunk, static_cast<std::size_t>(n)});
+      if (auto msg = pop()) return msg;
+      if (timeout_ms == 0) return std::nullopt;
+    }
+  }
+
+  std::optional<Bytes> pop() {
+    auto msg = decoder_.next();
+    if (msg) {
+      stats_.messages_received++;
+      stats_.bytes_received += msg->size();
+    }
+    return msg;
+  }
+
+  int fd_;
+  FrameDecoder decoder_;
+  LinkStats stats_;
+};
+
+}  // namespace
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) raise_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+    raise_errno("bind");
+  if (::listen(fd_, 16) < 0) raise_errno("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    raise_errno("getsockname");
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+LinkPtr TcpListener::accept() {
+  if (fd_ < 0) raise(ErrorKind::kTransport, "accept on closed listener");
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) raise_errno("accept");
+  return std::make_unique<TcpLink>(conn);
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+LinkPtr tcp_connect(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+
+  // The listener may still be racing to bind; retry briefly.
+  for (int attempt = 0;; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) raise_errno("socket");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+      return std::make_unique<TcpLink>(fd);
+    ::close(fd);
+    if (attempt >= 50) raise_errno("connect");
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace pia::transport

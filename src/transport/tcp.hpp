@@ -1,0 +1,43 @@
+// TCP socket links: the "geographically distributed" transport.
+//
+// A Pia node listens on a port; remote nodes connect and each accepted
+// connection becomes one FIFO Link carrying framed messages.  In this
+// reproduction both ends live on localhost, but nothing here assumes that —
+// the wire format is endian-explicit and frames are CRC-protected.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "transport/link.hpp"
+
+namespace pia::transport {
+
+class TcpListener {
+ public:
+  /// Binds and listens on 127.0.0.1:port.  port 0 picks an ephemeral port;
+  /// query the actual one with port().
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Blocks until a peer connects; returns the connection as a Link.
+  /// Throws Error{kTransport} on failure or if the listener is closed.
+  LinkPtr accept();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:port (retrying briefly while the listener races to
+/// bind) and returns the connection as a Link.
+LinkPtr tcp_connect(std::uint16_t port);
+
+}  // namespace pia::transport

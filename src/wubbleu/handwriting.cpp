@@ -1,0 +1,228 @@
+#include "wubbleu/handwriting.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+#include "base/rng.hpp"
+#include "serial/archive.hpp"
+
+namespace pia::wubbleu {
+namespace {
+
+/// Canonical strokes are generated procedurally per character: a polyline
+/// through waypoints derived from the character code, shaped so distinct
+/// characters produce distinct feature vectors.  (Real recognizers train
+/// templates; a generated alphabet keeps this reproduction deterministic.)
+Stroke generate_canonical(char c) {
+  Rng rng(static_cast<std::uint64_t>(c) * 0x9E3779B97F4A7C15ULL + 7);
+  const std::size_t waypoints = 3 + rng.below(4);
+  std::vector<StrokePoint> anchors;
+  anchors.reserve(waypoints);
+  for (std::size_t i = 0; i < waypoints; ++i) {
+    anchors.push_back(StrokePoint{
+        static_cast<float>(rng.uniform()),
+        static_cast<float>(rng.uniform()),
+    });
+  }
+  // Densify: 12 samples per segment, linearly interpolated.
+  Stroke stroke;
+  for (std::size_t i = 0; i + 1 < anchors.size(); ++i) {
+    for (int k = 0; k < 12; ++k) {
+      const float t = static_cast<float>(k) / 12.0F;
+      stroke.push_back(StrokePoint{
+          anchors[i].x + t * (anchors[i + 1].x - anchors[i].x),
+          anchors[i].y + t * (anchors[i + 1].y - anchors[i].y),
+      });
+    }
+  }
+  stroke.push_back(anchors.back());
+  return stroke;
+}
+
+}  // namespace
+
+const std::string& stroke_alphabet() {
+  static const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789:/._-~\n";
+  return alphabet;
+}
+
+Stroke stroke_for_char(char c) {
+  if (stroke_alphabet().find(c) == std::string::npos)
+    raise(ErrorKind::kInvalidArgument,
+          std::string("no stroke for character '") + c + "'");
+  return generate_canonical(c);
+}
+
+Stroke noisy_stroke_for_char(char c, std::uint64_t seed, float jitter) {
+  Stroke stroke = stroke_for_char(c);
+  Rng rng(seed);
+  for (StrokePoint& p : stroke) {
+    p.x += static_cast<float>((rng.uniform() - 0.5) * 2.0 * jitter);
+    p.y += static_cast<float>((rng.uniform() - 0.5) * 2.0 * jitter);
+  }
+  return stroke;
+}
+
+Bytes encode_stroke(const Stroke& stroke) {
+  serial::OutArchive ar;
+  ar.put_varint(stroke.size());
+  for (const StrokePoint& p : stroke) {
+    ar.put_double(p.x);
+    ar.put_double(p.y);
+  }
+  return std::move(ar).take();
+}
+
+Stroke decode_stroke(BytesView data) {
+  serial::InArchive ar(data);
+  Stroke stroke(ar.get_varint());
+  for (StrokePoint& p : stroke) {
+    p.x = static_cast<float>(ar.get_double());
+    p.y = static_cast<float>(ar.get_double());
+  }
+  return stroke;
+}
+
+namespace {
+
+/// Moving-average smoothing: averages each sample with its neighbours to
+/// knock down stylus jitter before direction features are computed.
+Stroke smooth(const Stroke& stroke, int radius = 2) {
+  if (stroke.size() < 3) return stroke;
+  Stroke out(stroke.size());
+  const int n = static_cast<int>(stroke.size());
+  for (int i = 0; i < n; ++i) {
+    float sx = 0, sy = 0;
+    int count = 0;
+    for (int k = -radius; k <= radius; ++k) {
+      const int j = i + k;
+      if (j < 0 || j >= n) continue;
+      sx += stroke[static_cast<std::size_t>(j)].x;
+      sy += stroke[static_cast<std::size_t>(j)].y;
+      ++count;
+    }
+    out[static_cast<std::size_t>(i)] = StrokePoint{
+        sx / static_cast<float>(count), sy / static_cast<float>(count)};
+  }
+  return out;
+}
+
+/// Arc-length resampling to a fixed point count (the $1-recognizer trick):
+/// makes features independent of sampling density.  Takes its working copy
+/// by value because inserted points become new segment starts.
+Stroke resample(Stroke stroke, std::size_t target = 48) {
+  if (stroke.size() < 2) return stroke;
+  float total = 0;
+  for (std::size_t i = 0; i + 1 < stroke.size(); ++i) {
+    const float dx = stroke[i + 1].x - stroke[i].x;
+    const float dy = stroke[i + 1].y - stroke[i].y;
+    total += std::sqrt(dx * dx + dy * dy);
+  }
+  if (total < 1e-6F) return stroke;
+  const float step = total / static_cast<float>(target - 1);
+
+  Stroke out;
+  out.reserve(target);
+  out.push_back(stroke.front());
+  float carried = 0;
+  for (std::size_t i = 0; i + 1 < stroke.size() && out.size() < target;) {
+    const float dx = stroke[i + 1].x - stroke[i].x;
+    const float dy = stroke[i + 1].y - stroke[i].y;
+    const float seg = std::sqrt(dx * dx + dy * dy);
+    if (carried + seg >= step && seg > 1e-9F) {
+      const float t = (step - carried) / seg;
+      const StrokePoint p{stroke[i].x + t * dx, stroke[i].y + t * dy};
+      out.push_back(p);
+      stroke[i] = p;  // the inserted point starts the next segment
+      carried = 0;
+    } else {
+      carried += seg;
+      ++i;
+    }
+  }
+  while (out.size() < target) out.push_back(stroke.back());
+  return out;
+}
+
+}  // namespace
+
+StrokeFeatures extract_features(const Stroke& raw_stroke) {
+  PIA_REQUIRE(raw_stroke.size() >= 2, "stroke too short to featurize");
+  const Stroke stroke = resample(smooth(raw_stroke));
+  StrokeFeatures f;
+
+  float min_x = stroke[0].x, max_x = stroke[0].x;
+  float min_y = stroke[0].y, max_y = stroke[0].y;
+  float path_length = 0;
+  float previous_angle = 0;
+  bool have_previous = false;
+
+  for (std::size_t i = 0; i + 1 < stroke.size(); ++i) {
+    const float dx = stroke[i + 1].x - stroke[i].x;
+    const float dy = stroke[i + 1].y - stroke[i].y;
+    const float len = std::sqrt(dx * dx + dy * dy);
+    path_length += len;
+    if (len > 1e-6F) {
+      const float angle = std::atan2(dy, dx);  // [-pi, pi]
+      const int bin = std::min(
+          7, static_cast<int>((angle + 3.14159265F) / (2 * 3.14159265F) * 8));
+      f.direction_histogram[static_cast<std::size_t>(bin)] += len;
+      if (have_previous) {
+        float turn = angle - previous_angle;
+        while (turn > 3.14159265F) turn -= 2 * 3.14159265F;
+        while (turn < -3.14159265F) turn += 2 * 3.14159265F;
+        f.total_turning += std::fabs(turn);
+      }
+      previous_angle = angle;
+      have_previous = true;
+    }
+    min_x = std::min(min_x, stroke[i + 1].x);
+    max_x = std::max(max_x, stroke[i + 1].x);
+    min_y = std::min(min_y, stroke[i + 1].y);
+    max_y = std::max(max_y, stroke[i + 1].y);
+  }
+
+  if (path_length > 1e-6F)
+    for (float& bin : f.direction_histogram) bin /= path_length;
+  const float width = std::max(max_x - min_x, 1e-6F);
+  f.aspect = (max_y - min_y) / width;
+  const float dx = stroke.back().x - stroke.front().x;
+  const float dy = stroke.back().y - stroke.front().y;
+  f.closure = path_length > 1e-6F
+                  ? std::sqrt(dx * dx + dy * dy) / path_length
+                  : 0;
+  return f;
+}
+
+HandwritingClassifier::HandwritingClassifier() {
+  for (char c : stroke_alphabet())
+    templates_.emplace_back(c, extract_features(stroke_for_char(c)));
+}
+
+HandwritingClassifier::Result HandwritingClassifier::classify(
+    const Stroke& stroke) const {
+  const StrokeFeatures f = extract_features(stroke);
+  Result best{.character = '?', .distance = 1e30F};
+  for (const auto& [c, tmpl] : templates_) {
+    float d = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      const float diff = f.direction_histogram[i] - tmpl.direction_histogram[i];
+      d += diff * diff;
+    }
+    const float turn_diff = (f.total_turning - tmpl.total_turning) / 6.28F;
+    const float aspect_diff = (f.aspect - tmpl.aspect) * 0.25F;
+    const float closure_diff = f.closure - tmpl.closure;
+    d += turn_diff * turn_diff + aspect_diff * aspect_diff +
+         closure_diff * closure_diff;
+    if (d < best.distance) best = Result{.character = c, .distance = d};
+  }
+  return best;
+}
+
+std::uint64_t HandwritingClassifier::classify_cycles(std::size_t points) {
+  // feature extraction ~ 30 cycles per sample; matching ~ 40 per template.
+  return points * 30 + stroke_alphabet().size() * 40;
+}
+
+}  // namespace pia::wubbleu

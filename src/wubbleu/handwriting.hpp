@@ -1,0 +1,68 @@
+// Handwriting recognition (paper §4: "Handwriting recognition software" is
+// one of the IP blocks a WubbleU implementation can contain).
+//
+// The user enters URLs with a stylus.  A stroke is a polyline of (x, y)
+// samples; the recognizer extracts rotation/scale-tolerant features —
+// an 8-bin direction histogram, net displacement quadrant, total turning —
+// and classifies against templates generated from the same canonical stroke
+// alphabet used by the synthesizer.  Deterministic, self-consistent, and
+// with enough arithmetic to be worth timing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/bytes.hpp"
+
+namespace pia::wubbleu {
+
+struct StrokePoint {
+  float x = 0;
+  float y = 0;
+};
+
+using Stroke = std::vector<StrokePoint>;
+
+/// Characters the recognizer knows: enough for URLs.
+[[nodiscard]] const std::string& stroke_alphabet();
+
+/// Canonical stroke for a character (throws for unknown characters).
+[[nodiscard]] Stroke stroke_for_char(char c);
+
+/// A noisy rendition of the canonical stroke (what a stylus produces).
+[[nodiscard]] Stroke noisy_stroke_for_char(char c, std::uint64_t seed,
+                                           float jitter = 0.01F);
+
+[[nodiscard]] Bytes encode_stroke(const Stroke& stroke);
+[[nodiscard]] Stroke decode_stroke(BytesView data);
+
+struct StrokeFeatures {
+  std::array<float, 8> direction_histogram{};
+  float total_turning = 0;
+  float aspect = 0;       // height / width of the bounding box
+  float closure = 0;      // end-to-start distance / path length
+};
+
+[[nodiscard]] StrokeFeatures extract_features(const Stroke& stroke);
+
+class HandwritingClassifier {
+ public:
+  HandwritingClassifier();
+
+  /// Best-match character and its distance score.
+  struct Result {
+    char character = '?';
+    float distance = 0;
+  };
+  [[nodiscard]] Result classify(const Stroke& stroke) const;
+
+  /// Classification cost in processor cycles (feature extraction + match).
+  [[nodiscard]] static std::uint64_t classify_cycles(std::size_t points);
+
+ private:
+  std::vector<std::pair<char, StrokeFeatures>> templates_;
+};
+
+}  // namespace pia::wubbleu

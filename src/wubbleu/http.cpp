@@ -1,0 +1,53 @@
+#include "wubbleu/http.hpp"
+
+#include "serial/archive.hpp"
+
+namespace pia::wubbleu {
+
+Bytes encode_request(const HttpRequest& request) {
+  serial::OutArchive ar;
+  serial::begin_section(ar, "pia.http.req", 1);
+  ar.put_string(request.url);
+  return std::move(ar).take();
+}
+
+HttpRequest decode_request(BytesView data) {
+  serial::InArchive ar(data);
+  serial::expect_section(ar, "pia.http.req");
+  return HttpRequest{.url = ar.get_string()};
+}
+
+Bytes encode_response(const HttpResponse& response) {
+  serial::OutArchive ar;
+  serial::begin_section(ar, "pia.http.resp", 1);
+  ar.put_varint(response.status);
+  ar.put_string(response.url);
+  ar.put_varint(response.images.size());
+  for (const ImageRef& image : response.images) {
+    ar.put_varint(image.offset);
+    ar.put_varint(image.length);
+    ar.put_varint(image.width);
+    ar.put_varint(image.height);
+  }
+  ar.put_bytes(response.body);
+  return std::move(ar).take();
+}
+
+HttpResponse decode_response(BytesView data) {
+  serial::InArchive ar(data);
+  serial::expect_section(ar, "pia.http.resp");
+  HttpResponse response;
+  response.status = static_cast<std::uint16_t>(ar.get_varint());
+  response.url = ar.get_string();
+  response.images.resize(ar.get_varint());
+  for (ImageRef& image : response.images) {
+    image.offset = static_cast<std::uint32_t>(ar.get_varint());
+    image.length = static_cast<std::uint32_t>(ar.get_varint());
+    image.width = static_cast<std::uint32_t>(ar.get_varint());
+    image.height = static_cast<std::uint32_t>(ar.get_varint());
+  }
+  response.body = ar.get_bytes();
+  return response;
+}
+
+}  // namespace pia::wubbleu

@@ -1,0 +1,43 @@
+// Minimal HTTP-style request/response framing for the WubbleU browser.
+//
+// The handheld issues GET requests and the web gateway answers with a
+// header (status, content length, image manifest) followed by the body.
+// The format is binary (archive-encoded) rather than RFC text — the paper's
+// point is the traffic shape, not wire nostalgia — but the roles match:
+// request, status line, headers, entity body.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/bytes.hpp"
+
+namespace pia::wubbleu {
+
+struct HttpRequest {
+  std::string url;
+};
+
+/// Byte range of one embedded image inside a response body.
+struct ImageRef {
+  std::uint32_t offset = 0;
+  std::uint32_t length = 0;
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+};
+
+struct HttpResponse {
+  std::uint16_t status = 200;
+  std::string url;
+  std::vector<ImageRef> images;
+  Bytes body;  // HTML text + encoded images at the listed offsets
+};
+
+[[nodiscard]] Bytes encode_request(const HttpRequest& request);
+[[nodiscard]] HttpRequest decode_request(BytesView data);
+
+[[nodiscard]] Bytes encode_response(const HttpResponse& response);
+[[nodiscard]] HttpResponse decode_response(BytesView data);
+
+}  // namespace pia::wubbleu

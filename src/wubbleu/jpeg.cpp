@@ -1,0 +1,241 @@
+#include "wubbleu/jpeg.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "base/error.hpp"
+#include "base/rng.hpp"
+#include "serial/archive.hpp"
+
+namespace pia::wubbleu {
+namespace {
+
+constexpr std::uint32_t kBlock = 8;
+
+/// Base luminance quantization table (ITU T.81 Annex K flavour).
+constexpr std::array<int, 64> kBaseQuant = {
+    16, 11, 10, 16, 24,  40,  51,  61,   //
+    12, 12, 14, 19, 26,  58,  60,  55,   //
+    14, 13, 16, 24, 40,  57,  69,  56,   //
+    14, 17, 22, 29, 51,  87,  80,  62,   //
+    18, 22, 37, 56, 68,  109, 103, 77,   //
+    24, 35, 55, 64, 81,  104, 113, 92,   //
+    49, 64, 78, 87, 103, 121, 120, 101,  //
+    72, 92, 95, 98, 112, 100, 103, 99};
+
+/// Zig-zag scan order for an 8x8 block.
+constexpr std::array<int, 64> kZigZag = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+struct DctTables {
+  // cosine basis: c[u][x] = cos((2x+1) u pi / 16) * scale(u)
+  double c[kBlock][kBlock];
+  DctTables() {
+    for (std::uint32_t u = 0; u < kBlock; ++u) {
+      const double scale = u == 0 ? std::sqrt(1.0 / kBlock)
+                                  : std::sqrt(2.0 / kBlock);
+      for (std::uint32_t x = 0; x < kBlock; ++x)
+        c[u][x] = scale * std::cos((2.0 * x + 1.0) * u *
+                                   std::numbers::pi / (2.0 * kBlock));
+    }
+  }
+};
+
+const DctTables& tables() {
+  static const DctTables t;
+  return t;
+}
+
+void forward_dct(const double in[kBlock][kBlock],
+                 double out[kBlock][kBlock]) {
+  const DctTables& t = tables();
+  double tmp[kBlock][kBlock];
+  for (std::uint32_t u = 0; u < kBlock; ++u)      // rows
+    for (std::uint32_t x = 0; x < kBlock; ++x) {
+      double s = 0;
+      for (std::uint32_t k = 0; k < kBlock; ++k) s += in[x][k] * t.c[u][k];
+      tmp[x][u] = s;
+    }
+  for (std::uint32_t v = 0; v < kBlock; ++v)      // columns
+    for (std::uint32_t u = 0; u < kBlock; ++u) {
+      double s = 0;
+      for (std::uint32_t k = 0; k < kBlock; ++k) s += tmp[k][u] * t.c[v][k];
+      out[v][u] = s;
+    }
+}
+
+void inverse_dct(const double in[kBlock][kBlock],
+                 double out[kBlock][kBlock]) {
+  const DctTables& t = tables();
+  double tmp[kBlock][kBlock];
+  for (std::uint32_t x = 0; x < kBlock; ++x)
+    for (std::uint32_t v = 0; v < kBlock; ++v) {
+      double s = 0;
+      for (std::uint32_t u = 0; u < kBlock; ++u) s += in[v][u] * t.c[u][x];
+      tmp[v][x] = s;
+    }
+  for (std::uint32_t y = 0; y < kBlock; ++y)
+    for (std::uint32_t x = 0; x < kBlock; ++x) {
+      double s = 0;
+      for (std::uint32_t v = 0; v < kBlock; ++v) s += tmp[v][x] * t.c[v][y];
+      out[y][x] = s;
+    }
+}
+
+int quant_divisor(std::size_t index, std::uint32_t quality) {
+  // quality 32 => divisor ~1 (near lossless); quality 1 => 32x coarser.
+  const int q = kBaseQuant[index] * 32 / static_cast<int>(quality);
+  return q < 1 ? 1 : q;
+}
+
+}  // namespace
+
+Bytes jpeg_encode(const GrayImage& image, JpegQuality quality) {
+  PIA_REQUIRE(image.width > 0 && image.height > 0, "empty image");
+  PIA_REQUIRE(quality.level >= 1 && quality.level <= 32,
+              "jpeg quality out of range");
+  PIA_REQUIRE(image.pixels.size() ==
+                  static_cast<std::size_t>(image.width) * image.height,
+              "pixel buffer size mismatch");
+
+  serial::OutArchive ar;
+  serial::begin_section(ar, "pia.jpeg", 1);
+  ar.put_varint(image.width);
+  ar.put_varint(image.height);
+  ar.put_varint(quality.level);
+
+  const std::uint32_t blocks_x = (image.width + kBlock - 1) / kBlock;
+  const std::uint32_t blocks_y = (image.height + kBlock - 1) / kBlock;
+  int previous_dc = 0;
+
+  for (std::uint32_t by = 0; by < blocks_y; ++by) {
+    for (std::uint32_t bx = 0; bx < blocks_x; ++bx) {
+      double block[kBlock][kBlock];
+      for (std::uint32_t y = 0; y < kBlock; ++y)
+        for (std::uint32_t x = 0; x < kBlock; ++x) {
+          const std::uint32_t px = std::min(bx * kBlock + x, image.width - 1);
+          const std::uint32_t py = std::min(by * kBlock + y, image.height - 1);
+          block[y][x] = static_cast<double>(image.at(px, py)) - 128.0;
+        }
+      double coeffs[kBlock][kBlock];
+      forward_dct(block, coeffs);
+
+      std::array<int, 64> quantized{};
+      for (std::size_t i = 0; i < 64; ++i) {
+        const int row = kZigZag[i] / 8;
+        const int col = kZigZag[i] % 8;
+        quantized[i] = static_cast<int>(
+            std::lround(coeffs[row][col] /
+                        quant_divisor(static_cast<std::size_t>(kZigZag[i]),
+                                      quality.level)));
+      }
+
+      // DC delta, then AC run-length: (zero-run, value) pairs, 0xFF = EOB.
+      ar.put_i64(quantized[0] - previous_dc);
+      previous_dc = quantized[0];
+      std::uint32_t run = 0;
+      for (std::size_t i = 1; i < 64; ++i) {
+        if (quantized[i] == 0) {
+          ++run;
+          continue;
+        }
+        ar.put_varint(run);
+        ar.put_i64(quantized[i]);
+        run = 0;
+      }
+      ar.put_varint(0xFF);  // end of block
+    }
+  }
+  return std::move(ar).take();
+}
+
+GrayImage jpeg_decode(BytesView data) {
+  serial::InArchive ar(data);
+  serial::expect_section(ar, "pia.jpeg");
+  GrayImage image;
+  image.width = static_cast<std::uint32_t>(ar.get_varint());
+  image.height = static_cast<std::uint32_t>(ar.get_varint());
+  const auto quality = static_cast<std::uint32_t>(ar.get_varint());
+  PIA_REQUIRE(image.width > 0 && image.height > 0, "corrupt jpeg header");
+  image.pixels.assign(
+      static_cast<std::size_t>(image.width) * image.height, 0);
+
+  const std::uint32_t blocks_x = (image.width + kBlock - 1) / kBlock;
+  const std::uint32_t blocks_y = (image.height + kBlock - 1) / kBlock;
+  int previous_dc = 0;
+
+  for (std::uint32_t by = 0; by < blocks_y; ++by) {
+    for (std::uint32_t bx = 0; bx < blocks_x; ++bx) {
+      std::array<int, 64> quantized{};
+      previous_dc += static_cast<int>(ar.get_i64());
+      quantized[0] = previous_dc;
+      std::size_t i = 1;
+      for (;;) {
+        const std::uint64_t run = ar.get_varint();
+        if (run == 0xFF) break;
+        i += run;
+        if (i >= 64) raise(ErrorKind::kSerialization, "jpeg AC overflow");
+        quantized[i++] = static_cast<int>(ar.get_i64());
+      }
+
+      double coeffs[kBlock][kBlock] = {};
+      for (std::size_t k = 0; k < 64; ++k) {
+        const int row = kZigZag[k] / 8;
+        const int col = kZigZag[k] % 8;
+        coeffs[row][col] =
+            static_cast<double>(quantized[k]) *
+            quant_divisor(static_cast<std::size_t>(kZigZag[k]), quality);
+      }
+      double block[kBlock][kBlock];
+      inverse_dct(coeffs, block);
+
+      for (std::uint32_t y = 0; y < kBlock; ++y)
+        for (std::uint32_t x = 0; x < kBlock; ++x) {
+          const std::uint32_t px = bx * kBlock + x;
+          const std::uint32_t py = by * kBlock + y;
+          if (px >= image.width || py >= image.height) continue;
+          const double v = block[y][x] + 128.0;
+          image.pixels[py * image.width + px] = static_cast<std::uint8_t>(
+              v < 0 ? 0 : (v > 255 ? 255 : std::lround(v)));
+        }
+    }
+  }
+  return image;
+}
+
+std::uint64_t jpeg_decode_cycles(std::uint32_t width, std::uint32_t height) {
+  const std::uint64_t blocks =
+      ((width + kBlock - 1) / kBlock) *
+      static_cast<std::uint64_t>((height + kBlock - 1) / kBlock);
+  // ~2 * 8 * 64 MACs per separable IDCT plus dequant/clamp overhead.
+  return blocks * 1400;
+}
+
+GrayImage make_test_image(std::uint32_t width, std::uint32_t height,
+                          std::uint64_t seed) {
+  GrayImage image{.width = width, .height = height, .pixels = {}};
+  image.pixels.resize(static_cast<std::size_t>(width) * height);
+  Rng rng(seed);
+  const double phase_x = rng.uniform() * 6.28;
+  const double phase_y = rng.uniform() * 6.28;
+  const double freq = 0.02 + rng.uniform() * 0.1;
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      const double smooth =
+          96.0 + 60.0 * std::sin(freq * x + phase_x) *
+                     std::cos(freq * y + phase_y) +
+          0.2 * x + 0.1 * y;
+      const double noise = static_cast<double>(rng.below(24));
+      const double v = smooth + noise;
+      image.pixels[y * width + x] = static_cast<std::uint8_t>(
+          v < 0 ? 0 : (v > 255 ? 255 : v));
+    }
+  }
+  return image;
+}
+
+}  // namespace pia::wubbleu

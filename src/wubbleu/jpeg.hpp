@@ -1,0 +1,50 @@
+// Simplified JPEG-style image codec.
+//
+// WubbleU's handheld decodes images in the pages it loads (the paper lists
+// "JPEG chips" among the IP an implementation can contain, and the test
+// page "contains approximately 66KB of data, including graphics").  This
+// codec gives the workload real computational substance: 8x8 forward/
+// inverse DCT, quantization, zig-zag ordering and run-length/varint entropy
+// coding of grayscale images.  It is not bitstream-compatible with ITU
+// JPEG, but it has the same computational shape, which is what the timing
+// model needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/bytes.hpp"
+
+namespace pia::wubbleu {
+
+struct GrayImage {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::vector<std::uint8_t> pixels;  // row-major, width*height
+
+  [[nodiscard]] std::uint8_t at(std::uint32_t x, std::uint32_t y) const {
+    return pixels[y * width + x];
+  }
+  bool operator==(const GrayImage&) const = default;
+};
+
+/// Quality 1 (coarse) .. 32 (near-lossless): scales the quantization table.
+struct JpegQuality {
+  std::uint32_t level = 8;
+};
+
+[[nodiscard]] Bytes jpeg_encode(const GrayImage& image, JpegQuality quality = {});
+[[nodiscard]] GrayImage jpeg_decode(BytesView data);
+
+/// Decode cost estimate in processor cycles (for basic-block timing): DCT
+/// blocks dominate, so cost ~ blocks * cycles_per_block.
+[[nodiscard]] std::uint64_t jpeg_decode_cycles(std::uint32_t width,
+                                               std::uint32_t height);
+
+/// Deterministic synthetic photo (smooth gradients + texture) for page
+/// generation.
+[[nodiscard]] GrayImage make_test_image(std::uint32_t width,
+                                        std::uint32_t height,
+                                        std::uint64_t seed);
+
+}  // namespace pia::wubbleu

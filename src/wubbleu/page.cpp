@@ -1,0 +1,80 @@
+#include "wubbleu/page.hpp"
+
+#include "base/rng.hpp"
+#include "wubbleu/jpeg.hpp"
+
+namespace pia::wubbleu {
+namespace {
+
+const char* kLoremWords[] = {
+    "embedded", "system",   "design",  "validation", "simulation",
+    "hardware", "software", "virtual", "time",       "channel",
+    "subsystem", "detail",  "level",   "checkpoint", "restore",
+    "pia",      "chinook",  "node",    "socket",     "internet"};
+
+std::string make_html_filler(std::size_t bytes, Rng& rng) {
+  std::string out = "<html><head><title>Pia project</title></head><body>\n";
+  while (out.size() < bytes) {
+    out += "<p>";
+    const std::size_t words = 8 + rng.below(12);
+    for (std::size_t i = 0; i < words; ++i) {
+      out += kLoremWords[rng.below(std::size(kLoremWords))];
+      out += ' ';
+    }
+    out += "</p>\n";
+  }
+  out.resize(bytes);
+  return out;
+}
+
+}  // namespace
+
+HttpResponse make_page(const PageSpec& spec) {
+  Rng rng(spec.seed);
+  HttpResponse page;
+  page.status = 200;
+  page.url = spec.url;
+
+  // Encode the images first to know how much HTML padding remains.
+  std::vector<Bytes> encoded;
+  encoded.reserve(spec.image_count);
+  std::size_t image_bytes = 0;
+  for (std::uint32_t i = 0; i < spec.image_count; ++i) {
+    const GrayImage img =
+        make_test_image(spec.image_width, spec.image_height,
+                        spec.seed * 131 + i);
+    encoded.push_back(jpeg_encode(img, JpegQuality{8}));
+    image_bytes += encoded.back().size();
+  }
+
+  const std::size_t html_bytes =
+      spec.target_bytes > image_bytes ? spec.target_bytes - image_bytes : 64;
+  const std::string html = make_html_filler(html_bytes, rng);
+
+  page.body.reserve(html.size() + image_bytes);
+  page.body = to_bytes(html);
+  for (std::uint32_t i = 0; i < spec.image_count; ++i) {
+    page.images.push_back(
+        ImageRef{.offset = static_cast<std::uint32_t>(page.body.size()),
+                 .length = static_cast<std::uint32_t>(encoded[i].size()),
+                 .width = spec.image_width,
+                 .height = spec.image_height});
+    page.body.insert(page.body.end(), encoded[i].begin(), encoded[i].end());
+  }
+  return page;
+}
+
+void PageStore::put(HttpResponse page) {
+  pages_[page.url] = std::move(page);
+}
+
+const HttpResponse& PageStore::get(const std::string& url) const {
+  const auto it = pages_.find(url);
+  return it == pages_.end() ? not_found_ : it->second;
+}
+
+bool PageStore::contains(const std::string& url) const {
+  return pages_.contains(url);
+}
+
+}  // namespace pia::wubbleu

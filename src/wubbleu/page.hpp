@@ -1,0 +1,44 @@
+// Synthetic web content (substitution for the 1998 Pia homepage).
+//
+// "The test performed is the loading of the Pia homepage, which contains
+// approximately 66KB of data, including graphics."  That page is long gone;
+// this generator produces a deterministic equivalent: HTML-looking text
+// plus several JPEG-encoded images, padded/assembled to hit a target byte
+// size.  A PageStore plays the role of the Internet behind the web gateway.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "wubbleu/http.hpp"
+
+namespace pia::wubbleu {
+
+struct PageSpec {
+  std::string url = "http://www.cs.washington.edu/research/chinook/pia.html";
+  std::size_t target_bytes = 66 * 1024;  // the paper's ~66 KB
+  std::uint32_t image_count = 4;
+  std::uint32_t image_width = 96;
+  std::uint32_t image_height = 96;
+  std::uint64_t seed = 1998;
+};
+
+/// Builds the response the gateway will serve: HTML filler + encoded
+/// images, body size ~= target_bytes.
+[[nodiscard]] HttpResponse make_page(const PageSpec& spec);
+
+class PageStore {
+ public:
+  void put(HttpResponse page);
+  /// Serves the page, or a 404 response for unknown URLs.
+  [[nodiscard]] const HttpResponse& get(const std::string& url) const;
+  [[nodiscard]] bool contains(const std::string& url) const;
+  [[nodiscard]] std::size_t size() const { return pages_.size(); }
+
+ private:
+  std::map<std::string, HttpResponse> pages_;
+  HttpResponse not_found_{.status = 404, .url = {}, .images = {}, .body = {}};
+};
+
+}  // namespace pia::wubbleu

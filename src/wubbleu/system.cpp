@@ -1,0 +1,111 @@
+#include "wubbleu/system.hpp"
+
+#include "wubbleu/jpeg.hpp"
+
+namespace pia::wubbleu {
+namespace {
+
+/// Creates the modules of the handheld unit in `sched` and wires the ones
+/// that stay internal to it.  The cpu->chip and nic<-chip nets are created
+/// by the caller (they differ between local and distributed builds).
+WubbleUHandles build_handheld(Scheduler& sched, const WubbleUConfig& config) {
+  WubbleUHandles handles;
+  handles.stylus = &sched.emplace<StrokeSource>(
+      "stylus", config.session_urls(), config.stroke_period);
+  handles.recognizer =
+      &sched.emplace<Recognizer>("recognizer", config.handheld_cpu);
+  handles.ui = &sched.emplace<Ui>("ui");
+  handles.cpu =
+      &sched.emplace<HandheldCpu>("cpu", config.handheld_cpu);
+  handles.nic = &sched.emplace<NicDma>("nic", handles.cpu->memory(),
+                                       HandheldCpu::kDmaBufferBase);
+
+  sched.connect(handles.stylus->id(), "strokes", handles.recognizer->id(),
+                "strokes");
+  sched.connect(handles.recognizer->id(), "chars", handles.ui->id(), "chars");
+  sched.connect(handles.ui->id(), "request", handles.cpu->id(), "request");
+  sched.connect(handles.cpu->id(), "done", handles.ui->id(), "done");
+  sched.connect(handles.nic->id(), "irq", handles.cpu->id(), "nic_irq");
+  return handles;
+}
+
+/// Creates the chip + server side in `sched` and wires its internals.
+void build_chip_side(Scheduler& sched, const WubbleUConfig& config,
+                     WubbleUHandles& handles) {
+  handles.asic = &sched.emplace<CellularAsic>(
+      "asic", config.downlink_timing, ticks(500), config.downlink_level);
+  handles.base_station = &sched.emplace<BaseStation>("basestation");
+  PageStore store;
+  store.put(make_page(config.page));
+  handles.gateway = &sched.emplace<WebGateway>("gateway", std::move(store),
+                                               config.server_cpu);
+
+  sched.connect(handles.asic->id(), "radio_tx", handles.base_station->id(),
+                "radio_rx");
+  sched.connect(handles.base_station->id(), "radio_tx", handles.asic->id(),
+                "radio_rx");
+  sched.connect(handles.base_station->id(), "gw_tx", handles.gateway->id(),
+                "rx");
+  sched.connect(handles.gateway->id(), "tx", handles.base_station->id(),
+                "gw_rx");
+}
+
+}  // namespace
+
+WubbleUHandles build_local(Scheduler& sched, const WubbleUConfig& config) {
+  WubbleUHandles handles = build_handheld(sched, config);
+  build_chip_side(sched, config, handles);
+
+  // CPU <-> chip stay on local nets.
+  sched.connect(handles.cpu->id(), "tx", handles.asic->id(), "host_tx");
+  sched.connect(handles.asic->id(), "host_data", handles.nic->id(), "net");
+  return handles;
+}
+
+WubbleUHandles build_distributed(dist::Subsystem& handheld,
+                                 dist::Subsystem& chip_side,
+                                 const dist::ChannelPair& channels,
+                                 const WubbleUConfig& config) {
+  WubbleUHandles handles = build_handheld(handheld.scheduler(), config);
+  build_chip_side(chip_side.scheduler(), config, handles);
+
+  // Split net 0: cpu.tx --- [channel] --- asic.host_tx
+  const NetId tx_local = handheld.scheduler().make_net("cpu_tx");
+  handheld.scheduler().attach(tx_local, handles.cpu->id(), "tx");
+  const NetId tx_remote = chip_side.scheduler().make_net("cpu_tx");
+  chip_side.scheduler().attach(tx_remote, handles.asic->id(), "host_tx");
+  dist::split_net(handheld, channels.a, tx_local, chip_side, channels.b,
+                  tx_remote);
+
+  // Split net 1: asic.host_data --- [channel] --- nic.net.  This is the
+  // high-volume direction: its traffic is word- or packet-grained
+  // depending on the chip's runlevel.
+  const NetId data_local = handheld.scheduler().make_net("host_data");
+  handheld.scheduler().attach(data_local, handles.nic->id(), "net");
+  const NetId data_remote = chip_side.scheduler().make_net("host_data");
+  chip_side.scheduler().attach(data_remote, handles.asic->id(), "host_data");
+  dist::split_net(handheld, channels.a, data_local, chip_side, channels.b,
+                  data_remote);
+
+  return handles;
+}
+
+NativeLoadResult native_page_load(const PageSpec& spec) {
+  return native_page_load(make_page(spec));
+}
+
+NativeLoadResult native_page_load(const HttpResponse& page) {
+  // Round-trip the wire encoding (a real browser parses what it fetched).
+  const Bytes wire = encode_response(page);
+  const HttpResponse fetched = decode_response(wire);
+  NativeLoadResult result;
+  result.body_bytes = fetched.body.size();
+  for (const ImageRef& ref : fetched.images) {
+    const GrayImage image = jpeg_decode(
+        BytesView{fetched.body}.subspan(ref.offset, ref.length));
+    if (image.width == ref.width) ++result.images_decoded;
+  }
+  return result;
+}
+
+}  // namespace pia::wubbleu

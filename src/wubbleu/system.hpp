@@ -1,0 +1,73 @@
+// WubbleU system builders (paper §4, Figs. 5 and 6).
+//
+// build_local() assembles the whole system — Fig. 6's architecture — inside
+// one subsystem: the single-host rows of Table 1.  build_distributed()
+// places the handheld's modules in one subsystem and the cellular chip (+
+// base station + gateway) in another, splitting the CPU<->chip nets across
+// the channel: the chip is "our candidate for remote operation", and the
+// split nets carry word- or packet-level traffic depending on the chip's
+// runlevel — the remote rows of Table 1.
+#pragma once
+
+#include "core/scheduler.hpp"
+#include "dist/node.hpp"
+#include "wubbleu/cellular.hpp"
+#include "wubbleu/handheld.hpp"
+#include "wubbleu/server.hpp"
+
+namespace pia::wubbleu {
+
+struct WubbleUConfig {
+  PageSpec page{};
+  /// Browse session; defaults to loading page.url once.
+  std::vector<std::string> urls{};
+  /// Detail level the chip renders the downlink at ("word passage" vs
+  /// "packet passage", Table 1).
+  RunLevel downlink_level = runlevels::kPacket;
+  TimingProfile downlink_timing{};
+  VirtualTime stroke_period = ticks(200'000);
+  proc::ProcessorProfile handheld_cpu =
+      proc::ProcessorProfile::embedded_33mhz();
+  proc::ProcessorProfile server_cpu =
+      proc::ProcessorProfile::pentium_pro_200();
+
+  [[nodiscard]] std::vector<std::string> session_urls() const {
+    return urls.empty() ? std::vector<std::string>{page.url} : urls;
+  }
+};
+
+/// Non-owning handles to the system's modules (owned by the scheduler(s)).
+struct WubbleUHandles {
+  StrokeSource* stylus = nullptr;
+  Recognizer* recognizer = nullptr;
+  Ui* ui = nullptr;
+  HandheldCpu* cpu = nullptr;
+  NicDma* nic = nullptr;
+  CellularAsic* asic = nullptr;
+  BaseStation* base_station = nullptr;
+  WebGateway* gateway = nullptr;
+};
+
+/// Everything in one subsystem (Fig. 6 simulated on a single host).
+WubbleUHandles build_local(Scheduler& scheduler, const WubbleUConfig& config);
+
+/// Handheld modules in `handheld`, the chip + server side in `chip_side`,
+/// with the CPU->chip and chip->NIC nets split across the given channel
+/// pair (channels.a must belong to `handheld`).
+WubbleUHandles build_distributed(dist::Subsystem& handheld,
+                                 dist::Subsystem& chip_side,
+                                 const dist::ChannelPair& channels,
+                                 const WubbleUConfig& config);
+
+/// The "HotJava" reference: load the same content natively, with no
+/// simulation at all — fetch the page bytes and decode every image.
+struct NativeLoadResult {
+  std::size_t body_bytes = 0;
+  std::size_t images_decoded = 0;
+};
+NativeLoadResult native_page_load(const PageSpec& spec);
+/// Same, but serving an already-built page (fair timing: the simulated
+/// gateway also pre-builds its PageStore before the clock starts).
+NativeLoadResult native_page_load(const HttpResponse& page);
+
+}  // namespace pia::wubbleu

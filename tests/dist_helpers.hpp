@@ -1,0 +1,100 @@
+// Shared fixtures for distributed-layer tests and benches: small systems
+// split across two or three subsystems.
+#pragma once
+
+#include "dist/node.hpp"
+#include "helpers.hpp"
+
+namespace pia::dist::testing {
+
+using pia::testing::Producer;
+using pia::testing::Relay;
+using pia::testing::Sink;
+
+/// Producer on subsystem A feeding a Sink on subsystem B through one split
+/// net (the minimal Fig. 2 configuration).
+struct SplitPipe {
+  NodeCluster cluster;
+  Subsystem* a = nullptr;
+  Subsystem* b = nullptr;
+  Producer* producer = nullptr;
+  Sink* sink = nullptr;
+  ChannelPair channels;
+
+  SplitPipe(std::uint64_t count, ChannelMode mode,
+            Wire wire = Wire::kLoopback,
+            transport::LatencyModel latency = {},
+            VirtualTime period = ticks(10)) {
+    PiaNode& node_a = cluster.add_node("nodeA");
+    PiaNode& node_b = cluster.add_node("nodeB");
+    a = &node_a.add_subsystem("ssA");
+    b = &node_b.add_subsystem("ssB");
+
+    producer = &a->scheduler().emplace<Producer>("p", count, period);
+    sink = &b->scheduler().emplace<Sink>("s");
+
+    const NetId net_a = a->scheduler().make_net("wire");
+    a->scheduler().attach(net_a, producer->id(), "out");
+    const NetId net_b = b->scheduler().make_net("wire");
+    b->scheduler().attach(net_b, sink->id(), "in");
+
+    channels = cluster.connect_checked(*a, *b, mode, wire, latency);
+    split_net(*a, channels.a, net_a, *b, channels.b, net_b);
+  }
+};
+
+/// Round trip: producer on A -> relay on B -> sink back on A, two split
+/// nets over one channel.
+struct SplitLoop {
+  NodeCluster cluster;
+  Subsystem* a = nullptr;
+  Subsystem* b = nullptr;
+  Producer* producer = nullptr;
+  Relay* relay = nullptr;
+  Sink* sink = nullptr;
+  ChannelPair channels;
+
+  SplitLoop(std::uint64_t count, ChannelMode mode,
+            Wire wire = Wire::kLoopback,
+            transport::LatencyModel latency = {}) {
+    PiaNode& node_a = cluster.add_node("nodeA");
+    PiaNode& node_b = cluster.add_node("nodeB");
+    a = &node_a.add_subsystem("ssA");
+    b = &node_b.add_subsystem("ssB");
+
+    producer = &a->scheduler().emplace<Producer>("p", count);
+    sink = &a->scheduler().emplace<Sink>("s");
+    relay = &b->scheduler().emplace<Relay>("r");
+
+    const NetId fwd_a = a->scheduler().make_net("fwd");
+    a->scheduler().attach(fwd_a, producer->id(), "out");
+    const NetId back_a = a->scheduler().make_net("back");
+    a->scheduler().attach(back_a, sink->id(), "in");
+
+    const NetId fwd_b = b->scheduler().make_net("fwd");
+    b->scheduler().attach(fwd_b, relay->id(), "in");
+    const NetId back_b = b->scheduler().make_net("back");
+    b->scheduler().attach(back_b, relay->id(), "out");
+
+    channels = cluster.connect_checked(*a, *b, mode, wire, latency);
+    split_net(*a, channels.a, fwd_a, *b, channels.b, fwd_b);
+    split_net(*a, channels.a, back_a, *b, channels.b, back_b);
+  }
+};
+
+/// Reference: the same producer->relay->sink loop in a single subsystem
+/// (single-host Pia); the distributed runs must match it exactly.
+inline std::vector<std::uint64_t> single_host_loop_reference(
+    std::uint64_t count) {
+  Scheduler sched;
+  auto& producer = sched.emplace<Producer>("p", count);
+  auto& relay = sched.emplace<Relay>("r");
+  auto& sink = sched.emplace<Sink>("s");
+  sched.connect(producer.id(), "out", relay.id(), "in");
+  sched.connect(relay.id(), "out", sink.id(), "in");
+  sched.init();
+  sched.run();
+  return sink.received;
+}
+
+}  // namespace pia::dist::testing

@@ -1,0 +1,170 @@
+// Small reusable components and fixtures shared by the test suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/component.hpp"
+#include "core/protocols.hpp"
+
+namespace pia::testing {
+
+/// Emits `count` word values on port "out", one every `period`, starting at
+/// `start`.  Counts in checkpointable state.
+class Producer : public Component {
+ public:
+  Producer(std::string name, std::uint64_t count,
+           VirtualTime period = ticks(10), VirtualTime start = ticks(10))
+      : Component(std::move(name)), count_(count), period_(period),
+        start_(start) {
+    out_ = add_output("out");
+  }
+
+  void on_init() override { wake_at(start_); }
+
+  void on_receive(PortIndex, const Value&) override {}
+
+  void on_wake() override {
+    if (sent_ >= count_) return;
+    send(out_, Value{sent_});
+    ++sent_;
+    if (sent_ < count_) wake_after(period_);
+  }
+
+  void save_state(serial::OutArchive& ar) const override {
+    ar.put_varint(sent_);
+  }
+  void restore_state(serial::InArchive& ar) override {
+    sent_ = ar.get_varint();
+  }
+
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+
+ private:
+  std::uint64_t count_;
+  VirtualTime period_;
+  VirtualTime start_;
+  std::uint64_t sent_ = 0;
+  PortIndex out_;
+};
+
+/// Accumulates every received word and its delivery time.
+class Sink : public Component {
+ public:
+  explicit Sink(std::string name,
+                PortSync sync = PortSync::kSynchronous)
+      : Component(std::move(name)) {
+    in_ = add_input("in", sync);
+  }
+
+  void on_receive(PortIndex, const Value& value) override {
+    received.push_back(value.as_word());
+    times.push_back(local_time());
+  }
+
+  void save_state(serial::OutArchive& ar) const override {
+    serial::write(ar, received);
+    serial::write(ar, times);
+  }
+  void restore_state(serial::InArchive& ar) override {
+    received = serial::read_vector<std::uint64_t>(ar);
+    times = serial::read_vector<VirtualTime>(ar);
+  }
+
+  std::vector<std::uint64_t> received;
+  std::vector<VirtualTime> times;
+
+ private:
+  PortIndex in_;
+};
+
+/// Receives a word, spends `think` of computation, forwards value+1.
+class Relay : public Component {
+ public:
+  Relay(std::string name, VirtualTime think = ticks(5))
+      : Component(std::move(name)), think_(think) {
+    in_ = add_input("in");
+    out_ = add_output("out");
+  }
+
+  void on_receive(PortIndex, const Value& value) override {
+    advance(think_);  // basic-block timing estimate
+    send(out_, Value{value.as_word() + 1});
+    ++forwarded;
+  }
+
+  void save_state(serial::OutArchive& ar) const override {
+    ar.put_varint(forwarded);
+  }
+  void restore_state(serial::InArchive& ar) override {
+    forwarded = ar.get_varint();
+  }
+
+  std::uint64_t forwarded = 0;
+
+ private:
+  VirtualTime think_;
+  PortIndex in_;
+  PortIndex out_;
+};
+
+/// Sends a payload through a TransferEncoder at the current runlevel when
+/// poked; used by protocol and runlevel tests.
+class TransferSender : public Component {
+ public:
+  TransferSender(std::string name, Bytes payload,
+                 TimingProfile timing = {},
+                 RunLevel initial = runlevels::kWord)
+      : Component(std::move(name)), payload_(std::move(payload)),
+        encoder_(timing) {
+    out_ = add_output("out");
+    set_initial_runlevel(initial);
+  }
+
+  void on_init() override { wake_after(ticks(1)); }
+
+  void on_wake() override {
+    for (const auto& emission : encoder_.encode(payload_, runlevel())) {
+      advance(emission.delay);
+      send(out_, emission.value);
+    }
+    ++transfers;
+  }
+
+  void trigger() { wake_after(ticks(1)); }
+
+  void on_receive(PortIndex, const Value&) override {}
+
+  std::uint64_t transfers = 0;
+
+ private:
+  Bytes payload_;
+  TransferEncoder encoder_;
+  PortIndex out_;
+};
+
+/// Reassembles transfers with a TransferDecoder; exposes completed payloads.
+class TransferReceiver : public Component {
+ public:
+  explicit TransferReceiver(std::string name)
+      : Component(std::move(name)) {
+    in_ = add_input("in");
+  }
+
+  void on_receive(PortIndex, const Value& value) override {
+    if (auto done = decoder_.feed(value)) payloads.push_back(*std::move(done));
+  }
+
+  [[nodiscard]] bool at_safe_point() const override {
+    return !decoder_.mid_transfer();
+  }
+
+  std::vector<Bytes> payloads;
+
+ private:
+  TransferDecoder decoder_;
+  PortIndex in_;
+};
+
+}  // namespace pia::testing

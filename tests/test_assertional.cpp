@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/assertional.hpp"
+#include "core/protocols.hpp"
+
+namespace pia {
+namespace {
+
+/// Re-derive the library's word-level receive protocol as a rule table:
+/// the paper's use case for assertional methods is describing a detail
+/// level the library doesn't have — here we describe one it does have and
+/// check the behaviours coincide.
+AssertionalMethod word_level_receiver() {
+  constexpr std::uint64_t kMagic = 0x5049414C00000000ULL;
+  constexpr std::uint64_t kMask = 0xFFFFFFFF00000000ULL;
+  AssertionalMethod method;
+  method.set_strict(true);
+
+  // reg == 0: idle, expecting the header word carrying the length.
+  method.add_rule(
+      "header",
+      [](const auto& state, const Value& v) {
+        return state.reg == 0 && v.kind() == Value::Kind::kWord &&
+               (v.as_word() & kMask) == kMagic;
+      },
+      [](const auto&, const Value& v) {
+        AssertionalMethod::Result result;
+        result.set_reg =
+            static_cast<std::int64_t>(v.as_word() & 0xFFFFFFFFULL);
+        result.delay = ticks(16'000);
+        return result;
+      });
+
+  // reg > 0: collecting data words; completes when reg bytes gathered.
+  method.add_rule(
+      "data",
+      [](const auto& state, const Value& v) {
+        return state.reg > 0 && v.kind() == Value::Kind::kWord;
+      },
+      [](const auto& state, const Value& v) {
+        AssertionalMethod::Result result;
+        const auto remaining = static_cast<std::uint64_t>(state.reg);
+        const std::size_t take = remaining < 4 ? remaining : 4;
+        for (std::size_t k = 0; k < take; ++k)
+          result.append.push_back(
+              static_cast<std::byte>(v.as_word() >> (8 * k)));
+        result.set_reg = state.reg - static_cast<std::int64_t>(take);
+        result.delay = ticks(16'000);
+        result.complete = (*result.set_reg == 0);
+        return result;
+      });
+  return method;
+}
+
+TEST(Assertional, ReDerivesWordLevelProtocol) {
+  const Bytes payload = to_bytes("assertional methods describe levels");
+  TransferEncoder encoder;
+  AssertionalMethod method = word_level_receiver();
+
+  std::optional<Bytes> completed;
+  for (const auto& emission : encoder.encode(payload, runlevels::kWord)) {
+    auto step = method.feed(emission.value);
+    ASSERT_NE(step.fired_rule, nullptr);
+    if (step.completed) completed = step.completed;
+  }
+  ASSERT_TRUE(completed.has_value());
+  EXPECT_EQ(*completed, payload);
+  EXPECT_TRUE(method.state().accumulator.empty());
+}
+
+TEST(Assertional, RulesFireInDeclarationOrder) {
+  AssertionalMethod method;
+  method.add_rule(
+      "first", [](const auto&, const Value&) { return true; },
+      [](const auto&, const Value&) {
+        AssertionalMethod::Result r;
+        r.set_reg = 1;
+        return r;
+      });
+  method.add_rule(
+      "second", [](const auto&, const Value&) { return true; },
+      [](const auto&, const Value&) {
+        AssertionalMethod::Result r;
+        r.set_reg = 2;
+        return r;
+      });
+  const auto step = method.feed(Value{std::uint64_t{0}});
+  EXPECT_EQ(*step.fired_rule, "first");
+  EXPECT_EQ(method.state().reg, 1);
+}
+
+TEST(Assertional, StrictModeRejectsUnmatchedStimulus) {
+  AssertionalMethod method = word_level_receiver();
+  EXPECT_THROW(method.feed(Value::token("garbage")), Error);
+
+  AssertionalMethod lax;
+  lax.set_strict(false);
+  const auto step = lax.feed(Value::token("garbage"));
+  EXPECT_EQ(step.fired_rule, nullptr);  // silently ignored
+}
+
+TEST(Assertional, StateCheckpointRoundTrip) {
+  TransferEncoder encoder;
+  const Bytes payload = to_bytes("checkpoint me halfway through");
+  const auto emissions = encoder.encode(payload, runlevels::kWord);
+
+  AssertionalMethod method = word_level_receiver();
+  const std::size_t half = emissions.size() / 2;
+  for (std::size_t i = 0; i < half; ++i)
+    (void)method.feed(emissions[i].value);
+
+  serial::OutArchive ar;
+  method.save(ar);
+  AssertionalMethod restored = word_level_receiver();
+  serial::InArchive in(ar.bytes());
+  restored.restore(in);
+
+  std::optional<Bytes> completed;
+  for (std::size_t i = half; i < emissions.size(); ++i) {
+    auto step = restored.feed(emissions[i].value);
+    if (step.completed) completed = step.completed;
+  }
+  ASSERT_TRUE(completed.has_value());
+  EXPECT_EQ(*completed, payload);
+}
+
+}  // namespace
+}  // namespace pia

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "base/bytes.hpp"
+#include "base/error.hpp"
+#include "base/ids.hpp"
+#include "base/rng.hpp"
+#include "base/time.hpp"
+
+namespace pia {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  ComponentId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, ComponentId::invalid());
+}
+
+TEST(Ids, DistinctTypesDoNotCompare) {
+  // Compile-time property: ComponentId and NetId are different types.
+  static_assert(!std::is_convertible_v<ComponentId, NetId>);
+  static_assert(!std::is_convertible_v<NetId, ComponentId>);
+}
+
+TEST(Ids, OrderingAndHash) {
+  ComponentId a{1}, b{2};
+  EXPECT_LT(a, b);
+  std::unordered_set<ComponentId> set{a, b};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Ids, StreamFormat) {
+  std::ostringstream os;
+  os << NetId{7} << " " << SubsystemId::invalid();
+  EXPECT_EQ(os.str(), "net#7 ss#<invalid>");
+}
+
+TEST(VirtualTimeTest, ArithmeticAndOrdering) {
+  EXPECT_EQ(ticks(3) + ticks(4), ticks(7));
+  EXPECT_LT(ticks(3), ticks(4));
+  EXPECT_EQ(min(ticks(3), ticks(9)), ticks(3));
+  EXPECT_EQ(max(ticks(3), ticks(9)), ticks(9));
+}
+
+TEST(VirtualTimeTest, InfinityAbsorbs) {
+  EXPECT_TRUE(VirtualTime::infinity().is_infinite());
+  EXPECT_TRUE((VirtualTime::infinity() + ticks(5)).is_infinite());
+  EXPECT_TRUE((ticks(5) + VirtualTime::infinity()).is_infinite());
+  EXPECT_LT(ticks(1'000'000'000), VirtualTime::infinity());
+}
+
+TEST(VirtualTimeTest, StringForms) {
+  EXPECT_EQ(ticks(42).str(), "42");
+  EXPECT_EQ(VirtualTime::infinity().str(), "inf");
+}
+
+TEST(ErrorTest, KindIsPreserved) {
+  try {
+    raise(ErrorKind::kTopology, "bad graph");
+    FAIL() << "raise did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kTopology);
+    EXPECT_NE(std::string(e.what()).find("bad graph"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("topology"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, CheckMacroThrows) {
+  EXPECT_NO_THROW(PIA_CHECK(1 + 1 == 2, "math"));
+  EXPECT_THROW(PIA_CHECK(1 + 1 == 3, "math"), Error);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const auto r = rng.range(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(BytesTest, StringRoundTrip) {
+  const Bytes b = to_bytes("hello pia");
+  EXPECT_EQ(to_string(b), "hello pia");
+  EXPECT_EQ(b.size(), 9u);
+}
+
+TEST(BytesTest, FnvDistinguishesContent) {
+  EXPECT_NE(fnv1a(to_bytes("a")), fnv1a(to_bytes("b")));
+  EXPECT_EQ(fnv1a(to_bytes("abc")), fnv1a(to_bytes("abc")));
+}
+
+}  // namespace
+}  // namespace pia

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "core/checkpoint.hpp"
+#include "core/scheduler.hpp"
+#include "helpers.hpp"
+
+namespace pia {
+namespace {
+
+using testing::Producer;
+using testing::Relay;
+using testing::Sink;
+
+struct Pipeline {
+  Scheduler sched;
+  Producer* producer;
+  Relay* relay;
+  Sink* sink;
+
+  explicit Pipeline(std::uint64_t count = 50) {
+    producer = &sched.emplace<Producer>("p", count);
+    relay = &sched.emplace<Relay>("r");
+    sink = &sched.emplace<Sink>("s");
+    sched.connect(producer->id(), "out", relay->id(), "in");
+    sched.connect(relay->id(), "out", sink->id(), "in");
+    sched.init();
+  }
+};
+
+TEST(DeltaCodec, IdenticalImagesProduceTinyDelta) {
+  const Bytes base = to_bytes(std::string(1000, 'a'));
+  const Bytes delta_bytes = delta::encode(base, base);
+  EXPECT_LT(delta_bytes.size(), 8u);
+  EXPECT_EQ(delta::apply(base, delta_bytes), base);
+}
+
+TEST(DeltaCodec, SingleByteChange) {
+  Bytes base = to_bytes(std::string(1000, 'a'));
+  Bytes target = base;
+  target[500] = std::byte{'b'};
+  const Bytes d = delta::encode(base, target);
+  EXPECT_LT(d.size(), 20u);
+  EXPECT_EQ(delta::apply(base, d), target);
+}
+
+TEST(DeltaCodec, GrowthAndShrink) {
+  const Bytes base = to_bytes("short");
+  const Bytes longer = to_bytes("short plus a considerable tail");
+  EXPECT_EQ(delta::apply(base, delta::encode(base, longer)), longer);
+  EXPECT_EQ(delta::apply(longer, delta::encode(longer, base)), base);
+}
+
+class DeltaFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeltaFuzz, RandomPairsRoundTrip) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes base(rng.below(2048));
+    for (auto& b : base) b = static_cast<std::byte>(rng.below(256));
+    Bytes target = base;
+    target.resize(rng.below(2048));
+    for (auto& b : target)
+      if (rng.chance(0.1)) b = static_cast<std::byte>(rng.below(256));
+    EXPECT_EQ(delta::apply(base, delta::encode(base, target)), target);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaFuzz, ::testing::Values(11, 22, 33, 44));
+
+TEST(CheckpointImmediate, RestoreRewindsEverything) {
+  Pipeline pl;
+  CheckpointManager mgr(pl.sched, CheckpointPolicy::kImmediate);
+
+  pl.sched.run(40);  // partway
+  const auto mid_received = pl.sink->received;
+  const SnapshotId snap = mgr.request();
+  EXPECT_TRUE(mgr.complete(snap));
+
+  pl.sched.run();  // to completion
+  EXPECT_EQ(pl.sink->received.size(), 50u);
+
+  mgr.restore(snap);
+  EXPECT_EQ(pl.sink->received, mid_received);
+
+  // Re-execution reaches the same final state (determinism).
+  pl.sched.run();
+  EXPECT_EQ(pl.sink->received.size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i)
+    EXPECT_EQ(pl.sink->received[i], i + 1);  // relay adds 1
+}
+
+TEST(CheckpointImmediate, RepeatedRestoreIsIdempotent) {
+  Pipeline pl;
+  CheckpointManager mgr(pl.sched, CheckpointPolicy::kImmediate);
+  pl.sched.run(30);
+  const SnapshotId snap = mgr.request();
+  const auto expected = pl.sink->received;
+
+  for (int round = 0; round < 3; ++round) {
+    pl.sched.run();
+    mgr.restore(snap);
+    EXPECT_EQ(pl.sink->received, expected) << "round " << round;
+  }
+}
+
+TEST(CheckpointImmediate, RestoreDropsLaterSnapshots) {
+  Pipeline pl;
+  CheckpointManager mgr(pl.sched, CheckpointPolicy::kImmediate);
+  pl.sched.run(20);
+  const SnapshotId early = mgr.request();
+  pl.sched.run(20);
+  const SnapshotId late = mgr.request();
+  EXPECT_NE(early, late);
+
+  mgr.restore(early);
+  // `late` describes a discarded future.
+  EXPECT_THROW(mgr.snapshot_time(late), Error);
+  EXPECT_EQ(mgr.latest(), early);
+}
+
+TEST(CheckpointDeferred, SavesAtFirstDispatchAndRestores) {
+  Pipeline pl;
+  CheckpointManager mgr(pl.sched, CheckpointPolicy::kDeferred);
+
+  pl.sched.run(40);
+  const auto mid_received = pl.sink->received;
+  const SnapshotId snap = mgr.request();
+  EXPECT_FALSE(mgr.complete(snap));  // nothing dispatched yet
+
+  pl.sched.run(10);  // components hit their save points as they receive
+  pl.sched.run();
+
+  mgr.restore(snap);  // finalizes any stragglers internally
+  EXPECT_EQ(pl.sink->received, mid_received);
+
+  pl.sched.run();
+  EXPECT_EQ(pl.sink->received.size(), 50u);
+}
+
+TEST(CheckpointDeferred, ReExecutionIsDeterministic) {
+  Pipeline pl(100);
+  CheckpointManager mgr(pl.sched, CheckpointPolicy::kDeferred);
+  pl.sched.run(77);
+  const SnapshotId snap = mgr.request();
+  pl.sched.run();
+  const auto final_first = pl.sink->received;
+  const auto final_times = pl.sink->times;
+
+  mgr.restore(snap);
+  pl.sched.run();
+  EXPECT_EQ(pl.sink->received, final_first);
+  EXPECT_EQ(pl.sink->times, final_times);
+}
+
+TEST(CheckpointDeferred, MultipleCheckpointsChain) {
+  Pipeline pl(60);
+  CheckpointManager mgr(pl.sched, CheckpointPolicy::kDeferred);
+  std::vector<SnapshotId> snaps;
+  std::vector<std::size_t> sizes;
+  for (int k = 0; k < 4; ++k) {
+    pl.sched.run(25);
+    const SnapshotId s = mgr.request();
+    mgr.finalize(s);
+    snaps.push_back(s);
+    sizes.push_back(pl.sink->received.size());
+  }
+  pl.sched.run();
+  // Restore to the second checkpoint and verify its cut.
+  mgr.restore(snaps[1]);
+  EXPECT_EQ(pl.sink->received.size(), sizes[1]);
+  pl.sched.run();
+  EXPECT_EQ(pl.sink->received.size(), 60u);
+}
+
+TEST(CheckpointIncremental, DeltasAreSmallerThanFullImages) {
+  Pipeline pl(200);
+  CheckpointManager mgr(pl.sched, CheckpointPolicy::kImmediate);
+  mgr.set_incremental(true);
+
+  pl.sched.run(50);
+  const SnapshotId first = mgr.request();
+  pl.sched.run(4);  // little state change
+  const SnapshotId second = mgr.request();
+
+  EXPECT_GT(mgr.stored_bytes(first), 0u);
+  // The second snapshot stores mostly deltas and must be smaller.
+  EXPECT_LT(mgr.stored_bytes(second), mgr.stored_bytes(first));
+
+  // Restoring through a delta chain still reproduces exact state.
+  pl.sched.run();
+  const auto final_state = pl.sink->received;
+  mgr.restore(second);
+  pl.sched.run();
+  EXPECT_EQ(pl.sink->received, final_state);
+}
+
+TEST(CheckpointIncremental, FossilCollectionMaterializesBases) {
+  Pipeline pl(200);
+  CheckpointManager mgr(pl.sched, CheckpointPolicy::kImmediate);
+  mgr.set_incremental(true);
+
+  pl.sched.run(50);
+  const SnapshotId a = mgr.request();
+  pl.sched.run(10);
+  const SnapshotId b = mgr.request();
+  pl.sched.run(10);
+  const SnapshotId c = mgr.request();
+
+  mgr.discard_before(b);  // a's full images go away; b/c must survive
+  EXPECT_THROW(mgr.snapshot_time(a), Error);
+
+  pl.sched.run();
+  const auto final_state = pl.sink->received;
+  mgr.restore(c);
+  pl.sched.run();
+  EXPECT_EQ(pl.sink->received, final_state);
+  mgr.restore(b);
+  pl.sched.run();
+  EXPECT_EQ(pl.sink->received, final_state);
+}
+
+TEST(CheckpointStats, CountsTakenAndRestored) {
+  Pipeline pl;
+  CheckpointManager mgr(pl.sched, CheckpointPolicy::kImmediate);
+  pl.sched.run(10);
+  const auto snap = mgr.request();
+  pl.sched.run();
+  mgr.restore(snap);
+  EXPECT_EQ(mgr.stats().checkpoints_taken, 1u);
+  EXPECT_EQ(mgr.stats().restores, 1u);
+  EXPECT_GT(mgr.stats().full_image_bytes, 0u);
+}
+
+TEST(CheckpointErrors, UnknownSnapshotThrows) {
+  Pipeline pl;
+  CheckpointManager mgr(pl.sched);
+  EXPECT_THROW(mgr.restore(SnapshotId{42}), Error);
+  EXPECT_THROW(mgr.snapshot_time(SnapshotId{42}), Error);
+  EXPECT_THROW(mgr.restore_latest(), Error);
+}
+
+TEST(CheckpointErrors, ConcurrentDeferredRequestsRejected) {
+  Pipeline pl;
+  CheckpointManager mgr(pl.sched, CheckpointPolicy::kDeferred);
+  (void)mgr.request();
+  EXPECT_THROW(mgr.request(), Error);
+}
+
+}  // namespace
+}  // namespace pia

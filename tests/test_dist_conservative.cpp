@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "dist_helpers.hpp"
+
+namespace pia::dist {
+namespace {
+
+using testing::SplitLoop;
+using testing::SplitPipe;
+using testing::single_host_loop_reference;
+
+TEST(Topology, ForestsAreValid) {
+  Topology t;
+  t.add_channel("a", "b");
+  t.add_channel("b", "c");
+  t.add_channel("b", "d");
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_TRUE(t.valid());
+}
+
+TEST(Topology, TriangleRejected) {
+  // Fig. 4's three subsystems: SS1-SS2, SS1-SS3 is fine; adding SS2-SS3
+  // would close a cycle of length 3.
+  Topology t;
+  t.add_channel("ss1", "ss2");
+  t.add_channel("ss1", "ss3");
+  EXPECT_TRUE(t.valid());
+  t.add_channel("ss2", "ss3");
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(Topology, SelfChannelRejected) {
+  Topology t;
+  t.add_channel("a", "a");
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(Topology, ParallelChannelsRejected) {
+  Topology t;
+  t.add_channel("a", "b");
+  t.add_channel("b", "a");
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(ConservativePipe, DeliversAcrossSubsystems) {
+  SplitPipe pipe(10, ChannelMode::kConservative);
+  pipe.cluster.start_all();
+  const auto outcomes = pipe.cluster.run_all();
+  for (const auto& [name, outcome] : outcomes)
+    EXPECT_EQ(outcome, Subsystem::RunOutcome::kQuiescent) << name;
+
+  EXPECT_EQ(pipe.sink->received,
+            (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  // Delivery times preserved across the split: producer emits at 10,20,...
+  for (std::size_t i = 0; i < pipe.sink->times.size(); ++i)
+    EXPECT_EQ(pipe.sink->times[i], ticks(10 * (i + 1)));
+  EXPECT_EQ(pipe.a->stats().events_sent, 10u);
+  EXPECT_EQ(pipe.b->stats().events_received, 10u);
+}
+
+TEST(ConservativePipe, WorksOverTcp) {
+  SplitPipe pipe(25, ChannelMode::kConservative, Wire::kTcp);
+  pipe.cluster.start_all();
+  pipe.cluster.run_all();
+  ASSERT_EQ(pipe.sink->received.size(), 25u);
+  for (std::size_t i = 0; i < 25; ++i)
+    EXPECT_EQ(pipe.sink->received[i], i);
+}
+
+TEST(ConservativePipe, WorksWithWideAreaLatency) {
+  using namespace std::chrono_literals;
+  SplitPipe pipe(10, ChannelMode::kConservative, Wire::kLoopback,
+                 transport::LatencyModel{.base = 2ms});
+  pipe.cluster.start_all();
+  pipe.cluster.run_all();
+  EXPECT_EQ(pipe.sink->received.size(), 10u);
+  EXPECT_EQ(pipe.sink->times.back(), ticks(100));
+}
+
+TEST(ConservativeLoop, RoundTripMatchesSingleHost) {
+  SplitLoop loop(20, ChannelMode::kConservative);
+  loop.cluster.start_all();
+  const auto outcomes = loop.cluster.run_all();
+  for (const auto& [name, outcome] : outcomes)
+    EXPECT_EQ(outcome, Subsystem::RunOutcome::kQuiescent) << name;
+  EXPECT_EQ(loop.sink->received, single_host_loop_reference(20));
+  EXPECT_EQ(loop.relay->forwarded, 20u);
+}
+
+TEST(ConservativeLoop, SafeTimeProtocolExchangesGrants) {
+  SplitLoop loop(20, ChannelMode::kConservative);
+  loop.cluster.start_all();
+  loop.cluster.run_all();
+  // Both sides must have granted and received safe times; neither may have
+  // rolled back (conservative never does).
+  EXPECT_GT(loop.a->stats().grants_received, 0u);
+  EXPECT_GT(loop.b->stats().grants_sent, 0u);
+  EXPECT_EQ(loop.a->stats().rollbacks, 0u);
+  EXPECT_EQ(loop.b->stats().rollbacks, 0u);
+}
+
+TEST(ConservativeChain, ThreeSubsystemsConverge) {
+  // Fig. 4's shape: SS1 in the middle with channels to SS2 and SS3.  Safe
+  // time must flow through the chain without deadlock (self-restriction
+  // removal).
+  NodeCluster cluster;
+  PiaNode& node = cluster.add_node("node");
+  Subsystem& ss1 = node.add_subsystem("ss1");
+  Subsystem& ss2 = node.add_subsystem("ss2");
+  Subsystem& ss3 = node.add_subsystem("ss3");
+
+  // ss2: producer -> ss1: relay -> ss3: sink
+  auto& producer = ss2.scheduler().emplace<testing::Producer>("p", 15);
+  auto& relay = ss1.scheduler().emplace<testing::Relay>("r");
+  auto& sink = ss3.scheduler().emplace<testing::Sink>("s");
+
+  const NetId fwd2 = ss2.scheduler().make_net("fwd");
+  ss2.scheduler().attach(fwd2, producer.id(), "out");
+  const NetId fwd1 = ss1.scheduler().make_net("fwd");
+  ss1.scheduler().attach(fwd1, relay.id(), "in");
+  const NetId out1 = ss1.scheduler().make_net("out");
+  ss1.scheduler().attach(out1, relay.id(), "out");
+  const NetId out3 = ss3.scheduler().make_net("out");
+  ss3.scheduler().attach(out3, sink.id(), "in");
+
+  const ChannelPair c12 =
+      cluster.connect_checked(ss1, ss2, ChannelMode::kConservative);
+  const ChannelPair c13 =
+      cluster.connect_checked(ss1, ss3, ChannelMode::kConservative);
+  split_net(ss1, c12.a, fwd1, ss2, c12.b, fwd2);
+  split_net(ss1, c13.a, out1, ss3, c13.b, out3);
+
+  cluster.start_all();
+  const auto outcomes = cluster.run_all();
+  for (const auto& [name, outcome] : outcomes)
+    EXPECT_EQ(outcome, Subsystem::RunOutcome::kQuiescent) << name;
+  ASSERT_EQ(sink.received.size(), 15u);
+  for (std::size_t i = 0; i < 15; ++i)
+    EXPECT_EQ(sink.received[i], i + 1);  // relay adds 1
+}
+
+TEST(ConservativeStall, Fig3SubsystemMustWaitForPeer) {
+  // The Fig. 3 scenario: a subsystem with a ready event cannot dispatch it
+  // until the peer grants a safe time that covers it.
+  SplitPipe pipe(1, ChannelMode::kConservative, Wire::kLoopback,
+                 /*latency=*/{}, /*period=*/ticks(10));
+  pipe.cluster.start_all();
+
+  // ssB's sink has nothing; ssA's producer will emit at t=10.  ssB cannot
+  // know whether ssA will send before its own (hypothetical) events, so any
+  // local event on ssB would be blocked until a grant arrives.
+  // Drive the loop manually: before any grant exchange, ssB's barrier is 0.
+  EXPECT_EQ(pipe.b->scheduler().now(), VirtualTime::zero());
+  Event probe{.time = ticks(20),
+              .target = pipe.sink->id(),
+              .port = 0,
+              .kind = EventKind::kDeliver,
+              .value = Value{std::uint64_t{99}}};
+  pipe.b->scheduler().inject(probe);
+  EXPECT_EQ(pipe.b->try_advance(), Subsystem::StepResult::kBlocked);
+
+  // Once both sides run, grants flow: the probe (t=20) and the remote
+  // event (t=10) are delivered in timestamp order.
+  pipe.cluster.run_all();
+  ASSERT_EQ(pipe.sink->received.size(), 2u);
+  EXPECT_EQ(pipe.sink->received[0], 0u);   // remote at t=10 first
+  EXPECT_EQ(pipe.sink->received[1], 99u);  // probe at t=20 second
+  // (Whether run() observes an explicit stall is a wall-clock race — the
+  // deterministic kBlocked assertion above is the Fig. 3 property.)
+}
+
+TEST(RunLevelCoordination, SwitchPropagatesAcrossChannel) {
+  SplitPipe pipe(3, ChannelMode::kConservative);
+  pipe.cluster.start_all();
+  // ssA asks ssB to switch the sink's runlevel (proxy coordination).
+  pipe.a->send_runlevel(pipe.channels.a, "s", runlevels::kPacket);
+  pipe.cluster.run_all();
+  EXPECT_EQ(pipe.sink->runlevel().name, "packetLevel");
+}
+
+TEST(SplitNet, RegistrationOrderMismatchIsCaught) {
+  NodeCluster cluster;
+  PiaNode& node = cluster.add_node("n");
+  Subsystem& a = node.add_subsystem("a");
+  Subsystem& b = node.add_subsystem("b");
+  const NetId na1 = a.scheduler().make_net("n1");
+  const NetId na2 = a.scheduler().make_net("n2");
+  const NetId nb1 = b.scheduler().make_net("n1");
+  const ChannelPair ch = cluster.connect_checked(a, b, ChannelMode::kConservative);
+  a.export_net(ch.a, na1);  // a registers one extra net first
+  EXPECT_THROW(split_net(a, ch.a, na2, b, ch.b, nb1), Error);
+}
+
+}  // namespace
+}  // namespace pia::dist

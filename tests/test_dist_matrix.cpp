@@ -1,0 +1,57 @@
+// Property sweep over the distributed layer's configuration space: for
+// every combination of synchronization mode, transport and latency, a
+// round-trip pipeline must produce exactly the single-host kernel's results
+// — the framework's core guarantee that distribution never changes
+// simulated behaviour.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <tuple>
+
+#include "dist_helpers.hpp"
+
+namespace pia::dist {
+namespace {
+
+using namespace std::chrono_literals;
+using testing::SplitLoop;
+using testing::single_host_loop_reference;
+
+using Config = std::tuple<ChannelMode, Wire, int /*latency us*/>;
+
+class DistMatrix : public ::testing::TestWithParam<Config> {};
+
+TEST_P(DistMatrix, RoundTripMatchesSingleHostExactly) {
+  const auto& [mode, wire, latency_us] = GetParam();
+  SplitLoop loop(12, mode, wire,
+                 transport::LatencyModel{
+                     .base = std::chrono::microseconds(latency_us)});
+  loop.a->set_checkpoint_interval(16);
+  loop.b->set_checkpoint_interval(16);
+  loop.cluster.start_all();
+  const auto outcomes =
+      loop.cluster.run_all(Subsystem::RunConfig{.stall_timeout = 20'000ms});
+  for (const auto& [name, outcome] : outcomes)
+    EXPECT_EQ(outcome, Subsystem::RunOutcome::kQuiescent) << name;
+  EXPECT_EQ(loop.sink->received, single_host_loop_reference(12));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesTransportsLatencies, DistMatrix,
+    ::testing::Combine(
+        ::testing::Values(ChannelMode::kConservative,
+                          ChannelMode::kOptimistic),
+        ::testing::Values(Wire::kLoopback, Wire::kTcp),
+        ::testing::Values(0, 300, 1500)),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      const ChannelMode mode = std::get<0>(info.param);
+      const Wire wire = std::get<1>(info.param);
+      const int latency_us = std::get<2>(info.param);
+      return std::string(mode == ChannelMode::kConservative ? "consv"
+                                                            : "optim") +
+             (wire == Wire::kLoopback ? "_loopback" : "_tcp") + "_" +
+             std::to_string(latency_us) + "us";
+    });
+
+}  // namespace
+}  // namespace pia::dist

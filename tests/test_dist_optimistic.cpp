@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "dist_helpers.hpp"
+
+namespace pia::dist {
+namespace {
+
+using namespace std::chrono_literals;
+using testing::SplitLoop;
+using testing::SplitPipe;
+using testing::single_host_loop_reference;
+
+TEST(OptimisticPipe, DeliversWithoutBlocking) {
+  SplitPipe pipe(10, ChannelMode::kOptimistic);
+  pipe.cluster.start_all();
+  const auto outcomes = pipe.cluster.run_all();
+  for (const auto& [name, outcome] : outcomes)
+    EXPECT_EQ(outcome, Subsystem::RunOutcome::kQuiescent) << name;
+  EXPECT_EQ(pipe.sink->received.size(), 10u);
+  // Optimistic channels never exchange safe times.
+  EXPECT_EQ(pipe.a->stats().grants_sent + pipe.b->stats().grants_sent, 0u);
+}
+
+/// A component that gives the receiving subsystem plenty of local work so it
+/// runs ahead of the slow remote producer: the recipe for stragglers.
+class BusyCounter : public Component {
+ public:
+  BusyCounter(std::string name, std::uint64_t iterations)
+      : Component(std::move(name)), remaining_(iterations) {
+    out_ = add_output("tick");
+  }
+  void on_init() override { wake_after(ticks(1)); }
+  void on_wake() override {
+    if (remaining_ == 0) return;
+    --remaining_;
+    ++count_;
+    send(out_, Value{count_});
+    wake_after(ticks(1));
+  }
+  void on_receive(PortIndex, const Value&) override {}
+  void save_state(serial::OutArchive& ar) const override {
+    ar.put_varint(remaining_);
+    ar.put_varint(count_);
+  }
+  void restore_state(serial::InArchive& ar) override {
+    remaining_ = ar.get_varint();
+    count_ = ar.get_varint();
+  }
+
+ private:
+  std::uint64_t remaining_;
+  std::uint64_t count_ = 0;
+  PortIndex out_;
+};
+
+struct StragglerRig {
+  NodeCluster cluster;
+  Subsystem* fast = nullptr;  // runs ahead on local work
+  Subsystem* slow = nullptr;  // produces sparse remote events, slowly
+  testing::Sink* remote_sink = nullptr;  // on fast, receives slow's events
+  testing::Sink* local_sink = nullptr;   // on fast, receives local ticks
+
+  explicit StragglerRig(std::uint64_t remote_events,
+                        std::uint64_t local_ticks,
+                        transport::LatencyModel latency = {.base = 2ms}) {
+    PiaNode& node = cluster.add_node("n");
+    fast = &node.add_subsystem("fast");
+    slow = &node.add_subsystem("slow");
+    fast->set_checkpoint_interval(32);
+    slow->set_checkpoint_interval(32);
+
+    // Local work on `fast`, at virtual period 1: reaches high virtual times
+    // quickly.
+    auto& busy = fast->scheduler().emplace<BusyCounter>("busy", local_ticks);
+    local_sink = &fast->scheduler().emplace<testing::Sink>("local");
+    fast->scheduler().connect(busy.id(), "tick", local_sink->id(), "in");
+
+    // Remote events arrive late in wall-clock time (latency link) but carry
+    // small virtual timestamps: stragglers.
+    auto& producer = slow->scheduler().emplace<testing::Producer>(
+        "p", remote_events, /*period=*/ticks(10));
+    remote_sink = &fast->scheduler().emplace<testing::Sink>("remote");
+
+    const NetId net_slow = slow->scheduler().make_net("wire");
+    slow->scheduler().attach(net_slow, producer.id(), "out");
+    const NetId net_fast = fast->scheduler().make_net("wire");
+    fast->scheduler().attach(net_fast, remote_sink->id(), "in");
+
+    const ChannelPair ch = cluster.connect_checked(
+        *fast, *slow, ChannelMode::kOptimistic, Wire::kLoopback, latency);
+    split_net(*slow, ch.b, net_slow, *fast, ch.a, net_fast);
+  }
+};
+
+TEST(OptimisticStraggler, RollbackRepairsCausality) {
+  StragglerRig rig(/*remote_events=*/8, /*local_ticks=*/5000);
+  rig.cluster.start_all();
+  const auto outcomes = rig.cluster.run_all(
+      Subsystem::RunConfig{.stall_timeout = 10000ms});
+  for (const auto& [name, outcome] : outcomes)
+    EXPECT_EQ(outcome, Subsystem::RunOutcome::kQuiescent) << name;
+
+  // The fast subsystem must have run ahead and been rewound at least once.
+  EXPECT_GT(rig.fast->stats().rollbacks, 0u);
+
+  // Despite the rollbacks, every event landed exactly once, in timestamp
+  // order, at the right time.
+  ASSERT_EQ(rig.remote_sink->received.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(rig.remote_sink->received[i], i);
+    EXPECT_EQ(rig.remote_sink->times[i], ticks(10 * (i + 1)));
+  }
+  ASSERT_EQ(rig.local_sink->received.size(), 5000u);
+  for (std::size_t i = 0; i < 5000; ++i)
+    EXPECT_EQ(rig.local_sink->received[i], i + 1);
+}
+
+TEST(OptimisticStraggler, ResultsMatchConservativeRun) {
+  // The whole point of rollback: same results as the safe protocol.
+  auto run_mode = [](ChannelMode mode) {
+    SplitLoop loop(15, mode);
+    loop.a->set_checkpoint_interval(8);
+    loop.b->set_checkpoint_interval(8);
+    loop.cluster.start_all();
+    loop.cluster.run_all(Subsystem::RunConfig{.stall_timeout = 10000ms});
+    return loop.sink->received;
+  };
+  const auto conservative = run_mode(ChannelMode::kConservative);
+  const auto optimistic = run_mode(ChannelMode::kOptimistic);
+  EXPECT_EQ(conservative, optimistic);
+  EXPECT_EQ(conservative, single_host_loop_reference(15));
+}
+
+TEST(OptimisticRetraction, CascadesAcrossSubsystems) {
+  // fast also forwards remote events onward through a relay loop back to
+  // slow; a rollback on fast retracts forwarded events, forcing slow to
+  // rewind too (cascading rollback).
+  NodeCluster cluster;
+  PiaNode& node = cluster.add_node("n");
+  Subsystem& fast = node.add_subsystem("fast");
+  Subsystem& slow = node.add_subsystem("slow");
+  fast.set_checkpoint_interval(16);
+  slow.set_checkpoint_interval(16);
+
+  auto& busy = fast.scheduler().emplace<BusyCounter>("busy", 3000);
+  auto& busy_sink = fast.scheduler().emplace<testing::Sink>("bs");
+  fast.scheduler().connect(busy.id(), "tick", busy_sink.id(), "in");
+
+  auto& producer =
+      slow.scheduler().emplace<testing::Producer>("p", 6, ticks(10));
+  auto& echo_sink = slow.scheduler().emplace<testing::Sink>("echo");
+  auto& relay = fast.scheduler().emplace<testing::Relay>("r");
+
+  const NetId fwd_slow = slow.scheduler().make_net("fwd");
+  slow.scheduler().attach(fwd_slow, producer.id(), "out");
+  const NetId fwd_fast = fast.scheduler().make_net("fwd");
+  fast.scheduler().attach(fwd_fast, relay.id(), "in");
+  const NetId back_fast = fast.scheduler().make_net("back");
+  fast.scheduler().attach(back_fast, relay.id(), "out");
+  const NetId back_slow = slow.scheduler().make_net("back");
+  slow.scheduler().attach(back_slow, echo_sink.id(), "in");
+
+  const ChannelPair ch = cluster.connect_checked(
+      fast, slow, ChannelMode::kOptimistic, Wire::kLoopback,
+      transport::LatencyModel{.base = 1ms});
+  split_net(slow, ch.b, fwd_slow, fast, ch.a, fwd_fast);
+  split_net(slow, ch.b, back_slow, fast, ch.a, back_fast);
+
+  cluster.start_all();
+  const auto outcomes =
+      cluster.run_all(Subsystem::RunConfig{.stall_timeout = 10000ms});
+  for (const auto& [name, outcome] : outcomes)
+    EXPECT_EQ(outcome, Subsystem::RunOutcome::kQuiescent) << name;
+
+  ASSERT_EQ(echo_sink.received.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i)
+    EXPECT_EQ(echo_sink.received[i], i + 1);  // relay adds 1
+}
+
+TEST(OptimisticFossil, GvtCollectsCheckpointsAndLogs) {
+  StragglerRig rig(4, 2000);
+  rig.cluster.start_all();
+  rig.cluster.run_all(Subsystem::RunConfig{.stall_timeout = 10000ms});
+
+  const std::size_t checkpoints_before = rig.fast->stats().checkpoints;
+  EXPECT_GT(checkpoints_before, 2u);
+
+  const VirtualTime gvt = rig.cluster.fossil_collect_all();
+  // Quiescent system: GVT is infinite, everything collectable except the
+  // newest checkpoint.
+  EXPECT_TRUE(gvt.is_infinite());
+  EXPECT_TRUE(rig.fast->checkpoints().has_checkpoint());
+
+  // The system still works after collection: more local work can run.
+  EXPECT_EQ(rig.fast->run(Subsystem::RunConfig{.stall_timeout = 1000ms}),
+            Subsystem::RunOutcome::kQuiescent);
+}
+
+TEST(OptimisticDeterminism, RepeatedRunsIdentical) {
+  auto run_once = [] {
+    StragglerRig rig(6, 1500, transport::LatencyModel{.base = 1ms});
+    rig.cluster.start_all();
+    rig.cluster.run_all(Subsystem::RunConfig{.stall_timeout = 10000ms});
+    return std::make_pair(rig.remote_sink->received,
+                          rig.remote_sink->times);
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  // Rollback counts may differ run to run (wall-clock races) but the
+  // simulation results may not.
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace pia::dist

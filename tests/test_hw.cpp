@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <future>
+
+#include "core/scheduler.hpp"
+#include "transport/tcp.hpp"
+#include "hw/bridge.hpp"
+#include "hw/pamette.hpp"
+#include "hw/simhw.hpp"
+#include "helpers.hpp"
+
+namespace pia::hw {
+namespace {
+
+std::unique_ptr<PametteDevice> make_timer_board(std::uint64_t period = 4) {
+  return std::make_unique<PametteDevice>(8, /*clock=*/ticks(100),
+                                         make_timer_design(period));
+}
+
+TEST(Pamette, ClocksUserDesignOnAdvance) {
+  PametteDevice dev(4, ticks(100), make_timer_design(0));
+  dev.write(1, 1, VirtualTime::zero());  // enable
+  dev.advance(ticks(1000));
+  EXPECT_EQ(dev.reg(0), 10u);  // ten ticks of 100 in (0, 1000]
+  EXPECT_EQ(dev.ticks_run(), 10u);
+}
+
+TEST(Pamette, RaisesPeriodicInterrupts) {
+  PametteDevice dev(4, ticks(100), make_timer_design(3));
+  dev.write(1, 1, VirtualTime::zero());
+  const auto irqs = dev.advance(ticks(1000));
+  // Counts 1..10; interrupts at 3, 6, 9.
+  ASSERT_EQ(irqs.size(), 3u);
+  EXPECT_EQ(irqs[0].payload, 3u);
+  EXPECT_EQ(irqs[0].time, ticks(300));
+  EXPECT_EQ(irqs[2].time, ticks(900));
+}
+
+TEST(Pamette, DisabledDesignDoesNothing) {
+  PametteDevice dev(4, ticks(100), make_timer_design(1));
+  dev.advance(ticks(1000));
+  EXPECT_EQ(dev.reg(0), 0u);
+}
+
+TEST(LocalStub, MeetsTheThreeObligations) {
+  LocalHardwareStub stub(make_timer_board(2));
+  // 1. set and read time
+  stub.set_time(ticks(500));
+  EXPECT_EQ(stub.read_time(), ticks(500));
+  // 2. run / stall
+  stub.write_register(1, 1);
+  stub.run_until(ticks(1500));
+  EXPECT_EQ(stub.read_time(), ticks(1500));
+  stub.stall();
+  // 3. buffered interrupts
+  const auto irqs = stub.take_interrupts();
+  ASSERT_FALSE(irqs.empty());
+  for (const auto& irq : irqs) EXPECT_LE(irq.time, ticks(1500));
+  EXPECT_TRUE(stub.take_interrupts().empty());  // drained
+}
+
+TEST(HardwareServer, ServesStubCallsOverLink) {
+  auto pair = transport::make_loopback_pair();
+  HardwareServer server(make_timer_board(2), std::move(pair.a));
+  RemoteHardwareStub stub(std::move(pair.b));
+
+  stub.set_time(VirtualTime::zero());
+  stub.write_register(1, 1);  // enable
+  stub.run_until(ticks(800));
+  EXPECT_EQ(stub.read_time(), ticks(800));
+  EXPECT_EQ(stub.read_register(0), 8u);
+  const auto irqs = stub.take_interrupts();
+  EXPECT_EQ(irqs.size(), 4u);  // counts 2,4,6,8
+  EXPECT_GT(server.commands_served(), 4u);
+}
+
+TEST(HardwareServer, WorksOverTcp) {
+  transport::TcpListener listener(0);
+  auto client_link = std::async(std::launch::async, [&] {
+    return transport::tcp_connect(listener.port());
+  });
+  HardwareServer server(make_timer_board(1), listener.accept());
+  RemoteHardwareStub stub(client_link.get());
+
+  stub.write_register(1, 1);
+  stub.run_until(ticks(300));
+  EXPECT_EQ(stub.read_register(0), 3u);
+  EXPECT_EQ(stub.take_interrupts().size(), 3u);
+}
+
+TEST(Bridge, BusReadWriteRoundTrip) {
+  Scheduler sched;
+  // period 0: the counter runs but raises no interrupts, so the (unwired)
+  // irq port stays silent in this bus-focused test.
+  auto& bridge = sched.emplace<HardwareBridge>(
+      "hw", std::make_unique<LocalHardwareStub>(make_timer_board(0)),
+      /*poll=*/ticks(100000), /*read_latency=*/ticks(50));
+  auto& sink = sched.emplace<testing::Sink>("cpu");
+
+  /// A little driver that writes the enable register then reads it back.
+  class Driver : public Component {
+   public:
+    Driver() : Component("drv") { cmd_ = add_output("cmd"); }
+    void on_init() override { wake_after(ticks(10)); }
+    void on_wake() override {
+      send(cmd_, HardwareBridge::encode_write(1, 1));
+      advance(ticks(5));
+      send(cmd_, HardwareBridge::encode_read(1));
+    }
+    void on_receive(PortIndex, const Value&) override {}
+    PortIndex cmd_;
+  };
+  auto& driver = sched.emplace<Driver>();
+  sched.connect(driver.id(), "cmd", bridge.id(), "cmd");
+  sched.connect(bridge.id(), "rdata", sink.id(), "in");
+  sched.init();
+  sched.run_until(ticks(50000));  // the bridge re-arms its poll forever
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_EQ(sink.received[0], 1u);  // read back the enable bit
+  EXPECT_EQ(bridge.bus_accesses(), 2u);
+}
+
+TEST(Bridge, PollsAndDeliversHardwareInterrupts) {
+  Scheduler sched;
+  auto board = make_timer_board(/*period=*/5);
+  board->write(1, 1, VirtualTime::zero());  // pre-enabled
+  auto& bridge = sched.emplace<HardwareBridge>(
+      "hw", std::make_unique<LocalHardwareStub>(std::move(board)),
+      /*poll=*/ticks(1000));
+
+  class IrqSink : public Component {
+   public:
+    IrqSink() : Component("irqsink") {
+      in_ = add_input("in", PortSync::kAsynchronous);
+    }
+    void on_receive(PortIndex, const Value& v) override {
+      auto irq = HardwareBridge::decode_irq(v);
+      payloads.push_back(irq.payload);
+      times.push_back(delivery_time());
+    }
+    std::vector<std::uint64_t> payloads;
+    std::vector<VirtualTime> times;
+    PortIndex in_;
+  };
+  auto& sink = sched.emplace<IrqSink>();
+  sched.connect(bridge.id(), "irq", sink.id(), "in");
+  sched.init();
+  sched.run_until(ticks(5000));
+  // Board clocks every 100 ticks, irq every 5 counts => every 500 ticks.
+  ASSERT_GE(sink.payloads.size(), 8u);
+  EXPECT_EQ(sink.payloads[0], 5u);
+  EXPECT_EQ(sink.payloads[1], 10u);
+  // Interrupt times never travel backwards relative to delivery order.
+  for (std::size_t i = 1; i < sink.times.size(); ++i)
+    EXPECT_GE(sink.times[i], sink.times[i - 1]);
+}
+
+TEST(Bridge, RefusesToRewind) {
+  Scheduler sched;
+  auto& bridge = sched.emplace<HardwareBridge>(
+      "hw", std::make_unique<LocalHardwareStub>(make_timer_board(2)));
+  sched.init();
+  const Bytes image = bridge.save_image();
+  EXPECT_THROW(bridge.restore_image(image), Error);
+}
+
+}  // namespace
+}  // namespace pia::hw

@@ -1,0 +1,131 @@
+// Cross-module integration tests: the full WubbleU stack exercised through
+// the framework features the paper combines — run-control switchpoints,
+// checkpoint/rewind of a whole application mid-flight, and distributed
+// execution with fossil collection.
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.hpp"
+#include "core/runcontrol.hpp"
+#include "wubbleu/system.hpp"
+
+namespace pia::wubbleu {
+namespace {
+
+WubbleUConfig tiny_config() {
+  WubbleUConfig config;
+  config.page.target_bytes = 8 * 1024;
+  config.page.image_count = 1;
+  config.page.image_width = 32;
+  config.page.image_height = 32;
+  return config;
+}
+
+TEST(Integration, RunControlSwitchpointDropsDetailMidSession) {
+  // Two pages; a switchpoint drops the chip from word to packet detail
+  // after the first page's downlink, using the paper's script syntax.
+  Scheduler sched("wubbleu");
+  WubbleUConfig config = tiny_config();
+  config.downlink_level = runlevels::kWord;
+  config.urls = {config.page.url, config.page.url};
+  const WubbleUHandles h = build_local(sched, config);
+
+  RunControlParser parser;
+  // The asic's clock passes 34ms while emitting page 1 (its emission
+  // handler runs to completion); the switchpoint fires at the safe point
+  // right after, so page 2 goes out at packet level.
+  for (Switchpoint& sp : parser.parse(
+           "when asic.time >= 34000000: asic -> packetLevel\n"))
+    sched.add_switchpoint(std::move(sp));
+
+  sched.init();
+  sched.run();
+
+  EXPECT_EQ(h.ui->completed(), 2u);
+  EXPECT_EQ(h.asic->runlevel().name, "packetLevel");
+  EXPECT_EQ(sched.stats().runlevel_switches, 1u);
+  // Page 1 at word level: ~2k emissions; page 2 at packet level: ~8.
+  // Total must be far below 2x the word-level cost.
+  EXPECT_LT(h.asic->host_emissions(), 2'300u);
+  EXPECT_GT(h.asic->host_emissions(), 2'000u);
+}
+
+TEST(Integration, WholeApplicationCheckpointMidLoadReplaysIdentically) {
+  Scheduler sched("wubbleu");
+  const WubbleUHandles h = build_local(sched, tiny_config());
+  CheckpointManager checkpoints(sched);
+  sched.init();
+
+  // Run into the middle of the downlink, checkpoint the whole app.
+  sched.run(120);
+  ASSERT_EQ(h.ui->completed(), 0u);
+  const SnapshotId snap = checkpoints.request();
+
+  sched.run();
+  ASSERT_EQ(h.ui->completed(), 1u);
+  const auto done_time = h.ui->loads()[0].completed_at;
+  const auto decoded = h.cpu->images_decoded();
+
+  checkpoints.restore(snap);
+  EXPECT_EQ(h.ui->completed(), 0u);
+  sched.run();
+  EXPECT_EQ(h.ui->completed(), 1u);
+  EXPECT_EQ(h.ui->loads()[0].completed_at, done_time);
+  // The decode counter was rewound with the rest of the CPU state, so the
+  // replay ends at the same value as the original run.
+  EXPECT_EQ(h.cpu->images_decoded(), decoded);
+  EXPECT_EQ(h.cpu->image_pixel_errors(), 0u);
+}
+
+TEST(Integration, DistributedWubbleUSurvivesFossilCollection) {
+  dist::NodeCluster cluster;
+  dist::Subsystem& handheld = cluster.add_node("h").add_subsystem("handheld");
+  dist::Subsystem& chip = cluster.add_node("c").add_subsystem("chip");
+  handheld.set_checkpoint_interval(32);
+  chip.set_checkpoint_interval(32);
+  const dist::ChannelPair channels = cluster.connect_checked(
+      handheld, chip, dist::ChannelMode::kOptimistic);
+  WubbleUConfig config = tiny_config();
+  config.urls = {config.page.url, config.page.url};
+  const WubbleUHandles h =
+      build_distributed(handheld, chip, channels, config);
+  cluster.start_all();
+  cluster.run_all(dist::Subsystem::RunConfig{
+      .stall_timeout = std::chrono::milliseconds(15000)});
+  ASSERT_EQ(h.ui->completed(), 2u);
+
+  const VirtualTime gvt = cluster.fossil_collect_all();
+  EXPECT_TRUE(gvt.is_infinite());  // quiescent: everything collectable
+  // Checkpoint storage collapsed to the newest snapshot per subsystem.
+  EXPECT_TRUE(handheld.checkpoints().has_checkpoint());
+  EXPECT_TRUE(chip.checkpoints().has_checkpoint());
+}
+
+TEST(Integration, DistributedVirtualTimesMatchLocalAtEveryDetailLevel) {
+  for (const RunLevel& level :
+       {runlevels::kTransaction, runlevels::kPacket, runlevels::kWord}) {
+    WubbleUConfig config = tiny_config();
+    config.downlink_level = level;
+
+    Scheduler local("wubbleu");
+    const WubbleUHandles ref = build_local(local, config);
+    local.init();
+    local.run();
+    ASSERT_EQ(ref.ui->completed(), 1u) << level.name;
+
+    dist::NodeCluster cluster;
+    dist::Subsystem& a = cluster.add_node("h").add_subsystem("handheld");
+    dist::Subsystem& b = cluster.add_node("c").add_subsystem("chip");
+    const dist::ChannelPair channels =
+        cluster.connect_checked(a, b, dist::ChannelMode::kConservative);
+    const WubbleUHandles h = build_distributed(a, b, channels, config);
+    cluster.start_all();
+    cluster.run_all();
+    ASSERT_EQ(h.ui->completed(), 1u) << level.name;
+    EXPECT_EQ(h.ui->loads()[0].completed_at,
+              ref.ui->loads()[0].completed_at)
+        << "distribution changed simulated time at " << level.name;
+  }
+}
+
+}  // namespace
+}  // namespace pia::wubbleu

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "core/process.hpp"
+#include "core/scheduler.hpp"
+#include "helpers.hpp"
+
+namespace pia {
+namespace {
+
+/// Straight-line behaviour: wait, then relay three values with think time.
+class ProcRelay : public ProcessComponent {
+ public:
+  explicit ProcRelay(std::string name) : ProcessComponent(std::move(name)) {
+    in_ = add_input("in");
+    out_ = add_output("out");
+  }
+
+  Process body() override {
+    co_await delay(ticks(5));
+    for (int i = 0; i < 3; ++i) {
+      auto [port, value] = co_await receive();
+      EXPECT_EQ(port, in_);
+      advance(ticks(7));  // basic-block estimate, mid-coroutine
+      send(out_, Value{value.as_word() * 10});
+    }
+    finished_normally = true;
+  }
+
+  bool finished_normally = false;
+  PortIndex in_, out_;
+};
+
+TEST(ProcessComponentTest, StraightLineBodyRelaysValues) {
+  Scheduler sched;
+  auto& producer = sched.emplace<testing::Producer>("p", 3, ticks(10), ticks(10));
+  auto& relay = sched.emplace<ProcRelay>("proc");
+  auto& sink = sched.emplace<testing::Sink>("s");
+  sched.connect(producer.id(), "out", relay.id(), "in");
+  sched.connect(relay.id(), "out", sink.id(), "in");
+  sched.init();
+  sched.run();
+
+  EXPECT_TRUE(relay.finished_normally);
+  EXPECT_TRUE(relay.finished());
+  EXPECT_EQ(sink.received, (std::vector<std::uint64_t>{0, 10, 20}));
+  // Deliveries at producer times 10/20/30 plus 7 ticks of think time each.
+  EXPECT_EQ(sink.times, (std::vector<VirtualTime>{ticks(17), ticks(27),
+                                                  ticks(37)}));
+}
+
+TEST(ProcessComponentTest, MailboxBuffersBurstsWhileComputing) {
+  /// Receives one value, then sleeps a long time; the other arrivals must
+  /// queue in the mailbox and be consumed afterwards in order.
+  class Sleepy : public ProcessComponent {
+   public:
+    explicit Sleepy(std::string name) : ProcessComponent(std::move(name)) {
+      in_ = add_input("in", PortSync::kAsynchronous);
+      out_ = add_output("out");
+    }
+    Process body() override {
+      (void)co_await receive();
+      co_await delay(ticks(1'000));  // everything else arrives meanwhile
+      while (mailbox_size() > 0) {
+        auto [port, value] = co_await receive();
+        send(out_, value);
+      }
+    }
+    PortIndex in_, out_;
+  };
+
+  Scheduler sched;
+  auto& producer = sched.emplace<testing::Producer>("p", 5, ticks(10), ticks(10));
+  auto& sleepy = sched.emplace<Sleepy>("sleepy");
+  auto& sink = sched.emplace<testing::Sink>("s");
+  sched.connect(producer.id(), "out", sleepy.id(), "in");
+  sched.connect(sleepy.id(), "out", sink.id(), "in");
+  sched.init();
+  sched.run();
+  EXPECT_EQ(sink.received, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+  ASSERT_FALSE(sink.times.empty());
+  EXPECT_GE(sink.times[0], ticks(1'010));
+}
+
+TEST(ProcessComponentTest, RefusesToRewind) {
+  Scheduler sched;
+  auto& relay = sched.emplace<ProcRelay>("proc");
+  sched.init();
+  const Bytes image = relay.save_image();
+  EXPECT_THROW(relay.restore_image(image), Error);
+}
+
+TEST(ProcessComponentTest, BodyExceptionSurfaces) {
+  class Thrower : public ProcessComponent {
+   public:
+    Thrower() : ProcessComponent("thrower") {}
+    Process body() override {
+      co_await delay(ticks(1));
+      raise(ErrorKind::kState, "deliberate");
+    }
+  };
+  Scheduler sched;
+  sched.emplace<Thrower>();
+  sched.init();
+  EXPECT_THROW(sched.run(), Error);
+}
+
+}  // namespace
+}  // namespace pia

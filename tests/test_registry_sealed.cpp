@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "core/scheduler.hpp"
+#include "core/sealed.hpp"
+#include "core/simulation.hpp"
+#include "helpers.hpp"
+
+namespace pia {
+namespace {
+
+using testing::Sink;
+
+TEST(Registry, RegisterCreateLookup) {
+  ComponentRegistry reg;
+  reg.register_factory("sink", [](const std::string& instance) {
+    return std::make_unique<Sink>(instance);
+  });
+  EXPECT_TRUE(reg.contains("sink"));
+  EXPECT_FALSE(reg.contains("ghost"));
+  auto c = reg.create("sink", "s0");
+  EXPECT_EQ(c->name(), "s0");
+  EXPECT_THROW(reg.create("ghost", "g"), Error);
+}
+
+TEST(Registry, ReloadBumpsGeneration) {
+  ComponentRegistry reg;
+  EXPECT_EQ(reg.generation("sink"), 0u);
+  reg.register_factory("sink", [](const std::string& n) {
+    return std::make_unique<Sink>(n);
+  });
+  EXPECT_EQ(reg.generation("sink"), 1u);
+  // "Recompile and reload without restarting the simulator": re-register.
+  reg.register_factory("sink", [](const std::string& n) {
+    return std::make_unique<Sink>(n, PortSync::kAsynchronous);
+  });
+  EXPECT_EQ(reg.generation("sink"), 2u);
+  auto c = reg.create("sink", "s1");
+  EXPECT_EQ(c->ports()[0].sync, PortSync::kAsynchronous);
+}
+
+TEST(Registry, SimulationCreatesByTypeName) {
+  ComponentRegistry reg;
+  reg.register_factory("sink", [](const std::string& n) {
+    return std::make_unique<Sink>(n);
+  });
+  Simulation sim;
+  Component& c = sim.create("sink", "mysink", reg);
+  EXPECT_EQ(sim.scheduler().find_component("mysink"), &c);
+}
+
+TEST(SealedBlobTest, SealUnsealRoundTrip) {
+  const Bytes secret = to_bytes("coefficients: 3 1 4 1 5 9 2 6");
+  const SealedBlob blob = SealedBlob::seal(secret, "vendor-key");
+  EXPECT_NE(blob.ciphertext(), secret);  // not stored in the clear
+  EXPECT_EQ(blob.unseal("vendor-key"), secret);
+}
+
+TEST(SealedBlobTest, WrongKeyNeverYieldsPlaintext) {
+  const Bytes secret = to_bytes("the crown jewels");
+  const SealedBlob blob = SealedBlob::seal(secret, "right");
+  EXPECT_THROW((void)blob.unseal("wrong"), Error);
+  EXPECT_THROW((void)blob.unseal(""), Error);
+}
+
+TEST(SealedBlobTest, CiphertextTransportable) {
+  const Bytes secret = to_bytes("ip block");
+  const SealedBlob original = SealedBlob::seal(secret, "k");
+  const SealedBlob shipped =
+      SealedBlob::from_ciphertext(original.ciphertext());
+  EXPECT_EQ(shipped.unseal("k"), secret);
+}
+
+/// An "IP" model whose behaviour depends on sealed parameters: adds a secret
+/// constant to each received word.
+class SecretAdder : public Component {
+ public:
+  SecretAdder(std::string name, std::uint64_t secret)
+      : Component(std::move(name)), secret_(secret) {
+    in_ = add_input("in");
+    out_ = add_output("out");
+  }
+  void on_receive(PortIndex, const Value& v) override {
+    advance(ticks(2));
+    send(out_, Value{v.as_word() + secret_});
+  }
+  void save_state(serial::OutArchive& ar) const override {
+    ar.put_varint(calls_);
+  }
+  void restore_state(serial::InArchive& ar) override {
+    calls_ = ar.get_varint();
+  }
+
+ private:
+  std::uint64_t secret_;
+  std::uint64_t calls_ = 0;
+  PortIndex in_, out_;
+};
+
+std::unique_ptr<Component> secret_adder_factory(const std::string& instance,
+                                                BytesView params) {
+  serial::InArchive ar(params);
+  return std::make_unique<SecretAdder>(instance, ar.get_varint());
+}
+
+TEST(SealedComponentTest, BehavesLikeInnerModel) {
+  serial::OutArchive params;
+  params.put_varint(1000);
+  const SealedBlob blob = SealedBlob::seal(params.bytes(), "vendor");
+
+  Scheduler sched;
+  auto& producer = sched.emplace<testing::Producer>("p", 3);
+  auto& sealed = sched.emplace<SealedComponent>("ip", blob, "vendor",
+                                                secret_adder_factory);
+  auto& sink = sched.emplace<Sink>("s");
+  sched.connect(producer.id(), "out", sealed.id(), "in");
+  sched.connect(sealed.id(), "out", sink.id(), "in");
+  sched.init();
+  sched.run();
+  EXPECT_EQ(sink.received, (std::vector<std::uint64_t>{1000, 1001, 1002}));
+}
+
+TEST(SealedComponentTest, InnerComputationTimeIsCharged) {
+  serial::OutArchive params;
+  params.put_varint(0);
+  const SealedBlob blob = SealedBlob::seal(params.bytes(), "vendor");
+
+  Scheduler sched;
+  auto& producer = sched.emplace<testing::Producer>("p", 1, ticks(10), ticks(10));
+  auto& sealed = sched.emplace<SealedComponent>("ip", blob, "vendor",
+                                                secret_adder_factory);
+  auto& sink = sched.emplace<Sink>("s");
+  sched.connect(producer.id(), "out", sealed.id(), "in");
+  sched.connect(sealed.id(), "out", sink.id(), "in");
+  sched.init();
+  sched.run();
+  ASSERT_EQ(sink.times.size(), 1u);
+  EXPECT_EQ(sink.times[0], ticks(12));  // 10 emit + 2 inner advance
+}
+
+TEST(SealedComponentTest, CheckpointDoesNotLeakParameters) {
+  serial::OutArchive params;
+  params.put_varint(0xDEADBEEF);
+  const SealedBlob blob = SealedBlob::seal(params.bytes(), "vendor");
+
+  Scheduler sched;
+  auto& sealed = sched.emplace<SealedComponent>("ip", blob, "vendor",
+                                                secret_adder_factory);
+  const Bytes image = sealed.save_image();
+  // The raw parameter varint (EF BE B7 ED 0D...) must not appear.
+  const Bytes needle = [&] {
+    serial::OutArchive ar;
+    ar.put_varint(0xDEADBEEF);
+    return std::move(ar).take();
+  }();
+  const auto found = std::search(image.begin(), image.end(), needle.begin(),
+                                 needle.end());
+  EXPECT_EQ(found, image.end()) << "plaintext parameters leaked into image";
+  // And the image restores.
+  sched.init();
+  sealed.restore_image(image);
+}
+
+TEST(SealedComponentTest, WrongKeyFailsConstruction) {
+  serial::OutArchive params;
+  params.put_varint(1);
+  const SealedBlob blob = SealedBlob::seal(params.bytes(), "vendor");
+  EXPECT_THROW(SealedComponent("ip", blob, "attacker", secret_adder_factory),
+               Error);
+}
+
+}  // namespace
+}  // namespace pia

@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "core/protocols.hpp"
+#include "core/runcontrol.hpp"
+#include "core/runlevel.hpp"
+#include "core/scheduler.hpp"
+#include "helpers.hpp"
+
+namespace pia {
+namespace {
+
+using testing::TransferReceiver;
+using testing::TransferSender;
+
+TEST(SwitchCondition, LeafEvaluation) {
+  const auto cond = SwitchCondition::at_least("a", ticks(50));
+  const auto times = [](const std::string&) { return ticks(49); };
+  EXPECT_FALSE(cond.eval(times));
+  const auto later = [](const std::string&) { return ticks(50); };
+  EXPECT_TRUE(cond.eval(later));
+}
+
+TEST(SwitchCondition, ConjunctsAndDisjuncts) {
+  const auto cond = SwitchCondition::disj(
+      SwitchCondition::conj(SwitchCondition::at_least("a", ticks(10)),
+                            SwitchCondition::at_least("b", ticks(20))),
+      SwitchCondition::at_least("c", ticks(100)));
+  auto view = [](VirtualTime a, VirtualTime b, VirtualTime c) {
+    return [=](const std::string& name) {
+      if (name == "a") return a;
+      if (name == "b") return b;
+      return c;
+    };
+  };
+  EXPECT_FALSE(cond.eval(view(ticks(10), ticks(19), ticks(99))));
+  EXPECT_TRUE(cond.eval(view(ticks(10), ticks(20), ticks(0))));
+  EXPECT_TRUE(cond.eval(view(ticks(0), ticks(0), ticks(100))));
+}
+
+TEST(SwitchCondition, ReferencedComponents) {
+  const auto cond = SwitchCondition::conj(
+      SwitchCondition::at_least("x", ticks(1)),
+      SwitchCondition::at_least("y", ticks(2)));
+  const auto refs = cond.referenced_components();
+  EXPECT_EQ(refs.size(), 2u);
+}
+
+TEST(RunControl, ParsesPaperExample) {
+  RunControlParser parser;
+  const auto sp = parser.parse_statement(
+      "when I2CComponent.time >= 67: I2CComponent -> hardwareLevel, "
+      "VidCamComponent -> byteLevel");
+  EXPECT_EQ(sp.actions.size(), 2u);
+  EXPECT_EQ(sp.actions[0].component, "I2CComponent");
+  EXPECT_EQ(sp.actions[0].level.name, "hardwareLevel");
+  EXPECT_EQ(sp.actions[1].level.name, "byteLevel");
+  const auto times = [](const std::string&) { return ticks(67); };
+  EXPECT_TRUE(sp.condition.eval(times));
+}
+
+TEST(RunControl, ParsesCompoundConditions) {
+  RunControlParser parser;
+  const auto sp = parser.parse_statement(
+      "when (A.time >= 5 && B.time >= 6) || C.time >= 7: A -> packetLevel");
+  EXPECT_EQ(sp.condition.referenced_components().size(), 3u);
+}
+
+TEST(RunControl, ScriptWithCommentsAndContinuations) {
+  RunControlParser parser;
+  const auto sps = parser.parse(
+      "# detail schedule for the demo\n"
+      "when A.time >= 10: A -> wordLevel\n"
+      "when B.time >= 20: B -> packetLevel,\n"
+      "                   A -> packetLevel  # drop detail together\n"
+      "\n"
+      "when C.time >= 30: C -> transactionLevel\n");
+  ASSERT_EQ(sps.size(), 3u);
+  EXPECT_EQ(sps[1].actions.size(), 2u);
+}
+
+TEST(RunControl, SyntaxErrorsAreDiagnosed) {
+  RunControlParser parser;
+  EXPECT_THROW(parser.parse_statement("when : A -> wordLevel"), Error);
+  EXPECT_THROW(parser.parse_statement("when A.time >= x: A -> wordLevel"),
+               Error);
+  EXPECT_THROW(parser.parse_statement("when A.time >= 5 A -> wordLevel"),
+               Error);
+  EXPECT_THROW(parser.parse_statement("when A.time >= 5: A -> bogusLevel"),
+               Error);
+  EXPECT_THROW(parser.parse_statement("when A.space >= 5: A -> wordLevel"),
+               Error);
+}
+
+// --- protocol library ------------------------------------------------------
+
+class ProtocolRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::string, std::size_t>> {};
+
+TEST_P(ProtocolRoundTrip, EncodeDecode) {
+  const auto& [level_name, size] = GetParam();
+  const RunLevel level{level_name,
+                       level_name == "hardwareLevel" ? 3
+                       : level_name == "wordLevel"   ? 2
+                       : level_name == "packetLevel" ? 1
+                                                     : 0};
+  Rng rng(size + 1);
+  Bytes payload(size);
+  for (auto& b : payload) b = static_cast<std::byte>(rng.below(256));
+
+  TransferEncoder enc;
+  TransferDecoder dec;
+  std::optional<Bytes> result;
+  const auto emissions = enc.encode(payload, level);
+  EXPECT_EQ(emissions.size(), enc.event_count(size, level));
+  for (const auto& emission : emissions) {
+    EXPECT_FALSE(result.has_value()) << "payload completed early";
+    result = dec.feed(emission.value);
+  }
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, payload);
+  EXPECT_FALSE(dec.mid_transfer());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LevelsAndSizes, ProtocolRoundTrip,
+    ::testing::Combine(
+        ::testing::Values("transactionLevel", "packetLevel", "wordLevel",
+                          "hardwareLevel"),
+        ::testing::Values(std::size_t{1}, std::size_t{3}, std::size_t{4},
+                          std::size_t{1023}, std::size_t{1024},
+                          std::size_t{1025}, std::size_t{5000})));
+
+TEST(Protocol, EventCountsMatchPaperIntuition) {
+  // Dropping detail reduces event count by orders of magnitude — the whole
+  // point of runlevels (paper §2, Table 1).
+  TransferEncoder enc;
+  const std::size_t page = 66 * 1024;  // the paper's 66 KB page
+  const auto words = enc.event_count(page, runlevels::kWord);
+  const auto packets = enc.event_count(page, runlevels::kPacket);
+  const auto transactions = enc.event_count(page, runlevels::kTransaction);
+  EXPECT_EQ(packets, 66u);
+  EXPECT_EQ(words, 1u + page / 4);
+  EXPECT_EQ(transactions, 1u);
+  EXPECT_GT(words, 100u * packets);
+}
+
+TEST(Protocol, DefaultTimingKeepsDurationConsistentAcrossLevels) {
+  // The default profile models the SAME physical link at every level: a
+  // 4-byte word takes 4 byte periods, a 1 KB packet takes 1024, so dropping
+  // detail changes the event count by orders of magnitude while the modeled
+  // transfer duration stays within a few percent.
+  TransferEncoder enc;
+  const std::size_t n = 64 * 1024;
+  const auto hw = enc.duration(n, runlevels::kHardware).ticks();
+  const auto word = enc.duration(n, runlevels::kWord).ticks();
+  const auto packet = enc.duration(n, runlevels::kPacket).ticks();
+  EXPECT_NEAR(static_cast<double>(word) / static_cast<double>(hw), 1.0, 0.05);
+  EXPECT_NEAR(static_cast<double>(packet) / static_cast<double>(hw), 1.0,
+              0.05);
+}
+
+TEST(Protocol, UniformProfileDurationScalesWithUnitCount) {
+  // With a uniform per-unit cost, more detail means more units and thus a
+  // longer modeled duration.
+  TransferEncoder enc{TimingProfile::uniform(ticks(10))};
+  EXPECT_GT(enc.duration(4096, runlevels::kHardware),
+            enc.duration(4096, runlevels::kWord));
+  EXPECT_GT(enc.duration(4096, runlevels::kWord),
+            enc.duration(4096, runlevels::kPacket));
+  EXPECT_GT(enc.duration(4096, runlevels::kPacket),
+            enc.duration(4096, runlevels::kTransaction));
+}
+
+TEST(Protocol, MidTransferDetection) {
+  TransferEncoder enc;
+  TransferDecoder dec;
+  const Bytes payload = to_bytes("mid transfer safety");
+  const auto emissions = enc.encode(payload, runlevels::kWord);
+  dec.feed(emissions[0].value);
+  EXPECT_TRUE(dec.mid_transfer());
+  dec.reset();
+  EXPECT_FALSE(dec.mid_transfer());
+}
+
+TEST(Protocol, DecoderStateSurvivesCheckpoint) {
+  TransferEncoder enc;
+  TransferDecoder dec;
+  const Bytes payload = to_bytes("checkpointable decoder state!");
+  const auto emissions = enc.encode(payload, runlevels::kWord);
+  // Feed half, checkpoint, feed rest on a restored copy.
+  const std::size_t half = emissions.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) dec.feed(emissions[i].value);
+  serial::OutArchive ar;
+  dec.save(ar);
+
+  TransferDecoder restored;
+  serial::InArchive in(ar.bytes());
+  restored.restore(in);
+  std::optional<Bytes> result;
+  for (std::size_t i = half; i < emissions.size(); ++i)
+    result = restored.feed(emissions[i].value);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, payload);
+}
+
+TEST(Protocol, GarbageStreamThrows) {
+  TransferDecoder dec;
+  EXPECT_THROW(dec.feed(Value{std::uint64_t{12345}}), Error);  // no header
+  dec.reset();
+  EXPECT_THROW(dec.feed(Value::token("bogus")), Error);
+}
+
+// --- end-to-end runlevel switching in a simulation --------------------------
+
+TEST(RunLevelSwitch, SwitchpointChangesDetailBetweenTransfers) {
+  Scheduler sched;
+  auto& sender = sched.emplace<TransferSender>(
+      "tx", to_bytes(std::string(256, 'x')), TimingProfile{},
+      runlevels::kWord);
+  auto& receiver = sched.emplace<TransferReceiver>("rx");
+  sched.connect(sender.id(), "out", receiver.id(), "in");
+
+  // After the first transfer completes, drop to packet level.
+  sched.add_switchpoint(Switchpoint{
+      .condition = SwitchCondition::at_least("tx", ticks(1)),
+      .actions = {{"tx", runlevels::kPacket}},
+      .fired = false});
+
+  sched.init();
+  sched.run();
+  ASSERT_EQ(receiver.payloads.size(), 1u);
+  const auto events_word_level = sched.stats().events_dispatched;
+
+  // Second transfer at the (switched) packet level: far fewer events.
+  sender.trigger();
+  sched.run();
+  ASSERT_EQ(receiver.payloads.size(), 2u);
+  const auto events_packet_level =
+      sched.stats().events_dispatched - events_word_level;
+  EXPECT_LT(events_packet_level, events_word_level / 4);
+  EXPECT_EQ(sender.runlevel().name, "packetLevel");
+  EXPECT_EQ(sched.stats().runlevel_switches, 1u);
+}
+
+TEST(RunLevelSwitch, UnsafeComponentDefersSwitch) {
+  // A receiver mid-transfer refuses the switch until the transfer ends.
+  Scheduler sched;
+  auto& sender = sched.emplace<TransferSender>(
+      "tx", to_bytes(std::string(64, 'y')), TimingProfile{},
+      runlevels::kWord);
+  auto& receiver = sched.emplace<TransferReceiver>("rx");
+  sched.connect(sender.id(), "out", receiver.id(), "in");
+  sched.init();
+
+  // Run the sender's burst but only part of the delivery stream.
+  sched.run(4);
+  ASSERT_TRUE(receiver.payloads.empty());
+  sched.set_runlevel("rx", runlevels::kPacket);
+  // The receiver is mid-transfer (unsafe): the switch must be deferred.
+  if (!receiver.at_safe_point()) {
+    EXPECT_EQ(receiver.runlevel().name, "default");
+  }
+  sched.run();
+  // Once the transfer drained, the switch landed.
+  EXPECT_EQ(receiver.runlevel().name, "packetLevel");
+  EXPECT_EQ(receiver.payloads.size(), 1u);
+}
+
+TEST(RunLevelSwitch, ImperativeRequestFromComponentCode) {
+  class SelfSwitcher : public Component {
+   public:
+    SelfSwitcher() : Component("self") {
+      set_initial_runlevel(runlevels::kWord);
+    }
+    void on_init() override { wake_after(ticks(5)); }
+    void on_wake() override { request_runlevel(runlevels::kTransaction); }
+    void on_receive(PortIndex, const Value&) override {}
+    void on_runlevel(const RunLevel& prev) override { previous = prev.name; }
+    std::string previous;
+  };
+  Scheduler sched;
+  auto& c = sched.emplace<SelfSwitcher>();
+  sched.init();
+  sched.run();
+  EXPECT_EQ(c.runlevel().name, "transactionLevel");
+  EXPECT_EQ(c.previous, "wordLevel");
+}
+
+TEST(RunLevelSwitch, SwitchpointValidationCatchesTypos) {
+  Scheduler sched;
+  sched.emplace<TransferReceiver>("rx");
+  EXPECT_THROW(sched.add_switchpoint(Switchpoint{
+                   .condition = SwitchCondition::at_least("ghost", ticks(1)),
+                   .actions = {{"rx", runlevels::kPacket}},
+                   .fired = false}),
+               Error);
+  EXPECT_THROW(sched.add_switchpoint(Switchpoint{
+                   .condition = SwitchCondition::at_least("rx", ticks(1)),
+                   .actions = {{"ghost", runlevels::kPacket}},
+                   .fired = false}),
+               Error);
+}
+
+}  // namespace
+}  // namespace pia

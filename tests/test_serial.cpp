@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "base/rng.hpp"
+#include "serial/archive.hpp"
+
+namespace pia::serial {
+namespace {
+
+TEST(Archive, VarintRoundTripBoundaries) {
+  OutArchive out;
+  const std::uint64_t cases[] = {
+      0, 1, 127, 128, 16383, 16384, 0xFFFFFFFFull,
+      std::numeric_limits<std::uint64_t>::max()};
+  for (auto v : cases) out.put_varint(v);
+  InArchive in(out.bytes());
+  for (auto v : cases) EXPECT_EQ(in.get_varint(), v);
+  EXPECT_TRUE(in.at_end());
+}
+
+TEST(Archive, SignedZigzag) {
+  OutArchive out;
+  const std::int64_t cases[] = {0, -1, 1, -64, 63,
+                                std::numeric_limits<std::int64_t>::min(),
+                                std::numeric_limits<std::int64_t>::max()};
+  for (auto v : cases) out.put_i64(v);
+  InArchive in(out.bytes());
+  for (auto v : cases) EXPECT_EQ(in.get_i64(), v);
+}
+
+TEST(Archive, SmallSignedValuesAreCompact) {
+  OutArchive out;
+  out.put_i64(-3);
+  EXPECT_EQ(out.size(), 1u);  // zigzag keeps small negatives in one byte
+}
+
+TEST(Archive, DoubleRoundTrip) {
+  OutArchive out;
+  const double cases[] = {0.0, -0.0, 1.5, -3.25e300, 5e-324};
+  for (auto v : cases) out.put_double(v);
+  InArchive in(out.bytes());
+  for (auto v : cases) EXPECT_EQ(in.get_double(), v);
+}
+
+TEST(Archive, StringAndBytes) {
+  OutArchive out;
+  out.put_string("pia");
+  out.put_string("");
+  const Bytes binary{std::byte{0x00}, std::byte{0x01}, std::byte{0x02}};
+  out.put_bytes(binary);
+  InArchive in(out.bytes());
+  EXPECT_EQ(in.get_string(), "pia");
+  EXPECT_EQ(in.get_string(), "");
+  EXPECT_EQ(in.get_bytes(), binary);
+}
+
+TEST(Archive, UnderflowThrows) {
+  OutArchive out;
+  out.put_varint(300);
+  InArchive in(out.bytes());
+  in.get_varint();
+  EXPECT_THROW(in.get_u8(), Error);
+}
+
+TEST(Archive, TruncatedStringThrows) {
+  OutArchive out;
+  out.put_varint(100);  // claims 100 bytes, provides none
+  InArchive in(out.bytes());
+  EXPECT_THROW(in.get_string(), Error);
+}
+
+TEST(Archive, GenericContainers) {
+  OutArchive out;
+  write(out, std::vector<std::uint32_t>{1, 2, 3});
+  write(out, std::optional<std::string>{"x"});
+  write(out, std::optional<std::string>{});
+  write(out, std::map<std::string, std::int32_t>{{"a", -1}, {"b", 2}});
+  write(out, VirtualTime{1234});
+  write(out, ComponentId{9});
+
+  InArchive in(out.bytes());
+  EXPECT_EQ((read_vector<std::uint32_t>(in)),
+            (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(read_optional<std::string>(in), "x");
+  EXPECT_EQ(read_optional<std::string>(in), std::nullopt);
+  const auto m = (read_map<std::string, std::int32_t>(in));
+  EXPECT_EQ(m.at("a"), -1);
+  EXPECT_EQ(m.at("b"), 2);
+  EXPECT_EQ(read<VirtualTime>(in), VirtualTime{1234});
+  EXPECT_EQ((read_id<ComponentTag>(in)), ComponentId{9});
+}
+
+TEST(Archive, SectionMatch) {
+  OutArchive out;
+  begin_section(out, "pia.test", 3);
+  InArchive in(out.bytes());
+  EXPECT_EQ(expect_section(in, "pia.test"), 3u);
+}
+
+TEST(Archive, SectionMismatchThrows) {
+  OutArchive out;
+  begin_section(out, "pia.test", 3);
+  InArchive in(out.bytes());
+  EXPECT_THROW(expect_section(in, "pia.other"), Error);
+}
+
+// Property sweep: random mixed payloads survive a round trip bit-exactly.
+class ArchiveFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArchiveFuzz, MixedRoundTrip) {
+  Rng rng(GetParam());
+  OutArchive out;
+  std::vector<std::uint64_t> u64s;
+  std::vector<std::int64_t> i64s;
+  std::vector<Bytes> blobs;
+  for (int i = 0; i < 200; ++i) {
+    u64s.push_back(rng.next() >> rng.below(64));
+    i64s.push_back(static_cast<std::int64_t>(rng.next()));
+    Bytes blob(rng.below(64));
+    for (auto& b : blob) b = static_cast<std::byte>(rng.below(256));
+    blobs.push_back(std::move(blob));
+  }
+  for (int i = 0; i < 200; ++i) {
+    out.put_varint(u64s[i]);
+    out.put_i64(i64s[i]);
+    out.put_bytes(blobs[i]);
+  }
+  InArchive in(out.bytes());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(in.get_varint(), u64s[i]);
+    EXPECT_EQ(in.get_i64(), i64s[i]);
+    EXPECT_EQ(in.get_bytes(), blobs[i]);
+  }
+  EXPECT_TRUE(in.at_end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArchiveFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace pia::serial

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "base/error.hpp"
+#include "base/rng.hpp"
+#include "transport/crc32.hpp"
+#include "transport/frame.hpp"
+#include "transport/latency.hpp"
+#include "transport/link.hpp"
+#include "transport/tcp.hpp"
+
+namespace pia::transport {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Crc32, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (IEEE 802.3 check value).
+  EXPECT_EQ(crc32(to_bytes("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32({}), 0u); }
+
+TEST(Frame, RoundTrip) {
+  const Bytes payload = to_bytes("hello frames");
+  FrameDecoder dec;
+  dec.feed(encode_frame(payload));
+  const auto out = dec.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, payload);
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(Frame, PartialFeedReassembles) {
+  const Bytes frame = encode_frame(to_bytes("split across reads"));
+  FrameDecoder dec;
+  // Feed one byte at a time: the decoder must never yield early.
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    dec.feed(BytesView{&frame[i], 1});
+    EXPECT_FALSE(dec.next().has_value());
+  }
+  dec.feed(BytesView{&frame.back(), 1});
+  const auto out = dec.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(to_string(*out), "split across reads");
+}
+
+TEST(Frame, MultipleFramesInOneFeed) {
+  Bytes stream = encode_frame(to_bytes("one"));
+  const Bytes second = encode_frame(to_bytes("two"));
+  stream.insert(stream.end(), second.begin(), second.end());
+  FrameDecoder dec;
+  dec.feed(stream);
+  EXPECT_EQ(to_string(*dec.next()), "one");
+  EXPECT_EQ(to_string(*dec.next()), "two");
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(Frame, CorruptMagicThrows) {
+  Bytes frame = encode_frame(to_bytes("x"));
+  frame[0] = std::byte{0xFF};
+  FrameDecoder dec;
+  dec.feed(frame);
+  EXPECT_THROW(dec.next(), Error);
+}
+
+TEST(Frame, CorruptPayloadFailsCrc) {
+  Bytes frame = encode_frame(to_bytes("payload"));
+  frame[kFrameHeaderSize] ^= std::byte{0x01};
+  FrameDecoder dec;
+  dec.feed(frame);
+  EXPECT_THROW(dec.next(), Error);
+}
+
+TEST(Loopback, FifoOrder) {
+  auto [a, b] = make_loopback_pair();
+  for (int i = 0; i < 100; ++i)
+    a->send(to_bytes("msg" + std::to_string(i)));
+  for (int i = 0; i < 100; ++i) {
+    const auto msg = b->try_recv();
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(to_string(*msg), "msg" + std::to_string(i));
+  }
+  EXPECT_FALSE(b->try_recv().has_value());
+}
+
+TEST(Loopback, Duplex) {
+  auto [a, b] = make_loopback_pair();
+  a->send(to_bytes("ping"));
+  b->send(to_bytes("pong"));
+  EXPECT_EQ(to_string(*b->try_recv()), "ping");
+  EXPECT_EQ(to_string(*a->try_recv()), "pong");
+}
+
+TEST(Loopback, RecvForTimesOut) {
+  auto [a, b] = make_loopback_pair();
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(b->recv_for(30ms).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 25ms);
+  (void)a;
+}
+
+TEST(Loopback, RecvForWakesOnSend) {
+  auto pair = make_loopback_pair();
+  auto sender = std::async(std::launch::async, [&] {
+    std::this_thread::sleep_for(20ms);
+    pair.a->send(to_bytes("late"));
+  });
+  const auto msg = pair.b->recv_for(2000ms);
+  sender.get();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(to_string(*msg), "late");
+}
+
+TEST(Loopback, SendOnClosedThrows) {
+  auto [a, b] = make_loopback_pair();
+  b->close();
+  EXPECT_THROW(a->send(to_bytes("x")), Error);
+}
+
+TEST(Loopback, StatsCount) {
+  auto [a, b] = make_loopback_pair();
+  a->send(to_bytes("abcd"));
+  (void)b->try_recv();
+  EXPECT_EQ(a->stats().messages_sent, 1u);
+  EXPECT_EQ(a->stats().bytes_sent, 4u);
+  EXPECT_EQ(b->stats().messages_received, 1u);
+}
+
+TEST(Tcp, ConnectSendReceive) {
+  TcpListener listener(0);
+  auto client_future = std::async(std::launch::async, [&] {
+    return tcp_connect(listener.port());
+  });
+  LinkPtr server = listener.accept();
+  LinkPtr client = client_future.get();
+
+  client->send(to_bytes("over tcp"));
+  const auto msg = server->recv_for(2000ms);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(to_string(*msg), "over tcp");
+
+  server->send(to_bytes("reply"));
+  const auto reply = client->recv_for(2000ms);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(to_string(*reply), "reply");
+}
+
+TEST(Tcp, ManySmallMessagesKeepOrder) {
+  TcpListener listener(0);
+  auto client_future = std::async(std::launch::async, [&] {
+    return tcp_connect(listener.port());
+  });
+  LinkPtr server = listener.accept();
+  LinkPtr client = client_future.get();
+
+  constexpr int kCount = 500;
+  for (int i = 0; i < kCount; ++i)
+    client->send(to_bytes(std::to_string(i)));
+  for (int i = 0; i < kCount; ++i) {
+    const auto msg = server->recv_for(2000ms);
+    ASSERT_TRUE(msg.has_value()) << "lost message " << i;
+    EXPECT_EQ(to_string(*msg), std::to_string(i));
+  }
+}
+
+TEST(Tcp, LargeMessage) {
+  TcpListener listener(0);
+  auto client_future = std::async(std::launch::async, [&] {
+    return tcp_connect(listener.port());
+  });
+  LinkPtr server = listener.accept();
+  LinkPtr client = client_future.get();
+
+  Rng rng(3);
+  Bytes big(256 * 1024);
+  for (auto& b : big) b = static_cast<std::byte>(rng.below(256));
+  client->send(big);
+  const auto msg = server->recv_for(5000ms);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(*msg, big);
+}
+
+TEST(Latency, DelaysDelivery) {
+  auto pair = make_latency_pair(LatencyModel{.base = 50ms});
+  pair.a->send(to_bytes("slow"));
+  // Not visible immediately...
+  EXPECT_FALSE(pair.b->try_recv().has_value());
+  // ...but visible after the modeled delay.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto msg = pair.b->recv_for(2000ms);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(to_string(*msg), "slow");
+  EXPECT_GE(waited, 40ms);
+}
+
+TEST(Latency, PerByteCostScales) {
+  auto pair = make_latency_pair(
+      LatencyModel{.per_byte = std::chrono::nanoseconds(20000)});  // 20 us/B
+  pair.a->send(Bytes(1000));  // => ~20 ms
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto msg = pair.b->recv_for(2000ms);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_GE(waited, 15ms);
+}
+
+TEST(Latency, JitterPreservesFifo) {
+  auto pair = make_latency_pair(
+      LatencyModel{.base = 1ms, .jitter_max = 5ms, .jitter_seed = 99});
+  for (int i = 0; i < 50; ++i)
+    pair.a->send(to_bytes(std::to_string(i)));
+  for (int i = 0; i < 50; ++i) {
+    const auto msg = pair.b->recv_for(2000ms);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(to_string(*msg), std::to_string(i));
+  }
+}
+
+TEST(Latency, TcpLinkCanBeDecorated) {
+  TcpListener listener(0);
+  auto client_future = std::async(std::launch::async, [&] {
+    return make_latency_link(tcp_connect(listener.port()),
+                             LatencyModel{.base = 5ms});
+  });
+  auto server = make_latency_link(listener.accept(), LatencyModel{.base = 5ms});
+  auto client = client_future.get();
+  client->send(to_bytes("wan"));
+  const auto msg = server->recv_for(2000ms);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(to_string(*msg), "wan");
+}
+
+}  // namespace
+}  // namespace pia::transport
