@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_channels"
+  "../bench/bench_ablation_channels.pdb"
+  "CMakeFiles/bench_ablation_channels.dir/bench_ablation_channels.cpp.o"
+  "CMakeFiles/bench_ablation_channels.dir/bench_ablation_channels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_runlevel"
+  "../bench/bench_ablation_runlevel.pdb"
+  "CMakeFiles/bench_ablation_runlevel.dir/bench_ablation_runlevel.cpp.o"
+  "CMakeFiles/bench_ablation_runlevel.dir/bench_ablation_runlevel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_runlevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_snapshot"
+  "../bench/bench_ablation_snapshot.pdb"
+  "CMakeFiles/bench_ablation_snapshot.dir/bench_ablation_snapshot.cpp.o"
+  "CMakeFiles/bench_ablation_snapshot.dir/bench_ablation_snapshot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_nodes"
+  "../bench/bench_fig1_nodes.pdb"
+  "CMakeFiles/bench_fig1_nodes.dir/bench_fig1_nodes.cpp.o"
+  "CMakeFiles/bench_fig1_nodes.dir/bench_fig1_nodes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

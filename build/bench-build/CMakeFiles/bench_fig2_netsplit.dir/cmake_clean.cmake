@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_netsplit"
+  "../bench/bench_fig2_netsplit.pdb"
+  "CMakeFiles/bench_fig2_netsplit.dir/bench_fig2_netsplit.cpp.o"
+  "CMakeFiles/bench_fig2_netsplit.dir/bench_fig2_netsplit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_netsplit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_stall"
+  "../bench/bench_fig3_stall.pdb"
+  "CMakeFiles/bench_fig3_stall.dir/bench_fig3_stall.cpp.o"
+  "CMakeFiles/bench_fig3_stall.dir/bench_fig3_stall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_stall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

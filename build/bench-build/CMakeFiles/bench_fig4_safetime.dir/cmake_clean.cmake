@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_safetime"
+  "../bench/bench_fig4_safetime.pdb"
+  "CMakeFiles/bench_fig4_safetime.dir/bench_fig4_safetime.cpp.o"
+  "CMakeFiles/bench_fig4_safetime.dir/bench_fig4_safetime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_safetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

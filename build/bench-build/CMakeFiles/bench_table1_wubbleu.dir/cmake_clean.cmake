@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_wubbleu"
+  "../bench/bench_table1_wubbleu.pdb"
+  "CMakeFiles/bench_table1_wubbleu.dir/bench_table1_wubbleu.cpp.o"
+  "CMakeFiles/bench_table1_wubbleu.dir/bench_table1_wubbleu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_wubbleu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

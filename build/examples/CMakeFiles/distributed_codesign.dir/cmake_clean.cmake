@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_codesign.dir/distributed_codesign.cpp.o"
+  "CMakeFiles/distributed_codesign.dir/distributed_codesign.cpp.o.d"
+  "distributed_codesign"
+  "distributed_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/hardware_in_the_loop.cpp" "examples/CMakeFiles/hardware_in_the_loop.dir/hardware_in_the_loop.cpp.o" "gcc" "examples/CMakeFiles/hardware_in_the_loop.dir/hardware_in_the_loop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/pia_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/pia_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/pia_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/pia_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runlevel_switching.dir/runlevel_switching.cpp.o"
+  "CMakeFiles/runlevel_switching.dir/runlevel_switching.cpp.o.d"
+  "runlevel_switching"
+  "runlevel_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runlevel_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wubbleu_browser.dir/wubbleu_browser.cpp.o"
+  "CMakeFiles/wubbleu_browser.dir/wubbleu_browser.cpp.o.d"
+  "wubbleu_browser"
+  "wubbleu_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wubbleu_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pia_base.dir/error.cpp.o"
+  "CMakeFiles/pia_base.dir/error.cpp.o.d"
+  "CMakeFiles/pia_base.dir/log.cpp.o"
+  "CMakeFiles/pia_base.dir/log.cpp.o.d"
+  "libpia_base.a"
+  "libpia_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pia_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

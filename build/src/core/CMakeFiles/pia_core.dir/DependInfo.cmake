@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assertional.cpp" "src/core/CMakeFiles/pia_core.dir/assertional.cpp.o" "gcc" "src/core/CMakeFiles/pia_core.dir/assertional.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/pia_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/pia_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/component.cpp" "src/core/CMakeFiles/pia_core.dir/component.cpp.o" "gcc" "src/core/CMakeFiles/pia_core.dir/component.cpp.o.d"
+  "/root/repo/src/core/protocols.cpp" "src/core/CMakeFiles/pia_core.dir/protocols.cpp.o" "gcc" "src/core/CMakeFiles/pia_core.dir/protocols.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/pia_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/pia_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/runcontrol.cpp" "src/core/CMakeFiles/pia_core.dir/runcontrol.cpp.o" "gcc" "src/core/CMakeFiles/pia_core.dir/runcontrol.cpp.o.d"
+  "/root/repo/src/core/runlevel.cpp" "src/core/CMakeFiles/pia_core.dir/runlevel.cpp.o" "gcc" "src/core/CMakeFiles/pia_core.dir/runlevel.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/pia_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/pia_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/sealed.cpp" "src/core/CMakeFiles/pia_core.dir/sealed.cpp.o" "gcc" "src/core/CMakeFiles/pia_core.dir/sealed.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/core/CMakeFiles/pia_core.dir/simulation.cpp.o" "gcc" "src/core/CMakeFiles/pia_core.dir/simulation.cpp.o.d"
+  "/root/repo/src/core/value.cpp" "src/core/CMakeFiles/pia_core.dir/value.cpp.o" "gcc" "src/core/CMakeFiles/pia_core.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/pia_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/pia_serial.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pia_core.dir/assertional.cpp.o"
+  "CMakeFiles/pia_core.dir/assertional.cpp.o.d"
+  "CMakeFiles/pia_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/pia_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/pia_core.dir/component.cpp.o"
+  "CMakeFiles/pia_core.dir/component.cpp.o.d"
+  "CMakeFiles/pia_core.dir/protocols.cpp.o"
+  "CMakeFiles/pia_core.dir/protocols.cpp.o.d"
+  "CMakeFiles/pia_core.dir/registry.cpp.o"
+  "CMakeFiles/pia_core.dir/registry.cpp.o.d"
+  "CMakeFiles/pia_core.dir/runcontrol.cpp.o"
+  "CMakeFiles/pia_core.dir/runcontrol.cpp.o.d"
+  "CMakeFiles/pia_core.dir/runlevel.cpp.o"
+  "CMakeFiles/pia_core.dir/runlevel.cpp.o.d"
+  "CMakeFiles/pia_core.dir/scheduler.cpp.o"
+  "CMakeFiles/pia_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/pia_core.dir/sealed.cpp.o"
+  "CMakeFiles/pia_core.dir/sealed.cpp.o.d"
+  "CMakeFiles/pia_core.dir/simulation.cpp.o"
+  "CMakeFiles/pia_core.dir/simulation.cpp.o.d"
+  "CMakeFiles/pia_core.dir/value.cpp.o"
+  "CMakeFiles/pia_core.dir/value.cpp.o.d"
+  "libpia_core.a"
+  "libpia_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pia_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

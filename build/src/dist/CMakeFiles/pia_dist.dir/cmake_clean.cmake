@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pia_dist.dir/channel.cpp.o"
+  "CMakeFiles/pia_dist.dir/channel.cpp.o.d"
+  "CMakeFiles/pia_dist.dir/node.cpp.o"
+  "CMakeFiles/pia_dist.dir/node.cpp.o.d"
+  "CMakeFiles/pia_dist.dir/protocol.cpp.o"
+  "CMakeFiles/pia_dist.dir/protocol.cpp.o.d"
+  "CMakeFiles/pia_dist.dir/subsystem.cpp.o"
+  "CMakeFiles/pia_dist.dir/subsystem.cpp.o.d"
+  "CMakeFiles/pia_dist.dir/topology.cpp.o"
+  "CMakeFiles/pia_dist.dir/topology.cpp.o.d"
+  "libpia_dist.a"
+  "libpia_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pia_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

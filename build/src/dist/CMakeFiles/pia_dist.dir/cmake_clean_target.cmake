@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpia_dist.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pia_hw.dir/bridge.cpp.o"
+  "CMakeFiles/pia_hw.dir/bridge.cpp.o.d"
+  "CMakeFiles/pia_hw.dir/pamette.cpp.o"
+  "CMakeFiles/pia_hw.dir/pamette.cpp.o.d"
+  "CMakeFiles/pia_hw.dir/simhw.cpp.o"
+  "CMakeFiles/pia_hw.dir/simhw.cpp.o.d"
+  "libpia_hw.a"
+  "libpia_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pia_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpia_hw.a"
+)

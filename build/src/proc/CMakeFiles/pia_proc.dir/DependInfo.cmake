@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proc/dma.cpp" "src/proc/CMakeFiles/pia_proc.dir/dma.cpp.o" "gcc" "src/proc/CMakeFiles/pia_proc.dir/dma.cpp.o.d"
+  "/root/repo/src/proc/interrupt.cpp" "src/proc/CMakeFiles/pia_proc.dir/interrupt.cpp.o" "gcc" "src/proc/CMakeFiles/pia_proc.dir/interrupt.cpp.o.d"
+  "/root/repo/src/proc/memory.cpp" "src/proc/CMakeFiles/pia_proc.dir/memory.cpp.o" "gcc" "src/proc/CMakeFiles/pia_proc.dir/memory.cpp.o.d"
+  "/root/repo/src/proc/software.cpp" "src/proc/CMakeFiles/pia_proc.dir/software.cpp.o" "gcc" "src/proc/CMakeFiles/pia_proc.dir/software.cpp.o.d"
+  "/root/repo/src/proc/timing.cpp" "src/proc/CMakeFiles/pia_proc.dir/timing.cpp.o" "gcc" "src/proc/CMakeFiles/pia_proc.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/pia_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/pia_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

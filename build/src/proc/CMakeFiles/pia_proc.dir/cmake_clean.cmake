@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pia_proc.dir/dma.cpp.o"
+  "CMakeFiles/pia_proc.dir/dma.cpp.o.d"
+  "CMakeFiles/pia_proc.dir/interrupt.cpp.o"
+  "CMakeFiles/pia_proc.dir/interrupt.cpp.o.d"
+  "CMakeFiles/pia_proc.dir/memory.cpp.o"
+  "CMakeFiles/pia_proc.dir/memory.cpp.o.d"
+  "CMakeFiles/pia_proc.dir/software.cpp.o"
+  "CMakeFiles/pia_proc.dir/software.cpp.o.d"
+  "CMakeFiles/pia_proc.dir/timing.cpp.o"
+  "CMakeFiles/pia_proc.dir/timing.cpp.o.d"
+  "libpia_proc.a"
+  "libpia_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pia_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pia_serial.dir/archive.cpp.o"
+  "CMakeFiles/pia_serial.dir/archive.cpp.o.d"
+  "libpia_serial.a"
+  "libpia_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pia_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

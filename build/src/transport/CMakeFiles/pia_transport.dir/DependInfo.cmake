@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/crc32.cpp" "src/transport/CMakeFiles/pia_transport.dir/crc32.cpp.o" "gcc" "src/transport/CMakeFiles/pia_transport.dir/crc32.cpp.o.d"
+  "/root/repo/src/transport/frame.cpp" "src/transport/CMakeFiles/pia_transport.dir/frame.cpp.o" "gcc" "src/transport/CMakeFiles/pia_transport.dir/frame.cpp.o.d"
+  "/root/repo/src/transport/latency.cpp" "src/transport/CMakeFiles/pia_transport.dir/latency.cpp.o" "gcc" "src/transport/CMakeFiles/pia_transport.dir/latency.cpp.o.d"
+  "/root/repo/src/transport/loopback.cpp" "src/transport/CMakeFiles/pia_transport.dir/loopback.cpp.o" "gcc" "src/transport/CMakeFiles/pia_transport.dir/loopback.cpp.o.d"
+  "/root/repo/src/transport/tcp.cpp" "src/transport/CMakeFiles/pia_transport.dir/tcp.cpp.o" "gcc" "src/transport/CMakeFiles/pia_transport.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/pia_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/pia_serial.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

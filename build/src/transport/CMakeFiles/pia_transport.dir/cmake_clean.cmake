@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pia_transport.dir/crc32.cpp.o"
+  "CMakeFiles/pia_transport.dir/crc32.cpp.o.d"
+  "CMakeFiles/pia_transport.dir/frame.cpp.o"
+  "CMakeFiles/pia_transport.dir/frame.cpp.o.d"
+  "CMakeFiles/pia_transport.dir/latency.cpp.o"
+  "CMakeFiles/pia_transport.dir/latency.cpp.o.d"
+  "CMakeFiles/pia_transport.dir/loopback.cpp.o"
+  "CMakeFiles/pia_transport.dir/loopback.cpp.o.d"
+  "CMakeFiles/pia_transport.dir/tcp.cpp.o"
+  "CMakeFiles/pia_transport.dir/tcp.cpp.o.d"
+  "libpia_transport.a"
+  "libpia_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pia_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wubbleu/cellular.cpp" "src/wubbleu/CMakeFiles/pia_wubbleu.dir/cellular.cpp.o" "gcc" "src/wubbleu/CMakeFiles/pia_wubbleu.dir/cellular.cpp.o.d"
+  "/root/repo/src/wubbleu/handheld.cpp" "src/wubbleu/CMakeFiles/pia_wubbleu.dir/handheld.cpp.o" "gcc" "src/wubbleu/CMakeFiles/pia_wubbleu.dir/handheld.cpp.o.d"
+  "/root/repo/src/wubbleu/handwriting.cpp" "src/wubbleu/CMakeFiles/pia_wubbleu.dir/handwriting.cpp.o" "gcc" "src/wubbleu/CMakeFiles/pia_wubbleu.dir/handwriting.cpp.o.d"
+  "/root/repo/src/wubbleu/http.cpp" "src/wubbleu/CMakeFiles/pia_wubbleu.dir/http.cpp.o" "gcc" "src/wubbleu/CMakeFiles/pia_wubbleu.dir/http.cpp.o.d"
+  "/root/repo/src/wubbleu/jpeg.cpp" "src/wubbleu/CMakeFiles/pia_wubbleu.dir/jpeg.cpp.o" "gcc" "src/wubbleu/CMakeFiles/pia_wubbleu.dir/jpeg.cpp.o.d"
+  "/root/repo/src/wubbleu/page.cpp" "src/wubbleu/CMakeFiles/pia_wubbleu.dir/page.cpp.o" "gcc" "src/wubbleu/CMakeFiles/pia_wubbleu.dir/page.cpp.o.d"
+  "/root/repo/src/wubbleu/server.cpp" "src/wubbleu/CMakeFiles/pia_wubbleu.dir/server.cpp.o" "gcc" "src/wubbleu/CMakeFiles/pia_wubbleu.dir/server.cpp.o.d"
+  "/root/repo/src/wubbleu/system.cpp" "src/wubbleu/CMakeFiles/pia_wubbleu.dir/system.cpp.o" "gcc" "src/wubbleu/CMakeFiles/pia_wubbleu.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/pia_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/pia_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/pia_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/pia_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/pia_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

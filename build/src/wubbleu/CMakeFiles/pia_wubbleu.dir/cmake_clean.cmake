@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pia_wubbleu.dir/cellular.cpp.o"
+  "CMakeFiles/pia_wubbleu.dir/cellular.cpp.o.d"
+  "CMakeFiles/pia_wubbleu.dir/handheld.cpp.o"
+  "CMakeFiles/pia_wubbleu.dir/handheld.cpp.o.d"
+  "CMakeFiles/pia_wubbleu.dir/handwriting.cpp.o"
+  "CMakeFiles/pia_wubbleu.dir/handwriting.cpp.o.d"
+  "CMakeFiles/pia_wubbleu.dir/http.cpp.o"
+  "CMakeFiles/pia_wubbleu.dir/http.cpp.o.d"
+  "CMakeFiles/pia_wubbleu.dir/jpeg.cpp.o"
+  "CMakeFiles/pia_wubbleu.dir/jpeg.cpp.o.d"
+  "CMakeFiles/pia_wubbleu.dir/page.cpp.o"
+  "CMakeFiles/pia_wubbleu.dir/page.cpp.o.d"
+  "CMakeFiles/pia_wubbleu.dir/server.cpp.o"
+  "CMakeFiles/pia_wubbleu.dir/server.cpp.o.d"
+  "CMakeFiles/pia_wubbleu.dir/system.cpp.o"
+  "CMakeFiles/pia_wubbleu.dir/system.cpp.o.d"
+  "libpia_wubbleu.a"
+  "libpia_wubbleu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pia_wubbleu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pia_wubbleu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assertional.dir/test_assertional.cpp.o"
+  "CMakeFiles/test_assertional.dir/test_assertional.cpp.o.d"
+  "test_assertional"
+  "test_assertional.pdb"
+  "test_assertional[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assertional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_kernel.dir/test_core_kernel.cpp.o"
+  "CMakeFiles/test_core_kernel.dir/test_core_kernel.cpp.o.d"
+  "test_core_kernel"
+  "test_core_kernel.pdb"
+  "test_core_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

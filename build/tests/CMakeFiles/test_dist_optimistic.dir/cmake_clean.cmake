@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_optimistic.dir/test_dist_optimistic.cpp.o"
+  "CMakeFiles/test_dist_optimistic.dir/test_dist_optimistic.cpp.o.d"
+  "test_dist_optimistic"
+  "test_dist_optimistic.pdb"
+  "test_dist_optimistic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_optimistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

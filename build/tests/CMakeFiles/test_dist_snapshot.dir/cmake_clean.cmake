@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_snapshot.dir/test_dist_snapshot.cpp.o"
+  "CMakeFiles/test_dist_snapshot.dir/test_dist_snapshot.cpp.o.d"
+  "test_dist_snapshot"
+  "test_dist_snapshot.pdb"
+  "test_dist_snapshot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_registry_sealed.dir/test_registry_sealed.cpp.o"
+  "CMakeFiles/test_registry_sealed.dir/test_registry_sealed.cpp.o.d"
+  "test_registry_sealed"
+  "test_registry_sealed.pdb"
+  "test_registry_sealed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_registry_sealed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runlevel.dir/test_runlevel.cpp.o"
+  "CMakeFiles/test_runlevel.dir/test_runlevel.cpp.o.d"
+  "test_runlevel"
+  "test_runlevel.pdb"
+  "test_runlevel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runlevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wubbleu.dir/test_wubbleu.cpp.o"
+  "CMakeFiles/test_wubbleu.dir/test_wubbleu.cpp.o.d"
+  "test_wubbleu"
+  "test_wubbleu.pdb"
+  "test_wubbleu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wubbleu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_base[1]_include.cmake")
+include("/root/repo/build/tests/test_serial[1]_include.cmake")
+include("/root/repo/build/tests/test_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_core_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_checkpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_runlevel[1]_include.cmake")
+include("/root/repo/build/tests/test_registry_sealed[1]_include.cmake")
+include("/root/repo/build/tests/test_dist_conservative[1]_include.cmake")
+include("/root/repo/build/tests/test_dist_optimistic[1]_include.cmake")
+include("/root/repo/build/tests/test_dist_snapshot[1]_include.cmake")
+include("/root/repo/build/tests/test_hw[1]_include.cmake")
+include("/root/repo/build/tests/test_proc[1]_include.cmake")
+include("/root/repo/build/tests/test_wubbleu[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_process[1]_include.cmake")
+include("/root/repo/build/tests/test_assertional[1]_include.cmake")
+include("/root/repo/build/tests/test_dist_matrix[1]_include.cmake")
