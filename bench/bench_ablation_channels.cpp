@@ -77,6 +77,7 @@ Outcome run_mode(ChannelMode mode, std::uint64_t count, VirtualTime period,
 
 int main() {
   header("Ablation: conservative vs optimistic channels vs link latency");
+  JsonReport report("ablation_channels");
 
   std::printf("\n800 round-trip messages (A -> relay on B -> back to A), "
               "latency sweep:\n");
@@ -99,6 +100,11 @@ int main() {
                 (conservative.complete && optimistic.complete)
                     ? ""
                     : "!! INCOMPLETE");
+    const std::string prefix =
+        "latency" + std::to_string(latency_us) + "us_";
+    report.metric(prefix + "conservative_ms", conservative.ms);
+    report.metric(prefix + "optimistic_ms", optimistic.ms);
+    report.metric(prefix + "rollbacks", optimistic.rollbacks);
   }
   note("\nconservative channels pay one safe-time round trip per message\n"
        "batch, so their cost scales with link latency; optimistic channels\n"

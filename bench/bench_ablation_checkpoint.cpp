@@ -54,6 +54,7 @@ struct Rig {
 
 int main() {
   header("Ablation: checkpoint interval under optimistic stragglers");
+  JsonReport report("ablation_checkpoint");
 
   std::printf("\n%10s %10s %12s %10s %14s %10s\n", "interval", "wall [ms]",
               "checkpoints", "rollbacks", "stored bytes", "delivered");
@@ -72,6 +73,12 @@ int main() {
                 static_cast<unsigned long long>(ck.full_image_bytes +
                                                 ck.incremental_image_bytes),
                 rig.remote_sink->received.size());
+    const std::string prefix = "interval" + std::to_string(interval) + "_";
+    report.metric(prefix + "seconds", seconds);
+    report.metric(prefix + "checkpoints", rig.fast->stats().checkpoints);
+    report.metric(prefix + "rollbacks", rig.fast->stats().rollbacks);
+    report.metric(prefix + "stored_bytes",
+                  ck.full_image_bytes + ck.incremental_image_bytes);
   }
 
   header("Ablation: full vs incremental images (paper's future work)");

@@ -77,6 +77,7 @@ Trial run_trial(std::uint32_t save_delay, std::uint64_t request_after,
 int main() {
   header("Ablation: save-before-receive (domino avoidance), rule on vs off");
   constexpr std::uint64_t kEvents = 120;
+  JsonReport report("ablation_domino");
 
   std::printf("\n%-12s %14s %14s %18s\n", "save delay", "trials",
               "consistent", "min divergence idx");
@@ -95,6 +96,9 @@ int main() {
                 min_divergence == SIZE_MAX
                     ? "-"
                     : std::to_string(min_divergence).c_str());
+    const std::string prefix = "delay" + std::to_string(delay) + "_";
+    report.metric(prefix + "trials", std::int64_t{trials});
+    report.metric(prefix + "consistent", std::int64_t{consistent});
   }
   note("\ndelay 0 is the paper's rule: every restore point is a consistent\n"
        "cut, so all replays match.  Any delay lets a message from one\n"

@@ -47,6 +47,11 @@ int main() {
   });
   std::printf("\n%d switches at safe points: %.2f ms total, %.0f ns each\n",
               kSwitches, seconds * 1e3, seconds * 1e9 / kSwitches);
+  JsonReport report("ablation_runlevel");
+  report.metric("switches", std::int64_t{kSwitches});
+  report.metric("switch_seconds_total", seconds);
+  report.metric("switch_ns_each", seconds * 1e9 / kSwitches);
+  report.metric("switches_applied", sched.stats().runlevel_switches);
   std::printf("switches applied: %llu\n",
               static_cast<unsigned long long>(
                   sched.stats().runlevel_switches));

@@ -63,6 +63,7 @@ struct Chain {
 int main() {
   header("Ablation: Chandy-Lamport snapshot scaling along a chain");
   constexpr std::uint64_t kEvents = 400;
+  JsonReport report("ablation_snapshot");
 
   std::printf("\n%6s %10s %10s %12s %12s %12s\n", "N", "wall [ms]",
               "marks", "recorded", "ckpt bytes", "replay");
@@ -104,6 +105,11 @@ int main() {
                 complete ? "complete" : "!! OPEN",
                 static_cast<unsigned long long>(bytes),
                 replay_ok ? "identical" : "!! DIVERGED");
+    const std::string prefix = "chain" + std::to_string(n) + "_";
+    report.metric(prefix + "seconds", seconds);
+    report.metric(prefix + "marks", marks);
+    report.metric(prefix + "checkpoint_bytes", bytes);
+    report.metric(prefix + "replay_ok", std::uint64_t{replay_ok ? 1u : 0u});
   }
   note("\nmarks grow with channel count (2 per channel per snapshot); the\n"
        "FIFO marker rule keeps every cut consistent, so coordinated\n"

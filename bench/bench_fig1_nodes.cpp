@@ -73,6 +73,7 @@ StarResult run_star(std::size_t leaves, std::uint64_t count, Wire wire) {
 int main() {
   header("Fig. 1: Pia nodes interconnected through a network (star of N)");
   constexpr std::uint64_t kEventsPerLeaf = 500;
+  JsonReport report("fig1_nodes");
 
   for (const auto [wire, wire_name] :
        {std::pair{Wire::kLoopback, "loopback"}, std::pair{Wire::kTcp, "tcp"}}) {
@@ -88,6 +89,11 @@ int main() {
                   r.seconds * 1e3,
                   static_cast<double>(r.delivered) / r.seconds,
                   complete ? "" : "!! INCOMPLETE");
+      const std::string prefix =
+          std::string(wire_name) + "_leaves" + std::to_string(leaves) + "_";
+      report.metric(prefix + "seconds", r.seconds);
+      report.metric(prefix + "delivered", r.delivered);
+      report.metric(prefix + "grants", r.grants);
     }
   }
   note("\nevery event crosses one socket; virtual time stays consistent "

@@ -75,5 +75,12 @@ int main() {
               "re-drive)\n",
               split_seconds / unsplit_seconds,
               static_cast<unsigned long long>(channel_events));
+
+  JsonReport report("fig2_netsplit");
+  report.metric("events", kEvents);
+  report.metric("unsplit_seconds", unsplit_seconds);
+  report.metric("split_seconds", split_seconds);
+  report.metric("channel_events", channel_events);
+  report.metric("split_overhead_ratio", split_seconds / unsplit_seconds);
   return 0;
 }

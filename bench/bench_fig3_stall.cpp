@@ -87,6 +87,8 @@ double single_host_reference(std::uint64_t cross_events,
 
 int main() {
   header("Fig. 3: the consistency stall, and what each strategy pays");
+  JsonReport report("fig3_stall");
+  int sweep_index = 0;
 
   std::printf("\n%-22s %10s %10s %10s %10s\n", "cross-traffic",
               "single[ms]", "consv[ms]", "optim[ms]", "rollbacks");
@@ -111,6 +113,12 @@ int main() {
     if (conservative.delivered != kLocalEvents + sweep.events ||
         optimistic.delivered != kLocalEvents + sweep.events)
       note("  !! a configuration lost events");
+    const std::string prefix = "sweep" + std::to_string(sweep_index++) + "_";
+    report.text(prefix + "label", sweep.label);
+    report.metric(prefix + "single_seconds", single);
+    report.metric(prefix + "conservative_seconds", conservative.seconds);
+    report.metric(prefix + "optimistic_seconds", optimistic.seconds);
+    report.metric(prefix + "rollbacks", optimistic.rollbacks);
   }
   note("\nthe single-host kernel never stalls (Fig. 3's hypothetical); the\n"
        "conservative subsystem waits for safe times; the optimistic one\n"

@@ -24,6 +24,11 @@ int main() {
   sched.init();
   const double seconds = timed([&] { sched.run(); });
 
+  JsonReport report("fig5_wubbleu_graph");
+  report.metric("pages", std::uint64_t{h.ui->completed()});
+  report.metric("events", sched.stats().events_dispatched);
+  report.metric("seconds", seconds);
+
   std::printf("\nbrowse session: %zu pages, %llu events, %.2f ms wall "
               "(%.0f events/s)\n",
               h.ui->completed(),

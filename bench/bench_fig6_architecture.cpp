@@ -85,6 +85,7 @@ Run run_remote(const RunLevel& level) {
 
 int main() {
   header("Fig. 6: the chosen architecture, executed (chip local vs remote)");
+  JsonReport report("fig6_architecture");
 
   std::printf("\n%-18s %14s %14s %12s %14s %14s %12s\n", "detail level",
               "local virt[ms]", "local wall[ms]", "local evts",
@@ -98,6 +99,13 @@ int main() {
                 static_cast<unsigned long long>(local.events),
                 remote.virtual_load_ms, remote.wall_ms,
                 static_cast<unsigned long long>(remote.events));
+    const std::string prefix = level.name + "_";
+    report.metric(prefix + "local_wall_ms", local.wall_ms);
+    report.metric(prefix + "remote_wall_ms", remote.wall_ms);
+    report.metric(prefix + "local_virtual_ms", local.virtual_load_ms);
+    report.metric(prefix + "remote_virtual_ms", remote.virtual_load_ms);
+    report.metric(prefix + "local_events", local.events);
+    report.metric(prefix + "remote_events", remote.events);
   }
   note("\nvirtual page-load time is identical local vs remote at every level\n"
        "(distribution never changes simulated behaviour); wall time is what\n"

@@ -97,6 +97,7 @@ Row run_remote(const RunLevel& level) {
 
 int main() {
   header("Table 1: WubbleU page load (66 KB), five configurations");
+  JsonReport report("table1_wubbleu");
 
   // Reference: native load, no simulation ("HotJava" row).  The page is
   // built outside the timed region, just as the simulated gateway builds
@@ -122,6 +123,15 @@ int main() {
                 static_cast<unsigned long long>(row.events),
                 static_cast<unsigned long long>(row.channel_msgs));
   }
+  report.metric("native_seconds", reference.seconds);
+  report.metric("local_word_seconds", local_word.seconds);
+  report.metric("local_packet_seconds", local_packet.seconds);
+  report.metric("remote_word_seconds", remote_word.seconds);
+  report.metric("remote_packet_seconds", remote_packet.seconds);
+  report.metric("remote_word_events", remote_word.events);
+  report.metric("remote_word_channel_msgs", remote_word.channel_msgs);
+  report.metric("remote_packet_events", remote_packet.events);
+  report.metric("remote_packet_channel_msgs", remote_packet.channel_msgs);
 
   std::printf("\nshape checks (paper ratios in parentheses):\n");
   std::printf("  local  word / packet  : %6.1fx  (paper 4.1x)\n",

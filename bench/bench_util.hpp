@@ -1,11 +1,19 @@
 // Shared helpers for the paper-reproduction bench binaries: wall-clock
-// timing and row printing in the style of the paper's tables.
+// timing, row printing in the style of the paper's tables, and the
+// machine-readable BENCH_*.json record every bench emits so perf PRs can be
+// compared run-over-run without scraping stdout.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <functional>
+#include <map>
 #include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace pia::bench {
 
@@ -38,5 +46,71 @@ inline double timed(const std::function<void()>& fn) {
   fn();
   return timer.seconds();
 }
+
+/// The machine-readable side of a bench run.  Collects flat metrics (and
+/// optionally an embedded obs::MetricsRegistry snapshot) and writes
+/// BENCH_<name>.json to the working directory when write() is called — or
+/// on destruction, so a bench cannot forget to emit its record.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  ~JsonReport() {
+    if (!written_) write();
+  }
+
+  void metric(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    values_[key] = buf;
+  }
+  void metric(const std::string& key, std::uint64_t value) {
+    values_[key] = std::to_string(value);
+  }
+  void metric(const std::string& key, std::int64_t value) {
+    values_[key] = std::to_string(value);
+  }
+  void text(const std::string& key, const std::string& value) {
+    std::string quoted;
+    obs::json_append_string(quoted, value);
+    values_[key] = std::move(quoted);
+  }
+  /// Embeds raw JSON under `key` (e.g. a MetricsRegistry::to_json()).
+  void embed(const std::string& key, std::string raw_json) {
+    values_[key] = std::move(raw_json);
+  }
+  void embed_metrics(const obs::MetricsRegistry& registry) {
+    embed("metrics", registry.to_json());
+  }
+
+  void write() {
+    written_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "!! cannot write %s\n", path.c_str());
+      return;
+    }
+    std::string out;
+    out += "{\"bench\":";
+    obs::json_append_string(out, name_);
+    for (const auto& [key, rendered] : values_) {
+      out.push_back(',');
+      obs::json_append_string(out, key);
+      out.push_back(':');
+      out += rendered;
+    }
+    out.push_back('}');
+    os << out << '\n';
+  }
+
+ private:
+  std::string name_;
+  std::map<std::string, std::string> values_;  // key -> rendered JSON value
+  bool written_ = false;
+};
 
 }  // namespace pia::bench

@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/trace.hpp"
 #include "wubbleu/system.hpp"
 
 using namespace pia;
@@ -81,5 +82,14 @@ int main() {
   for (const auto& load : h.ui->loads())
     std::printf("  loaded %-55s at virtual t=%s\n", load.url.c_str(),
                 load.completed_at.str().c_str());
+
+  // PIA_TRACE=1 captures the run; export it for chrome://tracing plus a
+  // metrics snapshot of every subsystem and channel endpoint.
+  if (obs::trace_enabled()) {
+    cluster.export_chrome_trace("distributed_codesign_trace.json");
+    cluster.metrics().write_file("distributed_codesign_metrics.json");
+    std::printf("  trace exported       : distributed_codesign_trace.json "
+                "(+ distributed_codesign_metrics.json)\n");
+  }
   return 0;
 }

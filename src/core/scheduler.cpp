@@ -7,7 +7,8 @@
 
 namespace pia {
 
-Scheduler::Scheduler(std::string name) : name_(std::move(name)) {}
+Scheduler::Scheduler(std::string name)
+    : name_(std::move(name)), trace_(name_, obs::default_trace_capacity()) {}
 
 ComponentId Scheduler::add(std::unique_ptr<Component> component) {
   PIA_REQUIRE(component != nullptr, "add(nullptr) on scheduler " + name_);
@@ -134,6 +135,8 @@ bool Scheduler::step() {
             "event queue yielded an event in the past on " + name_);
   now_ = event.time;
 
+  PIA_OBS_TRACE(trace_, obs::TraceKind::kDispatch, event.time,
+                event.target.value(), static_cast<std::uint64_t>(event.kind));
   if (pre_dispatch_hook) pre_dispatch_hook(event);
   dispatch(event);
 

@@ -32,6 +32,7 @@
 #include "core/event.hpp"
 #include "core/port.hpp"
 #include "core/runlevel.hpp"
+#include "obs/trace.hpp"
 
 namespace pia {
 
@@ -143,6 +144,12 @@ class Scheduler final : public ComponentContext {
   /// Events dispatched to one component (per-module profile, Fig. 5 bench).
   [[nodiscard]] std::uint64_t dispatches(ComponentId id) const;
 
+  /// This subsystem's trace track.  The scheduler records event dispatches
+  /// here; the distributed layer adds its protocol milestones so one buffer
+  /// renders as one complete per-subsystem timeline (see obs/chrome_trace).
+  [[nodiscard]] obs::TraceBuffer& trace() { return trace_; }
+  [[nodiscard]] const obs::TraceBuffer& trace() const { return trace_; }
+
   // --- checkpoint support --------------------------------------------------------
   // Used by CheckpointManager; see checkpoint.hpp for the semantics.
 
@@ -188,6 +195,7 @@ class Scheduler final : public ComponentContext {
 
   SchedulerStats stats_;
   std::vector<std::uint64_t> dispatch_counts_;  // indexed by component id
+  obs::TraceBuffer trace_;
 };
 
 }  // namespace pia

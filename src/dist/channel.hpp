@@ -167,6 +167,7 @@ class ChannelEndpoint {
 
   ComponentId channel_component;  // the proxy living in the local scheduler
   std::vector<NetId> split_nets;  // local net piece per net index
+  std::uint32_t index = 0;        // position in the owning subsystem's table
 
  private:
   std::string name_;

@@ -6,6 +6,7 @@
 
 #include "base/error.hpp"
 #include "base/log.hpp"
+#include "obs/chrome_trace.hpp"
 
 namespace pia::dist {
 
@@ -158,6 +159,79 @@ VirtualTime NodeCluster::fossil_collect_all() {
   const VirtualTime gvt = compute_gvt();
   for (Subsystem* s : all_subsystems()) s->fossil_collect(gvt);
   return gvt;
+}
+
+// ---------------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------------
+
+void collect_metrics(Subsystem& subsystem, obs::MetricsRegistry& registry) {
+  const std::string sub_scope = "sub/" + subsystem.name();
+  const SubsystemStats& stats = subsystem.stats();
+  registry.set(sub_scope, "events_sent", stats.events_sent);
+  registry.set(sub_scope, "events_received", stats.events_received);
+  registry.set(sub_scope, "grants_sent", stats.grants_sent);
+  registry.set(sub_scope, "grants_received", stats.grants_received);
+  registry.set(sub_scope, "requests_sent", stats.requests_sent);
+  registry.set(sub_scope, "stalls", stats.stalls);
+  registry.set(sub_scope, "rollbacks", stats.rollbacks);
+  registry.set(sub_scope, "retracts_sent", stats.retracts_sent);
+  registry.set(sub_scope, "retracts_received", stats.retracts_received);
+  registry.set(sub_scope, "checkpoints", stats.checkpoints);
+  registry.set(sub_scope, "marks_received", stats.marks_received);
+
+  const Scheduler& sched = subsystem.scheduler();
+  registry.set(sub_scope, "sched_events_dispatched",
+               sched.stats().events_dispatched);
+  registry.set(sub_scope, "sched_events_scheduled",
+               sched.stats().events_scheduled);
+  registry.set(sub_scope, "sched_wakes_dispatched",
+               sched.stats().wakes_dispatched);
+  registry.set(sub_scope, "sched_violations", sched.stats().violations);
+  registry.set(sub_scope, "sched_runlevel_switches",
+               sched.stats().runlevel_switches);
+  registry.set(sub_scope, "trace_records", sched.trace().total_recorded());
+  registry.set(sub_scope, "trace_dropped", sched.trace().dropped());
+
+  const std::string dispatch_scope = "dispatch/" + subsystem.name();
+  for (const ComponentId id : sched.component_ids())
+    registry.set(dispatch_scope, sched.component(id).name(),
+                 sched.dispatches(id));
+
+  for (std::size_t i = 0; i < subsystem.channel_count(); ++i) {
+    ChannelEndpoint& c =
+        subsystem.channel(ChannelId{static_cast<std::uint32_t>(i)});
+    const std::string scope = "chan/" + subsystem.name() + "/" +
+                              std::to_string(c.index) + ":" + c.name();
+    registry.set(scope, "event_msgs_sent", c.event_msgs_sent);
+    registry.set(scope, "event_msgs_received", c.event_msgs_received);
+    registry.set(scope, "msgs_sent", c.msgs_sent);
+    registry.set(scope, "msgs_received", c.msgs_received);
+    registry.set(scope, "output_log", std::uint64_t{c.output_log.size()});
+    registry.set(scope, "input_log", std::uint64_t{c.input_log.size()});
+    registry.set(scope, "output_trimmed", c.output_trimmed);
+    registry.set(scope, "input_trimmed", c.input_trimmed);
+    registry.set(scope, "granted_in_ticks", c.granted_in.ticks());
+    registry.set(scope, "granted_out_ticks", c.granted_out.ticks());
+    const transport::LinkStats link = c.link().stats();
+    registry.set(scope, "link_messages_sent", link.messages_sent);
+    registry.set(scope, "link_messages_received", link.messages_received);
+    registry.set(scope, "link_bytes_sent", link.bytes_sent);
+    registry.set(scope, "link_bytes_received", link.bytes_received);
+  }
+}
+
+obs::MetricsRegistry NodeCluster::metrics() {
+  obs::MetricsRegistry registry;
+  for (Subsystem* s : all_subsystems()) collect_metrics(*s, registry);
+  return registry;
+}
+
+void NodeCluster::export_chrome_trace(const std::string& path) {
+  std::vector<const obs::TraceBuffer*> tracks;
+  for (Subsystem* s : all_subsystems())
+    tracks.push_back(&s->scheduler().trace());
+  obs::write_chrome_trace_file(path, tracks);
 }
 
 }  // namespace pia::dist

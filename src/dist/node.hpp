@@ -18,6 +18,7 @@
 
 #include "dist/subsystem.hpp"
 #include "dist/topology.hpp"
+#include "obs/metrics.hpp"
 #include "transport/latency.hpp"
 #include "transport/tcp.hpp"
 
@@ -70,6 +71,12 @@ ChannelPair connect(Subsystem& a, Subsystem& b, ChannelMode mode,
 void split_net(Subsystem& a, ChannelId chan_a, NetId net_a, Subsystem& b,
                ChannelId chan_b, NetId net_b);
 
+/// Collects a subsystem's counters into `registry`: SubsystemStats and
+/// scheduler totals under "sub/<name>", per-component dispatch counts under
+/// "dispatch/<name>", and every channel endpoint's protocol + link counters
+/// under "chan/<name>/<index>:<channel>".
+void collect_metrics(Subsystem& subsystem, obs::MetricsRegistry& registry);
+
 class NodeCluster {
  public:
   PiaNode& add_node(const std::string& node_name);
@@ -103,6 +110,18 @@ class NodeCluster {
   VirtualTime fossil_collect_all();
 
   [[nodiscard]] const Topology& topology() const { return topology_; }
+
+  // --- observability ----------------------------------------------------------
+
+  /// One metrics snapshot covering every subsystem and channel endpoint in
+  /// the cluster (see collect_metrics).
+  [[nodiscard]] obs::MetricsRegistry metrics();
+
+  /// Exports the whole run as Chrome trace-event JSON, one track per
+  /// subsystem — viewable in chrome://tracing or Perfetto.  Capture must
+  /// have been enabled (PIA_TRACE=1 or obs::set_trace_enabled) for the
+  /// tracks to hold records.
+  void export_chrome_trace(const std::string& path);
 
  private:
   std::vector<std::unique_ptr<PiaNode>> nodes_;

@@ -19,6 +19,7 @@ ChannelId Subsystem::add_channel(const std::string& channel_name,
   const ChannelId id{static_cast<std::uint32_t>(channels_.size())};
   auto endpoint = std::make_unique<ChannelEndpoint>(channel_name, mode,
                                                     std::move(link), id_);
+  endpoint->index = id.value();
   auto proxy = std::make_unique<ChannelComponent>("__chan_" + channel_name);
   ChannelComponent& proxy_ref = *proxy;
   endpoint->channel_component = scheduler_.add(std::move(proxy));
@@ -85,6 +86,8 @@ SnapshotId Subsystem::take_checkpoint() {
   snapshot_positions_[snap] = std::move(positions);
   stats_.checkpoints++;
   dispatches_since_checkpoint_ = 0;
+  PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kCheckpoint,
+                scheduler_.now(), stats_.checkpoints);
   return snap;
 }
 
@@ -139,6 +142,8 @@ void Subsystem::handle_message(ChannelId channel_id, ChannelMessage message) {
           endpoint.granted_in_lookahead = m.lookahead;
           endpoint.request_outstanding = false;
           stats_.grants_received++;
+          PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kGrant,
+                        m.safe_time, endpoint.index, m.events_seen);
         } else if constexpr (std::is_same_v<T, MarkMsg>) {
           handle_mark(channel_id, m);
         } else if constexpr (std::is_same_v<T, RetractMsg>) {
@@ -166,6 +171,8 @@ void Subsystem::handle_event(ChannelId channel_id, EventMsg event) {
   stats_.events_received++;
   ++endpoint.event_msgs_received;
   ++activity_counter_;
+  PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kChannelRecv, event.time,
+                endpoint.index, event.net_index);
 
   // Chandy–Lamport channel-state recording: events arriving between our
   // local checkpoint and this channel's mark belong to the channel state.
@@ -281,6 +288,8 @@ void Subsystem::rollback(
   scrub_retracted(positions);
   stats_.rollbacks++;
   dispatches_since_checkpoint_ = 0;
+  PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kRollback, to_time,
+                stats_.rollbacks);
 
   // Forget snapshots describing the discarded future.
   for (auto it = snapshot_positions_.upper_bound(*chosen);
@@ -345,6 +354,8 @@ void Subsystem::send_or_suppress(ChannelEndpoint& endpoint,
   endpoint.send_event(net_index, value, time);
   endpoint.replay_cursor = endpoint.output_log.size();
   stats_.events_sent++;
+  PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kChannelSend, time,
+                endpoint.index, net_index);
 }
 
 void Subsystem::flush_unregenerated(VirtualTime upto) {
@@ -575,6 +586,8 @@ Subsystem::RunOutcome Subsystem::run(const RunConfig& config) {
     if (blocked) {
       stats_.stalls++;
       const VirtualTime next = scheduler_.next_event_time();
+      PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kStall, next,
+                    stats_.stalls);
       for (auto& cp : channels_) {
         ChannelEndpoint& c = *cp;
         if (c.mode() != ChannelMode::kConservative) continue;
@@ -582,6 +595,8 @@ Subsystem::RunOutcome Subsystem::run(const RunConfig& config) {
         c.send_message(SafeTimeRequest{.request_id = c.next_request_id++});
         c.request_outstanding = true;
         stats_.requests_sent++;
+        PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kGrantRequest, next,
+                      c.index);
       }
     }
 
@@ -640,6 +655,8 @@ Subsystem::RunOutcome Subsystem::run(const RunConfig& config) {
 std::uint64_t Subsystem::initiate_snapshot() {
   const std::uint64_t token =
       (static_cast<std::uint64_t>(id_) << 32) | next_cl_token_++;
+  PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kMark, scheduler_.now(),
+                token, /*initiated=*/1);
   PendingSnapshot pending;
   pending.local = take_checkpoint();
   pending.positions = snapshot_positions_.at(pending.local);
@@ -652,6 +669,8 @@ std::uint64_t Subsystem::initiate_snapshot() {
 
 void Subsystem::handle_mark(ChannelId channel_id, const MarkMsg& mark) {
   stats_.marks_received++;
+  PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kMark, scheduler_.now(),
+                mark.token, /*initiated=*/0);
   auto it = cl_snapshots_.find(mark.token);
   if (it == cl_snapshots_.end()) {
     // First sight of this snapshot: checkpoint immediately, BEFORE

@@ -1,0 +1,66 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "base/error.hpp"
+#include "obs/json.hpp"
+
+namespace pia::obs {
+namespace {
+
+constexpr int kPid = 1;  // one process; tracks are threads within it
+
+void append_event(std::string& out, const TraceRecord& rec, int tid) {
+  char buf[192];
+  // ts is microseconds (Chrome's unit); keep nanosecond precision in the
+  // fraction.  Virtual time rides in args, the record kind is the name.
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%" PRIu64
+                ".%03u,\"pid\":%d,\"tid\":%d,\"args\":{\"vt\":%" PRId64
+                ",\"a0\":%" PRIu64 ",\"a1\":%" PRIu64 "}}",
+                trace_kind_name(rec.kind), rec.wall_ns / 1000,
+                static_cast<unsigned>(rec.wall_ns % 1000), kPid, tid,
+                rec.virtual_time, rec.arg0, rec.arg1);
+  out += buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<const TraceBuffer*>& tracks) {
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  int tid = 0;
+  for (const TraceBuffer* track : tracks) {
+    ++tid;
+    if (track == nullptr) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    // Name the track after its subsystem.
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"args\":{\"name\":";
+    json_append_string(out, track->track());
+    out += "}}";
+    for (const TraceRecord& rec : track->snapshot()) {
+      out.push_back(',');
+      append_event(out, rec, tid);
+    }
+  }
+  out += "]}";
+  os << out;
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<const TraceBuffer*>& tracks) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) raise(ErrorKind::kState, "cannot open trace file " + path);
+  write_chrome_trace(os, tracks);
+  os.flush();
+  if (!os) raise(ErrorKind::kState, "failed writing trace file " + path);
+}
+
+}  // namespace pia::obs

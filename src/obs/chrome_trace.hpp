@@ -1,0 +1,26 @@
+// Chrome trace_event export (the observability layer's rendering side).
+//
+// Serializes a set of TraceBuffers — one per subsystem — into the Chrome
+// trace-event JSON object format, loadable in chrome://tracing and
+// https://ui.perfetto.dev.  Each buffer becomes one named thread track
+// (tid); every TraceRecord becomes a thread-scoped instant event stamped
+// with its capture wall time, carrying the virtual time and detail args.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace pia::obs {
+
+/// Renders `tracks` as a Chrome trace-event JSON object to `os`.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<const TraceBuffer*>& tracks);
+
+/// Same, to a file.  Throws Error{kState} when the file cannot be written.
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<const TraceBuffer*>& tracks);
+
+}  // namespace pia::obs

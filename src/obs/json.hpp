@@ -1,0 +1,14 @@
+// Tiny JSON emission helpers shared by the trace and metrics exporters.
+// Emission only — the framework never parses JSON.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace pia::obs {
+
+/// Appends `text` to `out` as a JSON string literal (quotes included),
+/// escaping control characters, quotes and backslashes.
+void json_append_string(std::string& out, std::string_view text);
+
+}  // namespace pia::obs

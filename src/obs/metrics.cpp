@@ -1,0 +1,92 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "base/error.hpp"
+#include "obs/json.hpp"
+
+namespace pia::obs {
+namespace {
+
+void append_value(std::string& out, const MetricsRegistry::MetricValue& v) {
+  char buf[64];
+  if (const auto* u = std::get_if<std::uint64_t>(&v)) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, *u);
+  } else if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, *i);
+  } else {
+    // %.17g round-trips doubles; JSON has no inf/nan, clamp to null.
+    const double d = std::get<double>(v);
+    if (d != d || d > 1.7e308 || d < -1.7e308) {
+      out += "null";
+      return;
+    }
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::set(const std::string& scope, const std::string& name,
+                          std::uint64_t value) {
+  scopes_[scope][name] = value;
+}
+
+void MetricsRegistry::set(const std::string& scope, const std::string& name,
+                          std::int64_t value) {
+  scopes_[scope][name] = value;
+}
+
+void MetricsRegistry::set(const std::string& scope, const std::string& name,
+                          double value) {
+  scopes_[scope][name] = value;
+}
+
+MetricsRegistry::MetricValue MetricsRegistry::get(
+    const std::string& scope, const std::string& name) const {
+  const auto sit = scopes_.find(scope);
+  if (sit == scopes_.end()) return std::uint64_t{0};
+  const auto nit = sit->second.find(name);
+  if (nit == sit->second.end()) return std::uint64_t{0};
+  return nit->second;
+}
+
+bool MetricsRegistry::has_scope(const std::string& scope) const {
+  return scopes_.contains(scope);
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out;
+  out.push_back('{');
+  bool first_scope = true;
+  for (const auto& [scope, metrics] : scopes_) {
+    if (!first_scope) out.push_back(',');
+    first_scope = false;
+    json_append_string(out, scope);
+    out += ":{";
+    bool first_metric = true;
+    for (const auto& [name, value] : metrics) {
+      if (!first_metric) out.push_back(',');
+      first_metric = false;
+      json_append_string(out, name);
+      out.push_back(':');
+      append_value(out, value);
+    }
+    out.push_back('}');
+  }
+  out.push_back('}');
+  return out;
+}
+
+void MetricsRegistry::write_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) raise(ErrorKind::kState, "cannot open metrics file " + path);
+  os << to_json();
+  os.flush();
+  if (!os) raise(ErrorKind::kState, "failed writing metrics file " + path);
+}
+
+}  // namespace pia::obs

@@ -1,0 +1,47 @@
+// MetricsRegistry: a flat, scoped counter snapshot with JSON export.
+//
+// The framework counts everything — SubsystemStats, LinkStats, scheduler
+// dispatch counters — but until this layer existed the numbers died inside
+// their structs.  A MetricsRegistry collects them as (scope, name, value)
+// entries and renders one machine-readable JSON object:
+//
+//   { "scope": { "name": value, ... }, ... }
+//
+// Scopes are free-form paths ("sub/handheld", "chan/handheld/hh-chip").
+// The distributed layer fills one from a NodeCluster (NodeCluster::metrics);
+// bench_util.hpp embeds one into every BENCH_*.json record.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+
+namespace pia::obs {
+
+class MetricsRegistry {
+ public:
+  using MetricValue = std::variant<std::uint64_t, std::int64_t, double>;
+
+  void set(const std::string& scope, const std::string& name,
+           std::uint64_t value);
+  void set(const std::string& scope, const std::string& name,
+           std::int64_t value);
+  void set(const std::string& scope, const std::string& name, double value);
+
+  /// Value previously set, or 0 if absent (counters default to zero).
+  [[nodiscard]] MetricValue get(const std::string& scope,
+                                const std::string& name) const;
+  [[nodiscard]] bool has_scope(const std::string& scope) const;
+  [[nodiscard]] std::size_t scope_count() const { return scopes_.size(); }
+
+  /// Deterministic (scope- and name-sorted) JSON object.
+  [[nodiscard]] std::string to_json() const;
+  /// Throws Error{kState} when the file cannot be written.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::map<std::string, std::map<std::string, MetricValue>> scopes_;
+};
+
+}  // namespace pia::obs

@@ -1,0 +1,122 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "base/error.hpp"
+
+namespace pia::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Apply PIA_TRACE before main() so examples and benches can be traced with
+// no code changes: PIA_TRACE=1 ./distributed_codesign
+const bool g_env_applied = [] {
+  init_trace_from_env();
+  return true;
+}();
+
+}  // namespace
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kDispatch: return "dispatch";
+    case TraceKind::kChannelSend: return "channel_send";
+    case TraceKind::kChannelRecv: return "channel_recv";
+    case TraceKind::kGrantRequest: return "grant_request";
+    case TraceKind::kGrant: return "grant";
+    case TraceKind::kStall: return "stall";
+    case TraceKind::kRollback: return "rollback";
+    case TraceKind::kCheckpoint: return "checkpoint";
+    case TraceKind::kMark: return "mark";
+  }
+  return "unknown";
+}
+
+void set_trace_enabled(bool enabled) {
+  detail::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void init_trace_from_env() {
+  const char* value = std::getenv("PIA_TRACE");
+  if (value == nullptr) return;
+  const bool on = std::strcmp(value, "1") == 0 ||
+                  std::strcmp(value, "true") == 0 ||
+                  std::strcmp(value, "on") == 0;
+  set_trace_enabled(on);
+}
+
+std::size_t default_trace_capacity() {
+  static const std::size_t capacity = [] {
+    const char* value = std::getenv("PIA_TRACE_CAPACITY");
+    if (value != nullptr) {
+      const long long parsed = std::atoll(value);
+      if (parsed > 0) return static_cast<std::size_t>(parsed);
+    }
+    return TraceBuffer::kDefaultCapacity;
+  }();
+  return capacity;
+}
+
+std::uint64_t trace_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+TraceBuffer::TraceBuffer(std::string track, std::size_t capacity)
+    : track_(std::move(track)), capacity_(capacity) {
+  PIA_REQUIRE(capacity_ > 0, "trace buffer capacity must be positive");
+  ring_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+void TraceBuffer::record(TraceKind kind, VirtualTime virtual_time,
+                         std::uint64_t arg0, std::uint64_t arg1) {
+  const TraceRecord rec{.kind = kind,
+                        .virtual_time = virtual_time.ticks(),
+                        .wall_ns = trace_now_ns(),
+                        .arg0 = arg0,
+                        .arg1 = arg1};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(rec);
+  } else {
+    ring_[head_] = rec;
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::vector<TraceRecord> TraceBuffer::snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  return out;
+}
+
+std::size_t TraceBuffer::size() const { return ring_.size(); }
+
+std::uint64_t TraceBuffer::dropped() const {
+  return total_ - ring_.size();
+}
+
+void TraceBuffer::clear() {
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+}  // namespace pia::obs

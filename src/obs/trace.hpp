@@ -1,0 +1,117 @@
+// Low-overhead structured tracing (the observability layer's capture side).
+//
+// Every Scheduler owns a TraceBuffer: a fixed-capacity ring of typed
+// records, each stamped with the virtual time it describes and the wall
+// time it was captured at.  The distributed layer records its protocol
+// milestones (channel send/recv, grant request/grant, stall, rollback,
+// checkpoint, Chandy–Lamport mark) into the same per-subsystem buffer, so
+// one buffer is one track of a whole-cluster timeline (see
+// chrome_trace.hpp for the export side).
+//
+// Capture is gated on a single process-global flag, settable in code
+// (set_trace_enabled) or via the PIA_TRACE environment variable.  Hot
+// paths go through PIA_OBS_TRACE, which compiles to one relaxed atomic
+// load + branch when tracing is off — and to nothing at all when the
+// library is built with PIA_OBS_DISABLED.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/time.hpp"
+
+namespace pia::obs {
+
+enum class TraceKind : std::uint8_t {
+  kDispatch,      // scheduler dispatched an event        a0=component, a1=kind
+  kChannelSend,   // EventMsg left on a channel           a0=channel, a1=net
+  kChannelRecv,   // EventMsg arrived on a channel        a0=channel, a1=net
+  kGrantRequest,  // safe-time request sent               a0=channel
+  kGrant,         // safe-time grant received             a0=channel, a1=seen
+  kStall,         // run loop blocked on a grant          a0=blocked channels
+  kRollback,      // optimistic rollback performed        a0=rollback ordinal
+  kCheckpoint,    // checkpoint taken                     a0=snapshot ordinal
+  kMark,          // Chandy–Lamport mark                  a0=token, a1=initiated
+};
+
+[[nodiscard]] const char* trace_kind_name(TraceKind kind);
+
+struct TraceRecord {
+  TraceKind kind{};
+  std::int64_t virtual_time = 0;  // ticks (VirtualTime::infinity() verbatim)
+  std::uint64_t wall_ns = 0;      // monotonic, since trace_epoch
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+};
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+/// True when capture is on.  Reading is wait-free; keep this the only check
+/// on hot paths.
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool enabled);
+
+/// Applies the PIA_TRACE environment variable (1/true/on enable capture).
+/// Runs once automatically at static-init time; callable again for tests.
+void init_trace_from_env();
+
+/// Monotonic nanoseconds since the process trace epoch (first use).
+[[nodiscard]] std::uint64_t trace_now_ns();
+
+/// Ring capacity schedulers use for their buffers: TraceBuffer's default
+/// unless the PIA_TRACE_CAPACITY environment variable overrides it (deep
+/// runs overwrite early records — a snapshot mark at t=0 does not survive a
+/// million dispatches in a 64Ki ring).
+[[nodiscard]] std::size_t default_trace_capacity();
+
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  explicit TraceBuffer(std::string track,
+                       std::size_t capacity = kDefaultCapacity);
+
+  /// Appends one record, overwriting the oldest when full.  Callers gate on
+  /// trace_enabled() (via PIA_OBS_TRACE); record() itself never checks.
+  void record(TraceKind kind, VirtualTime virtual_time, std::uint64_t arg0 = 0,
+              std::uint64_t arg1 = 0);
+
+  /// Records in capture order, oldest first.
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const;
+
+  [[nodiscard]] const std::string& track() const { return track_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const;
+  /// Records ever captured, including those the ring has overwritten.
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  void clear();
+
+ private:
+  std::string track_;
+  std::size_t capacity_;
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;  // next slot to write once the ring is full
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pia::obs
+
+#if defined(PIA_OBS_DISABLED)
+#define PIA_OBS_TRACE(buffer, ...) \
+  do {                             \
+  } while (false)
+#else
+#define PIA_OBS_TRACE(buffer, ...)                            \
+  do {                                                        \
+    if (::pia::obs::trace_enabled()) (buffer).record(__VA_ARGS__); \
+  } while (false)
+#endif

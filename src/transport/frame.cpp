@@ -38,6 +38,26 @@ void FrameDecoder::feed(BytesView data) {
   buffer_.insert(buffer_.end(), data.begin(), data.end());
 }
 
+bool FrameDecoder::has_complete_frame() const {
+  if (buffer_.size() < kFrameHeaderSize) return false;
+  if (read_u32(buffer_.data()) != kFrameMagic) return false;
+  const std::uint32_t length = read_u32(buffer_.data() + 4);
+  if (length > kMaxFramePayload) return false;
+  return buffer_.size() >= kFrameHeaderSize + length;
+}
+
+std::size_t FrameDecoder::truncated_residue() const {
+  std::size_t offset = 0;
+  while (buffer_.size() - offset >= kFrameHeaderSize) {
+    if (read_u32(buffer_.data() + offset) != kFrameMagic) break;
+    const std::uint32_t length = read_u32(buffer_.data() + offset + 4);
+    if (length > kMaxFramePayload) break;
+    if (buffer_.size() - offset < kFrameHeaderSize + length) break;
+    offset += kFrameHeaderSize + length;
+  }
+  return buffer_.size() - offset;
+}
+
 std::optional<Bytes> FrameDecoder::next() {
   if (buffer_.size() < kFrameHeaderSize) return std::nullopt;
   const std::uint32_t magic = read_u32(buffer_.data());

@@ -38,6 +38,15 @@ class FrameDecoder {
 
   [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
 
+  /// True when the front of the buffer holds a complete frame (next() would
+  /// yield a payload or throw on corruption, but never come back empty).
+  [[nodiscard]] bool has_complete_frame() const;
+
+  /// Buffered bytes that cannot belong to any complete frame — nonzero
+  /// after the stream ends mid-frame (or desynchronizes).  Used to report
+  /// truncation when a peer dies mid-send.
+  [[nodiscard]] std::size_t truncated_residue() const;
+
  private:
   Bytes buffer_;
 };

@@ -7,11 +7,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <limits>
 #include <thread>
 
 #include "base/error.hpp"
+#include "base/log.hpp"
 #include "transport/frame.hpp"
 
 namespace pia::transport {
@@ -52,7 +55,11 @@ class TcpLink final : public Link {
   std::optional<Bytes> try_recv() override { return recv_impl(0); }
 
   std::optional<Bytes> recv_for(std::chrono::milliseconds timeout) override {
-    return recv_impl(static_cast<int>(timeout.count()));
+    // Clamp before narrowing: a timeout over INT_MAX ms would otherwise
+    // wrap negative, which poll() treats as "wait forever".
+    const auto ms = std::clamp<std::chrono::milliseconds::rep>(
+        timeout.count(), 0, std::numeric_limits<int>::max());
+    return recv_impl(static_cast<int>(ms));
   }
 
   void close() override {
@@ -63,7 +70,13 @@ class TcpLink final : public Link {
     }
   }
 
-  bool closed() const override { return fd_ < 0 && decoder_.buffered() == 0; }
+  // A dead fd alone is not "closed": complete frames may still sit in the
+  // decoder and must be drained first.  A *partial* frame left behind by a
+  // peer that died mid-send can never complete, though — counting it as
+  // open would make pollers spin on the residue forever.
+  bool closed() const override {
+    return fd_ < 0 && !decoder_.has_complete_frame();
+  }
 
   LinkStats stats() const override { return stats_; }
 
@@ -103,6 +116,9 @@ class TcpLink final : public Link {
       if (n == 0) {  // peer closed
         ::close(fd_);
         fd_ = -1;
+        if (const std::size_t residue = decoder_.truncated_residue())
+          PIA_WARN("tcp link closed mid-frame: " << residue
+                   << " trailing bytes form no complete frame (truncated)");
         return pop();
       }
       decoder_.feed(BytesView{chunk, static_cast<std::size_t>(n)});
@@ -163,20 +179,27 @@ void TcpListener::close() {
   }
 }
 
-LinkPtr tcp_connect(std::uint16_t port) {
+LinkPtr tcp_connect(std::uint16_t port, int max_attempts) {
+  PIA_REQUIRE(max_attempts > 0, "tcp_connect needs at least one attempt");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
 
   // The listener may still be racing to bind; retry briefly.
-  for (int attempt = 0;; ++attempt) {
+  for (int attempt = 1;; ++attempt) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) raise_errno("socket");
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
       return std::make_unique<TcpLink>(fd);
+    // Capture the connect failure before close() gets a chance to clobber
+    // errno with its own (successful or not) result.
+    const int connect_errno = errno;
     ::close(fd);
-    if (attempt >= 50) raise_errno("connect");
+    if (attempt >= max_attempts) {
+      errno = connect_errno;
+      raise_errno("connect");
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
 }

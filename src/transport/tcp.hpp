@@ -37,7 +37,8 @@ class TcpListener {
 };
 
 /// Connects to 127.0.0.1:port (retrying briefly while the listener races to
-/// bind) and returns the connection as a Link.
-LinkPtr tcp_connect(std::uint16_t port);
+/// bind) and returns the connection as a Link.  Throws Error{kTransport}
+/// carrying the last connect(2) errno after `max_attempts` failures.
+LinkPtr tcp_connect(std::uint16_t port, int max_attempts = 51);
 
 }  // namespace pia::transport

@@ -179,6 +179,76 @@ TEST(RunLevelCoordination, SwitchPropagatesAcrossChannel) {
   EXPECT_EQ(pipe.sink->runlevel().name, "packetLevel");
 }
 
+// --- effective_grant() boundary cases ---------------------------------------
+//
+// The grant clamp walks the output log at index granted_in_seen -
+// output_trimmed; fossil collection slides that window, so the boundaries
+// where the window starts or falls entirely off the log are load-bearing.
+
+struct GrantRig {
+  transport::LinkPair pair = transport::make_loopback_pair();
+  ChannelEndpoint ep{"grant-test", ChannelMode::kConservative,
+                     std::move(pair.a), /*origin_id=*/1};
+};
+
+TEST(EffectiveGrant, AllSendsSeenReturnsRawGrant) {
+  GrantRig rig;
+  ChannelEndpoint& ep = rig.ep;
+  ep.granted_in = ticks(100);
+  ep.send_event(0, Value{1u}, ticks(40));
+  ep.granted_in_seen = ep.event_msgs_sent;  // peer saw everything
+  EXPECT_EQ(ep.effective_grant(), ticks(100));
+}
+
+TEST(EffectiveGrant, SeenEqualsTrimmedClampsToFirstSurvivingSend) {
+  GrantRig rig;
+  ChannelEndpoint& ep = rig.ep;
+  ep.granted_in = ticks(100);
+  ep.granted_in_lookahead = ticks(5);
+  for (int i = 0; i < 3; ++i)
+    ep.send_event(0, Value{static_cast<std::uint64_t>(i)},
+                  ticks(10 * (i + 1)));
+  // Fossil collection trimmed the first send; the peer's grant was grounded
+  // exactly at that trim point, so the clamp must use output_log[0] (t=20),
+  // not walk off the front of the window.
+  ep.output_log.erase(ep.output_log.begin());
+  ep.output_trimmed = 1;
+  ep.granted_in_seen = 1;
+  EXPECT_EQ(ep.effective_grant(), ticks(20) + ticks(5));
+}
+
+TEST(EffectiveGrant, SeenBelowTrimmedIsPreGvtAndUnclamped) {
+  GrantRig rig;
+  ChannelEndpoint& ep = rig.ep;
+  ep.granted_in = ticks(100);
+  ep.granted_in_lookahead = ticks(0);
+  for (int i = 0; i < 3; ++i)
+    ep.send_event(0, Value{static_cast<std::uint64_t>(i)},
+                  ticks(10 * (i + 1)));
+  ep.output_log.erase(ep.output_log.begin(), ep.output_log.begin() + 2);
+  ep.output_trimmed = 2;
+  // A grant grounded before the GVT trim references sends that are already
+  // irrevocably committed — it must pass through unclamped.
+  ep.granted_in_seen = 1;
+  EXPECT_EQ(ep.effective_grant(), ticks(100));
+}
+
+TEST(EffectiveGrant, FullyFossilCollectedLogReturnsRawGrant) {
+  GrantRig rig;
+  ChannelEndpoint& ep = rig.ep;
+  ep.granted_in = ticks(100);
+  ep.granted_in_lookahead = ticks(0);
+  for (int i = 0; i < 3; ++i)
+    ep.send_event(0, Value{static_cast<std::uint64_t>(i)},
+                  ticks(10 * (i + 1)));
+  // Everything the grant could reference is gone: index lands past the end
+  // of the (empty) log, which means all those sends are pre-GVT history.
+  ep.output_log.clear();
+  ep.output_trimmed = 3;
+  ep.granted_in_seen = 2;
+  EXPECT_EQ(ep.effective_grant(), ticks(100));
+}
+
 TEST(SplitNet, RegistrationOrderMismatchIsCaught) {
   NodeCluster cluster;
   PiaNode& node = cluster.add_node("n");

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "dist_helpers.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pia::obs {
+namespace {
+
+// Minimal recursive-descent JSON checker: accepts exactly the grammar the
+// exporters emit (objects, arrays, strings with escapes, numbers, literals).
+// Returns true iff `text` is one complete JSON value.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek('}')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek(']')) return true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek(']')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+  bool string() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    return expect('"');
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+  bool peek(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool expect(char c) { return peek(c); }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// Restores the capture flag so tests cannot leak tracing into each other.
+struct TraceFlagGuard {
+  bool saved = trace_enabled();
+  ~TraceFlagGuard() { set_trace_enabled(saved); }
+};
+
+TEST(TraceBuffer, RecordsInOrder) {
+  TraceBuffer buffer("t");
+  buffer.record(TraceKind::kDispatch, ticks(10), 1, 2);
+  buffer.record(TraceKind::kGrant, ticks(20), 3);
+  const auto records = buffer.snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].kind, TraceKind::kDispatch);
+  EXPECT_EQ(records[0].virtual_time, 10);
+  EXPECT_EQ(records[0].arg0, 1u);
+  EXPECT_EQ(records[0].arg1, 2u);
+  EXPECT_EQ(records[1].kind, TraceKind::kGrant);
+  EXPECT_LE(records[0].wall_ns, records[1].wall_ns);
+}
+
+TEST(TraceBuffer, RingWrapsAndCountsDrops) {
+  TraceBuffer buffer("t", /*capacity=*/4);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    buffer.record(TraceKind::kDispatch, ticks(static_cast<std::int64_t>(i)),
+                  i);
+  EXPECT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer.total_recorded(), 10u);
+  EXPECT_EQ(buffer.dropped(), 6u);
+  const auto records = buffer.snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  // Oldest-first snapshot of the surviving tail: 6,7,8,9.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(records[i].arg0, 6 + i);
+}
+
+TEST(TraceBuffer, ClearResets) {
+  TraceBuffer buffer("t", 4);
+  buffer.record(TraceKind::kStall, ticks(1));
+  buffer.clear();
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.total_recorded(), 0u);
+  EXPECT_TRUE(buffer.snapshot().empty());
+}
+
+TEST(TraceFlag, MacroIsGatedOnProcessFlag) {
+  TraceFlagGuard guard;
+  TraceBuffer buffer("t");
+  set_trace_enabled(false);
+  PIA_OBS_TRACE(buffer, TraceKind::kDispatch, ticks(1));
+  EXPECT_EQ(buffer.size(), 0u);
+  set_trace_enabled(true);
+  PIA_OBS_TRACE(buffer, TraceKind::kDispatch, ticks(2));
+  EXPECT_EQ(buffer.size(), 1u);
+}
+
+TEST(TraceFlag, EnvKnobEnablesCapture) {
+  TraceFlagGuard guard;
+  ::setenv("PIA_TRACE", "1", 1);
+  init_trace_from_env();
+  EXPECT_TRUE(trace_enabled());
+  ::setenv("PIA_TRACE", "0", 1);
+  init_trace_from_env();
+  EXPECT_FALSE(trace_enabled());
+  ::unsetenv("PIA_TRACE");
+}
+
+TEST(JsonString, EscapesControlAndQuote) {
+  std::string out;
+  json_append_string(out, "a\"b\\c\n\t\x01");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+  EXPECT_TRUE(JsonChecker(out).valid());
+}
+
+TEST(ChromeTrace, EmitsValidJsonWithTracksAndKinds) {
+  TraceBuffer alpha("alpha");
+  TraceBuffer beta("beta");
+  alpha.record(TraceKind::kDispatch, ticks(10), 7, 1);
+  alpha.record(TraceKind::kRollback, ticks(5), 1);
+  beta.record(TraceKind::kMark, VirtualTime::infinity(), 42, 1);
+
+  std::ostringstream os;
+  write_chrome_trace(os, {&alpha, &beta});
+  const std::string json = os.str();
+
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"dispatch\""), std::string::npos);
+  EXPECT_NE(json.find("\"rollback\""), std::string::npos);
+  EXPECT_NE(json.find("\"mark\""), std::string::npos);
+}
+
+TEST(Metrics, SetGetAndTypes) {
+  MetricsRegistry registry;
+  registry.set("sub/a", "events", std::uint64_t{7});
+  registry.set("sub/a", "skew", std::int64_t{-3});
+  registry.set("sub/a", "ratio", 1.5);
+  EXPECT_TRUE(registry.has_scope("sub/a"));
+  EXPECT_FALSE(registry.has_scope("sub/b"));
+  EXPECT_EQ(std::get<std::uint64_t>(registry.get("sub/a", "events")), 7u);
+  EXPECT_EQ(std::get<std::int64_t>(registry.get("sub/a", "skew")), -3);
+  EXPECT_DOUBLE_EQ(std::get<double>(registry.get("sub/a", "ratio")), 1.5);
+  // Absent counters read as zero.
+  EXPECT_EQ(std::get<std::uint64_t>(registry.get("sub/a", "missing")), 0u);
+}
+
+TEST(Metrics, JsonIsValidAndDeterministic) {
+  MetricsRegistry registry;
+  registry.set("z", "late", std::uint64_t{1});
+  registry.set("a", "early", std::uint64_t{2});
+  registry.set("a", "quote\"d", std::uint64_t{3});
+  const std::string json = registry.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // Scope-sorted: "a" renders before "z".
+  EXPECT_LT(json.find("\"a\""), json.find("\"z\""));
+  EXPECT_EQ(json, registry.to_json());
+}
+
+TEST(ClusterObservability, ConservativeRunProducesProtocolRecords) {
+  TraceFlagGuard guard;
+  set_trace_enabled(true);
+  dist::testing::SplitPipe pipe(10, dist::ChannelMode::kConservative);
+  pipe.cluster.start_all();
+  pipe.cluster.run_all();
+
+  std::uint64_t dispatches = 0;
+  std::uint64_t grants = 0;
+  for (dist::Subsystem* s : pipe.cluster.all_subsystems())
+    for (const TraceRecord& r : s->scheduler().trace().snapshot()) {
+      dispatches += r.kind == TraceKind::kDispatch;
+      grants += r.kind == TraceKind::kGrant;
+    }
+  EXPECT_GT(dispatches, 0u);
+  EXPECT_GT(grants, 0u);
+
+  // The metrics snapshot covers both subsystems and both channel endpoints.
+  MetricsRegistry metrics = pipe.cluster.metrics();
+  EXPECT_TRUE(metrics.has_scope("sub/ssA"));
+  EXPECT_TRUE(metrics.has_scope("sub/ssB"));
+  std::size_t chan_scopes = 0;
+  for (dist::Subsystem* s : pipe.cluster.all_subsystems())
+    chan_scopes += metrics.has_scope("chan/" + s->name() + "/0:ssA<->ssB");
+  EXPECT_EQ(chan_scopes, 2u);
+}
+
+TEST(ClusterObservability, DisabledCaptureRecordsNothing) {
+  TraceFlagGuard guard;
+  set_trace_enabled(false);
+  dist::testing::SplitPipe pipe(5, dist::ChannelMode::kConservative);
+  pipe.cluster.start_all();
+  pipe.cluster.run_all();
+  for (dist::Subsystem* s : pipe.cluster.all_subsystems())
+    EXPECT_EQ(s->scheduler().trace().total_recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace pia::obs

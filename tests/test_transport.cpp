@@ -1,7 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
+#include <cstdint>
+#include <cstring>
 #include <future>
+#include <limits>
 #include <thread>
 
 #include "base/error.hpp"
@@ -219,6 +228,103 @@ TEST(Latency, JitterPreservesFifo) {
     ASSERT_TRUE(msg.has_value());
     EXPECT_EQ(to_string(*msg), std::to_string(i));
   }
+}
+
+// Connects a raw (frameless) socket so a test can inject partial frames and
+// die mid-send, like a peer crashing.
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+TEST(Tcp, ConnectFailureReportsConnectErrno) {
+  // A port nothing listens on: bind one ephemerally, then close it.
+  std::uint16_t dead_port = 0;
+  {
+    TcpListener probe(0);
+    dead_port = probe.port();
+  }
+  try {
+    tcp_connect(dead_port, /*max_attempts=*/1);
+    FAIL() << "connect to a dead port must throw";
+  } catch (const Error& e) {
+    // Regression: the fd was closed before raising, so the message carried
+    // close()'s errno ("Success") instead of the refused connection.
+    const std::string message = e.what();
+    EXPECT_NE(message.find("connect"), std::string::npos) << message;
+    EXPECT_NE(message.find(std::strerror(ECONNREFUSED)), std::string::npos)
+        << message;
+  }
+}
+
+TEST(Tcp, PeerDeathMidFrameReportsClosed) {
+  TcpListener listener(0);
+  auto raw = std::async(std::launch::async,
+                        [&] { return raw_connect(listener.port()); });
+  LinkPtr server = listener.accept();
+  const int fd = raw.get();
+
+  const Bytes frame = encode_frame(to_bytes("never finished"));
+  ASSERT_GT(frame.size(), 3u);
+  ASSERT_EQ(::send(fd, frame.data(), frame.size() - 3, MSG_NOSIGNAL),
+            static_cast<ssize_t>(frame.size() - 3));
+  ::close(fd);
+
+  EXPECT_FALSE(server->recv_for(2000ms).has_value());
+  // Regression: with the fd dead but partial bytes buffered, closed()
+  // returned false forever and pollers spun on the residue.
+  EXPECT_TRUE(server->closed());
+}
+
+TEST(Tcp, CompleteFrameBufferedAtPeerDeathIsStillDelivered) {
+  TcpListener listener(0);
+  auto raw = std::async(std::launch::async,
+                        [&] { return raw_connect(listener.port()); });
+  LinkPtr server = listener.accept();
+  const int fd = raw.get();
+
+  // One whole frame followed by a truncated one, then the peer dies.
+  Bytes stream = encode_frame(to_bytes("last words"));
+  const Bytes partial = encode_frame(to_bytes("cut off"));
+  stream.insert(stream.end(), partial.begin(), partial.end() - 3);
+  ASSERT_EQ(::send(fd, stream.data(), stream.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(stream.size()));
+  ::close(fd);
+
+  const auto msg = server->recv_for(2000ms);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(to_string(*msg), "last words");
+  EXPECT_FALSE(server->recv_for(100ms).has_value());
+  EXPECT_TRUE(server->closed());
+}
+
+TEST(Tcp, RecvForHugeTimeoutDoesNotOverflowPoll) {
+  TcpListener listener(0);
+  auto client_future = std::async(std::launch::async, [&] {
+    return tcp_connect(listener.port());
+  });
+  LinkPtr server = listener.accept();
+  LinkPtr client = client_future.get();
+
+  auto sender = std::async(std::launch::async, [&] {
+    std::this_thread::sleep_for(50ms);
+    client->send(to_bytes("eventually"));
+  });
+  // Regression: > INT_MAX ms wrapped negative in the narrowing cast, putting
+  // the deadline in the past — recv_for returned nullopt immediately instead
+  // of waiting, so this receive failed.
+  const auto msg = server->recv_for(std::chrono::milliseconds(
+      static_cast<std::int64_t>(std::numeric_limits<int>::max()) + 1));
+  sender.get();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(to_string(*msg), "eventually");
 }
 
 TEST(Latency, TcpLinkCanBeDecorated) {
