@@ -92,13 +92,23 @@ bool is_control(const ChannelMessage& message) {
 }  // namespace
 
 void ChannelEndpoint::send_message(const ChannelMessage& message) {
+  if (peer_closed) return;  // nobody is listening any more
+  try {
+    link_->send(encode_message(message));
+  } catch (const Error& e) {
+    if (e.kind() != ErrorKind::kTransport) throw;
+    peer_closed = true;
+    return;
+  }
   if (!is_control(message)) ++msgs_sent;
-  link_->send(encode_message(message));
 }
 
 std::optional<ChannelMessage> ChannelEndpoint::poll() {
   auto raw = link_->try_recv();
-  if (!raw) return std::nullopt;
+  if (!raw) {
+    if (link_->closed()) peer_closed = true;
+    return std::nullopt;
+  }
   ChannelMessage message = decode_message(*raw);
   if (!is_control(message)) ++msgs_received;
   return message;

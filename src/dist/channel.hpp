@@ -82,12 +82,20 @@ class ChannelEndpoint {
   /// Sends an EventMsg and appends it to the output log.  Returns its id.
   SendId send_event(std::uint32_t net_index, const Value& value,
                     VirtualTime time);
+  /// Transport failures (peer crashed, link abruptly closed) do not throw:
+  /// they set peer_closed so the subsystem loop can wind down with
+  /// RunOutcome::kDisconnected instead of unwinding mid-protocol.
   void send_message(const ChannelMessage& message);
 
   // --- inbound -------------------------------------------------------------
 
-  /// Non-blocking: next decoded message, if any.
+  /// Non-blocking: next decoded message, if any.  A drained closed link
+  /// sets peer_closed.
   std::optional<ChannelMessage> poll();
+
+  /// The link failed or the peer went away; no further traffic is possible
+  /// on this channel.
+  bool peer_closed = false;
 
   // --- conservative state ----------------------------------------------------
 

@@ -44,7 +44,8 @@ void PiaNode::start_all() {
 }
 
 ChannelPair connect(Subsystem& a, Subsystem& b, ChannelMode mode, Wire wire,
-                    transport::LatencyModel latency) {
+                    transport::LatencyModel latency,
+                    const transport::FaultPlan& fault) {
   transport::LinkPair pair;
   switch (wire) {
     case Wire::kLoopback:
@@ -59,6 +60,14 @@ ChannelPair connect(Subsystem& a, Subsystem& b, ChannelMode mode, Wire wire,
       pair.b = client.get();
       break;
     }
+  }
+  // Faults sit closest to the wire (they model the wire); latency decorates
+  // the faulty link the way WAN delay rides on a lossy path.
+  if (fault.enabled()) {
+    pair.a = transport::make_fault_link(std::move(pair.a),
+                                        fault.for_endpoint(1));
+    pair.b = transport::make_fault_link(std::move(pair.b),
+                                        fault.for_endpoint(2));
   }
   const bool has_latency = latency.base.count() > 0 ||
                            latency.per_byte.count() > 0 ||
@@ -103,10 +112,11 @@ std::vector<Subsystem*> NodeCluster::all_subsystems() {
 
 ChannelPair NodeCluster::connect_checked(Subsystem& a, Subsystem& b,
                                          ChannelMode mode, Wire wire,
-                                         transport::LatencyModel latency) {
+                                         transport::LatencyModel latency,
+                                         const transport::FaultPlan& fault) {
   topology_.add_channel(a.name(), b.name());
   topology_.validate();  // fail fast at wiring time
-  return connect(a, b, mode, wire, latency);
+  return connect(a, b, mode, wire, latency, fault);
 }
 
 void NodeCluster::start_all() {
@@ -218,6 +228,15 @@ void collect_metrics(Subsystem& subsystem, obs::MetricsRegistry& registry) {
     registry.set(scope, "link_messages_received", link.messages_received);
     registry.set(scope, "link_bytes_sent", link.bytes_sent);
     registry.set(scope, "link_bytes_received", link.bytes_received);
+    registry.set(scope, "link_faults_delayed", link.faults_delayed);
+    registry.set(scope, "link_faults_duplicated", link.faults_duplicated);
+    registry.set(scope, "link_faults_dropped", link.faults_dropped);
+    registry.set(scope, "link_faults_dup_discarded",
+                 link.faults_dup_discarded);
+    registry.set(scope, "link_faults_partition_held",
+                 link.faults_partition_held);
+    registry.set(scope, "link_faults_abrupt_closes",
+                 link.faults_abrupt_closes);
   }
 }
 

@@ -19,6 +19,7 @@
 #include "dist/subsystem.hpp"
 #include "dist/topology.hpp"
 #include "obs/metrics.hpp"
+#include "transport/fault.hpp"
 #include "transport/latency.hpp"
 #include "transport/tcp.hpp"
 
@@ -59,11 +60,14 @@ enum class Wire {
 };
 
 /// Connects two subsystems with a channel.  `latency` models the wide-area
-/// path (applied in both directions).  The subsystems may live on the same
-/// node or different nodes; the transport is chosen by `wire`.
+/// path and `fault` injects seed-driven wire faults (both applied in both
+/// directions; fault decisions are endpoint-salted so the two directions do
+/// not mirror each other).  The subsystems may live on the same node or
+/// different nodes; the transport is chosen by `wire`.
 ChannelPair connect(Subsystem& a, Subsystem& b, ChannelMode mode,
                     Wire wire = Wire::kLoopback,
-                    transport::LatencyModel latency = {});
+                    transport::LatencyModel latency = {},
+                    const transport::FaultPlan& fault = {});
 
 /// Splits a logical net across a channel: `net_a` is its piece inside `a`,
 /// `net_b` inside `b` (Fig. 2).  Call once per shared net, in the same order
@@ -87,7 +91,8 @@ class NodeCluster {
   /// helper does this automatically.
   ChannelPair connect_checked(Subsystem& a, Subsystem& b, ChannelMode mode,
                               Wire wire = Wire::kLoopback,
-                              transport::LatencyModel latency = {});
+                              transport::LatencyModel latency = {},
+                              const transport::FaultPlan& fault = {});
 
   /// Validates topology and starts every subsystem.
   void start_all();

@@ -396,23 +396,44 @@ VirtualTime Subsystem::grant_for(ChannelId requester) const {
   for (std::uint32_t i = 0; i < channels_.size(); ++i) {
     if (ChannelId{i} == requester) continue;  // self-restriction removal
     const ChannelEndpoint& c = *channels_[i];
-    if (c.mode() == ChannelMode::kConservative)
-      horizon = min(horizon, c.granted_in);
+    // Every channel restricts the promise, optimistic ones included: an
+    // optimistic peer's pushed floor bounds the stragglers it can still
+    // send us, and a rollback they trigger here may regenerate sends to the
+    // requester no earlier than that floor.  Ignoring optimistic channels
+    // let a mixed subsystem promise infinity to a conservative peer before
+    // its optimistic upstream had produced anything (fuzz_cluster seed 2).
+    horizon = min(horizon, c.effective_grant());
   }
   const ChannelEndpoint& target = *channels_[requester.value()];
+  // Unconfirmed outputs already sent to the requester can still be
+  // retracted at their recorded times if re-execution diverges: they bound
+  // the promise too (times are monotone, the first live entry is the min).
+  for (std::size_t k = target.replay_cursor; k < target.output_log.size();
+       ++k) {
+    if (target.output_log[k].retracted) continue;
+    horizon = min(horizon, target.output_log[k].time);
+    break;
+  }
   return horizon + target.lookahead;
 }
 
 void Subsystem::push_grants() {
+  // Floors are pushed on optimistic channels as well: they never block the
+  // receiver's advancement, but they let conservative safe times propagate
+  // *through* optimistic subsystems, which is what makes mixed-mode chains
+  // sound (a conservative grant grounded on an optimistic upstream).
   for (std::uint32_t i = 0; i < channels_.size(); ++i) {
     ChannelEndpoint& c = *channels_[i];
-    if (c.mode() != ChannelMode::kConservative) continue;
     const VirtualTime grant = grant_for(ChannelId{i});
     // Push when the promise improves in either dimension: a later horizon,
-    // or the same horizon grounded on more of the peer's sends.
+    // or a horizon grounded on more of the peer's sends.  The second case
+    // pushes even when the time component regresses (e.g. an initial
+    // infinite promise made before any events were queued): every push is
+    // an independently sound promise, and withholding the events_seen
+    // acknowledgment froze the peer's unseen-send clamp forever, wedging
+    // whole mixed-mode chains (fuzz_cluster seed 2).
     if (grant > c.granted_out ||
-        (c.event_msgs_received > c.granted_out_seen &&
-         grant >= c.granted_out)) {
+        c.event_msgs_received > c.granted_out_seen) {
       c.granted_out = grant;
       c.granted_out_seen = c.event_msgs_received;
       c.send_message(SafeTimeGrant{.request_id = 0,
@@ -565,6 +586,12 @@ Subsystem::RunOutcome Subsystem::run(const RunConfig& config) {
   for (;;) {
     bool progressed = drain();
 
+    // A dead link can never deliver the grants, retractions or probe
+    // replies the protocols below wait for: give up cleanly rather than
+    // spinning into the stall timeout.
+    for (const auto& c : channels_)
+      if (c->peer_closed) return RunOutcome::kDisconnected;
+
     bool blocked = false;
     for (int burst = 0; burst < 256; ++burst) {
       const StepResult result = try_advance(config.horizon);
@@ -600,17 +627,18 @@ Subsystem::RunOutcome Subsystem::run(const RunConfig& config) {
       }
     }
 
-    // Horizon exit: everything below the horizon is done and conservative
-    // grants guarantee nothing earlier can still arrive.  With optimistic
-    // channels the guarantee comes from the termination probe instead.
+    // Horizon exit (finite horizons only): everything below the horizon is
+    // done and conservative grants guarantee nothing earlier can still
+    // arrive.  Infinite-horizon quiescence always goes through the
+    // termination probe instead — exiting unilaterally on infinite grants
+    // left peers that still needed our probe replies stalled forever
+    // (fuzz_cluster seed 13: a conservative leaf next to a mixed chain).
     const VirtualTime t = scheduler_.next_event_time();
-    if ((t.is_infinite() || t > config.horizon) &&
+    if (!config.horizon.is_infinite() &&
+        (t.is_infinite() || t > config.horizon) &&
         conservative_barrier() >= config.horizon &&
         !has_optimistic_channel()) {
-      // An infinite horizon reached with infinite grants means nothing will
-      // ever arrive again: that is quiescence, not a cutoff.
-      return config.horizon.is_infinite() ? RunOutcome::kQuiescent
-                                          : RunOutcome::kHorizon;
+      return RunOutcome::kHorizon;
     }
 
     maybe_start_probe();

@@ -138,7 +138,10 @@ class Subsystem {
     std::chrono::milliseconds stall_timeout{5000};
   };
 
-  enum class RunOutcome { kQuiescent, kHorizon, kStalled };
+  /// kDisconnected: a channel's transport failed (peer crash, abrupt
+  /// close); the subsystem wound down cleanly instead of unwinding with a
+  /// transport exception mid-protocol.
+  enum class RunOutcome { kQuiescent, kHorizon, kStalled, kDisconnected };
 
   /// The subsystem main loop: drain / advance / exchange grants and status
   /// until global quiescence is observed, the horizon is guaranteed, or no

@@ -1,0 +1,199 @@
+#include "transport/fault.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "base/error.hpp"
+#include "base/rng.hpp"
+
+namespace pia::transport {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Per-frame header stamped by the sending side: a sequence number (for
+// receiver-side dedup of duplicated frames) and a release deadline (for
+// delay faults; monotone per link, so FIFO survives).
+constexpr std::size_t kHeaderSize =
+    sizeof(std::uint64_t) + sizeof(std::int64_t);
+
+class FaultLink final : public Link {
+ public:
+  FaultLink(LinkPtr inner, FaultPlan plan)
+      : inner_(std::move(inner)),
+        plan_(std::move(plan)),
+        jitter_rng_(plan_.seed ^ 0xD1B54A32D192ED03ULL),
+        drop_rng_(plan_.seed ^ 0x8CB92BA72F3D8DD7ULL),
+        dup_rng_(plan_.seed ^ 0x2545F4914F6CDD1DULL),
+        epoch_(Clock::now()) {}
+
+  void send(BytesView message) override {
+    if (plan_.close_after_sends > 0 && sends_ >= plan_.close_after_sends) {
+      if (!tripped_) {
+        tripped_ = true;
+        ++stats_.faults_abrupt_closes;
+        inner_->close();
+      }
+      raise(ErrorKind::kTransport,
+            "fault link closed (injected abrupt close)");
+    }
+    ++sends_;
+
+    auto delay = Clock::duration::zero();
+    if (plan_.delay_jitter_max.count() > 0) {
+      const auto extra = std::chrono::microseconds(jitter_rng_.below(
+          static_cast<std::uint64_t>(plan_.delay_jitter_max.count()) + 1));
+      if (extra.count() > 0) ++stats_.faults_delayed;
+      delay += std::chrono::duration_cast<Clock::duration>(extra);
+    }
+    if (plan_.drop_probability > 0.0 &&
+        drop_rng_.chance(plan_.drop_probability)) {
+      // First transmission lost; model the retransmission as extra latency.
+      ++stats_.faults_dropped;
+      delay += std::chrono::duration_cast<Clock::duration>(plan_.retry_delay);
+    }
+
+    auto release = apply_partitions(Clock::now() + delay);
+    // FIFO: release deadlines must be monotone even with random delays.
+    if (release < send_floor_) release = send_floor_;
+    send_floor_ = release;
+
+    const std::uint64_t seq = ++send_seq_;
+    const std::int64_t stamp = release.time_since_epoch().count();
+    Bytes framed(kHeaderSize + message.size());
+    std::memcpy(framed.data(), &seq, sizeof(seq));
+    std::memcpy(framed.data() + sizeof(seq), &stamp, sizeof(stamp));
+    std::memcpy(framed.data() + kHeaderSize, message.data(), message.size());
+    inner_->send(framed);
+    if (plan_.dup_probability > 0.0 &&
+        dup_rng_.chance(plan_.dup_probability)) {
+      ++stats_.faults_duplicated;
+      inner_->send(framed);
+    }
+    ++stats_.messages_sent;
+    stats_.bytes_sent += message.size();
+  }
+
+  std::optional<Bytes> try_recv() override {
+    while (!pending_) {
+      auto raw = inner_->try_recv();
+      if (!raw) return std::nullopt;
+      accept(std::move(*raw));
+    }
+    return release_if_due(/*may_wait=*/false, {});
+  }
+
+  std::optional<Bytes> recv_for(std::chrono::milliseconds timeout) override {
+    const auto deadline = Clock::now() + timeout;
+    for (;;) {
+      while (!pending_) {
+        const auto now = Clock::now();
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                  now);
+        if (remaining.count() <= 0) return std::nullopt;
+        auto raw = inner_->recv_for(remaining);
+        if (!raw) return std::nullopt;
+        accept(std::move(*raw));
+      }
+      auto out = release_if_due(/*may_wait=*/true, deadline);
+      if (out) return out;
+      if (Clock::now() >= deadline) return std::nullopt;
+    }
+  }
+
+  void close() override { inner_->close(); }
+  bool closed() const override { return tripped_ || inner_->closed(); }
+
+  LinkStats stats() const override {
+    // Logical (post-fault) message counts plus the fault counters; the
+    // inner link's own stats would double-count duplicated frames.
+    return stats_;
+  }
+
+  std::string describe() const override {
+    return inner_->describe() + "+fault";
+  }
+
+ private:
+  Clock::time_point apply_partitions(Clock::time_point release) {
+    for (const FaultPlan::Partition& window : plan_.partitions) {
+      const auto start = epoch_ + window.start;
+      const auto end = start + window.duration;
+      if (release >= start && release < end) {
+        release = end;
+        ++stats_.faults_partition_held;
+      }
+    }
+    return release;
+  }
+
+  /// Parses a framed message; false when it was a duplicate (discarded).
+  bool accept(Bytes raw) {
+    if (raw.size() < kHeaderSize)
+      raise(ErrorKind::kProtocol, "fault link header missing");
+    std::uint64_t seq = 0;
+    std::memcpy(&seq, raw.data(), sizeof(seq));
+    if (seq <= recv_seq_) {  // FIFO inner link => duplicate, not reorder
+      ++stats_.faults_dup_discarded;
+      return false;
+    }
+    recv_seq_ = seq;
+    std::memcpy(&pending_stamp_, raw.data() + sizeof(seq),
+                sizeof(pending_stamp_));
+    pending_ = Bytes(raw.begin() + kHeaderSize, raw.end());
+    return true;
+  }
+
+  std::optional<Bytes> release_if_due(bool may_wait,
+                                      Clock::time_point deadline) {
+    if (!pending_) return std::nullopt;
+    const Clock::time_point release{Clock::duration{pending_stamp_}};
+    const auto now = Clock::now();
+    if (release > now) {
+      if (!may_wait) return std::nullopt;
+      if (release > deadline) {
+        std::this_thread::sleep_until(deadline);
+        return std::nullopt;
+      }
+      std::this_thread::sleep_until(release);
+    }
+    Bytes out = std::move(*pending_);
+    pending_.reset();
+    ++stats_.messages_received;
+    stats_.bytes_received += out.size();
+    return out;
+  }
+
+  LinkPtr inner_;
+  FaultPlan plan_;
+  Rng jitter_rng_;
+  Rng drop_rng_;
+  Rng dup_rng_;
+  Clock::time_point epoch_;
+  Clock::time_point send_floor_{};
+  std::uint64_t sends_ = 0;
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t recv_seq_ = 0;
+  bool tripped_ = false;
+  std::optional<Bytes> pending_;
+  std::int64_t pending_stamp_ = 0;
+  LinkStats stats_;
+};
+
+}  // namespace
+
+LinkPtr make_fault_link(LinkPtr inner, FaultPlan plan) {
+  return std::make_unique<FaultLink>(std::move(inner), std::move(plan));
+}
+
+LinkPair make_fault_pair(FaultPlan plan) {
+  LinkPair pair = make_loopback_pair();
+  return LinkPair{
+      .a = make_fault_link(std::move(pair.a), plan.for_endpoint(1)),
+      .b = make_fault_link(std::move(pair.b), plan.for_endpoint(2)),
+  };
+}
+
+}  // namespace pia::transport

@@ -26,6 +26,15 @@ struct LinkStats {
   std::uint64_t messages_received = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
+
+  // Fault-injection counters; zero unless the link is a FaultLink
+  // (see transport/fault.hpp).
+  std::uint64_t faults_delayed = 0;        // frames given extra jitter
+  std::uint64_t faults_duplicated = 0;     // frames transmitted twice
+  std::uint64_t faults_dropped = 0;        // first transmissions lost+retried
+  std::uint64_t faults_dup_discarded = 0;  // duplicate frames discarded
+  std::uint64_t faults_partition_held = 0; // frames held by a partition
+  std::uint64_t faults_abrupt_closes = 0;  // injected peer-crash closes
 };
 
 class Link {

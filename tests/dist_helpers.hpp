@@ -24,7 +24,8 @@ struct SplitPipe {
   SplitPipe(std::uint64_t count, ChannelMode mode,
             Wire wire = Wire::kLoopback,
             transport::LatencyModel latency = {},
-            VirtualTime period = ticks(10)) {
+            VirtualTime period = ticks(10),
+            const transport::FaultPlan& fault = {}) {
     PiaNode& node_a = cluster.add_node("nodeA");
     PiaNode& node_b = cluster.add_node("nodeB");
     a = &node_a.add_subsystem("ssA");
@@ -38,7 +39,7 @@ struct SplitPipe {
     const NetId net_b = b->scheduler().make_net("wire");
     b->scheduler().attach(net_b, sink->id(), "in");
 
-    channels = cluster.connect_checked(*a, *b, mode, wire, latency);
+    channels = cluster.connect_checked(*a, *b, mode, wire, latency, fault);
     split_net(*a, channels.a, net_a, *b, channels.b, net_b);
   }
 };
@@ -56,7 +57,8 @@ struct SplitLoop {
 
   SplitLoop(std::uint64_t count, ChannelMode mode,
             Wire wire = Wire::kLoopback,
-            transport::LatencyModel latency = {}) {
+            transport::LatencyModel latency = {},
+            const transport::FaultPlan& fault = {}) {
     PiaNode& node_a = cluster.add_node("nodeA");
     PiaNode& node_b = cluster.add_node("nodeB");
     a = &node_a.add_subsystem("ssA");
@@ -76,9 +78,202 @@ struct SplitLoop {
     const NetId back_b = b->scheduler().make_net("back");
     b->scheduler().attach(back_b, relay->id(), "out");
 
-    channels = cluster.connect_checked(*a, *b, mode, wire, latency);
+    channels = cluster.connect_checked(*a, *b, mode, wire, latency, fault);
     split_net(*a, channels.a, fwd_a, *b, channels.b, fwd_b);
     split_net(*a, channels.a, back_a, *b, channels.b, back_b);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Generalized pipelines: the single-host equivalence oracle the cluster
+// fuzzer (tests/fuzz_cluster.cpp) checks every random configuration against.
+// ---------------------------------------------------------------------------
+
+/// Relay whose think time scales with its runlevel's detail
+/// (think = base * (1 + detail)), so fuzzed runlevels change timing.  The
+/// input is asynchronous (interrupt-like): fuzzed workloads routinely
+/// overrun a relay (producer period < think time), which a synchronous port
+/// must reject as a §2.1.1 consistency violation; an asynchronous port
+/// accepts the value at the relay's current local time — still fully
+/// deterministic, so the single-host oracle stays exact.
+class LeveledRelay : public Component {
+ public:
+  LeveledRelay(std::string name, std::uint64_t base_ticks, RunLevel initial)
+      : Component(std::move(name)), base_(base_ticks) {
+    in_ = add_input("in", PortSync::kAsynchronous);
+    out_ = add_output("out");
+    set_initial_runlevel(initial);
+  }
+
+  void on_receive(PortIndex, const Value& value) override {
+    const auto detail = static_cast<std::uint64_t>(runlevel().detail);
+    advance(ticks(static_cast<VirtualTime::rep>(base_ * (1 + detail))));
+    send(out_, Value{value.as_word() + 1});
+    ++forwarded;
+  }
+
+  void save_state(serial::OutArchive& ar) const override {
+    ar.put_varint(forwarded);
+  }
+  void restore_state(serial::InArchive& ar) override {
+    forwarded = ar.get_varint();
+  }
+
+  std::uint64_t forwarded = 0;
+
+ private:
+  std::uint64_t base_;
+  PortIndex in_;
+  PortIndex out_;
+};
+
+/// A producer -> relay* -> sink pipeline plus its placement across
+/// subsystems.  stage_host[i] is the subsystem hosting stage i (stage 0 is
+/// the producer, stages 1..N the relays); it must be non-decreasing in
+/// steps of at most 1 and cover 0..K-1, so consecutive stages are either
+/// co-hosted or split across the channel between adjacent subsystems.  The
+/// sink lives on the last subsystem (forward pipeline) or on subsystem 0
+/// (loop-back: the result net spans every channel on the way home, the
+/// multi-hop generalization of SplitLoop).
+struct PipelineSpec {
+  std::uint64_t count = 10;
+  VirtualTime period = ticks(10);
+  VirtualTime start = ticks(10);
+  struct RelaySpec {
+    std::uint64_t think_ticks = 5;
+    RunLevel level = runlevels::kWord;
+  };
+  std::vector<RelaySpec> relays;
+  std::vector<std::size_t> stage_host;  // size = relays.size() + 1
+  std::size_t sink_host = 0;
+
+  [[nodiscard]] std::size_t subsystem_count() const {
+    return stage_host.empty() ? 1 : stage_host.back() + 1;
+  }
+};
+
+struct PipelineResult {
+  std::vector<std::uint64_t> received;
+  std::vector<VirtualTime> times;
+
+  friend bool operator==(const PipelineResult&,
+                         const PipelineResult&) = default;
+};
+
+/// The oracle: the same pipeline in one scheduler (single-host Pia).
+inline PipelineResult run_single_host_pipeline(const PipelineSpec& spec) {
+  Scheduler sched;
+  auto& producer =
+      sched.emplace<Producer>("p", spec.count, spec.period, spec.start);
+  ComponentId prev = producer.id();
+  for (std::size_t i = 0; i < spec.relays.size(); ++i) {
+    auto& relay = sched.emplace<LeveledRelay>("r" + std::to_string(i),
+                                              spec.relays[i].think_ticks,
+                                              spec.relays[i].level);
+    sched.connect(prev, "out", relay.id(), "in");
+    prev = relay.id();
+  }
+  auto& sink = sched.emplace<Sink>("s");
+  sched.connect(prev, "out", sink.id(), "in");
+  sched.init();
+  sched.run();
+  return {sink.received, sink.times};
+}
+
+/// The same pipeline distributed per spec.stage_host: one node per
+/// subsystem, channels between adjacent subsystems (mode per channel),
+/// every cut realized as a split net.
+struct FuzzCluster {
+  NodeCluster cluster;
+  std::vector<Subsystem*> subsystems;
+  Sink* sink = nullptr;
+
+  FuzzCluster(const PipelineSpec& spec,
+              const std::vector<ChannelMode>& channel_modes, Wire wire,
+              transport::LatencyModel latency,
+              const transport::FaultPlan& fault,
+              const std::vector<std::uint64_t>& checkpoint_intervals) {
+    const std::size_t hosts = spec.subsystem_count();
+    for (std::size_t g = 0; g < hosts; ++g) {
+      PiaNode& node = cluster.add_node("node" + std::to_string(g));
+      subsystems.push_back(&node.add_subsystem("ss" + std::to_string(g)));
+      subsystems.back()->set_checkpoint_interval(
+          checkpoint_intervals[g % checkpoint_intervals.size()]);
+    }
+
+    // Stage components and, per stage, the net its output drives.
+    std::vector<ComponentId> stage_ids;
+    auto& producer = subsystems[spec.stage_host[0]]->scheduler().emplace<Producer>(
+        "p", spec.count, spec.period, spec.start);
+    stage_ids.push_back(producer.id());
+    for (std::size_t i = 0; i < spec.relays.size(); ++i) {
+      auto& relay =
+          subsystems[spec.stage_host[i + 1]]->scheduler().emplace<LeveledRelay>(
+              "r" + std::to_string(i), spec.relays[i].think_ticks,
+              spec.relays[i].level);
+      stage_ids.push_back(relay.id());
+    }
+    sink = &subsystems[spec.sink_host]->scheduler().emplace<Sink>("s");
+
+    // Channels between adjacent subsystems.
+    std::vector<ChannelPair> channels;
+    for (std::size_t g = 0; g + 1 < hosts; ++g)
+      channels.push_back(cluster.connect_checked(
+          *subsystems[g], *subsystems[g + 1], channel_modes[g], wire,
+          latency, fault.for_endpoint(g)));
+
+    // Forward wiring, one net per stage output.  A cut between hosts g and
+    // g+1 becomes a split net on channel g.
+    for (std::size_t s = 0; s + 1 < stage_ids.size(); ++s) {
+      const std::size_t host_a = spec.stage_host[s];
+      const std::size_t host_b = spec.stage_host[s + 1];
+      Scheduler& sched_a = subsystems[host_a]->scheduler();
+      const NetId net_a = sched_a.make_net("fwd" + std::to_string(s));
+      sched_a.attach(net_a, stage_ids[s], "out");
+      if (host_a == host_b) {
+        sched_a.attach(net_a, stage_ids[s + 1], "in");
+      } else {
+        Scheduler& sched_b = subsystems[host_b]->scheduler();
+        const NetId net_b = sched_b.make_net("fwd" + std::to_string(s));
+        sched_b.attach(net_b, stage_ids[s + 1], "in");
+        split_net(*subsystems[host_a], channels[host_a].a, net_a,
+                  *subsystems[host_b], channels[host_a].b, net_b);
+      }
+    }
+
+    // Result net: last relay -> sink, possibly hopping several channels
+    // back to subsystem 0.
+    const std::size_t tail_host = spec.stage_host.back();
+    Scheduler& tail_sched = subsystems[tail_host]->scheduler();
+    const NetId tail_net = tail_sched.make_net("result");
+    tail_sched.attach(tail_net, stage_ids.back(), "out");
+    if (spec.sink_host == tail_host) {
+      tail_sched.attach(tail_net, sink->id(), "in");
+    } else {
+      // Local piece per intermediate host; each adjacent pair of pieces is
+      // split across the channel between them, after all forward splits so
+      // per-channel registration order matches on both sides.
+      std::vector<NetId> pieces(hosts);
+      pieces[tail_host] = tail_net;
+      for (std::size_t g = spec.sink_host; g < tail_host; ++g)
+        pieces[g] =
+            subsystems[g]->scheduler().make_net("result");
+      subsystems[spec.sink_host]->scheduler().attach(pieces[spec.sink_host],
+                                                     sink->id(), "in");
+      for (std::size_t g = spec.sink_host; g < tail_host; ++g)
+        split_net(*subsystems[g], channels[g].a, pieces[g],
+                  *subsystems[g + 1], channels[g].b, pieces[g + 1]);
+    }
+  }
+
+  PipelineResult run(std::chrono::milliseconds stall_timeout,
+                     std::map<std::string, Subsystem::RunOutcome>* outcomes =
+                         nullptr) {
+    cluster.start_all();
+    auto results = cluster.run_all(
+        Subsystem::RunConfig{.stall_timeout = stall_timeout});
+    if (outcomes) *outcomes = std::move(results);
+    return {sink->received, sink->times};
   }
 };
 
@@ -86,15 +281,11 @@ struct SplitLoop {
 /// (single-host Pia); the distributed runs must match it exactly.
 inline std::vector<std::uint64_t> single_host_loop_reference(
     std::uint64_t count) {
-  Scheduler sched;
-  auto& producer = sched.emplace<Producer>("p", count);
-  auto& relay = sched.emplace<Relay>("r");
-  auto& sink = sched.emplace<Sink>("s");
-  sched.connect(producer.id(), "out", relay.id(), "in");
-  sched.connect(relay.id(), "out", sink.id(), "in");
-  sched.init();
-  sched.run();
-  return sink.received;
+  PipelineSpec spec;
+  spec.count = count;
+  // detail 0 => think == base == the classic Relay's ticks(5).
+  spec.relays.push_back({.think_ticks = 5, .level = runlevels::kTransaction});
+  return run_single_host_pipeline(spec).received;
 }
 
 }  // namespace pia::dist::testing

@@ -1,0 +1,284 @@
+// Randomized cluster fuzzer with a single-host equivalence oracle.
+//
+// Pia's core guarantee (paper, DAC '98) is that distributing a simulation
+// across nodes never changes simulated behaviour.  This fuzzer turns that
+// guarantee into a continuously checked property: each seed deterministically
+// generates a pipeline topology (stage count, placement across 2..4
+// subsystems, optional loop-back result net), a workload (event count,
+// period, per-relay think times and runlevels), per-subsystem checkpoint
+// intervals, a transport (loopback or TCP, optional latency) and a
+// FaultPlan — then runs it under conservative, optimistic and (when the
+// topology allows) mixed channel modes, each with and without the faults,
+// and requires EXACT equivalence (values and virtual times) against the
+// single-host kernel reference.
+//
+// Usage:
+//   fuzz_cluster                 # checked-in deterministic seed list (CI)
+//   fuzz_cluster --seed=42       # reproduce one seed, verbosely
+//   fuzz_cluster --seeds=1,7,13  # explicit list
+//   fuzz_cluster --runs=50 --start-seed=1000   # a range (nightly CI)
+//
+// Any failure prints the seed and the exact repro command, and exits 1.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "dist_helpers.hpp"
+
+namespace pia::dist {
+namespace {
+
+using namespace std::chrono_literals;
+using testing::FuzzCluster;
+using testing::PipelineResult;
+using testing::PipelineSpec;
+using testing::run_single_host_pipeline;
+
+const RunLevel kLevels[] = {runlevels::kTransaction, runlevels::kPacket,
+                           runlevels::kWord, runlevels::kHardware};
+const std::uint64_t kCheckpointIntervals[] = {1, 2, 4, 8, 16, 64};
+
+struct FuzzCase {
+  PipelineSpec spec;
+  Wire wire = Wire::kLoopback;
+  transport::LatencyModel latency;
+  transport::FaultPlan fault;
+  std::vector<std::uint64_t> checkpoint_intervals;
+};
+
+FuzzCase generate(std::uint64_t seed) {
+  Rng rng(seed);
+  FuzzCase c;
+
+  // Workload.
+  const std::size_t relays = 1 + rng.below(4);
+  c.spec.count = 4 + rng.below(20);
+  c.spec.period = ticks(static_cast<VirtualTime::rep>(2 + rng.below(12)));
+  c.spec.start = ticks(static_cast<VirtualTime::rep>(1 + rng.below(10)));
+  for (std::size_t i = 0; i < relays; ++i)
+    c.spec.relays.push_back(
+        {.think_ticks = 1 + rng.below(6), .level = kLevels[rng.below(4)]});
+
+  // Placement: cut the relay chain into 2..min(4, stages) non-empty
+  // contiguous groups (each subsystem hosts at least one stage).
+  const std::size_t stages = relays + 1;
+  const std::size_t hosts =
+      2 + rng.below(std::min<std::uint64_t>(3, stages - 1));
+  std::vector<bool> cut(stages, false);  // cut[i]: host boundary before i
+  std::size_t cuts_placed = 0;
+  while (cuts_placed < hosts - 1) {
+    const std::size_t at = 1 + rng.below(stages - 1);
+    if (!cut[at]) {
+      cut[at] = true;
+      ++cuts_placed;
+    }
+  }
+  std::size_t host = 0;
+  for (std::size_t s = 0; s < stages; ++s) {
+    if (cut[s]) ++host;
+    c.spec.stage_host.push_back(host);
+  }
+  // 1-in-3 pipelines route the result net all the way back to subsystem 0,
+  // hopping every channel (multi-hop SplitLoop).
+  c.spec.sink_host = rng.chance(0.35) ? 0 : hosts - 1;
+
+  for (std::size_t g = 0; g < hosts; ++g)
+    c.checkpoint_intervals.push_back(kCheckpointIntervals[rng.below(6)]);
+
+  // Transport.
+  c.wire = rng.chance(0.25) ? Wire::kTcp : Wire::kLoopback;
+  if (rng.chance(0.3))
+    c.latency.base = std::chrono::microseconds(50 + rng.below(300));
+
+  // Fault plan (applied only in the "faulty" arm of each run).
+  switch (rng.below(5)) {
+    case 0:
+      c.fault = transport::FaultPlan::jitter(
+          seed, std::chrono::microseconds(100 + rng.below(600)));
+      break;
+    case 1:
+      c.fault = transport::FaultPlan::duplication(
+          seed, 0.1 + 0.5 * rng.uniform());
+      break;
+    case 2:
+      c.fault = transport::FaultPlan::drops(
+          seed, 0.05 + 0.3 * rng.uniform(),
+          std::chrono::microseconds(500 + rng.below(2000)));
+      break;
+    case 3:
+      c.fault = transport::FaultPlan::partition(
+          seed, std::chrono::milliseconds(5 + rng.below(30)),
+          std::chrono::milliseconds(10 + rng.below(60)));
+      break;
+    case 4:
+      c.fault = transport::FaultPlan::chaos(seed);
+      break;
+  }
+  return c;
+}
+
+std::vector<ChannelMode> uniform_modes(std::size_t channels,
+                                       ChannelMode mode) {
+  return std::vector<ChannelMode>(channels, mode);
+}
+
+std::string describe_modes(const std::vector<ChannelMode>& modes) {
+  std::string out;
+  for (const ChannelMode m : modes)
+    out += (m == ChannelMode::kConservative ? 'C' : 'O');
+  return out;
+}
+
+std::string describe_case(const FuzzCase& c) {
+  std::ostringstream os;
+  os << "stages=" << c.spec.stage_host.size() << " hosts="
+     << c.spec.subsystem_count() << " count=" << c.spec.count
+     << " period=" << c.spec.period.str() << " sink_host=" << c.spec.sink_host
+     << " wire=" << (c.wire == Wire::kTcp ? "tcp" : "loopback")
+     << " latency_us=" << c.latency.base.count() << " placement=";
+  for (const std::size_t h : c.spec.stage_host) os << h;
+  return os.str();
+}
+
+std::string dump(const PipelineResult& result) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < result.received.size(); ++i) {
+    if (i) os << " ";
+    os << result.received[i] << "@" << result.times[i].str();
+  }
+  os << "]";
+  return os.str();
+}
+
+bool run_one_config(std::uint64_t seed, const FuzzCase& c,
+                    const std::vector<ChannelMode>& modes, bool with_faults,
+                    const PipelineResult& reference, bool verbose) {
+  const transport::FaultPlan plan =
+      with_faults ? c.fault : transport::FaultPlan::none();
+  FuzzCluster dut(c.spec, modes, c.wire, c.latency, plan,
+                  c.checkpoint_intervals);
+  std::map<std::string, Subsystem::RunOutcome> outcomes;
+  const PipelineResult result = dut.run(20'000ms, &outcomes);
+
+  bool ok = result == reference;
+  for (const auto& [name, outcome] : outcomes)
+    ok &= (outcome == Subsystem::RunOutcome::kQuiescent);
+  if (ok) {
+    if (verbose)
+      std::printf("  modes=%s faults=%d ... ok (%zu events)\n",
+                  describe_modes(modes).c_str(), with_faults ? 1 : 0,
+                  result.received.size());
+    return true;
+  }
+
+  std::printf("FAIL seed=%llu modes=%s faults=%d\n",
+              static_cast<unsigned long long>(seed),
+              describe_modes(modes).c_str(), with_faults ? 1 : 0);
+  std::printf("  case: %s\n", describe_case(c).c_str());
+  for (const auto& [name, outcome] : outcomes)
+    if (outcome != Subsystem::RunOutcome::kQuiescent)
+      std::printf("  outcome[%s] = %s\n", name.c_str(),
+                  outcome == Subsystem::RunOutcome::kStalled ? "STALLED"
+                  : outcome == Subsystem::RunOutcome::kDisconnected
+                      ? "DISCONNECTED"
+                      : "HORIZON");
+  std::printf("  expected %s\n  got      %s\n",
+              dump(reference).c_str(), dump(result).c_str());
+  std::printf("  reproduce: fuzz_cluster --seed=%llu\n",
+              static_cast<unsigned long long>(seed));
+  return false;
+}
+
+bool run_seed(std::uint64_t seed, bool verbose) {
+  const FuzzCase c = generate(seed);
+  if (verbose)
+    std::printf("seed=%llu %s\n", static_cast<unsigned long long>(seed),
+                describe_case(c).c_str());
+  const PipelineResult reference = run_single_host_pipeline(c.spec);
+
+  const std::size_t channels = c.spec.subsystem_count() - 1;
+  std::vector<std::vector<ChannelMode>> mode_sets = {
+      uniform_modes(channels, ChannelMode::kConservative),
+      uniform_modes(channels, ChannelMode::kOptimistic),
+  };
+  if (channels >= 2) {
+    // Mixed: alternate modes per channel, phase chosen by the seed.
+    std::vector<ChannelMode> mixed;
+    for (std::size_t i = 0; i < channels; ++i)
+      mixed.push_back((i + seed) % 2 == 0 ? ChannelMode::kConservative
+                                          : ChannelMode::kOptimistic);
+    mode_sets.push_back(std::move(mixed));
+  }
+
+  bool ok = true;
+  for (const auto& modes : mode_sets)
+    for (const bool with_faults : {false, true})
+      ok &= run_one_config(seed, c, modes, with_faults, reference, verbose);
+  return ok;
+}
+
+}  // namespace
+}  // namespace pia::dist
+
+int main(int argc, char** argv) {
+  std::vector<std::uint64_t> seeds;
+  std::uint64_t runs = 0;
+  std::uint64_t start_seed = 1;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      seeds.push_back(std::stoull(arg.substr(7)));
+      verbose = true;
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      std::stringstream ss(arg.substr(8));
+      std::string item;
+      while (std::getline(ss, item, ',')) seeds.push_back(std::stoull(item));
+    } else if (arg.rfind("--runs=", 0) == 0) {
+      runs = std::stoull(arg.substr(7));
+    } else if (arg.rfind("--start-seed=", 0) == 0) {
+      start_seed = std::stoull(arg.substr(13));
+    } else if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: fuzz_cluster [--seed=S | --seeds=S1,S2,... | "
+                   "--runs=N [--start-seed=K]] [--verbose]\n");
+      return 2;
+    }
+  }
+  if (runs > 0)
+    for (std::uint64_t s = 0; s < runs; ++s) seeds.push_back(start_seed + s);
+  if (seeds.empty()) {
+    // The PR-gating list: deterministic, fast, and curated to cover every
+    // fault kind, both wires and the multi-hop loop-back topology.
+    seeds = {1, 2, 3, 4, 5, 6, 7, 8, 11, 13, 17, 23};
+  }
+
+  std::uint64_t failures = 0;
+  for (const std::uint64_t seed : seeds) {
+    if (!pia::dist::run_seed(seed, verbose)) ++failures;
+    if (!verbose) {
+      std::printf(".");
+      std::fflush(stdout);
+    }
+  }
+  if (!verbose) std::printf("\n");
+  if (failures > 0) {
+    std::printf("%llu of %zu seeds FAILED\n",
+                static_cast<unsigned long long>(failures), seeds.size());
+    return 1;
+  }
+  std::printf("all %zu seeds passed (conservative == optimistic == "
+              "single-host, faulty and clean links)\n",
+              seeds.size());
+  return 0;
+}

@@ -1,0 +1,239 @@
+// Distributed protocols under injected transport faults.
+//
+// FaultLink preserves the Link contract (FIFO, exactly-once), so every fault
+// except abrupt close must leave simulated behaviour untouched — these tests
+// pin that equivalence for the scenarios most likely to break it: optimistic
+// rollback storms under heavy duplication+delay, Chandy–Lamport snapshots
+// taken during a partition window, and the graceful wind-down when a link
+// does die abruptly.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "dist_helpers.hpp"
+
+namespace pia::dist {
+namespace {
+
+using namespace std::chrono_literals;
+using testing::SplitLoop;
+using testing::SplitPipe;
+using testing::single_host_loop_reference;
+
+// --- rollback storm (fossil collection under duress) -------------------------
+
+TEST(DistFaults, OptimisticRollbackStormMatchesReference) {
+  // Heavy duplication + jitter makes the optimistic side race far ahead and
+  // repeatedly meet stragglers: a rollback storm.  Behaviour must still be
+  // exactly the single-host run, and the rollback count must stay bounded by
+  // its only legitimate causes (straggler events and retractions).
+  transport::FaultPlan plan = transport::FaultPlan::duplication(97, 0.8);
+  plan.delay_jitter_max = 800us;
+
+  SplitLoop loop(30, ChannelMode::kOptimistic, Wire::kLoopback, {}, plan);
+  // Checkpoint every dispatch: the densest possible rollback targets.
+  loop.a->set_checkpoint_interval(1);
+  loop.b->set_checkpoint_interval(1);
+  loop.cluster.start_all();
+  const auto outcomes =
+      loop.cluster.run_all(Subsystem::RunConfig{.stall_timeout = 20'000ms});
+  for (const auto& [name, outcome] : outcomes)
+    EXPECT_EQ(outcome, Subsystem::RunOutcome::kQuiescent) << name;
+
+  EXPECT_EQ(loop.sink->received, single_host_loop_reference(30));
+
+  for (Subsystem* ss : {loop.a, loop.b}) {
+    const SubsystemStats& stats = ss->stats();
+    EXPECT_LE(stats.rollbacks,
+              stats.events_received + stats.retracts_received)
+        << ss->name();
+  }
+
+  // At quiescence every message is fossil: collection must trim the logs so
+  // the storm's checkpoints don't accumulate forever.
+  EXPECT_EQ(loop.cluster.fossil_collect_all(), VirtualTime::infinity());
+}
+
+TEST(DistFaults, OptimisticChaosOverTcpMatchesReference) {
+  SplitLoop loop(20, ChannelMode::kOptimistic, Wire::kTcp, {},
+                 transport::FaultPlan::chaos(1234));
+  loop.a->set_checkpoint_interval(4);
+  loop.b->set_checkpoint_interval(4);
+  loop.cluster.start_all();
+  const auto outcomes =
+      loop.cluster.run_all(Subsystem::RunConfig{.stall_timeout = 20'000ms});
+  for (const auto& [name, outcome] : outcomes)
+    EXPECT_EQ(outcome, Subsystem::RunOutcome::kQuiescent) << name;
+  EXPECT_EQ(loop.sink->received, single_host_loop_reference(20));
+}
+
+// --- snapshots during a partition window -------------------------------------
+
+TEST(DistFaults, SnapshotDuringPartitionYieldsConsistentCut) {
+  // The partition window opens immediately and holds traffic (marks
+  // included) for 60ms of wall-clock time.  The snapshot must still
+  // complete, and restoring it must replay the identical future — i.e. the
+  // cut is consistent even though the marks crossed a partitioned link.
+  const auto plan = transport::FaultPlan::partition(55, 0ms, 60ms);
+  SplitPipe pipe(15, ChannelMode::kConservative, Wire::kLoopback, {},
+                 ticks(10), plan);
+  pipe.cluster.start_all();
+
+  const std::uint64_t token = pipe.a->initiate_snapshot();
+  auto outcomes =
+      pipe.cluster.run_all(Subsystem::RunConfig{.stall_timeout = 20'000ms});
+  for (const auto& [name, outcome] : outcomes)
+    ASSERT_EQ(outcome, Subsystem::RunOutcome::kQuiescent) << name;
+  ASSERT_TRUE(pipe.a->snapshot_complete(token));
+  ASSERT_TRUE(pipe.b->snapshot_complete(token));
+
+  const auto final_received = pipe.sink->received;
+  const auto final_times = pipe.sink->times;
+  ASSERT_EQ(final_received.size(), 15u);
+
+  pipe.a->restore_snapshot(token);
+  pipe.b->restore_snapshot(token);
+  pipe.cluster.run_all(Subsystem::RunConfig{.stall_timeout = 20'000ms});
+  EXPECT_EQ(pipe.sink->received, final_received);
+  EXPECT_EQ(pipe.sink->times, final_times);
+}
+
+TEST(DistFaults, SnapshotUnderChaosRestoresDeterministically) {
+  SplitPipe pipe(12, ChannelMode::kConservative, Wire::kLoopback, {},
+                 ticks(10), transport::FaultPlan::chaos(777));
+  pipe.cluster.start_all();
+
+  const std::uint64_t token = pipe.b->initiate_snapshot();
+  pipe.cluster.run_all(Subsystem::RunConfig{.stall_timeout = 20'000ms});
+  ASSERT_TRUE(pipe.a->snapshot_complete(token));
+  ASSERT_TRUE(pipe.b->snapshot_complete(token));
+
+  const auto final_received = pipe.sink->received;
+  ASSERT_EQ(final_received.size(), 12u);
+
+  pipe.a->restore_snapshot(token);
+  pipe.b->restore_snapshot(token);
+  pipe.cluster.run_all(Subsystem::RunConfig{.stall_timeout = 20'000ms});
+  EXPECT_EQ(pipe.sink->received, final_received);
+}
+
+// --- abrupt close: graceful wind-down, not an exception ----------------------
+
+TEST(DistFaults, AbruptCloseWindsDownAsDisconnected) {
+  // The producer side's link dies after a handful of sends.  Before the
+  // graceful-disconnect path existed, the transport error unwound through
+  // Subsystem::run mid-protocol (or the peer spun until stall_timeout);
+  // now both sides must return kDisconnected promptly and without throwing.
+  transport::FaultPlan plan;
+  plan.seed = 9;
+  plan.close_after_sends = 3;
+
+  SplitPipe pipe(50, ChannelMode::kConservative, Wire::kLoopback, {},
+                 ticks(10), plan);
+  pipe.cluster.start_all();
+
+  std::map<std::string, Subsystem::RunOutcome> outcomes;
+  ASSERT_NO_THROW(outcomes = pipe.cluster.run_all(
+                      Subsystem::RunConfig{.stall_timeout = 5'000ms}));
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const auto& [name, outcome] : outcomes)
+    EXPECT_EQ(outcome, Subsystem::RunOutcome::kDisconnected) << name;
+}
+
+TEST(DistFaults, AbruptCloseOverTcpWindsDownAsDisconnected) {
+  transport::FaultPlan plan;
+  plan.seed = 10;
+  plan.close_after_sends = 2;
+
+  SplitPipe pipe(50, ChannelMode::kConservative, Wire::kTcp, {}, ticks(10),
+                 plan);
+  pipe.cluster.start_all();
+
+  std::map<std::string, Subsystem::RunOutcome> outcomes;
+  ASSERT_NO_THROW(outcomes = pipe.cluster.run_all(
+                      Subsystem::RunConfig{.stall_timeout = 5'000ms}));
+  for (const auto& [name, outcome] : outcomes)
+    EXPECT_EQ(outcome, Subsystem::RunOutcome::kDisconnected) << name;
+}
+
+TEST(DistFaults, SendAfterPeerClosedIsSilentlyDropped) {
+  // Regression for the channel error path: once peer_closed is latched, a
+  // further send_message must neither throw nor bump msgs_sent (the counter
+  // feeds quiescence detection).
+  transport::FaultPlan plan;
+  plan.seed = 11;
+  plan.close_after_sends = 1;
+
+  SplitPipe pipe(50, ChannelMode::kConservative, Wire::kLoopback, {},
+                 ticks(10), plan);
+  pipe.cluster.start_all();
+  pipe.cluster.run_all(Subsystem::RunConfig{.stall_timeout = 5'000ms});
+
+  ChannelEndpoint& endpoint = pipe.a->channel(pipe.channels.a);
+  ASSERT_TRUE(endpoint.peer_closed);
+  const std::uint64_t sent_before = endpoint.msgs_sent;
+  ASSERT_NO_THROW(endpoint.send_message(
+      SafeTimeGrant{.safe_time = VirtualTime::infinity()}));
+  EXPECT_EQ(endpoint.msgs_sent, sent_before);
+}
+
+// --- mixed-mode regressions (found by fuzz_cluster) ---------------------------
+
+TEST(DistFaults, MixedModeGrantsGroundThroughOptimisticChannels) {
+  // Minimized from `fuzz_cluster --seed=2` (modes=COC).  grant_for() used to
+  // skip optimistic channels entirely, so the middle subsystems promised
+  // infinity to their conservative peers before the optimistic upstream had
+  // produced anything — the sink side exited "quiescent" with zero events
+  // and the producer side livelocked on request/grant ping-pong.
+  testing::PipelineSpec spec;
+  spec.count = 10;
+  spec.period = ticks(5);
+  spec.start = ticks(3);
+  spec.relays = {{.think_ticks = 4, .level = runlevels::kWord},
+                 {.think_ticks = 2, .level = runlevels::kTransaction},
+                 {.think_ticks = 3, .level = runlevels::kPacket}};
+  spec.stage_host = {0, 1, 2, 3};
+  spec.sink_host = 3;
+
+  const testing::PipelineResult reference =
+      testing::run_single_host_pipeline(spec);
+  testing::FuzzCluster dut(
+      spec,
+      {ChannelMode::kConservative, ChannelMode::kOptimistic,
+       ChannelMode::kConservative},
+      Wire::kLoopback, {}, transport::FaultPlan::none(), {8});
+  std::map<std::string, Subsystem::RunOutcome> outcomes;
+  const testing::PipelineResult result = dut.run(20'000ms, &outcomes);
+  for (const auto& [name, outcome] : outcomes)
+    EXPECT_EQ(outcome, Subsystem::RunOutcome::kQuiescent) << name;
+  EXPECT_EQ(result, reference);
+}
+
+TEST(DistFaults, ConservativeLeafBesideMixedChainTerminates) {
+  // Minimized from `fuzz_cluster --seed=13` (modes=OC).  The conservative
+  // leaf used to exit unilaterally once its grants reached infinity and then
+  // stopped answering termination probes, stranding the optimistic side of
+  // the chain in a permanent stall even though every event had been
+  // delivered correctly.
+  testing::PipelineSpec spec;
+  spec.count = 5;
+  spec.period = ticks(2);
+  spec.relays = {{.think_ticks = 3, .level = runlevels::kWord},
+                 {.think_ticks = 1, .level = runlevels::kTransaction}};
+  spec.stage_host = {0, 1, 2};
+  spec.sink_host = 2;
+
+  const testing::PipelineResult reference =
+      testing::run_single_host_pipeline(spec);
+  testing::FuzzCluster dut(
+      spec, {ChannelMode::kOptimistic, ChannelMode::kConservative},
+      Wire::kLoopback, {}, transport::FaultPlan::chaos(13), {4});
+  std::map<std::string, Subsystem::RunOutcome> outcomes;
+  const testing::PipelineResult result = dut.run(20'000ms, &outcomes);
+  for (const auto& [name, outcome] : outcomes)
+    EXPECT_EQ(outcome, Subsystem::RunOutcome::kQuiescent) << name;
+  EXPECT_EQ(result, reference);
+}
+
+}  // namespace
+}  // namespace pia::dist

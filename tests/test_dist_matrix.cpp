@@ -53,5 +53,72 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(latency_us) + "us";
     });
 
+// --- the same sweep under injected transport faults --------------------------
+//
+// Each FaultPlan preset stresses a different protocol path: jitter reorders
+// nothing but shuffles arrival timing, duplication exercises receiver-side
+// dedup (and rollback pressure in optimistic mode), partition/heal holds
+// whole grant/event exchanges hostage for a wall-clock window.  Equivalence
+// must survive all of them.
+
+enum class FaultPreset { kJitter, kDup, kPartition };
+
+transport::FaultPlan make_preset(FaultPreset preset) {
+  switch (preset) {
+    case FaultPreset::kJitter:
+      return transport::FaultPlan::jitter(301, 600us);
+    case FaultPreset::kDup:
+      return transport::FaultPlan::duplication(302, 0.5);
+    case FaultPreset::kPartition:
+      return transport::FaultPlan::partition(303, 10ms, 40ms);
+  }
+  return transport::FaultPlan::none();
+}
+
+using FaultConfig = std::tuple<FaultPreset, ChannelMode, Wire, int>;
+
+class DistFaultMatrix : public ::testing::TestWithParam<FaultConfig> {};
+
+TEST_P(DistFaultMatrix, RoundTripMatchesSingleHostExactly) {
+  const auto& [preset, mode, wire, latency_us] = GetParam();
+  SplitLoop loop(12, mode, wire,
+                 transport::LatencyModel{
+                     .base = std::chrono::microseconds(latency_us)},
+                 make_preset(preset));
+  loop.a->set_checkpoint_interval(16);
+  loop.b->set_checkpoint_interval(16);
+  loop.cluster.start_all();
+  const auto outcomes =
+      loop.cluster.run_all(Subsystem::RunConfig{.stall_timeout = 20'000ms});
+  for (const auto& [name, outcome] : outcomes)
+    EXPECT_EQ(outcome, Subsystem::RunOutcome::kQuiescent) << name;
+  EXPECT_EQ(loop.sink->received, single_host_loop_reference(12));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultPresets, DistFaultMatrix,
+    ::testing::Combine(
+        ::testing::Values(FaultPreset::kJitter, FaultPreset::kDup,
+                          FaultPreset::kPartition),
+        ::testing::Values(ChannelMode::kConservative,
+                          ChannelMode::kOptimistic),
+        ::testing::Values(Wire::kLoopback, Wire::kTcp),
+        ::testing::Values(0, 300)),
+    [](const ::testing::TestParamInfo<FaultConfig>& info) {
+      const FaultPreset preset = std::get<0>(info.param);
+      const ChannelMode mode = std::get<1>(info.param);
+      const Wire wire = std::get<2>(info.param);
+      const int latency_us = std::get<3>(info.param);
+      std::string name;
+      switch (preset) {
+        case FaultPreset::kJitter: name = "jitter"; break;
+        case FaultPreset::kDup: name = "dup"; break;
+        case FaultPreset::kPartition: name = "partition"; break;
+      }
+      name += mode == ChannelMode::kConservative ? "_consv" : "_optim";
+      name += wire == Wire::kLoopback ? "_loopback" : "_tcp";
+      return name + "_" + std::to_string(latency_us) + "us";
+    });
+
 }  // namespace
 }  // namespace pia::dist

@@ -19,8 +19,12 @@ TEST(OptimisticPipe, DeliversWithoutBlocking) {
   for (const auto& [name, outcome] : outcomes)
     EXPECT_EQ(outcome, Subsystem::RunOutcome::kQuiescent) << name;
   EXPECT_EQ(pipe.sink->received.size(), 10u);
-  // Optimistic channels never exchange safe times.
-  EXPECT_EQ(pipe.a->stats().grants_sent + pipe.b->stats().grants_sent, 0u);
+  // Optimistic channels carry safe-time floors (a mixed-mode neighbour may
+  // need them to ground promises to ITS conservative peers), but they are
+  // informational only: execution never requests one or blocks on one.
+  EXPECT_EQ(pipe.a->stats().stalls + pipe.b->stats().stalls, 0u);
+  EXPECT_EQ(pipe.a->stats().requests_sent + pipe.b->stats().requests_sent,
+            0u);
 }
 
 /// A component that gives the receiving subsystem plenty of local work so it

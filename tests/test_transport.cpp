@@ -16,6 +16,7 @@
 #include "base/error.hpp"
 #include "base/rng.hpp"
 #include "transport/crc32.hpp"
+#include "transport/fault.hpp"
 #include "transport/frame.hpp"
 #include "transport/latency.hpp"
 #include "transport/link.hpp"
@@ -325,6 +326,129 @@ TEST(Tcp, RecvForHugeTimeoutDoesNotOverflowPoll) {
   sender.get();
   ASSERT_TRUE(msg.has_value());
   EXPECT_EQ(to_string(*msg), "eventually");
+}
+
+TEST(Fault, ChaosPreservesFifoExactlyOnce) {
+  auto pair = make_fault_pair(FaultPlan::chaos(7));
+  constexpr int kCount = 200;
+  for (int i = 0; i < kCount; ++i)
+    pair.a->send(to_bytes(std::to_string(i)));
+  for (int i = 0; i < kCount; ++i) {
+    const auto msg = pair.b->recv_for(5000ms);
+    ASSERT_TRUE(msg.has_value()) << "lost message " << i;
+    EXPECT_EQ(to_string(*msg), std::to_string(i));
+  }
+  EXPECT_FALSE(pair.b->try_recv().has_value());
+  // The plan actually did something.
+  const LinkStats stats = pair.a->stats();
+  EXPECT_GT(stats.faults_delayed + stats.faults_duplicated +
+                stats.faults_dropped + stats.faults_partition_held,
+            0u);
+}
+
+TEST(Fault, DuplicatesAreDiscardedBySequence) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.dup_probability = 1.0;  // every frame transmitted twice
+  auto pair = make_fault_pair(plan);
+  for (int i = 0; i < 20; ++i)
+    pair.a->send(to_bytes(std::to_string(i)));
+  for (int i = 0; i < 20; ++i) {
+    const auto msg = pair.b->recv_for(2000ms);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(to_string(*msg), std::to_string(i));
+  }
+  EXPECT_FALSE(pair.b->try_recv().has_value());
+  EXPECT_EQ(pair.a->stats().faults_duplicated, 20u);
+  EXPECT_EQ(pair.b->stats().faults_dup_discarded, 20u);
+}
+
+TEST(Fault, DropIsRetriedNotLost) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.drop_probability = 1.0;
+  plan.retry_delay = std::chrono::microseconds(50'000);
+  auto pair = make_fault_pair(plan);
+  pair.a->send(to_bytes("resent"));
+  // The first transmission was "lost": nothing visible immediately...
+  EXPECT_FALSE(pair.b->try_recv().has_value());
+  // ...but the retransmission delivers it, in order, without loss.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto msg = pair.b->recv_for(2000ms);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(to_string(*msg), "resent");
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 40ms);
+  EXPECT_EQ(pair.a->stats().faults_dropped, 1u);
+}
+
+TEST(Fault, PartitionHoldsTrafficUntilHeal) {
+  auto pair = make_fault_pair(FaultPlan::partition(5, 0ms, 80ms));
+  pair.a->send(to_bytes("across the partition"));
+  EXPECT_FALSE(pair.b->try_recv().has_value());
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto msg = pair.b->recv_for(2000ms);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(to_string(*msg), "across the partition");
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 50ms);
+  EXPECT_EQ(pair.a->stats().faults_partition_held, 1u);
+}
+
+TEST(Fault, AbruptCloseBehavesLikePeerCrash) {
+  FaultPlan plan;
+  plan.seed = 2;
+  plan.close_after_sends = 2;
+  auto inner = make_loopback_pair();
+  auto a = make_fault_link(std::move(inner.a), plan);
+  auto& b = inner.b;
+
+  a->send(to_bytes("one"));
+  a->send(to_bytes("two"));
+  EXPECT_THROW(a->send(to_bytes("three")), Error);
+  EXPECT_TRUE(a->closed());
+  EXPECT_EQ(a->stats().faults_abrupt_closes, 1u);
+
+  // The peer drains what made it out, then observes the close.
+  EXPECT_TRUE(b->recv_for(2000ms).has_value());
+  EXPECT_TRUE(b->recv_for(2000ms).has_value());
+  EXPECT_FALSE(b->recv_for(50ms).has_value());
+  EXPECT_TRUE(b->closed());
+}
+
+TEST(Fault, SameSeedSameFaults) {
+  for (int round = 0; round < 2; ++round) {
+    static LinkStats first;
+    auto pair = make_fault_pair(FaultPlan::chaos(42));
+    for (int i = 0; i < 50; ++i)
+      pair.a->send(to_bytes(std::to_string(i)));
+    for (int i = 0; i < 50; ++i)
+      ASSERT_TRUE(pair.b->recv_for(5000ms).has_value());
+    const LinkStats stats = pair.a->stats();
+    if (round == 0) {
+      first = stats;
+    } else {
+      EXPECT_EQ(stats.faults_delayed, first.faults_delayed);
+      EXPECT_EQ(stats.faults_duplicated, first.faults_duplicated);
+      EXPECT_EQ(stats.faults_dropped, first.faults_dropped);
+    }
+  }
+}
+
+TEST(Fault, TcpLinkCanBeDecorated) {
+  TcpListener listener(0);
+  const FaultPlan plan = FaultPlan::chaos(13);
+  auto client_future = std::async(std::launch::async, [&] {
+    return make_fault_link(tcp_connect(listener.port()),
+                           plan.for_endpoint(1));
+  });
+  auto server = make_fault_link(listener.accept(), plan.for_endpoint(2));
+  auto client = client_future.get();
+  for (int i = 0; i < 40; ++i)
+    client->send(to_bytes(std::to_string(i)));
+  for (int i = 0; i < 40; ++i) {
+    const auto msg = server->recv_for(5000ms);
+    ASSERT_TRUE(msg.has_value()) << "lost message " << i;
+    EXPECT_EQ(to_string(*msg), std::to_string(i));
+  }
 }
 
 TEST(Latency, TcpLinkCanBeDecorated) {
