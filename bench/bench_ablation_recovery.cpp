@@ -1,0 +1,155 @@
+// Ablation: durable-snapshot overhead and crash-recovery cost.
+//
+// The recovery design (DESIGN.md "Recovery") persists every completed
+// Chandy–Lamport cut through pia::serial into a CRC-checked store, so a
+// killed node can restart from the last committed cut instead of replaying
+// from virtual time zero.  Two questions matter for tuning:
+//
+//   1. What does durability cost a healthy run?  Sweep the auto-snapshot
+//      cadence and compare wall time + bytes written against a run with no
+//      store attached.
+//   2. What does recovery cost after a kill?  Crash one channel endpoint
+//      mid-run, then measure the whole kill+restart+rejoin+resume cycle,
+//      including the optimistic fallback ladder when a persisted cut turns
+//      out to be unstable.
+#include <chrono>
+#include <filesystem>
+
+#include "bench_util.hpp"
+#include "dist/node.hpp"
+#include "../tests/dist_helpers.hpp"
+
+using namespace pia;
+using namespace pia::bench;
+using namespace pia::dist;
+using namespace std::chrono_literals;
+// Disambiguates from pia::testing (pulled in transitively via helpers.hpp).
+namespace dtest = pia::dist::testing;
+
+int main() {
+  header("Ablation: durable snapshots and crash recovery");
+  JsonReport report("ablation_recovery");
+
+  // A forward pipeline split across three subsystems: producer on ss0, one
+  // relay each on ss1/ss2, sink on ss2.  Enough traffic that snapshots land
+  // mid-stream and a crash bomb reliably fires.
+  dtest::PipelineSpec spec;
+  spec.count = 240;
+  spec.period = ticks(6);
+  spec.relays.push_back({.think_ticks = 5, .level = runlevels::kWord});
+  spec.relays.push_back({.think_ticks = 7, .level = runlevels::kWord});
+  spec.stage_host = {0, 1, 2};
+  spec.sink_host = 2;
+  const std::vector<std::uint64_t> checkpoint_intervals{1, 3};
+  const dtest::PipelineResult oracle =
+      dtest::run_single_host_pipeline(spec);
+
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() / "pia_bench_recovery";
+
+  // -------------------------------------------------------------------
+  // Part 1: persist overhead on a healthy run, vs snapshot cadence.
+  // cadence 0 = no store, no auto snapshots (the baseline).
+  // -------------------------------------------------------------------
+  std::printf("\n%10s %10s %10s %12s %10s\n", "cadence", "wall [ms]",
+              "commits", "bytes", "result");
+  double baseline_ms = 0.0;
+  for (const std::uint64_t cadence : {0u, 32u, 8u, 2u}) {
+    std::filesystem::remove_all(root);
+    dtest::FuzzCluster healthy(
+        spec, {ChannelMode::kConservative, ChannelMode::kConservative},
+        Wire::kLoopback, {}, transport::FaultPlan::none(),
+        checkpoint_intervals);
+    if (cadence > 0) {
+      dtest::RecoveryOptions options;
+      options.store_root = root.string();
+      options.auto_snapshot_every = cadence;
+      options.retain = 0;  // keep everything: worst-case disk traffic
+      healthy.enable_recovery(options);
+    }
+    dtest::PipelineResult result;
+    const double seconds =
+        timed([&] { result = healthy.run(10'000ms); });
+    std::uint64_t commits = 0;
+    std::uint64_t bytes = 0;
+    for (const auto& store : healthy.stores) {
+      commits += store->stats().commits;
+      bytes += store->stats().bytes_written;
+    }
+    const bool ok = result == oracle;
+    if (cadence == 0) baseline_ms = seconds * 1e3;
+    std::printf("%10llu %10.2f %10llu %12llu %10s\n",
+                static_cast<unsigned long long>(cadence), seconds * 1e3,
+                static_cast<unsigned long long>(commits),
+                static_cast<unsigned long long>(bytes),
+                ok ? "exact" : "!! DIVERGED");
+    const std::string prefix = "healthy_cadence" + std::to_string(cadence) + "_";
+    report.metric(prefix + "seconds", seconds);
+    report.metric(prefix + "store_commits", commits);
+    report.metric(prefix + "store_bytes", bytes);
+    report.metric(prefix + "exact", std::uint64_t{ok ? 1u : 0u});
+  }
+  report.metric("healthy_baseline_ms", baseline_ms);
+
+  // -------------------------------------------------------------------
+  // Part 2: kill-and-recover cost.  Crash the downstream endpoint of the
+  // first channel after 80 frames, then run the full recovery ladder.
+  // Conservative vs optimistic matters: an optimistic subsystem can persist
+  // a cut the original timeline later rolls back, forcing the driver to
+  // fall back to an older cut (restart attempts > 1).
+  // -------------------------------------------------------------------
+  std::printf("\n%14s %10s %10s %8s %6s %9s %10s\n", "modes", "cadence",
+              "wall [ms]", "crashed", "disk", "attempts", "result");
+  const dtest::FuzzCluster::CrashSpec crash{
+      .channel = 0, .frames = 80, .endpoint = 2};
+  const struct {
+    const char* label;
+    std::vector<ChannelMode> modes;
+  } mode_sets[] = {
+      {"conservative",
+       {ChannelMode::kConservative, ChannelMode::kConservative}},
+      {"optimistic", {ChannelMode::kOptimistic, ChannelMode::kOptimistic}},
+      {"mixed", {ChannelMode::kOptimistic, ChannelMode::kConservative}},
+  };
+  for (const auto& set : mode_sets) {
+    for (const std::uint64_t cadence : {4u, 16u}) {
+      std::filesystem::remove_all(root);
+      dtest::RecoveryOptions options;
+      options.store_root = root.string();
+      options.auto_snapshot_every = cadence;
+      options.heartbeat_interval = 10ms;
+      options.heartbeat_timeout = 800ms;
+      dtest::RecoveryReport recovery;
+      const double seconds = timed([&] {
+        recovery = dtest::run_with_crash_and_recover(
+            spec, set.modes, Wire::kLoopback, {}, transport::FaultPlan::none(),
+            checkpoint_intervals, crash, options, 10'000ms);
+      });
+      const bool ok = recovery.result == oracle;
+      std::printf("%14s %10llu %10.2f %8s %6s %9zu %10s\n", set.label,
+                  static_cast<unsigned long long>(cadence), seconds * 1e3,
+                  recovery.crash_triggered ? "yes" : "no",
+                  recovery.restored_from_disk ? "yes" : "cold",
+                  recovery.restart_attempts, ok ? "exact" : "!! DIVERGED");
+      const std::string prefix = std::string(set.label) + "_cadence" +
+                                 std::to_string(cadence) + "_";
+      report.metric(prefix + "seconds", seconds);
+      report.metric(prefix + "crashed",
+                    std::uint64_t{recovery.crash_triggered ? 1u : 0u});
+      report.metric(prefix + "restored_from_disk",
+                    std::uint64_t{recovery.restored_from_disk ? 1u : 0u});
+      report.metric(prefix + "restart_attempts",
+                    std::uint64_t{recovery.restart_attempts});
+      report.metric(prefix + "exact", std::uint64_t{ok ? 1u : 0u});
+    }
+  }
+  std::filesystem::remove_all(root);
+
+  note("\npersist cost scales with cut frequency (each cut serializes every\n"
+       "subsystem + fsyncs), so pick the cadence against the replay budget a\n"
+       "crash may cost you.  recovery restores the newest cut valid in every\n"
+       "store; optimistic runs often cold-start instead (rollbacks revoke\n"
+       "unstable persisted cuts) or climb the fallback ladder (attempts > 1)\n"
+       "when the crash outran the invalidation.");
+  return 0;
+}

@@ -194,17 +194,7 @@ void CheckpointManager::restore(SnapshotId id) {
   // 2. Event queue: recorded channel state (plus, for immediate snapshots,
   //    the full queue as captured).  Original seq numbers are kept so that
   //    re-execution dispatches in the original deterministic order.
-  std::vector<Event> queue = snap.queue_snapshot;
-  queue.insert(queue.end(), snap.channel_events.begin(),
-               snap.channel_events.end());
-  std::sort(queue.begin(), queue.end(),
-            [](const Event& a, const Event& b) { return a.seq < b.seq; });
-  queue.erase(std::unique(queue.begin(), queue.end(),
-                          [](const Event& a, const Event& b) {
-                            return a.seq == b.seq;
-                          }),
-              queue.end());
-  scheduler_.replace_queue(std::move(queue));
+  scheduler_.replace_queue(snapshot_events(id));
 
   // 3. Subsystem time: never later than any local time or pending event.
   VirtualTime now = min(min_local, scheduler_.next_event_time());
@@ -223,6 +213,23 @@ void CheckpointManager::restore(SnapshotId id) {
 
   stats_.restores++;
   PIA_DEBUG("restored snapshot " << id << " at " << scheduler_.now());
+}
+
+std::vector<Event> CheckpointManager::snapshot_events(SnapshotId id) const {
+  const auto it = snapshots_.find(id);
+  PIA_REQUIRE(it != snapshots_.end(), "unknown snapshot");
+  const Snapshot& snap = it->second;
+  std::vector<Event> queue = snap.queue_snapshot;
+  queue.insert(queue.end(), snap.channel_events.begin(),
+               snap.channel_events.end());
+  std::sort(queue.begin(), queue.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  queue.erase(std::unique(queue.begin(), queue.end(),
+                          [](const Event& a, const Event& b) {
+                            return a.seq == b.seq;
+                          }),
+              queue.end());
+  return queue;
 }
 
 SnapshotId CheckpointManager::restore_latest() {

@@ -116,6 +116,18 @@ class CheckpointManager {
   /// Stored size of one snapshot (full or delta, as stored).
   [[nodiscard]] std::size_t stored_bytes(SnapshotId id) const;
 
+  // --- export (durable snapshots) ------------------------------------------
+  // The distributed layer serializes completed Chandy–Lamport snapshots to
+  // disk; these give it the materialized cut without performing a restore.
+
+  /// The full (delta-resolved) image of one component in the snapshot.
+  [[nodiscard]] Bytes snapshot_image(SnapshotId id, ComponentId comp) const {
+    return materialize_image(id, comp);
+  }
+  /// The event queue the snapshot would restore: the captured queue plus
+  /// recorded channel state, deduplicated, in original seq order.
+  [[nodiscard]] std::vector<Event> snapshot_events(SnapshotId id) const;
+
   /// Drops snapshots older than `id` (fossil collection under GVT).
   void discard_before(SnapshotId id);
   void discard_all();

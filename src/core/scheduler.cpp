@@ -356,6 +356,14 @@ std::vector<Event> Scheduler::snapshot_queue() const {
 void Scheduler::replace_queue(std::vector<Event> events) {
   queue_.clear();
   for (auto& e : events) queue_.insert(std::move(e));
+  // Events scheduled after this restore must sort after every restored
+  // event: in a fresh process (durable-snapshot restore) next_seq_ starts at
+  // zero and a collision would scramble the deterministic dispatch order.
+  for (const Event& e : queue_) ensure_seq_above(e.seq);
+}
+
+void Scheduler::ensure_seq_above(std::uint64_t seq) {
+  if (next_seq_ <= seq) next_seq_ = seq + 1;
 }
 
 std::size_t Scheduler::erase_events_if(

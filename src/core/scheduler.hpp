@@ -156,6 +156,10 @@ class Scheduler final : public ComponentContext {
   [[nodiscard]] std::vector<Event> snapshot_queue() const;
   void replace_queue(std::vector<Event> events);
   void set_now(VirtualTime t) { now_ = t; }
+  /// Raises the event sequence counter past `seq`.  replace_queue calls it
+  /// for every restored event; crash recovery needs it so replayed injects
+  /// keep sorting after the restored queue in a fresh process.
+  void ensure_seq_above(std::uint64_t seq);
   /// Drops every queued event with time > t (used when rolling back).
   void drop_events_after(VirtualTime t);
   /// Drops queued events matching pred; returns how many were removed

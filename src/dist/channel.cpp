@@ -82,15 +82,6 @@ SendId ChannelEndpoint::send_event(std::uint32_t net_index,
   return id;
 }
 
-namespace {
-bool is_control(const ChannelMessage& message) {
-  return std::holds_alternative<StatusMsg>(message) ||
-         std::holds_alternative<ProbeMsg>(message) ||
-         std::holds_alternative<ProbeReply>(message) ||
-         std::holds_alternative<TerminateMsg>(message);
-}
-}  // namespace
-
 void ChannelEndpoint::send_message(const ChannelMessage& message) {
   if (peer_closed) return;  // nobody is listening any more
   try {
@@ -100,7 +91,7 @@ void ChannelEndpoint::send_message(const ChannelMessage& message) {
     peer_closed = true;
     return;
   }
-  if (!is_control(message)) ++msgs_sent;
+  if (!is_control_message(message)) ++msgs_sent;
 }
 
 std::optional<ChannelMessage> ChannelEndpoint::poll() {
@@ -109,9 +100,20 @@ std::optional<ChannelMessage> ChannelEndpoint::poll() {
     if (link_->closed()) peer_closed = true;
     return std::nullopt;
   }
+  note_arrival();
   ChannelMessage message = decode_message(*raw);
-  if (!is_control(message)) ++msgs_received;
+  if (!is_control_message(message)) ++msgs_received;
   return message;
+}
+
+void ChannelEndpoint::replace_link(transport::LinkPtr link) {
+  PIA_REQUIRE(link != nullptr, "replace_link with a null link");
+  link_ = std::move(link);
+  peer_closed = false;
+  peer_down = false;
+  liveness_armed = false;
+  rejoin_verified = false;
+  rejoin_token.reset();
 }
 
 }  // namespace pia::dist

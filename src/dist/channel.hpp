@@ -16,6 +16,7 @@
 // scheduler like any component (the paper: they "use the subsystem's own").
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -77,6 +78,12 @@ class ChannelEndpoint {
   [[nodiscard]] ChannelMode mode() const { return mode_; }
   [[nodiscard]] transport::Link& link() { return *link_; }
 
+  /// Swaps in a fresh link (reconnect after a peer crash).  Clears the
+  /// failure flags and liveness timers; all protocol state (logs, counters,
+  /// grants) is left untouched — the caller re-synchronizes it via the
+  /// snapshot restore + rejoin handshake.
+  void replace_link(transport::LinkPtr link);
+
   // --- outbound ------------------------------------------------------------
 
   /// Sends an EventMsg and appends it to the output log.  Returns its id.
@@ -96,6 +103,33 @@ class ChannelEndpoint {
   /// The link failed or the peer went away; no further traffic is possible
   /// on this channel.
   bool peer_closed = false;
+
+  // --- failure detection (heartbeats) ---------------------------------------
+
+  /// Wall clock of the last raw arrival on this channel (any message kind).
+  /// note_arrival() maintains it; the subsystem's heartbeat service compares
+  /// it against the liveness timeout.
+  std::chrono::steady_clock::time_point last_arrival{};
+  std::chrono::steady_clock::time_point last_heartbeat_sent{};
+  std::uint64_t heartbeat_seq = 0;       // next HeartbeatMsg sequence
+  std::uint64_t heartbeats_received = 0;
+  bool liveness_armed = false;  // timers initialized on first service pass
+  /// Liveness timeout expired: the peer stopped sending ANY traffic.
+  bool peer_down = false;
+
+  void note_arrival() { last_arrival = std::chrono::steady_clock::now(); }
+
+  // --- rejoin handshake -------------------------------------------------------
+
+  /// Token announced by begin_rejoin(); a RejoinMsg arriving with a
+  /// different token (or mismatched counters) raises Error{kProtocol}.
+  std::optional<std::uint64_t> rejoin_token;
+  bool rejoin_verified = false;  // peer's RejoinMsg arrived and cross-checked
+  /// Counters frozen at begin_rejoin(): the peer's RejoinMsg is checked
+  /// against these, not the live counters — an optimistic subsystem may
+  /// legitimately resume sending before the peer's handshake frame arrives.
+  std::uint64_t rejoin_sent = 0;
+  std::uint64_t rejoin_received = 0;
 
   // --- conservative state ----------------------------------------------------
 
@@ -176,6 +210,16 @@ class ChannelEndpoint {
   ComponentId channel_component;  // the proxy living in the local scheduler
   std::vector<NetId> split_nets;  // local net piece per net index
   std::uint32_t index = 0;        // position in the owning subsystem's table
+
+  /// SendId counter state, persisted by durable snapshots: a recovered
+  /// process restarting the counter at zero would mint SendIds that collide
+  /// with ids already in the peer's logs, corrupting retraction lookups.
+  [[nodiscard]] std::uint64_t send_counter() const {
+    return next_send_counter_;
+  }
+  void set_send_counter(std::uint64_t counter) {
+    next_send_counter_ = counter;
+  }
 
  private:
   std::string name_;

@@ -189,6 +189,25 @@ void collect_metrics(Subsystem& subsystem, obs::MetricsRegistry& registry) {
   registry.set(sub_scope, "retracts_received", stats.retracts_received);
   registry.set(sub_scope, "checkpoints", stats.checkpoints);
   registry.set(sub_scope, "marks_received", stats.marks_received);
+  registry.set(sub_scope, "heartbeats_sent", stats.heartbeats_sent);
+  registry.set(sub_scope, "heartbeats_received", stats.heartbeats_received);
+  registry.set(sub_scope, "peer_down_events", stats.peer_down_events);
+  registry.set(sub_scope, "snapshots_persisted", stats.snapshots_persisted);
+  registry.set(sub_scope, "snapshot_persist_bytes",
+               stats.snapshot_persist_bytes);
+  registry.set(sub_scope, "snapshots_invalidated",
+               stats.snapshots_invalidated);
+  registry.set(sub_scope, "recoveries", stats.recoveries);
+  registry.set(sub_scope, "rejoins_verified", stats.rejoins_verified);
+  if (const SnapshotStore* store = subsystem.snapshot_store()) {
+    registry.set(sub_scope, "store_commits", store->stats().commits);
+    registry.set(sub_scope, "store_bytes_written",
+                 store->stats().bytes_written);
+    registry.set(sub_scope, "store_pruned", store->stats().pruned);
+    registry.set(sub_scope, "store_load_failures",
+                 store->stats().load_failures);
+    registry.set(sub_scope, "store_invalidated", store->stats().invalidated);
+  }
 
   const Scheduler& sched = subsystem.scheduler();
   registry.set(sub_scope, "sched_events_dispatched",
@@ -237,6 +256,8 @@ void collect_metrics(Subsystem& subsystem, obs::MetricsRegistry& registry) {
                  link.faults_partition_held);
     registry.set(scope, "link_faults_abrupt_closes",
                  link.faults_abrupt_closes);
+    registry.set(scope, "heartbeats_received", c.heartbeats_received);
+    registry.set(scope, "peer_down", std::uint64_t{c.peer_down ? 1u : 0u});
   }
 }
 

@@ -17,6 +17,8 @@ enum class Tag : std::uint8_t {
   kProbe,
   kProbeReply,
   kTerminate,
+  kHeartbeat,
+  kRejoin,
 };
 
 void write_send_id(serial::OutArchive& ar, const SendId& id) {
@@ -83,6 +85,14 @@ Bytes encode_message(const ChannelMessage& message) {
         } else if constexpr (std::is_same_v<T, TerminateMsg>) {
           ar.put_u8(static_cast<std::uint8_t>(Tag::kTerminate));
           ar.put_varint(m.token);
+        } else if constexpr (std::is_same_v<T, HeartbeatMsg>) {
+          ar.put_u8(static_cast<std::uint8_t>(Tag::kHeartbeat));
+          ar.put_varint(m.seq);
+        } else if constexpr (std::is_same_v<T, RejoinMsg>) {
+          ar.put_u8(static_cast<std::uint8_t>(Tag::kRejoin));
+          ar.put_varint(m.token);
+          ar.put_varint(m.events_sent);
+          ar.put_varint(m.events_received);
         }
       },
       message);
@@ -149,6 +159,15 @@ ChannelMessage decode_message(BytesView data) {
     }
     case Tag::kTerminate:
       return TerminateMsg{.token = ar.get_varint()};
+    case Tag::kHeartbeat:
+      return HeartbeatMsg{.seq = ar.get_varint()};
+    case Tag::kRejoin: {
+      RejoinMsg m;
+      m.token = ar.get_varint();
+      m.events_sent = ar.get_varint();
+      m.events_received = ar.get_varint();
+      return m;
+    }
   }
   raise(ErrorKind::kProtocol, "unknown channel message tag");
 }
@@ -166,9 +185,20 @@ const char* message_name(const ChannelMessage& message) {
         else if constexpr (std::is_same_v<T, ProbeMsg>) return "probe";
         else if constexpr (std::is_same_v<T, ProbeReply>) return "probe_reply";
         else if constexpr (std::is_same_v<T, TerminateMsg>) return "terminate";
+        else if constexpr (std::is_same_v<T, HeartbeatMsg>) return "heartbeat";
+        else if constexpr (std::is_same_v<T, RejoinMsg>) return "rejoin";
         else return "status";
       },
       message);
+}
+
+bool is_control_message(const ChannelMessage& message) {
+  return std::holds_alternative<StatusMsg>(message) ||
+         std::holds_alternative<ProbeMsg>(message) ||
+         std::holds_alternative<ProbeReply>(message) ||
+         std::holds_alternative<TerminateMsg>(message) ||
+         std::holds_alternative<HeartbeatMsg>(message) ||
+         std::holds_alternative<RejoinMsg>(message);
 }
 
 }  // namespace pia::dist

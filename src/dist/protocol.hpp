@@ -116,14 +116,39 @@ struct TerminateMsg {
   std::uint64_t token = 0;
 };
 
+/// Liveness beacon (failure detection).  Sent on every inter-node link at
+/// the configured heartbeat interval whether or not simulation traffic
+/// flows; a channel that sees NO traffic at all for the liveness timeout
+/// declares the peer down (RunOutcome::kPeerDown) instead of hanging.
+struct HeartbeatMsg {
+  std::uint64_t seq = 0;
+};
+
+/// Rejoin handshake after a crash recovery.  Each side announces the
+/// snapshot token it restored and its channel sequence state (EventMsg
+/// counters); the receiver cross-checks them — my sent must equal your
+/// received and vice versa, or the two sides restored inconsistent cuts and
+/// resuming would diverge silently.
+struct RejoinMsg {
+  std::uint64_t token = 0;
+  std::uint64_t events_sent = 0;      // sender's event_msgs_sent on this channel
+  std::uint64_t events_received = 0;  // sender's event_msgs_received
+};
+
 using ChannelMessage =
     std::variant<EventMsg, SafeTimeRequest, SafeTimeGrant, MarkMsg,
                  RetractMsg, RunLevelMsg, StatusMsg, ProbeMsg, ProbeReply,
-                 TerminateMsg>;
+                 TerminateMsg, HeartbeatMsg, RejoinMsg>;
 
 [[nodiscard]] Bytes encode_message(const ChannelMessage& message);
 [[nodiscard]] ChannelMessage decode_message(BytesView data);
 
 [[nodiscard]] const char* message_name(const ChannelMessage& message);
+
+/// Control messages are protocol plumbing (status, probes, termination,
+/// heartbeats, rejoin handshakes): they are excluded from the msgs_sent /
+/// msgs_received counters that ground quiescence detection, so adding a
+/// control exchange never perturbs termination.
+[[nodiscard]] bool is_control_message(const ChannelMessage& message);
 
 }  // namespace pia::dist

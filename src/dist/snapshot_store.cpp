@@ -1,0 +1,218 @@
+#include "dist/snapshot_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "base/error.hpp"
+#include "serial/archive.hpp"
+#include "transport/crc32.hpp"
+
+namespace pia::dist {
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kPrefix = "snap-";
+constexpr const char* kSuffix = ".pias";
+
+std::optional<std::uint64_t> token_from_filename(const std::string& name) {
+  if (name.rfind(kPrefix, 0) != 0) return std::nullopt;
+  if (name.size() <= std::strlen(kPrefix) + std::strlen(kSuffix))
+    return std::nullopt;
+  if (name.compare(name.size() - std::strlen(kSuffix), std::strlen(kSuffix),
+                   kSuffix) != 0)
+    return std::nullopt;
+  const std::string digits = name.substr(
+      std::strlen(kPrefix),
+      name.size() - std::strlen(kPrefix) - std::strlen(kSuffix));
+  std::uint64_t token = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    token = token * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return token;
+}
+
+void write_file_durable(const std::string& path, BytesView data) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0)
+    raise(ErrorKind::kSerialization,
+          "snapshot store: open('" + path + "'): " + std::strerror(errno));
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      raise(ErrorKind::kSerialization,
+            "snapshot store: write('" + path + "'): " + std::strerror(saved));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // Durability: the payload must be on stable storage before the rename
+  // makes it the committed snapshot.
+  if (::fsync(fd) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    raise(ErrorKind::kSerialization,
+          "snapshot store: fsync('" + path + "'): " + std::strerror(saved));
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(std::string dir, std::size_t retain)
+    : dir_(std::move(dir)), retain_(retain) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec)
+    raise(ErrorKind::kSerialization,
+          "snapshot store: cannot create '" + dir_ + "': " + ec.message());
+}
+
+std::string SnapshotStore::path_for(std::uint64_t token) const {
+  return dir_ + "/" + kPrefix + std::to_string(token) + kSuffix;
+}
+
+void SnapshotStore::commit(std::uint64_t token, BytesView payload) {
+  serial::OutArchive ar;
+  // Fixed-width magic so a truncated or foreign file fails immediately.
+  for (int i = 0; i < 4; ++i)
+    ar.put_u8(static_cast<std::uint8_t>(kMagic >> (8 * i)));
+  ar.put_varint(kFormatVersion);
+  ar.put_varint(token);
+  ar.put_varint(payload.size());
+  const std::uint32_t crc = transport::crc32(payload);
+  for (int i = 0; i < 4; ++i)
+    ar.put_u8(static_cast<std::uint8_t>(crc >> (8 * i)));
+  ar.put_raw(payload);
+
+  const std::string final_path = path_for(token);
+  const std::string tmp_path = final_path + ".tmp";
+  write_file_durable(tmp_path, std::move(ar).take());
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec)
+    raise(ErrorKind::kSerialization,
+          "snapshot store: rename to '" + final_path + "': " + ec.message());
+  stats_.commits++;
+  stats_.bytes_written += payload.size();
+
+  if (retain_ > 0) {
+    std::vector<std::uint64_t> all = tokens();
+    while (all.size() > retain_) {
+      fs::remove(path_for(all.front()), ec);  // best effort
+      all.erase(all.begin());
+      stats_.pruned++;
+    }
+  }
+}
+
+void SnapshotStore::remove(std::uint64_t token) {
+  std::error_code ec;
+  if (fs::remove(path_for(token), ec)) stats_.invalidated++;
+}
+
+Bytes SnapshotStore::load(std::uint64_t token) const {
+  const std::string path = path_for(token);
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    raise(ErrorKind::kSerialization,
+          "snapshot store: no committed snapshot " + std::to_string(token) +
+              " in '" + dir_ + "'");
+  Bytes raw;
+  in.seekg(0, std::ios::end);
+  raw.resize(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(raw.data()),
+          static_cast<std::streamsize>(raw.size()));
+
+  serial::InArchive ar(raw);
+  std::uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i)
+    magic |= static_cast<std::uint32_t>(ar.get_u8()) << (8 * i);
+  if (magic != kMagic)
+    raise(ErrorKind::kSerialization,
+          "snapshot " + std::to_string(token) + ": bad magic (not a Pia "
+          "snapshot file)");
+  const std::uint64_t version = ar.get_varint();
+  if (version != kFormatVersion)
+    raise(ErrorKind::kSerialization,
+          "snapshot " + std::to_string(token) + ": format version " +
+              std::to_string(version) + " unsupported (expected " +
+              std::to_string(kFormatVersion) + ")");
+  const std::uint64_t stored_token = ar.get_varint();
+  if (stored_token != token)
+    raise(ErrorKind::kSerialization,
+          "snapshot file " + path + " holds token " +
+              std::to_string(stored_token));
+  const std::uint64_t length = ar.get_varint();
+  std::uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i)
+    crc |= static_cast<std::uint32_t>(ar.get_u8()) << (8 * i);
+  if (length != ar.remaining())
+    raise(ErrorKind::kSerialization,
+          "snapshot " + std::to_string(token) + ": truncated (" +
+              std::to_string(ar.remaining()) + " of " +
+              std::to_string(length) + " payload bytes)");
+  // length == remaining(): the payload is exactly the file's tail.
+  Bytes payload(raw.end() - static_cast<std::ptrdiff_t>(length), raw.end());
+  if (transport::crc32(payload) != crc)
+    raise(ErrorKind::kSerialization,
+          "snapshot " + std::to_string(token) + ": CRC mismatch (corrupted)");
+  return payload;
+}
+
+std::vector<std::uint64_t> SnapshotStore::tokens() const {
+  std::vector<std::uint64_t> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (const auto token = token_from_filename(entry.path().filename().string()))
+      out.push_back(*token);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool SnapshotStore::valid(std::uint64_t token) const {
+  try {
+    (void)load(token);
+    return true;
+  } catch (const Error& e) {
+    if (e.kind() != ErrorKind::kSerialization) throw;
+    stats_.load_failures++;
+    return false;
+  }
+}
+
+std::optional<std::uint64_t> SnapshotStore::latest_valid_token() const {
+  std::vector<std::uint64_t> all = tokens();
+  for (auto it = all.rbegin(); it != all.rend(); ++it)
+    if (valid(*it)) return *it;
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> SnapshotStore::latest_common_valid_token(
+    const std::vector<const SnapshotStore*>& stores) {
+  if (stores.empty()) return std::nullopt;
+  std::vector<std::uint64_t> candidates = stores.front()->tokens();
+  std::sort(candidates.rbegin(), candidates.rend());
+  for (const std::uint64_t token : candidates) {
+    const bool everywhere =
+        std::all_of(stores.begin(), stores.end(),
+                    [&](const SnapshotStore* s) { return s->valid(token); });
+    if (everywhere) return token;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pia::dist

@@ -1,0 +1,97 @@
+// Durable storage for Chandy–Lamport global snapshots (crash recovery).
+//
+// The paper's distributed snapshots exist so a geographically distributed
+// session can survive a participant dying — but an in-memory snapshot dies
+// with the process.  A SnapshotStore persists each subsystem's serialized
+// cut (component images + in-flight channel frames, see
+// Subsystem::export_snapshot) into one file per snapshot token:
+//
+//   snap-<token>.pias :=
+//     u32   magic "PIAS" (little-endian 0x53414950)
+//     varint format version (kFormatVersion)
+//     varint token
+//     varint payload length
+//     u32   CRC-32 of the payload (IEEE, little-endian)
+//     bytes payload
+//
+// Commits are atomic: the file is written and fsynced under a temporary
+// name, then renamed into place — a crash mid-commit leaves either the
+// previous snapshot set or a stray .tmp that is never considered committed.
+// load() validates magic, version, length and CRC and throws
+// Error{kSerialization} on any mismatch, so a truncated or corrupted file
+// can never be silently restored; latest_valid_token() walks committed
+// tokens newest-first and falls back to the previous good snapshot.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/bytes.hpp"
+
+namespace pia::dist {
+
+struct SnapshotStoreStats {
+  std::uint64_t commits = 0;
+  std::uint64_t bytes_written = 0;  // payload bytes across all commits
+  std::uint64_t pruned = 0;         // snapshots removed by retention
+  std::uint64_t load_failures = 0;  // corrupt/truncated/stale files seen
+  std::uint64_t invalidated = 0;    // snapshots revoked by remove()
+};
+
+class SnapshotStore {
+ public:
+  static constexpr std::uint32_t kMagic = 0x53414950u;  // "PIAS"
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// Opens (creating if needed) the store rooted at `dir`.  `retain` bounds
+  /// how many committed snapshots are kept; older ones are pruned on commit
+  /// (0 keeps everything).
+  explicit SnapshotStore(std::string dir, std::size_t retain = 4);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] std::size_t retain() const { return retain_; }
+
+  /// Atomically commits `payload` as snapshot `token` (temp + fsync +
+  /// rename), then applies the retention policy.
+  void commit(std::uint64_t token, BytesView payload);
+
+  /// Revokes a committed snapshot (best effort).  Used when a Time Warp
+  /// rollback discards the very state a snapshot captured: an optimistic
+  /// subsystem's cut is only provisional until the run advances past it,
+  /// and a cut that gets rolled back must never be restored.
+  void remove(std::uint64_t token);
+
+  /// Loads and validates one snapshot payload.  Throws
+  /// Error{kSerialization} on a missing, truncated, CRC-corrupted or
+  /// wrong-version file — never returns bad bytes.
+  [[nodiscard]] Bytes load(std::uint64_t token) const;
+
+  /// Committed tokens on disk, ascending (no validation beyond the name).
+  [[nodiscard]] std::vector<std::uint64_t> tokens() const;
+
+  /// Newest token whose file validates; corrupt files are skipped (falling
+  /// back to the previous committed snapshot).  nullopt when none survive.
+  [[nodiscard]] std::optional<std::uint64_t> latest_valid_token() const;
+
+  /// True when `token` is committed and validates.
+  [[nodiscard]] bool valid(std::uint64_t token) const;
+
+  [[nodiscard]] const SnapshotStoreStats& stats() const { return stats_; }
+
+  /// Newest token committed AND valid in every store: the last snapshot the
+  /// whole cluster can restore consistently.  nullopt when the stores share
+  /// no valid token.
+  [[nodiscard]] static std::optional<std::uint64_t> latest_common_valid_token(
+      const std::vector<const SnapshotStore*>& stores);
+
+ private:
+  [[nodiscard]] std::string path_for(std::uint64_t token) const;
+
+  std::string dir_;
+  std::size_t retain_;
+  mutable SnapshotStoreStats stats_;
+};
+
+}  // namespace pia::dist

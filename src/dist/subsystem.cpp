@@ -4,6 +4,7 @@
 
 #include "base/error.hpp"
 #include "base/log.hpp"
+#include "serial/archive.hpp"
 
 namespace pia::dist {
 
@@ -161,6 +162,13 @@ void Subsystem::handle_message(ChannelId channel_id, ChannelMessage message) {
           handle_probe_reply(channel_id, m);
         } else if constexpr (std::is_same_v<T, TerminateMsg>) {
           handle_terminate(channel_id, m);
+        } else if constexpr (std::is_same_v<T, HeartbeatMsg>) {
+          // Liveness content is the arrival itself; poll() already stamped
+          // last_arrival.
+          stats_.heartbeats_received++;
+          endpoint.heartbeats_received++;
+        } else if constexpr (std::is_same_v<T, RejoinMsg>) {
+          handle_rejoin(channel_id, m);
         }
       },
       std::move(message));
@@ -279,9 +287,29 @@ void Subsystem::rollback(
     chosen = it->first;
     break;
   }
-  PIA_CHECK(chosen.has_value(),
-            "no checkpoint to roll back to on " + name_ + " (target " +
-                to_time.str() + ")");
+  // A live run always has the base checkpoint from start() (virtual time
+  // zero) to fall back on; only a subsystem restored from a durable image
+  // can lack one — its base sits at the cut, and a straggler below the cut
+  // means the snapshot froze optimistic state the original timeline went on
+  // to roll back.  Surface that as a recoverable error so the restart
+  // driver can fall back to an older snapshot (or a cold start).
+  if (!chosen.has_value())
+    raise(ErrorKind::kState,
+          "no checkpoint on " + name_ + " precedes rollback target " +
+              to_time.str() +
+              ": the restored snapshot cut was optimistically unstable");
+
+  // Durable snapshots whose cut lies in the discarded future captured a
+  // state this rollback just unwound: revoke them before anyone restores
+  // one.
+  if (store_) {
+    for (auto& [cl_token, pending] : cl_snapshots_) {
+      if (!pending.persisted || !(*chosen < pending.local)) continue;
+      store_->remove(cl_token);
+      pending.persisted = false;
+      stats_.snapshots_invalidated++;
+    }
+  }
 
   const SnapshotPositions positions = snapshot_positions_.at(*chosen);
   checkpoints_.restore(*chosen);
@@ -480,6 +508,13 @@ Subsystem::StepResult Subsystem::try_advance(VirtualTime horizon) {
   scheduler_.step();
   ++activity_counter_;
   take_periodic_checkpoint_if_due();
+  // Durable-snapshot cadence is counted in dispatches, not wall time, so
+  // the cut points are deterministic run to run.
+  if (auto_snapshot_interval_ > 0 &&
+      ++dispatches_since_auto_snapshot_ >= auto_snapshot_interval_) {
+    dispatches_since_auto_snapshot_ = 0;
+    initiate_snapshot();
+  }
   return StepResult::kStepped;
 }
 
@@ -592,6 +627,10 @@ Subsystem::RunOutcome Subsystem::run(const RunConfig& config) {
     for (const auto& c : channels_)
       if (c->peer_closed) return RunOutcome::kDisconnected;
 
+    // Liveness: a peer that stopped sending *anything* (not even
+    // heartbeats) is down even though the transport still looks open.
+    if (service_heartbeats()) return RunOutcome::kPeerDown;
+
     bool blocked = false;
     for (int burst = 0; burst < 256; ++burst) {
       const StepResult result = try_advance(config.horizon);
@@ -652,12 +691,9 @@ Subsystem::RunOutcome Subsystem::run(const RunConfig& config) {
     bool woke = false;
     for (auto& cp : channels_) {
       if (auto raw = cp->link().recv_for(std::chrono::milliseconds(1))) {
+        cp->note_arrival();
         ChannelMessage message = decode_message(*raw);
-        if (!std::holds_alternative<StatusMsg>(message) &&
-            !std::holds_alternative<ProbeMsg>(message) &&
-            !std::holds_alternative<ProbeReply>(message) &&
-            !std::holds_alternative<TerminateMsg>(message))
-          ++cp->msgs_received;
+        if (!is_control_message(message)) ++cp->msgs_received;
         handle_message(
             ChannelId{static_cast<std::uint32_t>(&cp - channels_.data())},
             std::move(message));
@@ -692,6 +728,7 @@ std::uint64_t Subsystem::initiate_snapshot() {
   pending.recorded.resize(channels_.size());
   cl_snapshots_.emplace(token, std::move(pending));
   for (auto& c : channels_) c->send_message(MarkMsg{.token = token});
+  maybe_persist_snapshot(token);  // complete immediately when channel-less
   return token;
 }
 
@@ -716,6 +753,7 @@ void Subsystem::handle_mark(ChannelId channel_id, const MarkMsg& mark) {
   } else {
     it->second.mark_pending[channel_id.value()] = false;
   }
+  maybe_persist_snapshot(mark.token);
 }
 
 bool Subsystem::snapshot_complete(std::uint64_t token) const {
@@ -763,6 +801,10 @@ void Subsystem::restore_snapshot(std::uint64_t token) {
     c.granted_out_seen = 0;
     c.request_outstanding = false;
     c.peer_status_seen = false;
+    // Restart liveness from scratch: the peer may be mid-restart and the
+    // old timers describe the abandoned timeline.
+    c.peer_down = false;
+    c.liveness_armed = false;
     // Sends and arrivals after the cut never happened, globally: peers are
     // being restored to states from before those sends.
     c.output_log.resize(
@@ -787,6 +829,347 @@ void Subsystem::restore_snapshot(std::uint64_t token) {
     c.event_msgs_sent = c.output_trimmed + c.output_log.size();
     c.event_msgs_received = c.input_trimmed + c.input_log.size();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Durable snapshots / crash recovery
+// ---------------------------------------------------------------------------
+
+void Subsystem::maybe_persist_snapshot(std::uint64_t token) {
+  if (!store_) return;
+  const auto it = cl_snapshots_.find(token);
+  if (it == cl_snapshots_.end() || it->second.persisted) return;
+  if (!snapshot_complete(token)) return;
+  // A rollback past the cut discards its local checkpoint; the token can
+  // never be persisted here, so it never becomes common across the cluster.
+  if (!checkpoints_.contains(it->second.local)) return;
+  // A recorded in-flight event older than the cut is an optimistic
+  // straggler frozen mid-flight: replaying it bit-exactly needs rollback
+  // history from before the cut, which a fresh process cannot have.  Skip
+  // the token; recovery simply uses an earlier common one.
+  const VirtualTime cut_now = checkpoints_.snapshot_time(it->second.local);
+  for (const auto& recorded : it->second.recorded)
+    for (const EventMsg& event : recorded)
+      if (event.time < cut_now) return;
+  const Bytes payload = export_snapshot(token);
+  store_->commit(token, payload);
+  it->second.persisted = true;
+  stats_.snapshots_persisted++;
+  stats_.snapshot_persist_bytes += payload.size();
+  PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kSnapshotPersist,
+                scheduler_.now(), token, payload.size());
+}
+
+Bytes Subsystem::export_snapshot(std::uint64_t token) const {
+  const auto it = cl_snapshots_.find(token);
+  PIA_REQUIRE(it != cl_snapshots_.end(), "unknown snapshot token");
+  PIA_REQUIRE(snapshot_complete(token),
+              "export of an incomplete distributed snapshot");
+  const PendingSnapshot& pending = it->second;
+  PIA_REQUIRE(checkpoints_.contains(pending.local),
+              "snapshot's local checkpoint was discarded on " + name_);
+
+  serial::OutArchive ar;
+  serial::begin_section(ar, "pia.dist.recovery", 1);
+  ar.put_string(name_);
+  ar.put_varint(token);
+  ar.put_varint(next_cl_token_);
+  serial::write(ar, checkpoints_.snapshot_time(pending.local));
+
+  // Component images, matched by name at restore (ids are assigned in
+  // construction order, but names make wiring mismatches loud).
+  const std::vector<ComponentId> comps = scheduler_.component_ids();
+  ar.put_varint(comps.size());
+  for (const ComponentId comp : comps) {
+    ar.put_string(scheduler_.component(comp).name());
+    ar.put_bytes(checkpoints_.snapshot_image(pending.local, comp));
+  }
+
+  // The event queue at the cut, original seqs included: replace_queue
+  // raises the restoring scheduler's counter past them so replayed
+  // injections keep sorting after the restored events.
+  const std::vector<Event> events =
+      checkpoints_.snapshot_events(pending.local);
+  ar.put_varint(events.size());
+  for (const Event& e : events) e.save(ar);
+
+  const auto put_record = [&ar](const auto& record) {
+    ar.put_varint(record.id.origin);
+    ar.put_varint(record.id.counter);
+    ar.put_varint(record.net_index);
+    serial::write(ar, record.time);
+    record.value.save(ar);
+    ar.put_bool(record.retracted);
+  };
+
+  ar.put_varint(channels_.size());
+  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
+    const ChannelEndpoint& c = *channels_[i];
+    ar.put_string(c.name());
+    ar.put_u8(static_cast<std::uint8_t>(c.mode()));
+    const std::size_t out =
+        std::min(pending.positions.out[i], c.output_log.size());
+    ar.put_varint(out);
+    for (std::size_t k = 0; k < out; ++k) put_record(c.output_log[k]);
+    const std::size_t in =
+        std::min(pending.positions.in[i], c.input_log.size());
+    ar.put_varint(in);
+    for (std::size_t k = 0; k < in; ++k) put_record(c.input_log[k]);
+    ar.put_varint(std::min(pending.positions.cursor[i], out));
+    ar.put_varint(c.output_trimmed);
+    ar.put_varint(c.input_trimmed);
+    ar.put_varint(c.send_counter());
+    // The channel state proper: events in flight at the cut.
+    const auto& recorded = pending.recorded[i];
+    ar.put_varint(recorded.size());
+    for (const EventMsg& event : recorded) {
+      ar.put_varint(event.id.origin);
+      ar.put_varint(event.id.counter);
+      ar.put_varint(event.net_index);
+      serial::write(ar, event.time);
+      event.value.save(ar);
+    }
+  }
+  return std::move(ar).take();
+}
+
+void Subsystem::restore_snapshot_image(BytesView image) {
+  PIA_REQUIRE(started_, "restore_snapshot_image before start() on " + name_);
+  serial::InArchive ar(image);
+  const std::uint32_t version =
+      serial::expect_section(ar, "pia.dist.recovery");
+  if (version != 1)
+    raise(ErrorKind::kSerialization,
+          "unsupported recovery image version " + std::to_string(version));
+  const std::string owner = ar.get_string();
+  if (owner != name_)
+    raise(ErrorKind::kState, "recovery image belongs to subsystem '" + owner +
+                                 "', not '" + name_ + "'");
+  const std::uint64_t token = ar.get_varint();
+  next_cl_token_ = ar.get_varint();
+  const VirtualTime cut_now = serial::read<VirtualTime>(ar);
+
+  // Whatever this process did in its brief pre-restore life is void.
+  checkpoints_.discard_all();
+  snapshot_positions_.clear();
+  cl_snapshots_.clear();
+
+  const std::uint64_t comp_count = ar.get_varint();
+  if (comp_count != scheduler_.component_count())
+    raise(ErrorKind::kState,
+          "recovery image has " + std::to_string(comp_count) +
+              " components, subsystem '" + name_ + "' has " +
+              std::to_string(scheduler_.component_count()));
+  for (std::uint64_t k = 0; k < comp_count; ++k) {
+    const std::string comp_name = ar.get_string();
+    const Bytes comp_image = ar.get_bytes();
+    Component* comp = scheduler_.find_component(comp_name);
+    if (comp == nullptr)
+      raise(ErrorKind::kState,
+            "recovery image names unknown component '" + comp_name + "'");
+    comp->restore_image(comp_image);
+  }
+
+  const std::uint64_t event_count = ar.get_varint();
+  std::vector<Event> events;
+  events.reserve(event_count);
+  for (std::uint64_t k = 0; k < event_count; ++k)
+    events.push_back(Event::load(ar));
+  scheduler_.replace_queue(std::move(events));
+  scheduler_.set_now(cut_now);
+
+  const std::uint64_t channel_count = ar.get_varint();
+  if (channel_count != channels_.size())
+    raise(ErrorKind::kState,
+          "recovery image has " + std::to_string(channel_count) +
+              " channels, subsystem '" + name_ + "' has " +
+              std::to_string(channels_.size()));
+  SnapshotPositions prefix;  // for the retracted-delivery scrub below
+  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
+    ChannelEndpoint& c = *channels_[i];
+    const std::string channel_name = ar.get_string();
+    if (channel_name != c.name())
+      raise(ErrorKind::kState, "recovery image channel '" + channel_name +
+                                   "' does not match '" + c.name() + "'");
+    const auto mode = static_cast<ChannelMode>(ar.get_u8());
+    if (mode != c.mode())
+      raise(ErrorKind::kState,
+            "recovery image mode mismatch on channel '" + c.name() + "'");
+
+    c.output_log.clear();
+    const std::uint64_t out_count = ar.get_varint();
+    c.output_log.reserve(out_count);
+    for (std::uint64_t k = 0; k < out_count; ++k) {
+      ChannelEndpoint::OutputRecord r;
+      r.id.origin = static_cast<std::uint32_t>(ar.get_varint());
+      r.id.counter = ar.get_varint();
+      r.net_index = static_cast<std::uint32_t>(ar.get_varint());
+      r.time = serial::read<VirtualTime>(ar);
+      r.value = Value::load(ar);
+      r.retracted = ar.get_bool();
+      c.output_log.push_back(std::move(r));
+    }
+    c.input_log.clear();
+    const std::uint64_t in_count = ar.get_varint();
+    c.input_log.reserve(in_count);
+    for (std::uint64_t k = 0; k < in_count; ++k) {
+      ChannelEndpoint::InputRecord r;
+      r.id.origin = static_cast<std::uint32_t>(ar.get_varint());
+      r.id.counter = ar.get_varint();
+      r.net_index = static_cast<std::uint32_t>(ar.get_varint());
+      r.time = serial::read<VirtualTime>(ar);
+      r.value = Value::load(ar);
+      r.retracted = ar.get_bool();
+      c.input_log.push_back(std::move(r));
+    }
+    c.replay_cursor = std::min<std::size_t>(ar.get_varint(),
+                                            c.output_log.size());
+    c.output_trimmed = ar.get_varint();
+    c.input_trimmed = ar.get_varint();
+    c.set_send_counter(ar.get_varint());
+    // The input prefix was already injected at the cut: its undispatched
+    // deliveries travel inside the restored queue.
+    c.injected_count = c.input_log.size();
+    prefix.out.push_back(c.output_log.size());
+    prefix.in.push_back(c.input_log.size());
+    prefix.cursor.push_back(c.replay_cursor);
+
+    // The recorded channel state — events in flight at the cut — is
+    // re-delivered now.  maybe_persist_snapshot guarantees none of them
+    // predates the cut, so these injections never hit the straggler path.
+    const std::uint64_t recorded_count = ar.get_varint();
+    for (std::uint64_t k = 0; k < recorded_count; ++k) {
+      ChannelEndpoint::InputRecord r;
+      r.id.origin = static_cast<std::uint32_t>(ar.get_varint());
+      r.id.counter = ar.get_varint();
+      r.net_index = static_cast<std::uint32_t>(ar.get_varint());
+      r.time = serial::read<VirtualTime>(ar);
+      r.value = Value::load(ar);
+      c.input_log.push_back(std::move(r));
+      inject_input(c, c.input_log.back());
+      c.injected_count = c.input_log.size();
+    }
+    c.event_msgs_sent = c.output_trimmed + c.output_log.size();
+    c.event_msgs_received = c.input_trimmed + c.input_log.size();
+
+    // Fresh process, fresh negotiation: grants, statuses and liveness all
+    // restart from scratch, symmetrically with the recovering peer.
+    c.granted_in = VirtualTime::zero();
+    c.granted_in_seen = 0;
+    c.granted_in_lookahead = VirtualTime::zero();
+    c.granted_out = VirtualTime::zero();
+    c.granted_out_seen = 0;
+    c.request_outstanding = false;
+    c.peer_status_seen = false;
+    c.msgs_sent = 0;
+    c.msgs_received = 0;
+    c.msgs_sent_at_last_status_push = UINT64_MAX;
+    c.idle_at_last_status_push = false;
+    c.peer_closed = false;
+    c.peer_down = false;
+    c.liveness_armed = false;
+  }
+
+  // Remove queued deliveries whose input record was retracted after the
+  // cut (the retraction is part of the committed global state).
+  scrub_retracted(prefix);
+
+  terminate_received_ = false;
+  my_probe_.reset();
+  relayed_probes_.clear();
+  activity_at_last_failed_probe_ = UINT64_MAX;
+  ++activity_counter_;
+  dispatches_since_auto_snapshot_ = 0;
+
+  // The restored cut becomes the rollback target of last resort.
+  take_checkpoint();
+
+  stats_.recoveries++;
+  PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kRecover,
+                scheduler_.now(), token);
+}
+
+void Subsystem::begin_rejoin(std::uint64_t token) {
+  for (auto& cp : channels_) {
+    ChannelEndpoint& c = *cp;
+    c.rejoin_token = token;
+    c.rejoin_verified = false;
+    // Freeze the cut's counters: execution may legitimately resume (and
+    // advance the live counters) before the peer's RejoinMsg arrives.
+    c.rejoin_sent = c.event_msgs_sent;
+    c.rejoin_received = c.event_msgs_received;
+    c.send_message(RejoinMsg{.token = token,
+                             .events_sent = c.rejoin_sent,
+                             .events_received = c.rejoin_received});
+  }
+}
+
+void Subsystem::handle_rejoin(ChannelId channel_id, const RejoinMsg& rejoin) {
+  ChannelEndpoint& c = channel(channel_id);
+  ++activity_counter_;
+  if (!c.rejoin_token.has_value() || *c.rejoin_token != rejoin.token)
+    raise(ErrorKind::kProtocol,
+          "rejoin token mismatch on channel '" + c.name() +
+              "': peer restored " + std::to_string(rejoin.token) +
+              ", local side " +
+              (c.rejoin_token
+                   ? "restored " + std::to_string(*c.rejoin_token)
+                   : std::string("has no rejoin in progress")));
+  // My sent-at-the-cut must be your received-at-the-cut and vice versa, or
+  // the two sides restored inconsistent cuts and resuming would diverge
+  // silently.  Both sides compare the counters frozen by begin_rejoin():
+  // FIFO puts the peer's RejoinMsg ahead of any of its post-restore event
+  // traffic, but the *local* live counters may already have moved on.
+  if (rejoin.events_sent != c.rejoin_received ||
+      rejoin.events_received != c.rejoin_sent)
+    raise(ErrorKind::kProtocol,
+          "rejoin sequence mismatch on channel '" + c.name() +
+              "': peer sent " + std::to_string(rejoin.events_sent) +
+              "/received " + std::to_string(rejoin.events_received) +
+              ", local received " + std::to_string(c.rejoin_received) +
+              "/sent " + std::to_string(c.rejoin_sent));
+  c.rejoin_verified = true;
+  stats_.rejoins_verified++;
+}
+
+void Subsystem::replace_link(ChannelId channel_id, transport::LinkPtr link) {
+  channel(channel_id).replace_link(std::move(link));
+}
+
+// ---------------------------------------------------------------------------
+// Failure detection (heartbeats)
+// ---------------------------------------------------------------------------
+
+bool Subsystem::service_heartbeats() {
+  if (heartbeat_interval_.count() <= 0) return false;
+  const auto now = std::chrono::steady_clock::now();
+  bool any_down = false;
+  for (auto& cp : channels_) {
+    ChannelEndpoint& c = *cp;
+    if (!c.liveness_armed) {
+      // Lazy arming: timers start on the first serviced loop pass, not at
+      // wiring time, so a peer's slow startup is not mistaken for death.
+      c.liveness_armed = true;
+      c.last_arrival = now;
+      c.last_heartbeat_sent = now - heartbeat_interval_;  // beacon at once
+    }
+    if (now - c.last_heartbeat_sent >= heartbeat_interval_) {
+      c.send_message(HeartbeatMsg{.seq = c.heartbeat_seq++});
+      c.last_heartbeat_sent = now;
+      stats_.heartbeats_sent++;
+      PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kHeartbeat,
+                    scheduler_.now(), c.index, c.heartbeat_seq);
+    }
+    if (!c.peer_down && heartbeat_timeout_.count() > 0 &&
+        now - c.last_arrival > heartbeat_timeout_) {
+      c.peer_down = true;
+      stats_.peer_down_events++;
+      PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kPeerDown,
+                    scheduler_.now(), c.index);
+    }
+    any_down = any_down || c.peer_down;
+  }
+  return any_down;
 }
 
 // ---------------------------------------------------------------------------

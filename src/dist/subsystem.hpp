@@ -38,6 +38,7 @@
 #include "core/scheduler.hpp"
 #include "dist/channel.hpp"
 #include "dist/protocol.hpp"
+#include "dist/snapshot_store.hpp"
 
 namespace pia::dist {
 
@@ -53,6 +54,15 @@ struct SubsystemStats {
   std::uint64_t retracts_received = 0;
   std::uint64_t checkpoints = 0;
   std::uint64_t marks_received = 0;
+  // Crash-recovery layer.
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_received = 0;
+  std::uint64_t peer_down_events = 0;    // channels declared dead
+  std::uint64_t snapshots_persisted = 0; // completed CL snapshots written out
+  std::uint64_t snapshot_persist_bytes = 0;
+  std::uint64_t snapshots_invalidated = 0;  // durable cuts revoked by rollback
+  std::uint64_t recoveries = 0;          // restores from a durable image
+  std::uint64_t rejoins_verified = 0;    // rejoin handshakes cross-checked
 };
 
 class Subsystem {
@@ -115,6 +125,56 @@ class Subsystem {
   /// caller) for a consistent global restore.
   void restore_snapshot(std::uint64_t token);
 
+  // --- durable snapshots / crash recovery ---------------------------------------
+
+  /// Attaches an on-disk store: every Chandy–Lamport snapshot that
+  /// completes on this subsystem is exported and committed automatically
+  /// (atomic write-temp-then-rename; see SnapshotStore for the format).
+  void set_snapshot_store(std::shared_ptr<SnapshotStore> store) {
+    store_ = std::move(store);
+  }
+  [[nodiscard]] SnapshotStore* snapshot_store() { return store_.get(); }
+
+  /// Makes this subsystem initiate a Chandy–Lamport snapshot every N local
+  /// dispatches (0 disables).  Dispatch-count cadence keeps the snapshot
+  /// points deterministic per run, unlike wall-clock timers.
+  void set_auto_snapshot_interval(std::uint64_t dispatches) {
+    auto_snapshot_interval_ = dispatches;
+  }
+
+  /// Serializes the completed snapshot `token` — component images, event
+  /// queue, per-channel logs and the recorded in-flight channel frames —
+  /// into a self-contained durable image (the SnapshotStore payload).
+  [[nodiscard]] Bytes export_snapshot(std::uint64_t token) const;
+
+  /// Fresh-process restore: rebuilds this subsystem's entire execution
+  /// state from a durable image produced by export_snapshot on an
+  /// identically wired subsystem.  Must be called after start(), before
+  /// run(); links are expected to be fresh (empty).  The restored subsystem
+  /// resumes at the snapshot's virtual time, bit-exact with the original.
+  void restore_snapshot_image(BytesView image);
+
+  /// Announces this side of the post-recovery handshake: sends a RejoinMsg
+  /// carrying `token` and the channel sequence state on every channel, and
+  /// arms verification of the peer's announcement.  Counter or token
+  /// mismatches raise Error{kProtocol}.
+  void begin_rejoin(std::uint64_t token);
+
+  /// Swaps in a fresh link on one channel (reconnect path for a surviving
+  /// subsystem whose peer is being restarted).
+  void replace_link(ChannelId channel_id, transport::LinkPtr link);
+
+  // --- failure detection ----------------------------------------------------------
+
+  /// Enables heartbeats on every channel: a beacon every `interval`, peer
+  /// declared down after `timeout` with no traffic at all.  Disabled by
+  /// default (interval zero); timeout must comfortably exceed interval.
+  void set_heartbeat(std::chrono::milliseconds interval,
+                     std::chrono::milliseconds timeout) {
+    heartbeat_interval_ = interval;
+    heartbeat_timeout_ = timeout;
+  }
+
   // --- execution --------------------------------------------------------------------
 
   /// Must be called once after wiring, before the first run.  Initializes
@@ -140,8 +200,17 @@ class Subsystem {
 
   /// kDisconnected: a channel's transport failed (peer crash, abrupt
   /// close); the subsystem wound down cleanly instead of unwinding with a
-  /// transport exception mid-protocol.
-  enum class RunOutcome { kQuiescent, kHorizon, kStalled, kDisconnected };
+  /// transport exception mid-protocol.  kPeerDown: the transport still
+  /// looks open but the peer stopped sending anything (heartbeat liveness
+  /// timeout) — the distributed-system failure mode kDisconnected cannot
+  /// see.
+  enum class RunOutcome {
+    kQuiescent,
+    kHorizon,
+    kStalled,
+    kDisconnected,
+    kPeerDown,
+  };
 
   /// The subsystem main loop: drain / advance / exchange grants and status
   /// until global quiescence is observed, the horizon is guaranteed, or no
@@ -175,10 +244,17 @@ class Subsystem {
     std::vector<bool> mark_pending;  // per channel: still recording?
     std::vector<std::vector<EventMsg>> recorded;  // channel state
     SnapshotPositions positions;
+    bool persisted = false;  // committed to the attached SnapshotStore
   };
 
   void handle_message(ChannelId channel_id, ChannelMessage message);
   void handle_event(ChannelId channel_id, EventMsg event);
+  void handle_rejoin(ChannelId channel_id, const RejoinMsg& rejoin);
+  /// Sends due heartbeats and checks liveness timeouts on every channel;
+  /// true when some peer has been declared down.
+  bool service_heartbeats();
+  /// Commits `token` to the attached store if the snapshot just completed.
+  void maybe_persist_snapshot(std::uint64_t token);
   void handle_retract(ChannelId channel_id, const RetractMsg& retract);
   void handle_mark(ChannelId channel_id, const MarkMsg& mark);
   void handle_probe(ChannelId channel_id, const ProbeMsg& probe);
@@ -238,6 +314,13 @@ class Subsystem {
 
   std::map<std::uint64_t, PendingSnapshot> cl_snapshots_;
   std::uint64_t next_cl_token_ = 1;
+
+  // Crash-recovery state.
+  std::shared_ptr<SnapshotStore> store_;
+  std::uint64_t auto_snapshot_interval_ = 0;
+  std::uint64_t dispatches_since_auto_snapshot_ = 0;
+  std::chrono::milliseconds heartbeat_interval_{0};  // 0 = disabled
+  std::chrono::milliseconds heartbeat_timeout_{0};
 
   // Termination detection (diffusing probe waves).
   struct ProbeRound {

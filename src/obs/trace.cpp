@@ -39,6 +39,10 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kRollback: return "rollback";
     case TraceKind::kCheckpoint: return "checkpoint";
     case TraceKind::kMark: return "mark";
+    case TraceKind::kHeartbeat: return "heartbeat";
+    case TraceKind::kPeerDown: return "peer_down";
+    case TraceKind::kSnapshotPersist: return "snapshot_persist";
+    case TraceKind::kRecover: return "recover";
   }
   return "unknown";
 }

@@ -34,6 +34,10 @@ enum class TraceKind : std::uint8_t {
   kRollback,      // optimistic rollback performed        a0=rollback ordinal
   kCheckpoint,    // checkpoint taken                     a0=snapshot ordinal
   kMark,          // Chandy–Lamport mark                  a0=token, a1=initiated
+  kHeartbeat,     // liveness beacon sent                 a0=channel, a1=seq
+  kPeerDown,      // liveness timeout expired             a0=channel
+  kSnapshotPersist,  // snapshot committed to disk        a0=token, a1=bytes
+  kRecover,       // subsystem restored from disk         a0=token
 };
 
 [[nodiscard]] const char* trace_kind_name(TraceKind kind);

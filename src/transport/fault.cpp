@@ -30,15 +30,16 @@ class FaultLink final : public Link {
 
   void send(BytesView message) override {
     if (plan_.close_after_sends > 0 && sends_ >= plan_.close_after_sends) {
-      if (!tripped_) {
-        tripped_ = true;
-        ++stats_.faults_abrupt_closes;
-        inner_->close();
-      }
+      trip();
       raise(ErrorKind::kTransport,
             "fault link closed (injected abrupt close)");
     }
+    if (crash_due()) {
+      trip();
+      raise(ErrorKind::kTransport, "fault link crashed (injected crash_at)");
+    }
     ++sends_;
+    ++frames_seen_;
 
     auto delay = Clock::duration::zero();
     if (plan_.delay_jitter_max.count() > 0) {
@@ -117,6 +118,19 @@ class FaultLink final : public Link {
   }
 
  private:
+  /// The injected crash_at fault is due: this endpoint has handled its
+  /// allotted frames (both directions combined) and dies on the next one.
+  [[nodiscard]] bool crash_due() const {
+    return plan_.crash_at_frames > 0 && frames_seen_ >= plan_.crash_at_frames;
+  }
+
+  void trip() {
+    if (tripped_) return;
+    tripped_ = true;
+    ++stats_.faults_abrupt_closes;
+    inner_->close();
+  }
+
   Clock::time_point apply_partitions(Clock::time_point release) {
     for (const FaultPlan::Partition& window : plan_.partitions) {
       const auto start = epoch_ + window.start;
@@ -139,6 +153,13 @@ class FaultLink final : public Link {
       ++stats_.faults_dup_discarded;
       return false;
     }
+    if (crash_due()) {
+      // The crash lands mid-receive: the frame is lost with the process.
+      trip();
+      pending_.reset();
+      return false;
+    }
+    ++frames_seen_;
     recv_seq_ = seq;
     std::memcpy(&pending_stamp_, raw.data() + sizeof(seq),
                 sizeof(pending_stamp_));
@@ -174,6 +195,7 @@ class FaultLink final : public Link {
   Clock::time_point epoch_;
   Clock::time_point send_floor_{};
   std::uint64_t sends_ = 0;
+  std::uint64_t frames_seen_ = 0;  // both directions, for crash_at_frames
   std::uint64_t send_seq_ = 0;
   std::uint64_t recv_seq_ = 0;
   bool tripped_ = false;

@@ -20,7 +20,11 @@
 //                         is held, then released in order at heal time,
 //   * abrupt close      — after N sends the link slams shut like a crashed
 //                         peer: send() throws Error{kTransport} and the peer
-//                         drains then observes closed().
+//                         drains then observes closed(),
+//   * crash at frame    — like abrupt close, but the trigger counts frames
+//                         in BOTH directions and can be pinned to one
+//                         endpoint of a pair: the kill switch the crash
+//                         recovery tests use to fell a chosen node mid-run.
 //
 // All decisions derive from FaultPlan::seed through pia::Rng, so any failure
 // a fuzzer finds is reproducible from its seed alone.  Faults other than
@@ -61,10 +65,21 @@ struct FaultPlan {
   /// 0 means never.
   std::uint64_t close_after_sends = 0;
 
+  /// Crash fault for the recovery tests: after this endpoint has observed
+  /// `crash_at_frames` frames IN EITHER DIRECTION (sends plus accepted
+  /// receives) it slams shut like close_after_sends — except the trigger
+  /// counts both ways, so a pure sink can still be killed at a chosen
+  /// point.  0 means never.
+  std::uint64_t crash_at_frames = 0;
+  /// Which endpoint of a pair the crash applies to: 0 = both trip on their
+  /// own counters, 1 / 2 = only the endpoint for_endpoint() derives with
+  /// that salt (the other side's crash_at_frames is cleared).
+  std::uint64_t crash_endpoint = 0;
+
   [[nodiscard]] bool enabled() const {
     return delay_jitter_max.count() > 0 || dup_probability > 0.0 ||
            drop_probability > 0.0 || !partitions.empty() ||
-           close_after_sends > 0;
+           close_after_sends > 0 || crash_at_frames > 0;
   }
 
   [[nodiscard]] static FaultPlan none() { return {}; }
@@ -105,6 +120,18 @@ struct FaultPlan {
     return plan;
   }
 
+  /// Kills one endpoint of the channel once it has seen `frames` frames in
+  /// both directions combined (the kill-and-recover driver's trigger).
+  [[nodiscard]] static FaultPlan crash_at(std::uint64_t seed,
+                                          std::uint64_t frames,
+                                          std::uint64_t endpoint = 1) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.crash_at_frames = frames;
+    plan.crash_endpoint = endpoint;
+    return plan;
+  }
+
   /// Everything at once (except abrupt close, which breaks equivalence).
   [[nodiscard]] static FaultPlan chaos(std::uint64_t seed) {
     FaultPlan plan;
@@ -123,6 +150,8 @@ struct FaultPlan {
   [[nodiscard]] FaultPlan for_endpoint(std::uint64_t salt) const {
     FaultPlan plan = *this;
     plan.seed = seed * 0x9E3779B97F4A7C15ULL + salt;
+    if (crash_endpoint != 0 && salt != crash_endpoint)
+      plan.crash_at_frames = 0;  // the crash belongs to the other side
     return plan;
   }
 };

@@ -15,6 +15,7 @@
 
 #include "base/error.hpp"
 #include "base/log.hpp"
+#include "base/rng.hpp"
 #include "transport/frame.hpp"
 
 namespace pia::transport {
@@ -179,15 +180,21 @@ void TcpListener::close() {
   }
 }
 
-LinkPtr tcp_connect(std::uint16_t port, int max_attempts) {
-  PIA_REQUIRE(max_attempts > 0, "tcp_connect needs at least one attempt");
+LinkPtr tcp_connect(std::uint16_t port, std::chrono::milliseconds deadline) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
 
-  // The listener may still be racing to bind; retry briefly.
-  for (int attempt = 1;; ++attempt) {
+  // The listener may still be racing to bind — or be a whole node mid
+  // restart.  Retry with jittered exponential backoff until the deadline.
+  const auto give_up_at = std::chrono::steady_clock::now() + deadline;
+  Rng jitter(static_cast<std::uint64_t>(
+                 std::chrono::steady_clock::now().time_since_epoch().count()) ^
+             (static_cast<std::uint64_t>(port) << 48));
+  std::chrono::microseconds backoff(1000);
+  constexpr std::chrono::microseconds kBackoffCap(128000);
+  for (;;) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) raise_errno("socket");
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
@@ -196,11 +203,17 @@ LinkPtr tcp_connect(std::uint16_t port, int max_attempts) {
     // errno with its own (successful or not) result.
     const int connect_errno = errno;
     ::close(fd);
-    if (attempt >= max_attempts) {
+    if (std::chrono::steady_clock::now() >= give_up_at) {
       errno = connect_errno;
       raise_errno("connect");
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // Sleep a uniform draw from [backoff/2, backoff]: desynchronizes
+    // reconnect storms without stretching the expected wait much.
+    const auto half = backoff.count() / 2;
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        half + static_cast<std::int64_t>(
+                   jitter.below(static_cast<std::uint64_t>(half) + 1))));
+    backoff = std::min(backoff * 2, kBackoffCap);
   }
 }
 

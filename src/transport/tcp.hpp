@@ -6,6 +6,7 @@
 // the wire format is endian-explicit and frames are CRC-protected.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -36,9 +37,15 @@ class TcpListener {
   std::uint16_t port_ = 0;
 };
 
-/// Connects to 127.0.0.1:port (retrying briefly while the listener races to
-/// bind) and returns the connection as a Link.  Throws Error{kTransport}
-/// carrying the last connect(2) errno after `max_attempts` failures.
-LinkPtr tcp_connect(std::uint16_t port, int max_attempts = 51);
+/// Connects to 127.0.0.1:port and returns the connection as a Link.
+/// Failed attempts retry with jittered exponential backoff (≈1 ms doubling
+/// to a ≈128 ms cap, each delay drawn uniformly from [half, full]) until
+/// `deadline` has elapsed — the jitter keeps a cluster of restarting nodes
+/// from hammering a recovering listener in lockstep.  At least one attempt
+/// is always made; pass a zero deadline for exactly one.  Throws
+/// Error{kTransport} carrying the last connect(2) errno on failure.
+LinkPtr tcp_connect(std::uint16_t port,
+                    std::chrono::milliseconds deadline =
+                        std::chrono::milliseconds(1000));
 
 }  // namespace pia::transport

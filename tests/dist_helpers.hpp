@@ -2,7 +2,14 @@
 // split across two or three subsystems.
 #pragma once
 
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <optional>
+
+#include "base/error.hpp"
 #include "dist/node.hpp"
+#include "dist/snapshot_store.hpp"
 #include "helpers.hpp"
 
 namespace pia::dist::testing {
@@ -180,19 +187,42 @@ inline PipelineResult run_single_host_pipeline(const PipelineSpec& spec) {
   return {sink.received, sink.times};
 }
 
+/// How the kill-and-recover driver arms a cluster for crash recovery: a
+/// durable SnapshotStore per subsystem under one root directory, periodic
+/// Chandy–Lamport cuts initiated by subsystem 0, and heartbeat liveness on
+/// every channel so the survivors detect the death instead of hanging.
+struct RecoveryOptions {
+  std::string store_root;                  // one subdirectory per subsystem
+  std::uint64_t auto_snapshot_every = 32;  // dispatches on subsystem 0
+  std::chrono::milliseconds heartbeat_interval{20};
+  std::chrono::milliseconds heartbeat_timeout{500};
+  std::size_t retain = 4;
+};
+
 /// The same pipeline distributed per spec.stage_host: one node per
 /// subsystem, channels between adjacent subsystems (mode per channel),
 /// every cut realized as a split net.
 struct FuzzCluster {
+  /// Kill switch for crash-recovery runs: fells one endpoint of one
+  /// adjacent-pair channel once it has handled `frames` frames in both
+  /// directions combined (see FaultPlan::crash_at).
+  struct CrashSpec {
+    std::size_t channel = 0;     // which adjacent-pair channel carries the bomb
+    std::uint64_t frames = 40;   // frames before the endpoint dies
+    std::uint64_t endpoint = 2;  // 1 = upstream subsystem g, 2 = downstream g+1
+  };
+
   NodeCluster cluster;
   std::vector<Subsystem*> subsystems;
+  std::vector<std::shared_ptr<SnapshotStore>> stores;
   Sink* sink = nullptr;
 
   FuzzCluster(const PipelineSpec& spec,
               const std::vector<ChannelMode>& channel_modes, Wire wire,
               transport::LatencyModel latency,
               const transport::FaultPlan& fault,
-              const std::vector<std::uint64_t>& checkpoint_intervals) {
+              const std::vector<std::uint64_t>& checkpoint_intervals,
+              const std::optional<CrashSpec>& crash = std::nullopt) {
     const std::size_t hosts = spec.subsystem_count();
     for (std::size_t g = 0; g < hosts; ++g) {
       PiaNode& node = cluster.add_node("node" + std::to_string(g));
@@ -215,12 +245,21 @@ struct FuzzCluster {
     }
     sink = &subsystems[spec.sink_host]->scheduler().emplace<Sink>("s");
 
-    // Channels between adjacent subsystems.
+    // Channels between adjacent subsystems.  The crash bomb (if any) rides
+    // on exactly one channel; for_endpoint() inside connect() then pins it
+    // to the chosen side of that pair.
     std::vector<ChannelPair> channels;
-    for (std::size_t g = 0; g + 1 < hosts; ++g)
-      channels.push_back(cluster.connect_checked(
-          *subsystems[g], *subsystems[g + 1], channel_modes[g], wire,
-          latency, fault.for_endpoint(g)));
+    for (std::size_t g = 0; g + 1 < hosts; ++g) {
+      transport::FaultPlan plan = fault.for_endpoint(g);
+      if (crash && crash->channel == g) {
+        plan.crash_at_frames = crash->frames;
+        plan.crash_endpoint = crash->endpoint;
+      }
+      channels.push_back(cluster.connect_checked(*subsystems[g],
+                                                 *subsystems[g + 1],
+                                                 channel_modes[g], wire,
+                                                 latency, plan));
+    }
 
     // Forward wiring, one net per stage output.  A cut between hosts g and
     // g+1 becomes a split net on channel g.
@@ -266,6 +305,25 @@ struct FuzzCluster {
     }
   }
 
+  /// Attaches one durable SnapshotStore per subsystem (re-opening whatever
+  /// the directories already hold), arms heartbeat liveness everywhere, and
+  /// makes subsystem 0 initiate periodic global snapshots.
+  void enable_recovery(const RecoveryOptions& options) {
+    for (std::size_t g = 0; g < subsystems.size(); ++g) {
+      auto store = std::make_shared<SnapshotStore>(
+          (std::filesystem::path(options.store_root) /
+           ("ss" + std::to_string(g)))
+              .string(),
+          options.retain);
+      subsystems[g]->set_snapshot_store(store);
+      subsystems[g]->set_heartbeat(options.heartbeat_interval,
+                                   options.heartbeat_timeout);
+      stores.push_back(std::move(store));
+    }
+    if (options.auto_snapshot_every > 0)
+      subsystems[0]->set_auto_snapshot_interval(options.auto_snapshot_every);
+  }
+
   PipelineResult run(std::chrono::milliseconds stall_timeout,
                      std::map<std::string, Subsystem::RunOutcome>* outcomes =
                          nullptr) {
@@ -276,6 +334,118 @@ struct FuzzCluster {
     return {sink->received, sink->times};
   }
 };
+
+/// What run_with_crash_and_recover observed, alongside the final result.
+struct RecoveryReport {
+  bool crash_triggered = false;     // phase 1 ended on the injected crash
+  bool restored_from_disk = false;  // a common committed snapshot was used
+  std::optional<std::uint64_t> token;  // the snapshot the cluster restored
+  std::size_t restart_attempts = 0;    // restarts incl. unstable fallbacks
+  PipelineResult result;
+};
+
+/// The kill-and-recover driver.  Phase 1 runs `spec` with a crash bomb on
+/// one channel endpoint and durable snapshotting enabled.  If the bomb never
+/// fired (its frame budget exceeded the run's traffic) the phase-1 result is
+/// returned as-is.  Otherwise the whole cluster is torn down — the miniature
+/// equivalent of the process dying — and rebuilt from scratch: fresh
+/// subsystems re-open the same on-disk stores, restore the newest snapshot
+/// committed and valid in EVERY store, cross-check channel sequence state
+/// via the rejoin handshake, and resume from the cut.  When no common
+/// snapshot was committed before the crash, the restart is a cold start from
+/// virtual time zero.  In every case the returned result must equal
+/// run_single_host_pipeline(spec) bit-exactly.
+inline RecoveryReport run_with_crash_and_recover(
+    const PipelineSpec& spec, const std::vector<ChannelMode>& modes,
+    Wire wire, transport::LatencyModel latency,
+    const transport::FaultPlan& fault,
+    const std::vector<std::uint64_t>& checkpoint_intervals,
+    const FuzzCluster::CrashSpec& crash, const RecoveryOptions& options,
+    std::chrono::milliseconds stall_timeout = std::chrono::milliseconds(
+        2000)) {
+  RecoveryReport report;
+
+  {
+    FuzzCluster wounded(spec, modes, wire, latency, fault,
+                        checkpoint_intervals, crash);
+    wounded.enable_recovery(options);
+    std::map<std::string, Subsystem::RunOutcome> outcomes;
+    PipelineResult first = wounded.run(stall_timeout, &outcomes);
+    bool all_quiescent = true;
+    for (const auto& [name, outcome] : outcomes)
+      all_quiescent &= outcome == Subsystem::RunOutcome::kQuiescent;
+    if (all_quiescent) {  // the bomb never went off; the run completed
+      report.result = std::move(first);
+      return report;
+    }
+    report.crash_triggered = true;
+  }  // wounded cluster destroyed: every "process" is now gone
+
+  // Candidate cuts, newest first, then a cold start.  Restoring a snapshot
+  // can still fail *after* the fact: an optimistic subsystem's cut may have
+  // frozen state the original timeline went on to roll back (the crash beat
+  // the invalidation).  Such a restore raises Error{kState} when the replay
+  // regenerates the straggler, and the driver falls back to the next-older
+  // common snapshot.
+  std::vector<std::optional<std::uint64_t>> attempts;
+  {
+    std::vector<std::unique_ptr<SnapshotStore>> peek;
+    std::vector<const SnapshotStore*> views;
+    for (std::size_t g = 0; g < spec.subsystem_count(); ++g) {
+      peek.push_back(std::make_unique<SnapshotStore>(
+          (std::filesystem::path(options.store_root) /
+           ("ss" + std::to_string(g)))
+              .string(),
+          options.retain));
+      views.push_back(peek.back().get());
+    }
+    std::vector<std::uint64_t> candidates = views.front()->tokens();
+    for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+      const std::uint64_t token = *it;
+      const bool everywhere =
+          std::all_of(views.begin(), views.end(),
+                      [&](const SnapshotStore* s) { return s->valid(token); });
+      if (everywhere) attempts.emplace_back(token);
+    }
+  }
+  attempts.emplace_back(std::nullopt);  // cold start always succeeds
+
+  for (const std::optional<std::uint64_t>& token : attempts) {
+    // Freshly constructed subsystems, identical wiring, no bomb.
+    FuzzCluster restarted(spec, modes, wire, latency, fault,
+                          checkpoint_intervals);
+    restarted.enable_recovery(options);  // re-opens the store directories
+    restarted.cluster.start_all();
+    ++report.restart_attempts;
+    try {
+      if (token) {
+        for (std::size_t g = 0; g < restarted.subsystems.size(); ++g)
+          restarted.subsystems[g]->restore_snapshot_image(
+              restarted.stores[g]->load(*token));
+        // Handshake: every endpoint cross-checks sent/received counters
+        // with its peer before new event traffic can diverge silently.
+        for (Subsystem* s : restarted.subsystems) s->begin_rejoin(*token);
+      }
+      auto outcomes = restarted.cluster.run_all(
+          Subsystem::RunConfig{.stall_timeout = stall_timeout});
+      for (const auto& [name, outcome] : outcomes)
+        PIA_CHECK(outcome == Subsystem::RunOutcome::kQuiescent,
+                  "recovered run did not quiesce: " + name);
+      report.token = token;
+      report.restored_from_disk = token.has_value();
+      report.result = {restarted.sink->received, restarted.sink->times};
+      return report;
+    } catch (const Error& e) {
+      if (!token) throw;  // a cold start must not fail
+      // kState: unstable cut.  kSerialization: the candidate was pruned or
+      // invalidated by a previous (failed) restart attempt's own run.
+      if (e.kind() != ErrorKind::kState &&
+          e.kind() != ErrorKind::kSerialization)
+        throw;
+    }
+  }
+  raise(ErrorKind::kState, "unreachable: cold start attempt did not return");
+}
 
 /// Reference: the same producer->relay->sink loop in a single subsystem
 /// (single-host Pia); the distributed runs must match it exactly.

@@ -17,16 +17,28 @@
 //   fuzz_cluster --seed=42       # reproduce one seed, verbosely
 //   fuzz_cluster --seeds=1,7,13  # explicit list
 //   fuzz_cluster --runs=50 --start-seed=1000   # a range (nightly CI)
+//   fuzz_cluster --recovery [...]  # crash-recovery arm: kill one endpoint
+//                                  # mid-run, restart from durable snapshots
+//
+// The --recovery arm checks the crash-recovery guarantee instead: each seed
+// additionally derives a crash point (channel, frame budget, endpoint) and
+// a snapshot cadence, fells that endpoint mid-run, restarts the cluster
+// from the newest common on-disk snapshot (falling back to older cuts, then
+// a cold start) and requires the final result to STILL match the
+// uninterrupted single-host oracle bit-exactly.
 //
 // Any failure prints the seed and the exact repro command, and exits 1.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "base/error.hpp"
 
 #include "base/rng.hpp"
 #include "dist_helpers.hpp"
@@ -188,12 +200,101 @@ bool run_one_config(std::uint64_t seed, const FuzzCase& c,
                   outcome == Subsystem::RunOutcome::kStalled ? "STALLED"
                   : outcome == Subsystem::RunOutcome::kDisconnected
                       ? "DISCONNECTED"
+                  : outcome == Subsystem::RunOutcome::kPeerDown
+                      ? "PEER_DOWN"
                       : "HORIZON");
   std::printf("  expected %s\n  got      %s\n",
               dump(reference).c_str(), dump(result).c_str());
   std::printf("  reproduce: fuzz_cluster --seed=%llu\n",
               static_cast<unsigned long long>(seed));
   return false;
+}
+
+// ---------------------------------------------------------------------------
+// Crash-recovery arm
+// ---------------------------------------------------------------------------
+
+bool run_recovery_config(std::uint64_t seed, const FuzzCase& c,
+                         const std::vector<ChannelMode>& modes,
+                         const PipelineResult& reference, bool verbose) {
+  // The crash point and snapshot cadence derive from the seed too, so every
+  // failure reproduces from `--recovery --seed=S` alone.
+  Rng crash_rng(seed ^ 0xC4A5ED1AD15EA5EDULL);
+  const std::size_t channels = c.spec.subsystem_count() - 1;
+  const FuzzCluster::CrashSpec crash{
+      .channel = static_cast<std::size_t>(crash_rng.below(channels)),
+      .frames = 15 + crash_rng.below(50),
+      .endpoint = 1 + crash_rng.below(2)};
+  testing::RecoveryOptions options;
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() /
+      ("pia_fuzz_recovery_" + std::to_string(seed) + "_" +
+       describe_modes(modes));
+  std::filesystem::remove_all(root);
+  options.store_root = root.string();
+  options.auto_snapshot_every = 4 + crash_rng.below(12);
+  options.heartbeat_interval = std::chrono::milliseconds(10);
+  options.heartbeat_timeout = std::chrono::milliseconds(800);
+
+  try {
+    const testing::RecoveryReport report = testing::run_with_crash_and_recover(
+        c.spec, modes, c.wire, c.latency, transport::FaultPlan::none(),
+        c.checkpoint_intervals, crash, options, 20'000ms);
+    if (report.result == reference) {
+      std::filesystem::remove_all(root);
+      if (verbose)
+        std::printf(
+            "  modes=%s crash(ch=%zu frames=%llu ep=%llu) ... ok "
+            "(crashed=%d disk=%d attempts=%zu)\n",
+            describe_modes(modes).c_str(), crash.channel,
+            static_cast<unsigned long long>(crash.frames),
+            static_cast<unsigned long long>(crash.endpoint),
+            report.crash_triggered ? 1 : 0, report.restored_from_disk ? 1 : 0,
+            report.restart_attempts);
+      return true;
+    }
+    std::printf("FAIL seed=%llu modes=%s (recovery mismatch)\n",
+                static_cast<unsigned long long>(seed),
+                describe_modes(modes).c_str());
+    std::printf("  expected %s\n  got      %s\n", dump(reference).c_str(),
+                dump(report.result).c_str());
+  } catch (const std::exception& e) {
+    std::printf("FAIL seed=%llu modes=%s (recovery threw)\n  %s\n",
+                static_cast<unsigned long long>(seed),
+                describe_modes(modes).c_str(), e.what());
+  }
+  std::printf("  case: %s\n", describe_case(c).c_str());
+  std::printf("  stores left in %s\n", root.string().c_str());
+  std::printf("  reproduce: fuzz_cluster --recovery --seed=%llu\n",
+              static_cast<unsigned long long>(seed));
+  return false;
+}
+
+bool run_recovery_seed(std::uint64_t seed, bool verbose) {
+  const FuzzCase c = generate(seed);
+  if (verbose)
+    std::printf("seed=%llu %s (recovery)\n",
+                static_cast<unsigned long long>(seed),
+                describe_case(c).c_str());
+  const PipelineResult reference = run_single_host_pipeline(c.spec);
+
+  const std::size_t channels = c.spec.subsystem_count() - 1;
+  std::vector<std::vector<ChannelMode>> mode_sets = {
+      uniform_modes(channels, ChannelMode::kConservative),
+      uniform_modes(channels, ChannelMode::kOptimistic),
+  };
+  if (channels >= 2) {
+    std::vector<ChannelMode> mixed;
+    for (std::size_t i = 0; i < channels; ++i)
+      mixed.push_back((i + seed) % 2 == 0 ? ChannelMode::kConservative
+                                          : ChannelMode::kOptimistic);
+    mode_sets.push_back(std::move(mixed));
+  }
+
+  bool ok = true;
+  for (const auto& modes : mode_sets)
+    ok &= run_recovery_config(seed, c, modes, reference, verbose);
+  return ok;
 }
 
 bool run_seed(std::uint64_t seed, bool verbose) {
@@ -232,6 +333,7 @@ int main(int argc, char** argv) {
   std::uint64_t runs = 0;
   std::uint64_t start_seed = 1;
   bool verbose = false;
+  bool recovery = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -246,26 +348,38 @@ int main(int argc, char** argv) {
       runs = std::stoull(arg.substr(7));
     } else if (arg.rfind("--start-seed=", 0) == 0) {
       start_seed = std::stoull(arg.substr(13));
+    } else if (arg == "--recovery") {
+      recovery = true;
     } else if (arg == "--verbose" || arg == "-v") {
       verbose = true;
     } else {
       std::fprintf(stderr,
-                   "usage: fuzz_cluster [--seed=S | --seeds=S1,S2,... | "
-                   "--runs=N [--start-seed=K]] [--verbose]\n");
+                   "usage: fuzz_cluster [--recovery] [--seed=S | "
+                   "--seeds=S1,S2,... | --runs=N [--start-seed=K]] "
+                   "[--verbose]\n");
       return 2;
     }
   }
   if (runs > 0)
     for (std::uint64_t s = 0; s < runs; ++s) seeds.push_back(start_seed + s);
   if (seeds.empty()) {
-    // The PR-gating list: deterministic, fast, and curated to cover every
-    // fault kind, both wires and the multi-hop loop-back topology.
-    seeds = {1, 2, 3, 4, 5, 6, 7, 8, 11, 13, 17, 23};
+    // The PR-gating lists: deterministic, fast; the equivalence list is
+    // curated to cover every fault kind, both wires and the multi-hop
+    // loop-back topology, the recovery list to cover both wires and 2..4
+    // subsystems with mid-run crash points.
+    // Recovery gating trio: seed 9 restores from disk over TCP in both
+    // modes, seed 11 drives the optimistic fallback ladder (multiple
+    // restart attempts), seed 2 crashes a mixed-mode 4-host TCP pipeline.
+    seeds = recovery ? std::vector<std::uint64_t>{2, 9, 11}
+                     : std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6,
+                                                  7, 8, 11, 13, 17, 23};
   }
 
   std::uint64_t failures = 0;
   for (const std::uint64_t seed : seeds) {
-    if (!pia::dist::run_seed(seed, verbose)) ++failures;
+    const bool ok = recovery ? pia::dist::run_recovery_seed(seed, verbose)
+                             : pia::dist::run_seed(seed, verbose);
+    if (!ok) ++failures;
     if (!verbose) {
       std::printf(".");
       std::fflush(stdout);
@@ -277,8 +391,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(failures), seeds.size());
     return 1;
   }
-  std::printf("all %zu seeds passed (conservative == optimistic == "
-              "single-host, faulty and clean links)\n",
-              seeds.size());
+  if (recovery)
+    std::printf("all %zu seeds passed (kill + restart from durable "
+                "snapshots == single-host)\n",
+                seeds.size());
+  else
+    std::printf("all %zu seeds passed (conservative == optimistic == "
+                "single-host, faulty and clean links)\n",
+                seeds.size());
   return 0;
 }

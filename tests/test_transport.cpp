@@ -253,7 +253,7 @@ TEST(Tcp, ConnectFailureReportsConnectErrno) {
     dead_port = probe.port();
   }
   try {
-    tcp_connect(dead_port, /*max_attempts=*/1);
+    tcp_connect(dead_port, /*deadline=*/std::chrono::milliseconds(0));
     FAIL() << "connect to a dead port must throw";
   } catch (const Error& e) {
     // Regression: the fd was closed before raising, so the message carried
