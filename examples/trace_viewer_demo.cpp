@@ -81,7 +81,7 @@ int main() {
       tracks.push_back(&s->scheduler().trace());
       collect_metrics(*s, metrics);
     }
-  obs::write_chrome_trace_file("pia_trace.json", tracks);
+  obs::write_chrome_trace_file("pia_trace.json", tracks, &metrics);
   metrics.write_file("pia_metrics.json");
 
   // Tally the record kinds so a reader (or a smoke test) can confirm the

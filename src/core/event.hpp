@@ -44,18 +44,27 @@ struct Event {
     serial::write(ar, time);
     ar.put_varint(seq);
     serial::write(ar, target);
-    ar.put_varint(port);
+    // kNoPort (0xFFFFFFFF) would cost a 5-byte varint on every kWake event;
+    // encode port shifted by one so the sentinel is a single zero byte.
+    ar.put_varint(port == kNoPort ? 0 : static_cast<std::uint64_t>(port) + 1);
     ar.put_varint(static_cast<std::uint64_t>(kind));
     value.save(ar);
     serial::write(ar, source);
   }
 
-  static Event load(serial::InArchive& ar) {
+  /// legacy_port: version-1 recovery images stored the raw port value
+  /// (including the 5-byte kNoPort sentinel); newer images use the shifted
+  /// encoding above.
+  static Event load(serial::InArchive& ar, bool legacy_port = false) {
     Event e;
     e.time = serial::read<VirtualTime>(ar);
     e.seq = ar.get_varint();
     e.target = serial::read_id<ComponentTag>(ar);
-    e.port = static_cast<PortIndex>(ar.get_varint());
+    const std::uint64_t raw_port = ar.get_varint();
+    if (legacy_port)
+      e.port = static_cast<PortIndex>(raw_port);
+    else
+      e.port = raw_port == 0 ? kNoPort : static_cast<PortIndex>(raw_port - 1);
     e.kind = static_cast<EventKind>(ar.get_varint());
     e.value = Value::load(ar);
     e.source = serial::read_id<ComponentTag>(ar);

@@ -150,7 +150,7 @@ std::optional<Bytes> TransferDecoder::feed(const Value& value) {
     case State::kIdle: {
       switch (value.kind()) {
         case Value::Kind::kPacket: {
-          const Bytes& frame = value.as_packet();
+          const BytesView frame = value.as_packet();
           if (frame.empty()) raise(ErrorKind::kProtocol, "empty frame");
           const auto tag = static_cast<std::uint8_t>(frame[0]);
           if (tag == kTagTransaction) {

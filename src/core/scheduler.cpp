@@ -123,13 +123,12 @@ void Scheduler::init() {
 }
 
 VirtualTime Scheduler::next_event_time() const {
-  return queue_.empty() ? VirtualTime::infinity() : queue_.begin()->time;
+  return queue_.empty() ? VirtualTime::infinity() : queue_.top().time;
 }
 
 bool Scheduler::step() {
   if (queue_.empty()) return false;
-  const Event event = *queue_.begin();
-  queue_.erase(queue_.begin());
+  const Event event = queue_.pop();
 
   PIA_CHECK(event.time >= now_,
             "event queue yielded an event in the past on " + name_);
@@ -147,7 +146,7 @@ bool Scheduler::step() {
 
 std::uint64_t Scheduler::run_until(VirtualTime t) {
   std::uint64_t count = 0;
-  while (!queue_.empty() && queue_.begin()->time <= t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
     step();
     ++count;
   }
@@ -174,7 +173,7 @@ void Scheduler::schedule(Event event) {
   event.seq = next_seq_++;
   stats_.events_scheduled++;
   if (on_schedule_hook) on_schedule_hook(event);
-  queue_.insert(std::move(event));
+  queue_.push(std::move(event));
 }
 
 std::uint64_t Scheduler::dispatches(ComponentId id) const {
@@ -328,6 +327,7 @@ void Scheduler::evaluate_switchpoints() {
 }
 
 void Scheduler::apply_pending_runlevels() {
+  if (pending_runlevels_.empty()) return;  // hot path: nothing pending
   // Apply each pending switch if its component is at a safe point; otherwise
   // keep it queued and retry after the next dispatch.
   std::deque<RunLevelAction> retry;
@@ -350,16 +350,19 @@ void Scheduler::apply_pending_runlevels() {
 }
 
 std::vector<Event> Scheduler::snapshot_queue() const {
-  return {queue_.begin(), queue_.end()};
+  return queue_.sorted_snapshot();
 }
 
 void Scheduler::replace_queue(std::vector<Event> events) {
   queue_.clear();
-  for (auto& e : events) queue_.insert(std::move(e));
+  queue_.reserve(events.size());
   // Events scheduled after this restore must sort after every restored
   // event: in a fresh process (durable-snapshot restore) next_seq_ starts at
   // zero and a collision would scramble the deterministic dispatch order.
-  for (const Event& e : queue_) ensure_seq_above(e.seq);
+  for (auto& e : events) {
+    ensure_seq_above(e.seq);
+    queue_.push(std::move(e));
+  }
 }
 
 void Scheduler::ensure_seq_above(std::uint64_t seq) {
@@ -368,25 +371,11 @@ void Scheduler::ensure_seq_above(std::uint64_t seq) {
 
 std::size_t Scheduler::erase_events_if(
     const std::function<bool(const Event&)>& pred) {
-  std::size_t removed = 0;
-  for (auto it = queue_.begin(); it != queue_.end();) {
-    if (pred(*it)) {
-      it = queue_.erase(it);
-      ++removed;
-    } else {
-      ++it;
-    }
-  }
-  return removed;
+  return queue_.erase_if(pred);
 }
 
 void Scheduler::drop_events_after(VirtualTime t) {
-  for (auto it = queue_.begin(); it != queue_.end();) {
-    if (it->time > t)
-      it = queue_.erase(it);
-    else
-      ++it;
-  }
+  queue_.erase_if([t](const Event& e) { return e.time > t; });
 }
 
 }  // namespace pia

@@ -21,7 +21,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +29,7 @@
 #include "base/time.hpp"
 #include "core/component.hpp"
 #include "core/event.hpp"
+#include "core/event_queue.hpp"
 #include "core/port.hpp"
 #include "core/runlevel.hpp"
 #include "obs/trace.hpp"
@@ -192,7 +192,7 @@ class Scheduler final : public ComponentContext {
   std::vector<Net> nets_;
   std::unordered_map<std::string, NetId> nets_by_name_;
 
-  std::multiset<Event> queue_;
+  EventQueue queue_;
 
   std::vector<Switchpoint> switchpoints_;
   std::deque<RunLevelAction> pending_runlevels_;

@@ -30,10 +30,14 @@ PortIndex ChannelComponent::hidden_port(std::uint32_t net_index) const {
 
 Value ChannelComponent::encode_remote(std::uint32_t net_index,
                                       const Value& value) {
-  serial::OutArchive ar;
-  ar.put_varint(net_index);
-  value.save(ar);
-  return Value{std::move(ar).take()};
+  // One scratch archive per subsystem thread: wrapping a remote event (a
+  // per-delivery operation at word level) stays allocation-free — small
+  // wrapped payloads land in Value's inline buffer.
+  thread_local serial::OutArchive scratch;
+  scratch.clear();
+  scratch.put_varint(net_index);
+  value.save(scratch);
+  return Value::packet(scratch.bytes());
 }
 
 void ChannelComponent::on_receive(PortIndex port, const Value& value) {
@@ -84,31 +88,92 @@ SendId ChannelEndpoint::send_event(std::uint32_t net_index,
 
 void ChannelEndpoint::send_message(const ChannelMessage& message) {
   if (peer_closed) return;  // nobody is listening any more
+  scratch_.clear();
+  encode_message_into(scratch_, message);
+  const std::size_t before = batch_.size();
+  batch_.put_varint(scratch_.size());
+  if (batch_count_ == 0) batch_first_offset_ = batch_.size() - before;
+  batch_.put_raw(scratch_.bytes());
+  ++batch_count_;
+  // Counted at enqueue: a flush that fails mid-batch closes the channel, so
+  // the counters stop mattering on the same path they could diverge on.
+  if (!is_control_message(message)) ++msgs_sent;
+  if (flush_hold_ == 0 || batch_count_ >= batch_limit_) flush();
+}
+
+void ChannelEndpoint::flush() {
+  if (batch_count_ == 0) return;
+  const std::uint32_t count = batch_count_;
+  batch_count_ = 0;
+  if (peer_closed) {
+    batch_.clear();
+    return;
+  }
+  BytesView payload;
+  if (count == 1) {
+    // A lone message travels in the bare wire format.
+    payload = BytesView{batch_.bytes()}.subspan(batch_first_offset_);
+  } else {
+    frame_.clear();
+    frame_.put_u8(kBatchFrameTag);
+    frame_.put_varint(count);
+    frame_.put_raw(batch_.bytes());
+    payload = frame_.bytes();
+  }
   try {
-    link_->send(encode_message(message));
+    link_->send(payload, count);
   } catch (const Error& e) {
+    batch_.clear();
     if (e.kind() != ErrorKind::kTransport) throw;
     peer_closed = true;
     return;
   }
-  if (!is_control_message(message)) ++msgs_sent;
+  batch_.clear();
+}
+
+ChannelMessage ChannelEndpoint::take_inbound() {
+  ChannelMessage message = std::move(inbound_.front());
+  inbound_.pop_front();
+  if (!is_control_message(message)) ++msgs_received;
+  return message;
 }
 
 std::optional<ChannelMessage> ChannelEndpoint::poll() {
-  auto raw = link_->try_recv();
-  if (!raw) {
-    if (link_->closed()) peer_closed = true;
-    return std::nullopt;
+  if (inbound_.empty()) {
+    auto raw = link_->try_recv();
+    if (!raw) {
+      if (link_->closed()) peer_closed = true;
+      return std::nullopt;
+    }
+    note_arrival();
+    decode_frame(*raw, inbound_);
   }
-  note_arrival();
-  ChannelMessage message = decode_message(*raw);
-  if (!is_control_message(message)) ++msgs_received;
-  return message;
+  return take_inbound();
+}
+
+std::optional<ChannelMessage> ChannelEndpoint::recv_for(
+    std::chrono::milliseconds timeout) {
+  if (inbound_.empty()) {
+    auto raw = link_->recv_for(timeout);
+    if (!raw) return std::nullopt;
+    note_arrival();
+    decode_frame(*raw, inbound_);
+  }
+  return take_inbound();
+}
+
+void ChannelEndpoint::discard_pending() {
+  batch_count_ = 0;
+  batch_.clear();
+  inbound_.clear();
 }
 
 void ChannelEndpoint::replace_link(transport::LinkPtr link) {
   PIA_REQUIRE(link != nullptr, "replace_link with a null link");
   link_ = std::move(link);
+  // Buffered traffic belongs to the dead link's world: an un-flushed batch
+  // or an undelivered decode must not leak onto the fresh connection.
+  discard_pending();
   peer_closed = false;
   peer_down = false;
   liveness_armed = false;

@@ -18,6 +18,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "base/ids.hpp"
 #include "core/component.hpp"
 #include "dist/protocol.hpp"
+#include "serial/archive.hpp"
 #include "transport/link.hpp"
 
 namespace pia::dist {
@@ -92,13 +94,45 @@ class ChannelEndpoint {
   /// Transport failures (peer crashed, link abruptly closed) do not throw:
   /// they set peer_closed so the subsystem loop can wind down with
   /// RunOutcome::kDisconnected instead of unwinding mid-protocol.
+  ///
+  /// Batching: while a flush hold is active (the subsystem brackets its
+  /// burst phases with hold_flush/release_flush) messages accumulate into
+  /// one batch frame and go out together; outside a hold each message
+  /// flushes immediately, preserving the unbatched send-now semantics.
   void send_message(const ChannelMessage& message);
+
+  /// Transmits the pending batch (if any) as one link frame.  A batch of
+  /// one is sent in the bare single-message wire format.
+  void flush();
+
+  /// Defer flushing until the matching release; nests.  The subsystem holds
+  /// across a scheduler burst so everything the slice emits shares a frame.
+  void hold_flush() { ++flush_hold_; }
+  void release_flush() {
+    if (flush_hold_ > 0 && --flush_hold_ == 0) flush();
+  }
+
+  /// Messages per batch frame before an automatic flush.
+  void set_batch_limit(std::uint32_t limit) {
+    batch_limit_ = limit == 0 ? 1 : limit;
+  }
+  [[nodiscard]] std::uint32_t batch_limit() const { return batch_limit_; }
+  [[nodiscard]] std::uint32_t pending_batch() const { return batch_count_; }
 
   // --- inbound -------------------------------------------------------------
 
   /// Non-blocking: next decoded message, if any.  A drained closed link
   /// sets peer_closed.
   std::optional<ChannelMessage> poll();
+
+  /// Blocking form: waits up to `timeout` for a message (served from the
+  /// already-decoded inbound queue first, then the link).
+  std::optional<ChannelMessage> recv_for(std::chrono::milliseconds timeout);
+
+  /// Drops buffered state on both sides: the un-flushed outbound batch and
+  /// the decoded-but-undelivered inbound queue.  Used when the link is
+  /// replaced or a snapshot restore discards in-flight traffic.
+  void discard_pending();
 
   /// The link failed or the peer went away; no further traffic is possible
   /// on this channel.
@@ -222,11 +256,27 @@ class ChannelEndpoint {
   }
 
  private:
+  /// Pops the front of the decoded inbound queue and counts it.
+  ChannelMessage take_inbound();
+
   std::string name_;
   ChannelMode mode_;
   transport::LinkPtr link_;
   std::uint32_t origin_id_;
   std::uint64_t next_send_counter_ = 0;
+
+  // Outbound batching state.  batch_ holds length-prefixed encoded
+  // messages; scratch_ is the per-message encode buffer.  Both keep their
+  // allocations across frames.
+  serial::OutArchive scratch_;
+  serial::OutArchive batch_;
+  serial::OutArchive frame_;  // batch header + payload assembly
+  std::uint32_t batch_count_ = 0;
+  std::size_t batch_first_offset_ = 0;  // skip of the first length prefix
+  std::uint32_t batch_limit_ = 64;
+  std::uint32_t flush_hold_ = 0;
+
+  std::deque<ChannelMessage> inbound_;  // decoded, not yet delivered
 };
 
 }  // namespace pia::dist

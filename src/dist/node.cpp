@@ -245,6 +245,9 @@ void collect_metrics(Subsystem& subsystem, obs::MetricsRegistry& registry) {
     const transport::LinkStats link = c.link().stats();
     registry.set(scope, "link_messages_sent", link.messages_sent);
     registry.set(scope, "link_messages_received", link.messages_received);
+    // messages_sent / frames_sent is the batching efficiency of the channel.
+    registry.set(scope, "link_frames_sent", link.frames_sent);
+    registry.set(scope, "link_frames_received", link.frames_received);
     registry.set(scope, "link_bytes_sent", link.bytes_sent);
     registry.set(scope, "link_bytes_received", link.bytes_received);
     registry.set(scope, "link_faults_delayed", link.faults_delayed);
@@ -271,7 +274,8 @@ void NodeCluster::export_chrome_trace(const std::string& path) {
   std::vector<const obs::TraceBuffer*> tracks;
   for (Subsystem* s : all_subsystems())
     tracks.push_back(&s->scheduler().trace());
-  obs::write_chrome_trace_file(path, tracks);
+  const obs::MetricsRegistry registry = metrics();
+  obs::write_chrome_trace_file(path, tracks, &registry);
 }
 
 }  // namespace pia::dist

@@ -37,6 +37,12 @@ SendId read_send_id(serial::InArchive& ar) {
 
 Bytes encode_message(const ChannelMessage& message) {
   serial::OutArchive ar;
+  encode_message_into(ar, message);
+  return std::move(ar).take();
+}
+
+void encode_message_into(serial::OutArchive& ar,
+                         const ChannelMessage& message) {
   std::visit(
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;
@@ -93,10 +99,10 @@ Bytes encode_message(const ChannelMessage& message) {
           ar.put_varint(m.token);
           ar.put_varint(m.events_sent);
           ar.put_varint(m.events_received);
+          ar.put_varint(m.protocol);
         }
       },
       message);
-  return std::move(ar).take();
 }
 
 ChannelMessage decode_message(BytesView data) {
@@ -166,10 +172,29 @@ ChannelMessage decode_message(BytesView data) {
       m.token = ar.get_varint();
       m.events_sent = ar.get_varint();
       m.events_received = ar.get_varint();
+      // Trailing field added in protocol version 2; a version-1 peer's
+      // message simply ends here.
+      m.protocol = ar.at_end() ? 1
+                               : static_cast<std::uint32_t>(ar.get_varint());
       return m;
     }
   }
   raise(ErrorKind::kProtocol, "unknown channel message tag");
+}
+
+void decode_frame(BytesView frame, std::deque<ChannelMessage>& out) {
+  if (frame.empty()) raise(ErrorKind::kProtocol, "empty channel frame");
+  if (static_cast<std::uint8_t>(frame[0]) != kBatchFrameTag) {
+    out.push_back(decode_message(frame));
+    return;
+  }
+  serial::InArchive ar(frame);
+  (void)ar.get_u8();  // kBatchFrameTag
+  const std::uint64_t count = ar.get_varint();
+  for (std::uint64_t i = 0; i < count; ++i)
+    out.push_back(decode_message(ar.get_view(ar.get_varint())));
+  if (!ar.at_end())
+    raise(ErrorKind::kProtocol, "trailing bytes after channel batch");
 }
 
 const char* message_name(const ChannelMessage& message) {

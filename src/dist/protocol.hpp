@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <variant>
@@ -17,6 +18,12 @@
 #include "core/value.hpp"
 
 namespace pia::dist {
+
+/// Channel wire-protocol version.  Version 2 introduced batch frames (one
+/// link frame carrying several messages) and the compact Event port
+/// encoding in recovery images.  Announced in the rejoin handshake so
+/// mismatched peers fail loudly instead of desynchronizing.
+inline constexpr std::uint32_t kChannelProtocolVersion = 2;
 
 /// Globally unique identifier of a sent event: (origin subsystem, counter).
 /// Retractions name the event they cancel by this id.
@@ -133,6 +140,9 @@ struct RejoinMsg {
   std::uint64_t token = 0;
   std::uint64_t events_sent = 0;      // sender's event_msgs_sent on this channel
   std::uint64_t events_received = 0;  // sender's event_msgs_received
+  /// Wire-protocol version the sender speaks.  Encoded as a trailing field;
+  /// pre-batching peers omitted it, so absence decodes as version 1.
+  std::uint32_t protocol = kChannelProtocolVersion;
 };
 
 using ChannelMessage =
@@ -141,7 +151,21 @@ using ChannelMessage =
                  TerminateMsg, HeartbeatMsg, RejoinMsg>;
 
 [[nodiscard]] Bytes encode_message(const ChannelMessage& message);
+/// Appends the encoding to `ar` — the scratch-archive form the channel send
+/// path uses to avoid a fresh allocation per message.
+void encode_message_into(serial::OutArchive& ar,
+                         const ChannelMessage& message);
 [[nodiscard]] ChannelMessage decode_message(BytesView data);
+
+/// First payload byte of a batch frame: `kBatchFrameTag`, then a varint
+/// message count, then count × (varint length + message bytes).  Message
+/// tags stop at 12, so the first byte disambiguates batch frames from bare
+/// single messages — one message per frame still travels in the old format.
+inline constexpr std::uint8_t kBatchFrameTag = 13;
+
+/// Decodes one link frame — bare message or batch — appending the decoded
+/// messages to `out` in send order.
+void decode_frame(BytesView frame, std::deque<ChannelMessage>& out);
 
 [[nodiscard]] const char* message_name(const ChannelMessage& message);
 

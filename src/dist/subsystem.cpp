@@ -7,6 +7,30 @@
 #include "serial/archive.hpp"
 
 namespace pia::dist {
+namespace {
+
+/// Brackets a burst of sends: every channel holds its batch open until the
+/// scope exits, so all messages one loop slice emits share a link frame.
+/// Flushing from the destructor is safe — ChannelEndpoint::flush converts
+/// transport failures into peer_closed instead of throwing.
+class FlushHold {
+ public:
+  explicit FlushHold(
+      const std::vector<std::unique_ptr<ChannelEndpoint>>& channels)
+      : channels_(channels) {
+    for (const auto& c : channels_) c->hold_flush();
+  }
+  ~FlushHold() {
+    for (const auto& c : channels_) c->release_flush();
+  }
+  FlushHold(const FlushHold&) = delete;
+  FlushHold& operator=(const FlushHold&) = delete;
+
+ private:
+  const std::vector<std::unique_ptr<ChannelEndpoint>>& channels_;
+};
+
+}  // namespace
 
 Subsystem::Subsystem(std::string name, std::uint32_t numeric_id)
     : name_(std::move(name)),
@@ -21,6 +45,7 @@ ChannelId Subsystem::add_channel(const std::string& channel_name,
   auto endpoint = std::make_unique<ChannelEndpoint>(channel_name, mode,
                                                     std::move(link), id_);
   endpoint->index = id.value();
+  endpoint->set_batch_limit(channel_batch_limit_);
   auto proxy = std::make_unique<ChannelComponent>("__chan_" + channel_name);
   ChannelComponent& proxy_ref = *proxy;
   endpoint->channel_component = scheduler_.add(std::move(proxy));
@@ -47,6 +72,11 @@ std::uint32_t Subsystem::export_net(ChannelId channel_id, NetId local_net) {
   scheduler_.attach(local_net, proxy.id(), proxy.port(hidden).name);
   endpoint.split_nets.push_back(local_net);
   return proxy.split_net_count() - 1;
+}
+
+void Subsystem::set_channel_batch_limit(std::uint32_t limit) {
+  channel_batch_limit_ = limit == 0 ? 1 : limit;
+  for (auto& c : channels_) c->set_batch_limit(channel_batch_limit_);
 }
 
 void Subsystem::set_lookahead(ChannelId channel_id, VirtualTime lookahead) {
@@ -105,6 +135,9 @@ bool Subsystem::has_optimistic_channel() const {
 }
 
 bool Subsystem::drain() {
+  // Replies provoked by the drained messages (grants, probe replies, ...)
+  // batch up and go out together when the pass ends.
+  FlushHold hold(channels_);
   bool any = false;
   bool progress = true;
   while (progress) {
@@ -619,68 +652,75 @@ Subsystem::RunOutcome Subsystem::run(const RunConfig& config) {
   auto last_progress = std::chrono::steady_clock::now();
 
   for (;;) {
-    bool progressed = drain();
+    bool progressed = false;
+    {
+      // One frame per loop slice: everything the drain / advance burst /
+      // grant and status push emit on a channel shares a batch.  The waits
+      // below stay outside the hold so replies flush immediately.
+      FlushHold hold(channels_);
+      progressed = drain();
 
-    // A dead link can never deliver the grants, retractions or probe
-    // replies the protocols below wait for: give up cleanly rather than
-    // spinning into the stall timeout.
-    for (const auto& c : channels_)
-      if (c->peer_closed) return RunOutcome::kDisconnected;
+      // A dead link can never deliver the grants, retractions or probe
+      // replies the protocols below wait for: give up cleanly rather than
+      // spinning into the stall timeout.
+      for (const auto& c : channels_)
+        if (c->peer_closed) return RunOutcome::kDisconnected;
 
-    // Liveness: a peer that stopped sending *anything* (not even
-    // heartbeats) is down even though the transport still looks open.
-    if (service_heartbeats()) return RunOutcome::kPeerDown;
+      // Liveness: a peer that stopped sending *anything* (not even
+      // heartbeats) is down even though the transport still looks open.
+      if (service_heartbeats()) return RunOutcome::kPeerDown;
 
-    bool blocked = false;
-    for (int burst = 0; burst < 256; ++burst) {
-      const StepResult result = try_advance(config.horizon);
-      if (result == StepResult::kStepped) {
-        progressed = true;
-        continue;
+      bool blocked = false;
+      for (int burst = 0; burst < 256; ++burst) {
+        const StepResult result = try_advance(config.horizon);
+        if (result == StepResult::kStepped) {
+          progressed = true;
+          continue;
+        }
+        blocked = (result == StepResult::kBlocked);
+        break;
       }
-      blocked = (result == StepResult::kBlocked);
-      break;
-    }
 
-    push_grants();
-    push_status_if_changed();
+      push_grants();
+      push_status_if_changed();
 
-    if (terminate_received_) return RunOutcome::kQuiescent;
-    if (channels_.empty() && scheduler_.idle())
-      return RunOutcome::kQuiescent;
+      if (terminate_received_) return RunOutcome::kQuiescent;
+      if (channels_.empty() && scheduler_.idle())
+        return RunOutcome::kQuiescent;
 
-    if (blocked) {
-      stats_.stalls++;
-      const VirtualTime next = scheduler_.next_event_time();
-      PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kStall, next,
-                    stats_.stalls);
-      for (auto& cp : channels_) {
-        ChannelEndpoint& c = *cp;
-        if (c.mode() != ChannelMode::kConservative) continue;
-        if (c.effective_grant() >= next || c.request_outstanding) continue;
-        c.send_message(SafeTimeRequest{.request_id = c.next_request_id++});
-        c.request_outstanding = true;
-        stats_.requests_sent++;
-        PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kGrantRequest, next,
-                      c.index);
+      if (blocked) {
+        stats_.stalls++;
+        const VirtualTime next = scheduler_.next_event_time();
+        PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kStall, next,
+                      stats_.stalls);
+        for (auto& cp : channels_) {
+          ChannelEndpoint& c = *cp;
+          if (c.mode() != ChannelMode::kConservative) continue;
+          if (c.effective_grant() >= next || c.request_outstanding) continue;
+          c.send_message(SafeTimeRequest{.request_id = c.next_request_id++});
+          c.request_outstanding = true;
+          stats_.requests_sent++;
+          PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kGrantRequest,
+                        next, c.index);
+        }
       }
-    }
 
-    // Horizon exit (finite horizons only): everything below the horizon is
-    // done and conservative grants guarantee nothing earlier can still
-    // arrive.  Infinite-horizon quiescence always goes through the
-    // termination probe instead — exiting unilaterally on infinite grants
-    // left peers that still needed our probe replies stalled forever
-    // (fuzz_cluster seed 13: a conservative leaf next to a mixed chain).
-    const VirtualTime t = scheduler_.next_event_time();
-    if (!config.horizon.is_infinite() &&
-        (t.is_infinite() || t > config.horizon) &&
-        conservative_barrier() >= config.horizon &&
-        !has_optimistic_channel()) {
-      return RunOutcome::kHorizon;
-    }
+      // Horizon exit (finite horizons only): everything below the horizon is
+      // done and conservative grants guarantee nothing earlier can still
+      // arrive.  Infinite-horizon quiescence always goes through the
+      // termination probe instead — exiting unilaterally on infinite grants
+      // left peers that still needed our probe replies stalled forever
+      // (fuzz_cluster seed 13: a conservative leaf next to a mixed chain).
+      const VirtualTime t = scheduler_.next_event_time();
+      if (!config.horizon.is_infinite() &&
+          (t.is_infinite() || t > config.horizon) &&
+          conservative_barrier() >= config.horizon &&
+          !has_optimistic_channel()) {
+        return RunOutcome::kHorizon;
+      }
 
-    maybe_start_probe();
+      maybe_start_probe();
+    }
 
     if (progressed) {
       last_progress = std::chrono::steady_clock::now();
@@ -689,14 +729,10 @@ Subsystem::RunOutcome Subsystem::run(const RunConfig& config) {
 
     // Nothing to do locally: wait briefly for channel traffic.
     bool woke = false;
-    for (auto& cp : channels_) {
-      if (auto raw = cp->link().recv_for(std::chrono::milliseconds(1))) {
-        cp->note_arrival();
-        ChannelMessage message = decode_message(*raw);
-        if (!is_control_message(message)) ++cp->msgs_received;
-        handle_message(
-            ChannelId{static_cast<std::uint32_t>(&cp - channels_.data())},
-            std::move(message));
+    for (std::uint32_t i = 0; i < channels_.size(); ++i) {
+      if (auto message =
+              channels_[i]->recv_for(std::chrono::milliseconds(1))) {
+        handle_message(ChannelId{i}, std::move(*message));
         woke = true;
         break;
       }
@@ -785,9 +821,13 @@ void Subsystem::restore_snapshot(std::uint64_t token) {
   // statuses from the abandoned timeline) must not leak into the replay.
   // Coordinated restores happen at global quiescence with no runner
   // active, so whatever is pending is stale by definition.
-  for (auto& c : channels_)
+  for (auto& c : channels_) {
     while (c->link().try_recv()) {
     }
+    // ... including anything buffered inside the endpoint itself: an
+    // un-flushed outbound batch or decoded-but-undelivered inbound messages.
+    c->discard_pending();
+  }
   for (auto pit = snapshot_positions_.upper_bound(pending.local);
        pit != snapshot_positions_.end();)
     pit = snapshot_positions_.erase(pit);
@@ -870,7 +910,8 @@ Bytes Subsystem::export_snapshot(std::uint64_t token) const {
               "snapshot's local checkpoint was discarded on " + name_);
 
   serial::OutArchive ar;
-  serial::begin_section(ar, "pia.dist.recovery", 1);
+  // Version 2: events use the compact port encoding (see Event::save).
+  serial::begin_section(ar, "pia.dist.recovery", 2);
   ar.put_string(name_);
   ar.put_varint(token);
   ar.put_varint(next_cl_token_);
@@ -938,9 +979,11 @@ void Subsystem::restore_snapshot_image(BytesView image) {
   serial::InArchive ar(image);
   const std::uint32_t version =
       serial::expect_section(ar, "pia.dist.recovery");
-  if (version != 1)
+  if (version != 1 && version != 2)
     raise(ErrorKind::kSerialization,
           "unsupported recovery image version " + std::to_string(version));
+  // Version-1 images carry the old raw Event port encoding.
+  const bool legacy_events = version == 1;
   const std::string owner = ar.get_string();
   if (owner != name_)
     raise(ErrorKind::kState, "recovery image belongs to subsystem '" + owner +
@@ -974,7 +1017,7 @@ void Subsystem::restore_snapshot_image(BytesView image) {
   std::vector<Event> events;
   events.reserve(event_count);
   for (std::uint64_t k = 0; k < event_count; ++k)
-    events.push_back(Event::load(ar));
+    events.push_back(Event::load(ar, legacy_events));
   scheduler_.replace_queue(std::move(events));
   scheduler_.set_now(cut_now);
 
@@ -1107,6 +1150,12 @@ void Subsystem::begin_rejoin(std::uint64_t token) {
 void Subsystem::handle_rejoin(ChannelId channel_id, const RejoinMsg& rejoin) {
   ChannelEndpoint& c = channel(channel_id);
   ++activity_counter_;
+  if (rejoin.protocol != kChannelProtocolVersion)
+    raise(ErrorKind::kProtocol,
+          "rejoin protocol mismatch on channel '" + c.name() +
+              "': peer speaks version " + std::to_string(rejoin.protocol) +
+              ", local side version " +
+              std::to_string(kChannelProtocolVersion));
   if (!c.rejoin_token.has_value() || *c.rejoin_token != rejoin.token)
     raise(ErrorKind::kProtocol,
           "rejoin token mismatch on channel '" + c.name() +

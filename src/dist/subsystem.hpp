@@ -91,6 +91,10 @@ class Subsystem {
   /// net indexes line up.  Returns the net's index in the channel table.
   std::uint32_t export_net(ChannelId channel_id, NetId local_net);
 
+  /// Sets the batch limit (messages per link frame) on every channel, and
+  /// the default applied to channels added later.  1 disables batching.
+  void set_channel_batch_limit(std::uint32_t limit);
+
   /// Sets the horizon slack of a conservative channel (typically the
   /// minimum delay of the nets it exports).
   void set_lookahead(ChannelId channel_id, VirtualTime lookahead);
@@ -307,6 +311,7 @@ class Subsystem {
   CheckpointManager checkpoints_;
   std::vector<std::unique_ptr<ChannelEndpoint>> channels_;
   bool started_ = false;
+  std::uint32_t channel_batch_limit_ = 64;
 
   std::uint64_t checkpoint_interval_ = 64;
   std::uint64_t dispatches_since_checkpoint_ = 0;

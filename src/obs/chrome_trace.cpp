@@ -26,10 +26,23 @@ void append_event(std::string& out, const TraceRecord& rec, int tid) {
   out += buf;
 }
 
+void append_metric_value(std::string& out,
+                         const MetricsRegistry::MetricValue& value) {
+  char buf[48];
+  if (const auto* u = std::get_if<std::uint64_t>(&value))
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, *u);
+  else if (const auto* i = std::get_if<std::int64_t>(&value))
+    std::snprintf(buf, sizeof(buf), "%" PRId64, *i);
+  else
+    std::snprintf(buf, sizeof(buf), "%.17g", std::get<double>(value));
+  out += buf;
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& os,
-                        const std::vector<const TraceBuffer*>& tracks) {
+                        const std::vector<const TraceBuffer*>& tracks,
+                        const MetricsRegistry* metrics) {
   std::string out;
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
@@ -50,15 +63,35 @@ void write_chrome_trace(std::ostream& os,
       append_event(out, rec, tid);
     }
   }
+  if (metrics != nullptr) {
+    // One counter sample per scope, carrying every counter in that scope.
+    for (const auto& [scope, values] : metrics->entries()) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += "{\"name\":";
+      json_append_string(out, scope);
+      out += ",\"ph\":\"C\",\"ts\":0,\"pid\":1,\"args\":{";
+      bool first_value = true;
+      for (const auto& [name, value] : values) {
+        if (!first_value) out.push_back(',');
+        first_value = false;
+        json_append_string(out, name);
+        out.push_back(':');
+        append_metric_value(out, value);
+      }
+      out += "}}";
+    }
+  }
   out += "]}";
   os << out;
 }
 
 void write_chrome_trace_file(const std::string& path,
-                             const std::vector<const TraceBuffer*>& tracks) {
+                             const std::vector<const TraceBuffer*>& tracks,
+                             const MetricsRegistry* metrics) {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) raise(ErrorKind::kState, "cannot open trace file " + path);
-  write_chrome_trace(os, tracks);
+  write_chrome_trace(os, tracks, metrics);
   os.flush();
   if (!os) raise(ErrorKind::kState, "failed writing trace file " + path);
 }

@@ -11,16 +11,23 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace pia::obs {
 
-/// Renders `tracks` as a Chrome trace-event JSON object to `os`.
+/// Renders `tracks` as a Chrome trace-event JSON object to `os`.  With
+/// `metrics`, every registry scope additionally becomes one trailing
+/// counter event ("ph":"C") so final counter values — e.g. a channel's
+/// link_messages_sent vs link_frames_sent batching ratio — show up as
+/// counter tracks alongside the instant events.
 void write_chrome_trace(std::ostream& os,
-                        const std::vector<const TraceBuffer*>& tracks);
+                        const std::vector<const TraceBuffer*>& tracks,
+                        const MetricsRegistry* metrics = nullptr);
 
 /// Same, to a file.  Throws Error{kState} when the file cannot be written.
 void write_chrome_trace_file(const std::string& path,
-                             const std::vector<const TraceBuffer*>& tracks);
+                             const std::vector<const TraceBuffer*>& tracks,
+                             const MetricsRegistry* metrics = nullptr);
 
 }  // namespace pia::obs

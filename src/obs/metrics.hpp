@@ -35,6 +35,13 @@ class MetricsRegistry {
   [[nodiscard]] bool has_scope(const std::string& scope) const;
   [[nodiscard]] std::size_t scope_count() const { return scopes_.size(); }
 
+  /// Read-only view of every (scope -> name -> value) entry, sorted.
+  [[nodiscard]] const std::map<std::string,
+                               std::map<std::string, MetricValue>>&
+  entries() const {
+    return scopes_;
+  }
+
   /// Deterministic (scope- and name-sorted) JSON object.
   [[nodiscard]] std::string to_json() const;
   /// Throws Error{kState} when the file cannot be written.

@@ -40,7 +40,7 @@ void DmaEngine::on_receive(PortIndex port, const Value& value) {
   }
 
   PIA_REQUIRE(port == dev_, "value on unexpected DMA port");
-  const Bytes& frame = value.as_packet();
+  const BytesView frame = value.as_packet();
   if (!enabled_) {
     ++drops_;  // real DMA engines drop when not armed
     return;

@@ -42,6 +42,11 @@ class OutArchive {
   [[nodiscard]] const Bytes& bytes() const { return buffer_; }
   [[nodiscard]] std::size_t size() const { return buffer_.size(); }
 
+  /// Reset for reuse, keeping the allocation (scratch-archive pattern on
+  /// the channel send path).
+  void clear() { buffer_.clear(); }
+  void reserve(std::size_t n) { buffer_.reserve(n); }
+
   void put_u8(std::uint8_t v) { buffer_.push_back(std::byte{v}); }
 
   void put_varint(std::uint64_t v) {
@@ -143,6 +148,16 @@ class InArchive {
       raise(ErrorKind::kSerialization, "string length exceeds archive");
     std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
     pos_ += n;
+    return out;
+  }
+
+  /// Zero-copy view of the next n bytes (valid while the backing buffer
+  /// lives).  Batch decoding and Value::load use this to avoid temporaries.
+  BytesView get_view(std::uint64_t n) {
+    if (n > remaining())
+      raise(ErrorKind::kSerialization, "view length exceeds archive");
+    const BytesView out = data_.subspan(pos_, static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
     return out;
   }
 

@@ -28,7 +28,7 @@ class FaultLink final : public Link {
         dup_rng_(plan_.seed ^ 0x2545F4914F6CDD1DULL),
         epoch_(Clock::now()) {}
 
-  void send(BytesView message) override {
+  void send(BytesView message, std::uint32_t message_count = 1) override {
     if (plan_.close_after_sends > 0 && sends_ >= plan_.close_after_sends) {
       trip();
       raise(ErrorKind::kTransport,
@@ -62,17 +62,19 @@ class FaultLink final : public Link {
 
     const std::uint64_t seq = ++send_seq_;
     const std::int64_t stamp = release.time_since_epoch().count();
-    Bytes framed(kHeaderSize + message.size());
-    std::memcpy(framed.data(), &seq, sizeof(seq));
-    std::memcpy(framed.data() + sizeof(seq), &stamp, sizeof(stamp));
-    std::memcpy(framed.data() + kHeaderSize, message.data(), message.size());
-    inner_->send(framed);
+    send_scratch_.resize(kHeaderSize + message.size());
+    std::memcpy(send_scratch_.data(), &seq, sizeof(seq));
+    std::memcpy(send_scratch_.data() + sizeof(seq), &stamp, sizeof(stamp));
+    std::memcpy(send_scratch_.data() + kHeaderSize, message.data(),
+                message.size());
+    inner_->send(send_scratch_, message_count);
     if (plan_.dup_probability > 0.0 &&
         dup_rng_.chance(plan_.dup_probability)) {
       ++stats_.faults_duplicated;
-      inner_->send(framed);
+      inner_->send(send_scratch_, message_count);
     }
-    ++stats_.messages_sent;
+    stats_.messages_sent += message_count;
+    stats_.frames_sent++;
     stats_.bytes_sent += message.size();
   }
 
@@ -183,6 +185,7 @@ class FaultLink final : public Link {
     Bytes out = std::move(*pending_);
     pending_.reset();
     ++stats_.messages_received;
+    ++stats_.frames_received;
     stats_.bytes_received += out.size();
     return out;
   }
@@ -201,6 +204,7 @@ class FaultLink final : public Link {
   bool tripped_ = false;
   std::optional<Bytes> pending_;
   std::int64_t pending_stamp_ = 0;
+  Bytes send_scratch_;  // reused seq+stamp header assembly buffer
   LinkStats stats_;
 };
 

@@ -23,31 +23,47 @@ std::uint32_t read_u32(const std::byte* p) {
 }  // namespace
 
 Bytes encode_frame(BytesView payload) {
+  Bytes out;
+  encode_frame_into(out, payload);
+  return out;
+}
+
+void encode_frame_into(Bytes& out, BytesView payload) {
   if (payload.size() > kMaxFramePayload)
     raise(ErrorKind::kProtocol, "frame payload exceeds maximum");
-  Bytes out;
+  out.clear();
   out.reserve(kFrameHeaderSize + payload.size());
   put_u32(out, kFrameMagic);
   put_u32(out, static_cast<std::uint32_t>(payload.size()));
   put_u32(out, crc32(payload));
   out.insert(out.end(), payload.begin(), payload.end());
-  return out;
 }
 
 void FrameDecoder::feed(BytesView data) {
+  if (head_ == buffer_.size()) {
+    buffer_.clear();
+    head_ = 0;
+  } else if (head_ >= 4096 && head_ >= buffer_.size() - head_) {
+    // The consumed prefix dominates; slide the live bytes down so the
+    // buffer does not grow without bound on a long-lived stream.
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
   buffer_.insert(buffer_.end(), data.begin(), data.end());
 }
 
 bool FrameDecoder::has_complete_frame() const {
-  if (buffer_.size() < kFrameHeaderSize) return false;
-  if (read_u32(buffer_.data()) != kFrameMagic) return false;
-  const std::uint32_t length = read_u32(buffer_.data() + 4);
+  const std::byte* front = buffer_.data() + head_;
+  if (buffered() < kFrameHeaderSize) return false;
+  if (read_u32(front) != kFrameMagic) return false;
+  const std::uint32_t length = read_u32(front + 4);
   if (length > kMaxFramePayload) return false;
-  return buffer_.size() >= kFrameHeaderSize + length;
+  return buffered() >= kFrameHeaderSize + length;
 }
 
 std::size_t FrameDecoder::truncated_residue() const {
-  std::size_t offset = 0;
+  std::size_t offset = head_;
   while (buffer_.size() - offset >= kFrameHeaderSize) {
     if (read_u32(buffer_.data() + offset) != kFrameMagic) break;
     const std::uint32_t length = read_u32(buffer_.data() + offset + 4);
@@ -59,24 +75,21 @@ std::size_t FrameDecoder::truncated_residue() const {
 }
 
 std::optional<Bytes> FrameDecoder::next() {
-  if (buffer_.size() < kFrameHeaderSize) return std::nullopt;
-  const std::uint32_t magic = read_u32(buffer_.data());
+  if (buffered() < kFrameHeaderSize) return std::nullopt;
+  const std::byte* front = buffer_.data() + head_;
+  const std::uint32_t magic = read_u32(front);
   if (magic != kFrameMagic)
     raise(ErrorKind::kProtocol, "bad frame magic: stream desynchronized");
-  const std::uint32_t length = read_u32(buffer_.data() + 4);
+  const std::uint32_t length = read_u32(front + 4);
   if (length > kMaxFramePayload)
     raise(ErrorKind::kProtocol, "frame length exceeds maximum");
-  if (buffer_.size() < kFrameHeaderSize + length) return std::nullopt;
-  const std::uint32_t expected_crc = read_u32(buffer_.data() + 8);
+  if (buffered() < kFrameHeaderSize + length) return std::nullopt;
+  const std::uint32_t expected_crc = read_u32(front + 8);
 
-  Bytes payload(buffer_.begin() + kFrameHeaderSize,
-                buffer_.begin() + static_cast<std::ptrdiff_t>(
-                                      kFrameHeaderSize + length));
+  Bytes payload(front + kFrameHeaderSize, front + kFrameHeaderSize + length);
   if (crc32(payload) != expected_crc)
     raise(ErrorKind::kProtocol, "frame CRC mismatch");
-  buffer_.erase(buffer_.begin(),
-                buffer_.begin() +
-                    static_cast<std::ptrdiff_t>(kFrameHeaderSize + length));
+  head_ += kFrameHeaderSize + length;
   return payload;
 }
 

@@ -14,7 +14,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 
 #include "base/bytes.hpp"
@@ -28,6 +27,14 @@ inline constexpr std::size_t kMaxFramePayload = 64u * 1024u * 1024u;
 /// Encodes one payload into a self-delimiting frame.
 [[nodiscard]] Bytes encode_frame(BytesView payload);
 
+/// Same, but into a caller-owned scratch buffer (cleared first) so the send
+/// hot path can reuse one allocation across frames.
+void encode_frame_into(Bytes& out, BytesView payload);
+
+/// Incremental frame extractor over one contiguous buffer.  Consumed frames
+/// advance a head offset instead of erasing from the front, so feeding and
+/// extracting are both amortized O(1); the consumed prefix is compacted
+/// away once it dominates the buffer.
 class FrameDecoder {
  public:
   /// Append raw stream bytes received from the socket.
@@ -36,7 +43,9 @@ class FrameDecoder {
   /// Extract the next complete payload, if any.  Throws on corruption.
   std::optional<Bytes> next();
 
-  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+  [[nodiscard]] std::size_t buffered() const {
+    return buffer_.size() - head_;
+  }
 
   /// True when the front of the buffer holds a complete frame (next() would
   /// yield a payload or throw on corruption, but never come back empty).
@@ -49,6 +58,7 @@ class FrameDecoder {
 
  private:
   Bytes buffer_;
+  std::size_t head_ = 0;  // bytes of buffer_ already consumed
 };
 
 }  // namespace pia::transport

@@ -17,7 +17,7 @@ class LatencyLink final : public Link {
         model_(model),
         jitter_rng_(model.jitter_seed) {}
 
-  void send(BytesView message) override {
+  void send(BytesView message, std::uint32_t message_count = 1) override {
     auto delay = std::chrono::duration_cast<Clock::duration>(model_.base) +
                  model_.per_byte * static_cast<std::int64_t>(message.size());
     if (model_.jitter_max.count() > 0) {
@@ -30,10 +30,11 @@ class LatencyLink final : public Link {
     send_floor_ = release;
 
     const std::int64_t stamp = release.time_since_epoch().count();
-    Bytes framed(sizeof(stamp) + message.size());
-    std::memcpy(framed.data(), &stamp, sizeof(stamp));
-    std::memcpy(framed.data() + sizeof(stamp), message.data(), message.size());
-    inner_->send(framed);
+    send_scratch_.resize(sizeof(stamp) + message.size());
+    std::memcpy(send_scratch_.data(), &stamp, sizeof(stamp));
+    std::memcpy(send_scratch_.data() + sizeof(stamp), message.data(),
+                message.size());
+    inner_->send(send_scratch_, message_count);
   }
 
   std::optional<Bytes> try_recv() override {
@@ -86,6 +87,7 @@ class LatencyLink final : public Link {
   Rng jitter_rng_;
   Clock::time_point send_floor_{};
   std::optional<Bytes> pending_;
+  Bytes send_scratch_;  // reused release-stamp header assembly buffer
 };
 
 }  // namespace

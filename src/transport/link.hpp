@@ -22,8 +22,17 @@
 namespace pia::transport {
 
 struct LinkStats {
+  /// Logical message counts.  The sender declares how many protocol
+  /// messages a frame carries (batching), so messages_sent is exact; the
+  /// receive side cannot know a frame's message count without decoding the
+  /// payload, so messages_received counts frames — the decoded per-message
+  /// counters live in dist::ChannelEndpoint.
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_received = 0;
+  /// Link-level transmissions: one frame may carry a whole batch.  The
+  /// messages_sent / frames_sent ratio is the batching efficiency.
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
 
@@ -41,9 +50,10 @@ class Link {
  public:
   virtual ~Link() = default;
 
-  /// Enqueue one message.  Never blocks on the peer; throws
+  /// Enqueue one frame carrying `message_count` protocol messages (1 for
+  /// unbatched traffic).  Never blocks on the peer; throws
   /// Error{kTransport} if the link is closed.
-  virtual void send(BytesView message) = 0;
+  virtual void send(BytesView frame, std::uint32_t message_count = 1) = 0;
 
   /// Dequeue the next message if one is ready, without blocking.
   virtual std::optional<Bytes> try_recv() = 0;

@@ -23,14 +23,15 @@ class LoopbackLink final : public Link {
 
   ~LoopbackLink() override { close(); }
 
-  void send(BytesView message) override {
+  void send(BytesView frame, std::uint32_t message_count = 1) override {
     {
       const std::lock_guard<std::mutex> lock(out_->mutex);
       if (out_->closed)
         raise(ErrorKind::kTransport, "send on closed loopback link");
-      out_->queue.emplace_back(message.begin(), message.end());
-      stats_.messages_sent++;
-      stats_.bytes_sent += message.size();
+      out_->queue.emplace_back(frame.begin(), frame.end());
+      stats_.messages_sent += message_count;
+      stats_.frames_sent++;
+      stats_.bytes_sent += frame.size();
     }
     out_->ready.notify_one();
   }
@@ -72,6 +73,7 @@ class LoopbackLink final : public Link {
     Bytes msg = std::move(in_->queue.front());
     in_->queue.pop_front();
     stats_.messages_received++;
+    stats_.frames_received++;
     stats_.bytes_received += msg.size();
     return msg;
   }

@@ -36,21 +36,22 @@ class TcpLink final : public Link {
 
   ~TcpLink() override { close(); }
 
-  void send(BytesView message) override {
+  void send(BytesView frame, std::uint32_t message_count = 1) override {
     if (fd_ < 0) raise(ErrorKind::kTransport, "send on closed tcp link");
-    const Bytes frame = encode_frame(message);
+    encode_frame_into(frame_scratch_, frame);
     std::size_t off = 0;
-    while (off < frame.size()) {
-      const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off,
-                               MSG_NOSIGNAL);
+    while (off < frame_scratch_.size()) {
+      const ssize_t n = ::send(fd_, frame_scratch_.data() + off,
+                               frame_scratch_.size() - off, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
         raise_errno("tcp send");
       }
       off += static_cast<std::size_t>(n);
     }
-    stats_.messages_sent++;
-    stats_.bytes_sent += message.size();
+    stats_.messages_sent += message_count;
+    stats_.frames_sent++;
+    stats_.bytes_sent += frame.size();
   }
 
   std::optional<Bytes> try_recv() override { return recv_impl(0); }
@@ -132,6 +133,7 @@ class TcpLink final : public Link {
     auto msg = decoder_.next();
     if (msg) {
       stats_.messages_received++;
+      stats_.frames_received++;
       stats_.bytes_received += msg->size();
     }
     return msg;
@@ -139,6 +141,7 @@ class TcpLink final : public Link {
 
   int fd_;
   FrameDecoder decoder_;
+  Bytes frame_scratch_;  // reused PIAF frame assembly buffer
   LinkStats stats_;
 };
 

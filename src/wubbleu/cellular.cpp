@@ -21,7 +21,7 @@ void CellularAsic::on_receive(PortIndex port, const Value& value) {
   if (port == host_tx_) {
     // Uplink: MAC-frame the request and put it on the air.  Requests are
     // small; they always travel as one framed packet.
-    const Bytes& payload = value.as_packet();
+    const BytesView payload = value.as_packet();
     advance(VirtualTime{airtime_per_byte_.ticks() *
                         static_cast<VirtualTime::rep>(payload.size())});
     send(radio_tx_, Value{framing::make_packet(0, true, payload)});

@@ -185,7 +185,7 @@ HandheldCpu::HandheldCpu(std::string name, proc::ProcessorProfile profile,
 
 void HandheldCpu::on_data(PortIndex port, const Value& value) {
   PIA_REQUIRE(port == request_, "value on unexpected HandheldCpu port");
-  const std::string url = value.as_token();
+  const std::string url{value.as_token()};
   if (inflight_url_.has_value()) {
     queued_urls_.push_back(url);  // the user typed ahead of the network
     return;

@@ -24,7 +24,7 @@ void BaseStation::on_receive(PortIndex port, const Value& value) {
   }
   if (port == gw_rx_) {
     // Response from the gateway: frame it and model the downlink airtime.
-    const Bytes& payload = value.as_packet();
+    const BytesView payload = value.as_packet();
     advance(VirtualTime{airtime_per_byte_.ticks() *
                         static_cast<VirtualTime::rep>(payload.size())});
     ++frames_;

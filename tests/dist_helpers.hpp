@@ -153,6 +153,10 @@ struct PipelineSpec {
   std::vector<RelaySpec> relays;
   std::vector<std::size_t> stage_host;  // size = relays.size() + 1
   std::size_t sink_host = 0;
+  /// Channel batch limit applied to every subsystem (1 disables batching).
+  /// Ignored by the single-host oracle — distribution must be equivalent at
+  /// ANY batch size, which is exactly what the fuzzer randomizes.
+  std::uint32_t batch_limit = 64;
 
   [[nodiscard]] std::size_t subsystem_count() const {
     return stage_host.empty() ? 1 : stage_host.back() + 1;
@@ -229,6 +233,7 @@ struct FuzzCluster {
       subsystems.push_back(&node.add_subsystem("ss" + std::to_string(g)));
       subsystems.back()->set_checkpoint_interval(
           checkpoint_intervals[g % checkpoint_intervals.size()]);
+      subsystems.back()->set_channel_batch_limit(spec.batch_limit);
     }
 
     // Stage components and, per stage, the net its output drives.

@@ -107,6 +107,10 @@ FuzzCase generate(std::uint64_t seed) {
   c.wire = rng.chance(0.25) ? Wire::kTcp : Wire::kLoopback;
   if (rng.chance(0.3))
     c.latency.base = std::chrono::microseconds(50 + rng.below(300));
+  // Channel batching: distribution must be bit-equivalent at any batch
+  // size, including fully disabled.
+  const std::uint32_t kBatchLimits[] = {1, 8, 64};
+  c.spec.batch_limit = kBatchLimits[rng.below(3)];
 
   // Fault plan (applied only in the "faulty" arm of each run).
   switch (rng.below(5)) {
@@ -153,7 +157,8 @@ std::string describe_case(const FuzzCase& c) {
      << c.spec.subsystem_count() << " count=" << c.spec.count
      << " period=" << c.spec.period.str() << " sink_host=" << c.spec.sink_host
      << " wire=" << (c.wire == Wire::kTcp ? "tcp" : "loopback")
-     << " latency_us=" << c.latency.base.count() << " placement=";
+     << " latency_us=" << c.latency.base.count()
+     << " batch=" << c.spec.batch_limit << " placement=";
   for (const std::size_t h : c.spec.stage_host) os << h;
   return os.str();
 }

@@ -1,0 +1,154 @@
+// Batched channel I/O behaviour (protocol v2 batch frames).
+//
+// N messages emitted inside one flush-hold slice must leave as at most
+// ⌈N / batch_limit⌉ link frames, arrive in send order, and collapse back to
+// the bare single-message wire format when only one message is pending.
+// LinkStats (frames_sent vs messages_sent) is the observable.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "dist/channel.hpp"
+#include "dist/protocol.hpp"
+#include "transport/link.hpp"
+#include "transport/tcp.hpp"
+
+namespace pia::dist {
+namespace {
+
+std::unique_ptr<ChannelEndpoint> make_endpoint(transport::LinkPtr link,
+                                               std::uint32_t origin) {
+  return std::make_unique<ChannelEndpoint>("test", ChannelMode::kOptimistic,
+                                           std::move(link), origin);
+}
+
+/// Sends `count` distinguishable messages inside one flush hold.
+void send_burst(ChannelEndpoint& endpoint, std::uint64_t count) {
+  endpoint.hold_flush();
+  for (std::uint64_t i = 0; i < count; ++i)
+    endpoint.send_message(SafeTimeGrant{.request_id = i + 1,
+                                        .safe_time = ticks(static_cast<
+                                            VirtualTime::rep>(i)),
+                                        .events_seen = i});
+  endpoint.release_flush();
+}
+
+/// Receives `count` messages, asserting order via the grant request_id.
+void expect_burst(ChannelEndpoint& endpoint, std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto message = endpoint.recv_for(std::chrono::milliseconds(2000));
+    ASSERT_TRUE(message.has_value()) << "message " << i << " never arrived";
+    const auto* grant = std::get_if<SafeTimeGrant>(&*message);
+    ASSERT_NE(grant, nullptr);
+    EXPECT_EQ(grant->request_id, i + 1) << "batch reordered messages";
+  }
+  EXPECT_FALSE(endpoint.poll().has_value());
+}
+
+TEST(Batching, HeldBurstSharesFramesOverLoopback) {
+  transport::LinkPair pair = transport::make_loopback_pair();
+  auto sender = make_endpoint(std::move(pair.a), 1);
+  auto receiver = make_endpoint(std::move(pair.b), 2);
+
+  const std::uint64_t kCount = 100;  // default batch_limit is 64
+  send_burst(*sender, kCount);
+
+  const transport::LinkStats stats = sender->link().stats();
+  EXPECT_EQ(stats.messages_sent, kCount);
+  EXPECT_EQ(stats.frames_sent, 2u);  // ⌈100/64⌉
+  expect_burst(*receiver, kCount);
+  EXPECT_EQ(receiver->link().stats().frames_received, 2u);
+}
+
+TEST(Batching, FlushesEveryBatchLimitMessages) {
+  transport::LinkPair pair = transport::make_loopback_pair();
+  auto sender = make_endpoint(std::move(pair.a), 1);
+  auto receiver = make_endpoint(std::move(pair.b), 2);
+  sender->set_batch_limit(8);
+
+  send_burst(*sender, 100);
+  // 12 full frames mid-hold plus the 4-message remainder at release.
+  EXPECT_EQ(sender->link().stats().frames_sent, 13u);
+  EXPECT_EQ(sender->link().stats().messages_sent, 100u);
+  expect_burst(*receiver, 100);
+}
+
+TEST(Batching, LimitOfOneDisablesBatching) {
+  transport::LinkPair pair = transport::make_loopback_pair();
+  auto sender = make_endpoint(std::move(pair.a), 1);
+  auto receiver = make_endpoint(std::move(pair.b), 2);
+  sender->set_batch_limit(1);
+
+  send_burst(*sender, 20);
+  EXPECT_EQ(sender->link().stats().frames_sent, 20u);
+  EXPECT_EQ(sender->link().stats().messages_sent, 20u);
+  expect_burst(*receiver, 20);
+}
+
+TEST(Batching, SingleMessageTravelsBare) {
+  // Keep the raw peer link so the frame bytes themselves are observable.
+  transport::LinkPair pair = transport::make_loopback_pair();
+  auto sender = make_endpoint(std::move(pair.a), 1);
+
+  // Unheld send: flushes immediately, count == 1, bare format.
+  sender->send_message(HeartbeatMsg{.seq = 7});
+  std::optional<Bytes> frame = pair.b->try_recv();
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_FALSE(frame->empty());
+  EXPECT_NE(static_cast<std::uint8_t>((*frame)[0]), kBatchFrameTag);
+  const ChannelMessage bare = decode_message(*frame);
+  ASSERT_TRUE(std::holds_alternative<HeartbeatMsg>(bare));
+  EXPECT_EQ(std::get<HeartbeatMsg>(bare).seq, 7u);
+
+  // A held pair goes out as one tagged batch frame.
+  sender->hold_flush();
+  sender->send_message(HeartbeatMsg{.seq = 8});
+  sender->send_message(HeartbeatMsg{.seq = 9});
+  sender->release_flush();
+  frame = pair.b->try_recv();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(static_cast<std::uint8_t>((*frame)[0]), kBatchFrameTag);
+  std::deque<ChannelMessage> decoded;
+  decode_frame(*frame, decoded);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(std::get<HeartbeatMsg>(decoded[0]).seq, 8u);
+  EXPECT_EQ(std::get<HeartbeatMsg>(decoded[1]).seq, 9u);
+  EXPECT_FALSE(pair.b->try_recv().has_value());
+}
+
+TEST(Batching, DiscardPendingDropsUnflushedBatch) {
+  transport::LinkPair pair = transport::make_loopback_pair();
+  auto sender = make_endpoint(std::move(pair.a), 1);
+
+  sender->hold_flush();
+  sender->send_message(HeartbeatMsg{.seq = 1});
+  sender->send_message(HeartbeatMsg{.seq = 2});
+  EXPECT_EQ(sender->pending_batch(), 2u);
+  sender->discard_pending();
+  EXPECT_EQ(sender->pending_batch(), 0u);
+  sender->release_flush();
+  EXPECT_EQ(sender->link().stats().frames_sent, 0u);
+  EXPECT_FALSE(pair.b->try_recv().has_value());
+}
+
+TEST(Batching, HeldBurstSharesFramesOverTcp) {
+  transport::TcpListener listener(0);
+  auto client = std::async(std::launch::async,
+                           [&] { return transport::tcp_connect(listener.port()); });
+  transport::LinkPtr accepted = listener.accept();
+  auto sender = make_endpoint(std::move(accepted), 1);
+  auto receiver = make_endpoint(client.get(), 2);
+
+  const std::uint64_t kCount = 256;
+  send_burst(*sender, kCount);
+  EXPECT_EQ(sender->link().stats().messages_sent, kCount);
+  EXPECT_EQ(sender->link().stats().frames_sent, 4u);  // ⌈256/64⌉
+  expect_burst(*receiver, kCount);
+  EXPECT_EQ(receiver->link().stats().frames_received, 4u);
+}
+
+}  // namespace
+}  // namespace pia::dist

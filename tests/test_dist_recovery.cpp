@@ -286,17 +286,20 @@ TEST(DistributedRecovery, OptimisticRejoinIgnoresPostRestoreTraffic) {
 // ---------------------------------------------------------------------------
 
 void kill_and_recover_case(const std::vector<ChannelMode>& modes, Wire wire,
-                           const std::string& store_tag) {
+                           const std::string& store_tag,
+                           std::uint64_t crash_frames) {
   const PipelineSpec spec = recovery_spec();
   const PipelineResult oracle = run_single_host_pipeline(spec);
   RecoveryOptions options;
   options.store_root = fresh_dir(store_tag);
   options.auto_snapshot_every = 6;
-  // Fell subsystem 1's endpoint of the ss0<->ss1 channel mid-run: with 32
-  // events each way plus protocol traffic, frame 60 lands well inside the
-  // run.
+  // Fell subsystem 1's endpoint of the ss0<->ss1 channel mid-run.  The frame
+  // budget is per-mode: batching packs each scheduler slice's messages into
+  // one frame, so an optimistic channel carries the whole run in under a
+  // dozen frames while a conservative one exchanges hundreds of
+  // request/grant frames.
   const FuzzCluster::CrashSpec crash{
-      .channel = 0, .frames = 60, .endpoint = 2};
+      .channel = 0, .frames = crash_frames, .endpoint = 2};
   const RecoveryReport report = run_with_crash_and_recover(
       spec, modes, wire, {}, transport::FaultPlan::none(), {1, 3}, crash,
       options, /*stall_timeout=*/4000ms);
@@ -307,17 +310,18 @@ void kill_and_recover_case(const std::vector<ChannelMode>& modes, Wire wire,
 TEST(DistributedRecovery, KillAndRecoverConservativeLoopback) {
   kill_and_recover_case(
       {ChannelMode::kConservative, ChannelMode::kConservative},
-      Wire::kLoopback, "pia_kill_cons");
+      Wire::kLoopback, "pia_kill_cons", /*crash_frames=*/60);
 }
 
 TEST(DistributedRecovery, KillAndRecoverOptimisticLoopback) {
   kill_and_recover_case({ChannelMode::kOptimistic, ChannelMode::kOptimistic},
-                        Wire::kLoopback, "pia_kill_opt");
+                        Wire::kLoopback, "pia_kill_opt", /*crash_frames=*/5);
 }
 
 TEST(DistributedRecovery, KillAndRecoverMixedOverTcp) {
   kill_and_recover_case({ChannelMode::kOptimistic, ChannelMode::kConservative},
-                        Wire::kTcp, "pia_kill_mixed_tcp");
+                        Wire::kTcp, "pia_kill_mixed_tcp",
+                        /*crash_frames=*/5);
 }
 
 // ---------------------------------------------------------------------------

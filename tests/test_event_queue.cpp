@@ -1,0 +1,212 @@
+// Determinism regression for the array-based event queue.
+//
+// The scheduler's dispatch order — (time, seq), seq unique — is the anchor
+// for checkpoint/rollback and the distributed fuzzer's single-host oracle.
+// These tests drive EventQueue through randomized storms against the data
+// structure it replaced (std::multiset) and require bit-identical behaviour
+// through every operation the scheduler uses: push, pop, erase_if,
+// sorted_snapshot and the clear-and-rebuild path replace_queue takes.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "core/event_queue.hpp"
+#include "core/scheduler.hpp"
+#include "serial/archive.hpp"
+
+namespace pia {
+namespace {
+
+Event make_event(VirtualTime time, std::uint64_t seq) {
+  Event e;
+  e.time = time;
+  e.seq = seq;
+  e.target = ComponentId{1};
+  e.kind = EventKind::kWake;
+  return e;
+}
+
+VirtualTime random_time(Rng& rng) {
+  // A deliberately small range so simultaneous events (seq tie-breaks) are
+  // common.
+  return ticks(static_cast<VirtualTime::rep>(rng.below(40)));
+}
+
+TEST(EventQueue, RandomStormMatchesMultisetOracle) {
+  Rng rng(0xE4E47u);
+  for (int round = 0; round < 10; ++round) {
+    EventQueue queue;
+    std::multiset<Event> oracle;
+    std::uint64_t next_seq = 0;
+
+    for (int op = 0; op < 3000; ++op) {
+      const std::uint64_t pick = rng.below(100);
+      if (pick < 55 || oracle.empty()) {
+        const Event e = make_event(random_time(rng), next_seq++);
+        queue.push(e);
+        oracle.insert(e);
+      } else if (pick < 85) {
+        const Event popped = queue.pop();
+        const Event expected = *oracle.begin();
+        oracle.erase(oracle.begin());
+        ASSERT_EQ(popped.time, expected.time);
+        ASSERT_EQ(popped.seq, expected.seq);
+      } else if (pick < 93) {
+        // The rollback shape: drop everything after a cutoff.
+        const VirtualTime cutoff = random_time(rng);
+        const auto pred = [cutoff](const Event& e) {
+          return e.time > cutoff;
+        };
+        const std::size_t removed = queue.erase_if(pred);
+        std::size_t expected_removed = 0;
+        for (auto it = oracle.begin(); it != oracle.end();) {
+          if (pred(*it)) {
+            it = oracle.erase(it);
+            ++expected_removed;
+          } else {
+            ++it;
+          }
+        }
+        ASSERT_EQ(removed, expected_removed);
+      } else {
+        // The checkpoint shape: the snapshot must equal the multiset's
+        // iteration order...
+        const std::vector<Event> snap = queue.sorted_snapshot();
+        ASSERT_EQ(snap.size(), oracle.size());
+        std::size_t i = 0;
+        for (const Event& e : oracle) {
+          ASSERT_EQ(snap[i].time, e.time);
+          ASSERT_EQ(snap[i].seq, e.seq);
+          ++i;
+        }
+        // ...and rebuilding from it (the replace_queue path) must not
+        // perturb anything downstream.
+        if (rng.chance(0.3)) {
+          queue.clear();
+          for (const Event& e : snap) queue.push(e);
+        }
+      }
+      if (!oracle.empty()) {
+        ASSERT_EQ(queue.top().time, oracle.begin()->time);
+        ASSERT_EQ(queue.top().seq, oracle.begin()->seq);
+      }
+    }
+
+    // Full drain: pop order is exactly the multiset's iteration order.
+    while (!oracle.empty()) {
+      const Event popped = queue.pop();
+      ASSERT_EQ(popped.time, oracle.begin()->time);
+      ASSERT_EQ(popped.seq, oracle.begin()->seq);
+      oracle.erase(oracle.begin());
+    }
+    EXPECT_TRUE(queue.empty());
+  }
+}
+
+TEST(EventQueue, SchedulerQueueOpsPreserveDispatchOrder) {
+  Scheduler sched;
+  Rng rng(0x5EEDu);
+  std::vector<Event> events;
+  for (std::uint64_t k = 0; k < 500; ++k)
+    events.push_back(make_event(random_time(rng), k));
+
+  sched.replace_queue(events);
+  std::vector<Event> snap = sched.snapshot_queue();
+  ASSERT_EQ(snap.size(), events.size());
+  for (std::size_t i = 1; i < snap.size(); ++i)
+    ASSERT_TRUE(snap[i - 1] < snap[i]) << "snapshot not in dispatch order";
+  EXPECT_EQ(sched.next_event_time(), snap.front().time);
+
+  const VirtualTime cutoff = ticks(20);
+  sched.drop_events_after(cutoff);
+  std::vector<Event> kept = sched.snapshot_queue();
+  std::size_t expected_kept = 0;
+  for (const Event& e : snap)
+    if (e.time <= cutoff) ++expected_kept;
+  ASSERT_EQ(kept.size(), expected_kept);
+  for (std::size_t i = 1; i < kept.size(); ++i)
+    ASSERT_TRUE(kept[i - 1] < kept[i]);
+
+  const std::size_t removed =
+      sched.erase_events_if([](const Event& e) { return e.seq % 3 == 0; });
+  std::size_t expected_removed = 0;
+  for (const Event& e : kept)
+    if (e.seq % 3 == 0) ++expected_removed;
+  EXPECT_EQ(removed, expected_removed);
+  const std::vector<Event> rest = sched.snapshot_queue();
+  EXPECT_EQ(rest.size(), kept.size() - expected_removed);
+  if (!rest.empty()) EXPECT_EQ(sched.next_event_time(), rest.front().time);
+}
+
+// ---------------------------------------------------------------------------
+// Event wire format: the compact port sentinel
+// ---------------------------------------------------------------------------
+
+TEST(EventSerialization, CompactPortSentinelRoundTrips) {
+  Event wake = make_event(ticks(7), 42);  // port defaults to kNoPort
+  serial::OutArchive compact;
+  wake.save(compact);
+
+  serial::InArchive in(compact.bytes());
+  const Event restored = Event::load(in);
+  EXPECT_EQ(restored.time, wake.time);
+  EXPECT_EQ(restored.seq, wake.seq);
+  EXPECT_EQ(restored.port, kNoPort);
+  EXPECT_EQ(restored.kind, EventKind::kWake);
+
+  Event deliver = make_event(ticks(9), 43);
+  deliver.kind = EventKind::kDeliver;
+  deliver.port = 3;
+  serial::OutArchive ar2;
+  deliver.save(ar2);
+  serial::InArchive in2(ar2.bytes());
+  EXPECT_EQ(Event::load(in2).port, 3u);
+
+  // The sentinel is the whole point: a kWake event's port must cost one
+  // byte, not the 5-byte varint the raw 0xFFFFFFFF encoding paid.
+  serial::OutArchive legacy;
+  serial::write(legacy, wake.time);
+  legacy.put_varint(wake.seq);
+  serial::write(legacy, wake.target);
+  legacy.put_varint(static_cast<std::uint64_t>(kNoPort));  // old raw port
+  legacy.put_varint(static_cast<std::uint64_t>(wake.kind));
+  wake.value.save(legacy);
+  serial::write(legacy, wake.source);
+  EXPECT_EQ(compact.size() + 4, legacy.size());
+}
+
+TEST(EventSerialization, LegacyRawPortStillDecodes) {
+  // Version-1 recovery images hold the raw port value; Event::load's legacy
+  // shim must keep accepting them.
+  Event wake = make_event(ticks(5), 9);
+  serial::OutArchive legacy;
+  serial::write(legacy, wake.time);
+  legacy.put_varint(wake.seq);
+  serial::write(legacy, wake.target);
+  legacy.put_varint(static_cast<std::uint64_t>(kNoPort));
+  legacy.put_varint(static_cast<std::uint64_t>(wake.kind));
+  wake.value.save(legacy);
+  serial::write(legacy, wake.source);
+
+  serial::InArchive in(legacy.bytes());
+  const Event restored = Event::load(in, /*legacy_port=*/true);
+  EXPECT_EQ(restored.port, kNoPort);
+  EXPECT_EQ(restored.seq, 9u);
+
+  // And a legacy in-range port decodes as-is, unshifted.
+  serial::OutArchive legacy2;
+  serial::write(legacy2, wake.time);
+  legacy2.put_varint(wake.seq);
+  serial::write(legacy2, wake.target);
+  legacy2.put_varint(7);
+  legacy2.put_varint(static_cast<std::uint64_t>(EventKind::kDeliver));
+  wake.value.save(legacy2);
+  serial::write(legacy2, wake.source);
+  serial::InArchive in2(legacy2.bytes());
+  EXPECT_EQ(Event::load(in2, /*legacy_port=*/true).port, 7u);
+}
+
+}  // namespace
+}  // namespace pia
