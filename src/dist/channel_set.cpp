@@ -1,0 +1,87 @@
+#include "dist/channel_set.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+
+#include "base/error.hpp"
+
+namespace pia::dist {
+
+using Clock = std::chrono::steady_clock;
+
+ChannelSet::ChannelSet()
+    : signal_(std::make_shared<transport::ReadySignal>()) {}
+
+void ChannelSet::add(std::unique_ptr<ChannelEndpoint> endpoint) {
+  endpoint->link().set_ready_signal(signal_);
+  channels_.push_back(std::move(endpoint));
+}
+
+ChannelEndpoint& ChannelSet::at(ChannelId id) {
+  PIA_REQUIRE(id.valid() && id.value() < channels_.size(), "bad channel id");
+  return *channels_[id.value()];
+}
+
+const ChannelEndpoint& ChannelSet::at(ChannelId id) const {
+  PIA_REQUIRE(id.valid() && id.value() < channels_.size(), "bad channel id");
+  return *channels_[id.value()];
+}
+
+void ChannelSet::replace_link(ChannelId id, transport::LinkPtr link) {
+  ChannelEndpoint& endpoint = at(id);
+  endpoint.replace_link(std::move(link));
+  endpoint.link().set_ready_signal(signal_);
+}
+
+bool ChannelSet::wait_any(std::chrono::milliseconds timeout) {
+  // Frames parked inside fault/latency decorators mature silently: clamp
+  // the wait to the earliest reported release so they are picked up on
+  // time regardless of how long the caller was willing to sleep.
+  const Clock::time_point now = Clock::now();
+  auto wait = timeout;
+  bool clamped = false;
+  for (const auto& c : channels_) {
+    if (const auto due = c->link().next_ready_time()) {
+      const auto remaining =
+          std::chrono::ceil<std::chrono::milliseconds>(*due - now);
+      const auto bounded = std::max(remaining, std::chrono::milliseconds(0));
+      if (bounded < wait) {
+        wait = bounded;
+        clamped = true;
+      }
+    }
+  }
+
+  // Drain stale pulses BEFORE building the poll set: a pulse racing in
+  // after this point simply leaves the signal fd readable and the poll
+  // returns immediately — a spurious wake, never a lost one.
+  signal_->drain();
+
+  // Allocating the poll set per call is fine: this is the idle path.
+  std::vector<pollfd> fds;
+  fds.reserve(channels_.size() + 1);
+  fds.push_back(pollfd{.fd = signal_->fd(), .events = POLLIN, .revents = 0});
+  for (const auto& c : channels_) {
+    const int fd = c->link().readable_fd();
+    if (fd >= 0)
+      fds.push_back(pollfd{.fd = fd, .events = POLLIN, .revents = 0});
+  }
+
+  const int wait_ms = static_cast<int>(std::clamp<std::int64_t>(
+      wait.count(), 0, std::numeric_limits<int>::max()));
+  const int pr = ::poll(fds.data(), fds.size(), wait_ms);
+  if (pr < 0) {
+    if (errno == EINTR) return true;  // treat as a spurious wake
+    raise(ErrorKind::kTransport,
+          std::string("channel wait poll: ") + std::strerror(errno));
+  }
+  // A clamped timeout that expired is a wake too: the matured frame is now
+  // receivable even though no fd fired.
+  return pr > 0 || (clamped && wait < timeout);
+}
+
+}  // namespace pia::dist

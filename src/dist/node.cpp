@@ -1,7 +1,6 @@
 #include "dist/node.hpp"
 
 #include <atomic>
-#include <future>
 #include <thread>
 
 #include "base/error.hpp"
@@ -10,13 +9,13 @@
 
 namespace pia::dist {
 
-std::uint32_t PiaNode::next_node_seed_ = 0;
+std::atomic<std::uint32_t> PiaNode::next_node_seed_{0};
 
 PiaNode::PiaNode(std::string name)
     : name_(std::move(name)),
       // Subsystem numeric ids must be process-unique so SendIds never
       // collide across channels.
-      next_subsystem_id_(next_node_seed_ += 1000) {}
+      next_subsystem_id_(next_node_seed_.fetch_add(1000) + 1000) {}
 
 Subsystem& PiaNode::add_subsystem(const std::string& subsystem_name) {
   subsystems_.push_back(
@@ -53,11 +52,7 @@ ChannelPair connect(Subsystem& a, Subsystem& b, ChannelMode mode, Wire wire,
       break;
     case Wire::kTcp: {
       transport::TcpListener listener(0);
-      auto client = std::async(std::launch::async, [&] {
-        return transport::tcp_connect(listener.port());
-      });
-      pair.a = listener.accept();
-      pair.b = client.get();
+      pair = transport::connect_tcp_pair(listener);
       break;
     }
   }
@@ -199,6 +194,49 @@ void collect_metrics(Subsystem& subsystem, obs::MetricsRegistry& registry) {
                stats.snapshots_invalidated);
   registry.set(sub_scope, "recoveries", stats.recoveries);
   registry.set(sub_scope, "rejoins_verified", stats.rejoins_verified);
+
+  // The layered view: the same counters grouped by owning sync engine.
+  // Additive — the flat "sub/<name>" aggregate keys above are the stable
+  // interface and stay untouched.
+  const std::string engine_scope = "engine/" + subsystem.name();
+  const TrafficStats& traffic = subsystem.traffic_stats();
+  registry.set(engine_scope + "/traffic", "events_sent", traffic.events_sent);
+  registry.set(engine_scope + "/traffic", "events_received",
+               traffic.events_received);
+  const sync::ConservativeStats& cons = subsystem.conservative_stats();
+  registry.set(engine_scope + "/conservative", "grants_sent",
+               cons.grants_sent);
+  registry.set(engine_scope + "/conservative", "grants_received",
+               cons.grants_received);
+  registry.set(engine_scope + "/conservative", "requests_sent",
+               cons.requests_sent);
+  registry.set(engine_scope + "/conservative", "stalls", cons.stalls);
+  const sync::OptimisticStats& opt = subsystem.optimistic_stats();
+  registry.set(engine_scope + "/optimistic", "rollbacks", opt.rollbacks);
+  registry.set(engine_scope + "/optimistic", "retracts_sent",
+               opt.retracts_sent);
+  registry.set(engine_scope + "/optimistic", "retracts_received",
+               opt.retracts_received);
+  registry.set(engine_scope + "/optimistic", "checkpoints", opt.checkpoints);
+  const sync::SnapshotStats& snap = subsystem.snapshot_stats();
+  registry.set(engine_scope + "/snapshot", "marks_received",
+               snap.marks_received);
+  registry.set(engine_scope + "/snapshot", "snapshots_persisted",
+               snap.snapshots_persisted);
+  registry.set(engine_scope + "/snapshot", "snapshot_persist_bytes",
+               snap.snapshot_persist_bytes);
+  registry.set(engine_scope + "/snapshot", "snapshots_invalidated",
+               snap.snapshots_invalidated);
+  const sync::RecoveryStats& rec = subsystem.recovery_stats();
+  registry.set(engine_scope + "/recovery", "heartbeats_sent",
+               rec.heartbeats_sent);
+  registry.set(engine_scope + "/recovery", "heartbeats_received",
+               rec.heartbeats_received);
+  registry.set(engine_scope + "/recovery", "peer_down_events",
+               rec.peer_down_events);
+  registry.set(engine_scope + "/recovery", "recoveries", rec.recoveries);
+  registry.set(engine_scope + "/recovery", "rejoins_verified",
+               rec.rejoins_verified);
   if (const SnapshotStore* store = subsystem.snapshot_store()) {
     registry.set(sub_scope, "store_commits", store->stats().commits);
     registry.set(sub_scope, "store_bytes_written",

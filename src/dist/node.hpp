@@ -11,6 +11,7 @@
 // collection.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -45,7 +46,10 @@ class PiaNode {
   std::string name_;
   std::vector<std::unique_ptr<Subsystem>> subsystems_;
   std::uint32_t next_subsystem_id_;
-  static std::uint32_t next_node_seed_;
+  // Atomic: nodes are legitimately constructed from concurrent test/driver
+  // threads, and a torn read-modify-write here would hand two nodes the
+  // same subsystem id block.
+  static std::atomic<std::uint32_t> next_node_seed_;
 };
 
 struct ChannelPair {

@@ -4,39 +4,42 @@
 
 #include "base/error.hpp"
 #include "base/log.hpp"
-#include "serial/archive.hpp"
 
 namespace pia::dist {
-namespace {
-
-/// Brackets a burst of sends: every channel holds its batch open until the
-/// scope exits, so all messages one loop slice emits share a link frame.
-/// Flushing from the destructor is safe — ChannelEndpoint::flush converts
-/// transport failures into peer_closed instead of throwing.
-class FlushHold {
- public:
-  explicit FlushHold(
-      const std::vector<std::unique_ptr<ChannelEndpoint>>& channels)
-      : channels_(channels) {
-    for (const auto& c : channels_) c->hold_flush();
-  }
-  ~FlushHold() {
-    for (const auto& c : channels_) c->release_flush();
-  }
-  FlushHold(const FlushHold&) = delete;
-  FlushHold& operator=(const FlushHold&) = delete;
-
- private:
-  const std::vector<std::unique_ptr<ChannelEndpoint>>& channels_;
-};
-
-}  // namespace
 
 Subsystem::Subsystem(std::string name, std::uint32_t numeric_id)
     : name_(std::move(name)),
       id_(numeric_id),
       scheduler_(name_),
       checkpoints_(scheduler_, CheckpointPolicy::kImmediate) {}
+
+SubsystemStats Subsystem::stats() const {
+  const sync::ConservativeStats& cons = conservative_.stats();
+  const sync::OptimisticStats& opt = optimistic_.stats();
+  const sync::SnapshotStats& snap = snapshot_.stats();
+  const sync::RecoveryStats& rec = recovery_.stats();
+  SubsystemStats s;
+  s.events_sent = traffic_.events_sent;
+  s.events_received = traffic_.events_received;
+  s.grants_sent = cons.grants_sent;
+  s.grants_received = cons.grants_received;
+  s.requests_sent = cons.requests_sent;
+  s.stalls = cons.stalls;
+  s.rollbacks = opt.rollbacks;
+  s.retracts_sent = opt.retracts_sent;
+  s.retracts_received = opt.retracts_received;
+  s.checkpoints = opt.checkpoints;
+  s.marks_received = snap.marks_received;
+  s.heartbeats_sent = rec.heartbeats_sent;
+  s.heartbeats_received = rec.heartbeats_received;
+  s.peer_down_events = rec.peer_down_events;
+  s.snapshots_persisted = snap.snapshots_persisted;
+  s.snapshot_persist_bytes = snap.snapshot_persist_bytes;
+  s.snapshots_invalidated = snap.snapshots_invalidated;
+  s.recoveries = rec.recoveries;
+  s.rejoins_verified = rec.rejoins_verified;
+  return s;
+}
 
 ChannelId Subsystem::add_channel(const std::string& channel_name,
                                  ChannelMode mode, transport::LinkPtr link) {
@@ -55,13 +58,12 @@ ChannelId Subsystem::add_channel(const std::string& channel_name,
                                      const Value& value, VirtualTime time) {
     send_or_suppress(*raw, net_index, value, time);
   });
-  channels_.push_back(std::move(endpoint));
+  channels_.add(std::move(endpoint));
   return id;
 }
 
 ChannelEndpoint& Subsystem::channel(ChannelId id) {
-  PIA_REQUIRE(id.valid() && id.value() < channels_.size(), "bad channel id");
-  return *channels_[id.value()];
+  return channels_.at(id);
 }
 
 std::uint32_t Subsystem::export_net(ChannelId channel_id, NetId local_net) {
@@ -101,37 +103,12 @@ void Subsystem::start() {
   started_ = true;
   scheduler_.init();
   // Base checkpoint: the rollback target of last resort.
-  take_checkpoint();
+  optimistic_.take_checkpoint();
 }
 
-SnapshotId Subsystem::take_checkpoint() {
-  const SnapshotId snap = checkpoints_.request();
-  SnapshotPositions positions;
-  positions.out.reserve(channels_.size());
-  positions.in.reserve(channels_.size());
-  for (const auto& c : channels_) {
-    positions.out.push_back(c->output_log.size());
-    positions.in.push_back(c->injected_count);
-    positions.cursor.push_back(c->replay_cursor);
-  }
-  snapshot_positions_[snap] = std::move(positions);
-  stats_.checkpoints++;
-  dispatches_since_checkpoint_ = 0;
-  PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kCheckpoint,
-                scheduler_.now(), stats_.checkpoints);
-  return snap;
-}
-
-void Subsystem::take_periodic_checkpoint_if_due() {
-  if (!has_optimistic_channel()) return;
-  if (++dispatches_since_checkpoint_ >= checkpoint_interval_)
-    take_checkpoint();
-}
-
-bool Subsystem::has_optimistic_channel() const {
-  return std::any_of(channels_.begin(), channels_.end(), [](const auto& c) {
-    return c->mode() == ChannelMode::kOptimistic;
-  });
+void Subsystem::restore_snapshot_image(BytesView image) {
+  PIA_REQUIRE(started_, "restore_snapshot_image before start() on " + name_);
+  recovery_.restore_image(image);
 }
 
 bool Subsystem::drain() {
@@ -143,7 +120,7 @@ bool Subsystem::drain() {
   while (progress) {
     progress = false;
     for (std::uint32_t i = 0; i < channels_.size(); ++i) {
-      while (auto message = channels_[i]->poll()) {
+      while (auto message = channels_[i].poll()) {
         handle_message(ChannelId{i}, std::move(*message));
         progress = true;
         any = true;
@@ -161,47 +138,30 @@ void Subsystem::handle_message(ChannelId channel_id, ChannelMessage message) {
         if constexpr (std::is_same_v<T, EventMsg>) {
           handle_event(channel_id, std::move(m));
         } else if constexpr (std::is_same_v<T, SafeTimeRequest>) {
-          endpoint.granted_out = grant_for(channel_id);
-          endpoint.granted_out_seen = endpoint.event_msgs_received;
-          endpoint.send_message(
-              SafeTimeGrant{.request_id = m.request_id,
-                            .safe_time = endpoint.granted_out,
-                            .events_seen = endpoint.granted_out_seen,
-                            .lookahead = endpoint.reaction_lookahead});
-          stats_.grants_sent++;
+          conservative_.on_request(channel_id, m);
         } else if constexpr (std::is_same_v<T, SafeTimeGrant>) {
-          // FIFO: later grants reflect later grantor states; overwrite.
-          endpoint.granted_in = m.safe_time;
-          endpoint.granted_in_seen = m.events_seen;
-          endpoint.granted_in_lookahead = m.lookahead;
-          endpoint.request_outstanding = false;
-          stats_.grants_received++;
-          PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kGrant,
-                        m.safe_time, endpoint.index, m.events_seen);
+          conservative_.on_grant(channel_id, m);
         } else if constexpr (std::is_same_v<T, MarkMsg>) {
-          handle_mark(channel_id, m);
+          snapshot_.on_mark(channel_id, m);
         } else if constexpr (std::is_same_v<T, RetractMsg>) {
-          handle_retract(channel_id, m);
+          optimistic_.on_retract(channel_id, m);
         } else if constexpr (std::is_same_v<T, RunLevelMsg>) {
-          ++activity_counter_;
+          conservative_.note_activity();
           scheduler_.set_runlevel(m.component,
                                   RunLevel{m.level_name, m.detail});
         } else if constexpr (std::is_same_v<T, StatusMsg>) {
           endpoint.peer_status = m;
           endpoint.peer_status_seen = true;
         } else if constexpr (std::is_same_v<T, ProbeMsg>) {
-          handle_probe(channel_id, m);
+          conservative_.on_probe(channel_id, m);
         } else if constexpr (std::is_same_v<T, ProbeReply>) {
-          handle_probe_reply(channel_id, m);
+          conservative_.on_probe_reply(m);
         } else if constexpr (std::is_same_v<T, TerminateMsg>) {
-          handle_terminate(channel_id, m);
+          conservative_.on_terminate(channel_id, m);
         } else if constexpr (std::is_same_v<T, HeartbeatMsg>) {
-          // Liveness content is the arrival itself; poll() already stamped
-          // last_arrival.
-          stats_.heartbeats_received++;
-          endpoint.heartbeats_received++;
+          recovery_.on_heartbeat(channel_id, m);
         } else if constexpr (std::is_same_v<T, RejoinMsg>) {
-          handle_rejoin(channel_id, m);
+          recovery_.on_rejoin(channel_id, m);
         }
       },
       std::move(message));
@@ -209,18 +169,15 @@ void Subsystem::handle_message(ChannelId channel_id, ChannelMessage message) {
 
 void Subsystem::handle_event(ChannelId channel_id, EventMsg event) {
   ChannelEndpoint& endpoint = channel(channel_id);
-  stats_.events_received++;
+  traffic_.events_received++;
   ++endpoint.event_msgs_received;
-  ++activity_counter_;
+  conservative_.note_activity();
   PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kChannelRecv, event.time,
                 endpoint.index, event.net_index);
 
   // Chandy–Lamport channel-state recording: events arriving between our
   // local checkpoint and this channel's mark belong to the channel state.
-  for (auto& [token, pending] : cl_snapshots_) {
-    if (pending.mark_pending[channel_id.value()])
-      pending.recorded[channel_id.value()].push_back(event);
-  }
+  snapshot_.on_event_received(channel_id, event);
 
   if (event.time < scheduler_.now()) {
     if (endpoint.mode() == ChannelMode::kConservative) {
@@ -230,7 +187,7 @@ void Subsystem::handle_event(ChannelId channel_id, EventMsg event) {
                 " behind subsystem time " + scheduler_.now().str());
     }
     // Optimistic straggler: rewind first, then apply.
-    rollback(event.time, std::nullopt);
+    optimistic_.rollback(event.time, std::nullopt);
   }
 
   endpoint.input_log.push_back(ChannelEndpoint::InputRecord{
@@ -238,413 +195,39 @@ void Subsystem::handle_event(ChannelId channel_id, EventMsg event) {
       .net_index = event.net_index,
       .time = event.time,
       .value = event.value});
-  inject_input(endpoint, endpoint.input_log.back());
+  optimistic_.inject_input(endpoint, endpoint.input_log.back());
   endpoint.injected_count = endpoint.input_log.size();
-}
-
-void Subsystem::inject_input(ChannelEndpoint& endpoint,
-                             const ChannelEndpoint::InputRecord& record) {
-  if (record.retracted) return;
-  scheduler_.inject(Event{
-      .time = record.time,
-      .target = endpoint.channel_component,
-      .port = static_cast<ChannelComponent&>(
-                  scheduler_.component(endpoint.channel_component))
-                  .rx_port(),
-      .kind = EventKind::kDeliver,
-      .value = ChannelComponent::encode_remote(record.net_index, record.value),
-      .source = ComponentId::invalid()});
-}
-
-void Subsystem::handle_retract(ChannelId channel_id,
-                               const RetractMsg& retract) {
-  ChannelEndpoint& endpoint = channel(channel_id);
-  stats_.retracts_received++;
-  ++activity_counter_;
-
-  // Find the cancelled event (search newest-first: retractions target
-  // recent sends).
-  auto& log = endpoint.input_log;
-  std::size_t index = log.size();
-  for (std::size_t i = log.size(); i-- > 0;) {
-    if (log[i].id == retract.id) {
-      index = i;
-      break;
-    }
-  }
-  if (index == log.size())
-    raise(ErrorKind::kProtocol,
-          "retraction for unknown event on channel " + endpoint.name());
-  if (log[index].retracted) return;  // duplicate retraction
-
-  if (index >= endpoint.injected_count) {
-    // Not yet injected: tombstone it; the injection loop will skip it.
-    log[index].retracted = true;
-    return;
-  }
-  if (retract.time > scheduler_.now()) {
-    // Injected but not yet dispatched: cancel it in the queue.
-    log[index].retracted = true;
-    const Value expected =
-        ChannelComponent::encode_remote(log[index].net_index,
-                                        log[index].value);
-    bool removed = false;
-    scheduler_.erase_events_if([&](const Event& e) {
-      if (removed || e.time != retract.time ||
-          e.target != endpoint.channel_component || !(e.value == expected))
-        return false;
-      removed = true;
-      return true;
-    });
-    PIA_CHECK(removed, "retracted event not found in queue on " + name_);
-    return;
-  }
-  // Already dispatched: its effects are in component state — rewind.
-  log[index].retracted = true;
-  rollback(retract.time, std::make_pair(channel_id, index));
-}
-
-void Subsystem::rollback(
-    VirtualTime to_time,
-    std::optional<std::pair<ChannelId, std::size_t>> entry_hint) {
-  // Choose the newest snapshot that precedes `to_time` and, when undoing an
-  // already-applied input, precedes that input's injection.
-  std::optional<SnapshotId> chosen;
-  for (auto it = snapshot_positions_.rbegin();
-       it != snapshot_positions_.rend(); ++it) {
-    if (!checkpoints_.contains(it->first)) continue;
-    if (checkpoints_.snapshot_time(it->first) > to_time) continue;
-    if (entry_hint &&
-        it->second.in[entry_hint->first.value()] > entry_hint->second)
-      continue;
-    chosen = it->first;
-    break;
-  }
-  // A live run always has the base checkpoint from start() (virtual time
-  // zero) to fall back on; only a subsystem restored from a durable image
-  // can lack one — its base sits at the cut, and a straggler below the cut
-  // means the snapshot froze optimistic state the original timeline went on
-  // to roll back.  Surface that as a recoverable error so the restart
-  // driver can fall back to an older snapshot (or a cold start).
-  if (!chosen.has_value())
-    raise(ErrorKind::kState,
-          "no checkpoint on " + name_ + " precedes rollback target " +
-              to_time.str() +
-              ": the restored snapshot cut was optimistically unstable");
-
-  // Durable snapshots whose cut lies in the discarded future captured a
-  // state this rollback just unwound: revoke them before anyone restores
-  // one.
-  if (store_) {
-    for (auto& [cl_token, pending] : cl_snapshots_) {
-      if (!pending.persisted || !(*chosen < pending.local)) continue;
-      store_->remove(cl_token);
-      pending.persisted = false;
-      stats_.snapshots_invalidated++;
-    }
-  }
-
-  const SnapshotPositions positions = snapshot_positions_.at(*chosen);
-  checkpoints_.restore(*chosen);
-  scrub_retracted(positions);
-  stats_.rollbacks++;
-  dispatches_since_checkpoint_ = 0;
-  PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kRollback, to_time,
-                stats_.rollbacks);
-
-  // Forget snapshots describing the discarded future.
-  for (auto it = snapshot_positions_.upper_bound(*chosen);
-       it != snapshot_positions_.end();)
-    it = snapshot_positions_.erase(it);
-
-  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
-    ChannelEndpoint& c = *channels_[i];
-    // Lazy cancellation: outputs produced after the snapshot become
-    // *unconfirmed* rather than being retracted immediately.  Re-execution
-    // that regenerates them identically will consume them silently —
-    // retracting eagerly makes every rollback echo back and forth between
-    // subsystems forever when the regenerated messages are the same.
-    c.replay_cursor = std::min(c.replay_cursor, positions.cursor[i]);
-    // Replay the inputs that arrived after the snapshot (skipping
-    // tombstones).
-    c.injected_count = positions.in[i];
-    for (std::size_t k = positions.in[i]; k < c.input_log.size(); ++k)
-      inject_input(c, c.input_log[k]);
-    c.injected_count = c.input_log.size();
-  }
-}
-
-void Subsystem::retract_output(ChannelEndpoint& endpoint,
-                               ChannelEndpoint::OutputRecord& record) {
-  if (record.retracted) return;
-  record.retracted = true;
-  endpoint.send_message(RetractMsg{.id = record.id, .time = record.time});
-  stats_.retracts_sent++;
 }
 
 void Subsystem::send_or_suppress(ChannelEndpoint& endpoint,
                                  std::uint32_t net_index, const Value& value,
                                  VirtualTime time) {
-  // Consume the unconfirmed tail left by a rollback.
-  while (endpoint.replay_cursor < endpoint.output_log.size()) {
-    auto& old = endpoint.output_log[endpoint.replay_cursor];
-    if (old.retracted) {
-      ++endpoint.replay_cursor;
-      continue;
-    }
-    if (old.time < time) {
-      // Passed its send time without regenerating it: it is history that
-      // no longer happens.
-      retract_output(endpoint, old);
-      ++endpoint.replay_cursor;
-      continue;
-    }
-    if (old.time == time && old.net_index == net_index &&
-        old.value == value) {
-      // Identical regeneration: the peer already has this message.
-      ++endpoint.replay_cursor;
-      return;
-    }
-    // Divergence: the rest of the old future is invalid.
-    for (std::size_t k = endpoint.replay_cursor;
-         k < endpoint.output_log.size(); ++k)
-      retract_output(endpoint, endpoint.output_log[k]);
-    endpoint.replay_cursor = endpoint.output_log.size();
-    break;
-  }
+  if (optimistic_.suppress_regeneration(endpoint, net_index, value, time))
+    return;
   endpoint.send_event(net_index, value, time);
   endpoint.replay_cursor = endpoint.output_log.size();
-  stats_.events_sent++;
+  traffic_.events_sent++;
   PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kChannelSend, time,
                 endpoint.index, net_index);
-}
-
-void Subsystem::flush_unregenerated(VirtualTime upto) {
-  for (auto& cp : channels_) {
-    ChannelEndpoint& c = *cp;
-    while (c.replay_cursor < c.output_log.size()) {
-      auto& old = c.output_log[c.replay_cursor];
-      if (!old.retracted && old.time >= upto) break;
-      retract_output(c, old);
-      ++c.replay_cursor;
-    }
-  }
-}
-
-void Subsystem::scrub_retracted(const SnapshotPositions& positions) {
-  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
-    ChannelEndpoint& c = *channels_[i];
-    for (std::size_t k = 0; k < positions.in[i] && k < c.input_log.size();
-         ++k) {
-      const auto& record = c.input_log[k];
-      if (!record.retracted) continue;
-      const Value expected =
-          ChannelComponent::encode_remote(record.net_index, record.value);
-      bool removed = false;
-      scheduler_.erase_events_if([&](const Event& e) {
-        if (removed || e.time != record.time ||
-            e.target != c.channel_component || !(e.value == expected))
-          return false;
-        removed = true;
-        return true;
-      });
-    }
-  }
-}
-
-VirtualTime Subsystem::grant_for(ChannelId requester) const {
-  VirtualTime horizon = scheduler_.next_event_time();
-  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
-    if (ChannelId{i} == requester) continue;  // self-restriction removal
-    const ChannelEndpoint& c = *channels_[i];
-    // Every channel restricts the promise, optimistic ones included: an
-    // optimistic peer's pushed floor bounds the stragglers it can still
-    // send us, and a rollback they trigger here may regenerate sends to the
-    // requester no earlier than that floor.  Ignoring optimistic channels
-    // let a mixed subsystem promise infinity to a conservative peer before
-    // its optimistic upstream had produced anything (fuzz_cluster seed 2).
-    horizon = min(horizon, c.effective_grant());
-  }
-  const ChannelEndpoint& target = *channels_[requester.value()];
-  // Unconfirmed outputs already sent to the requester can still be
-  // retracted at their recorded times if re-execution diverges: they bound
-  // the promise too (times are monotone, the first live entry is the min).
-  for (std::size_t k = target.replay_cursor; k < target.output_log.size();
-       ++k) {
-    if (target.output_log[k].retracted) continue;
-    horizon = min(horizon, target.output_log[k].time);
-    break;
-  }
-  return horizon + target.lookahead;
-}
-
-void Subsystem::push_grants() {
-  // Floors are pushed on optimistic channels as well: they never block the
-  // receiver's advancement, but they let conservative safe times propagate
-  // *through* optimistic subsystems, which is what makes mixed-mode chains
-  // sound (a conservative grant grounded on an optimistic upstream).
-  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
-    ChannelEndpoint& c = *channels_[i];
-    const VirtualTime grant = grant_for(ChannelId{i});
-    // Push when the promise improves in either dimension: a later horizon,
-    // or a horizon grounded on more of the peer's sends.  The second case
-    // pushes even when the time component regresses (e.g. an initial
-    // infinite promise made before any events were queued): every push is
-    // an independently sound promise, and withholding the events_seen
-    // acknowledgment froze the peer's unseen-send clamp forever, wedging
-    // whole mixed-mode chains (fuzz_cluster seed 2).
-    if (grant > c.granted_out ||
-        c.event_msgs_received > c.granted_out_seen) {
-      c.granted_out = grant;
-      c.granted_out_seen = c.event_msgs_received;
-      c.send_message(SafeTimeGrant{.request_id = 0,
-                                   .safe_time = grant,
-                                   .events_seen = c.granted_out_seen,
-                                   .lookahead = c.reaction_lookahead});
-      stats_.grants_sent++;
-    }
-  }
-}
-
-void Subsystem::push_status_if_changed() {
-  const bool idle = scheduler_.idle();
-  for (auto& cp : channels_) {
-    ChannelEndpoint& c = *cp;
-    const bool counters_changed =
-        c.msgs_sent != c.msgs_sent_at_last_status_push;
-    if (idle != c.idle_at_last_status_push || (idle && counters_changed)) {
-      c.send_message(StatusMsg{.now = scheduler_.now(),
-                               .msgs_sent = c.msgs_sent,
-                               .msgs_received = c.msgs_received,
-                               .idle = idle});
-      c.idle_at_last_status_push = idle;
-      c.msgs_sent_at_last_status_push = c.msgs_sent;
-    }
-  }
-}
-
-VirtualTime Subsystem::conservative_barrier() const {
-  VirtualTime barrier = VirtualTime::infinity();
-  for (const auto& c : channels_)
-    if (c->mode() == ChannelMode::kConservative)
-      barrier = min(barrier, c->effective_grant());
-  return barrier;
 }
 
 Subsystem::StepResult Subsystem::try_advance(VirtualTime horizon) {
   const VirtualTime t = scheduler_.next_event_time();
   if (t.is_infinite() || t > horizon) return StepResult::kIdle;
-  if (t > conservative_barrier()) return StepResult::kBlocked;
+  if (t > conservative_.barrier()) return StepResult::kBlocked;
   // Unconfirmed outputs older than the next dispatch cannot be regenerated
   // any more (send times are monotone): retract them now.
-  flush_unregenerated(t);
+  optimistic_.flush_unregenerated(t);
   scheduler_.step();
-  ++activity_counter_;
-  take_periodic_checkpoint_if_due();
-  // Durable-snapshot cadence is counted in dispatches, not wall time, so
-  // the cut points are deterministic run to run.
-  if (auto_snapshot_interval_ > 0 &&
-      ++dispatches_since_auto_snapshot_ >= auto_snapshot_interval_) {
-    dispatches_since_auto_snapshot_ = 0;
-    initiate_snapshot();
-  }
+  conservative_.note_activity();
+  optimistic_.on_dispatch();
+  snapshot_.on_dispatch();
   return StepResult::kStepped;
 }
 
 bool Subsystem::quiescent() const {
-  if (terminate_received_) return true;
+  if (conservative_.terminated()) return true;
   return channels_.empty() && scheduler_.idle();
-}
-
-void Subsystem::maybe_start_probe() {
-  if (my_probe_ || terminate_received_) return;
-  if (!scheduler_.idle()) return;
-  // Don't spin probe rounds: retry only after something changed.
-  if (activity_counter_ == activity_at_last_failed_probe_) return;
-  // A clean probe requires our own unconfirmed outputs settled first.
-  flush_unregenerated(VirtualTime::infinity());
-  my_probe_ = ProbeRound{.nonce = next_probe_nonce_++,
-                         .pending = channels_.size(),
-                         .ok = true,
-                         .activity_at_start = activity_counter_};
-  const std::uint64_t origin = static_cast<std::uint64_t>(id_);
-  for (auto& c : channels_)
-    c->send_message(ProbeMsg{.origin = origin, .nonce = my_probe_->nonce});
-}
-
-void Subsystem::handle_probe(ChannelId channel_id, const ProbeMsg& probe) {
-  ChannelEndpoint& from = channel(channel_id);
-  if (!scheduler_.idle()) {
-    from.send_message(ProbeReply{.origin = probe.origin,
-                                 .nonce = probe.nonce,
-                                 .ok = false});
-    return;
-  }
-  flush_unregenerated(VirtualTime::infinity());
-  if (channels_.size() == 1) {
-    from.send_message(ProbeReply{.origin = probe.origin,
-                                 .nonce = probe.nonce,
-                                 .ok = scheduler_.idle()});
-    return;
-  }
-  // Relay the wave away from the arrival channel; answer once the subtree
-  // answers (the topology is a forest, so the wave terminates).
-  RelayedProbe relayed{.from = channel_id,
-                       .pending = channels_.size() - 1,
-                       .ok = true};
-  relayed_probes_[{probe.origin, probe.nonce}] = relayed;
-  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
-    if (ChannelId{i} == channel_id) continue;
-    channels_[i]->send_message(probe);
-  }
-}
-
-void Subsystem::handle_probe_reply(ChannelId, const ProbeReply& reply) {
-  if (my_probe_ && reply.origin == static_cast<std::uint64_t>(id_) &&
-      reply.nonce == my_probe_->nonce) {
-    my_probe_->ok = my_probe_->ok && reply.ok;
-    if (--my_probe_->pending == 0) {
-      const bool confirmed = my_probe_->ok && scheduler_.idle() &&
-                             activity_counter_ == my_probe_->activity_at_start;
-      if (confirmed) {
-        terminate_received_ = true;
-        const std::uint64_t token =
-            (static_cast<std::uint64_t>(id_) << 32) | my_probe_->nonce;
-        for (auto& c : channels_)
-          c->send_message(TerminateMsg{.token = token});
-      } else {
-        activity_at_last_failed_probe_ = my_probe_->activity_at_start ==
-                                                 activity_counter_
-                                             ? activity_counter_
-                                             : UINT64_MAX;
-      }
-      my_probe_.reset();
-    }
-    return;
-  }
-  const auto it = relayed_probes_.find({reply.origin, reply.nonce});
-  if (it == relayed_probes_.end()) return;  // stale round
-  it->second.ok = it->second.ok && reply.ok;
-  if (--it->second.pending == 0) {
-    ChannelEndpoint& back = channel(it->second.from);
-    back.send_message(ProbeReply{.origin = reply.origin,
-                                 .nonce = reply.nonce,
-                                 .ok = it->second.ok && scheduler_.idle()});
-    relayed_probes_.erase(it);
-  }
-}
-
-void Subsystem::handle_terminate(ChannelId from,
-                                 const TerminateMsg& terminate) {
-  if (terminate_received_) return;
-  terminate_received_ = true;
-  // Flood away from the arrival direction only: on a tree every subsystem
-  // is reached exactly once and no terminate ever lingers unread in a link
-  // (a leftover would falsely stop a post-restore replay).
-  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
-    if (ChannelId{i} == from) continue;
-    channels_[i]->send_message(terminate);
-  }
 }
 
 Subsystem::RunOutcome Subsystem::run(const RunConfig& config) {
@@ -655,8 +238,8 @@ Subsystem::RunOutcome Subsystem::run(const RunConfig& config) {
     bool progressed = false;
     {
       // One frame per loop slice: everything the drain / advance burst /
-      // grant and status push emit on a channel shares a batch.  The waits
-      // below stay outside the hold so replies flush immediately.
+      // grant and status push emit on a channel shares a batch.  The idle
+      // wait below stays outside the hold so replies flush first.
       FlushHold hold(channels_);
       progressed = drain();
 
@@ -668,7 +251,7 @@ Subsystem::RunOutcome Subsystem::run(const RunConfig& config) {
 
       // Liveness: a peer that stopped sending *anything* (not even
       // heartbeats) is down even though the transport still looks open.
-      if (service_heartbeats()) return RunOutcome::kPeerDown;
+      if (recovery_.service_heartbeats()) return RunOutcome::kPeerDown;
 
       bool blocked = false;
       for (int burst = 0; burst < 256; ++burst) {
@@ -681,29 +264,14 @@ Subsystem::RunOutcome Subsystem::run(const RunConfig& config) {
         break;
       }
 
-      push_grants();
-      push_status_if_changed();
+      conservative_.push_grants();
+      conservative_.push_status_if_changed();
 
-      if (terminate_received_) return RunOutcome::kQuiescent;
+      if (conservative_.terminated()) return RunOutcome::kQuiescent;
       if (channels_.empty() && scheduler_.idle())
         return RunOutcome::kQuiescent;
 
-      if (blocked) {
-        stats_.stalls++;
-        const VirtualTime next = scheduler_.next_event_time();
-        PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kStall, next,
-                      stats_.stalls);
-        for (auto& cp : channels_) {
-          ChannelEndpoint& c = *cp;
-          if (c.mode() != ChannelMode::kConservative) continue;
-          if (c.effective_grant() >= next || c.request_outstanding) continue;
-          c.send_message(SafeTimeRequest{.request_id = c.next_request_id++});
-          c.request_outstanding = true;
-          stats_.requests_sent++;
-          PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kGrantRequest,
-                        next, c.index);
-        }
-      }
+      if (blocked) conservative_.on_blocked();
 
       // Horizon exit (finite horizons only): everything below the horizon is
       // done and conservative grants guarantee nothing earlier can still
@@ -714,12 +282,12 @@ Subsystem::RunOutcome Subsystem::run(const RunConfig& config) {
       const VirtualTime t = scheduler_.next_event_time();
       if (!config.horizon.is_infinite() &&
           (t.is_infinite() || t > config.horizon) &&
-          conservative_barrier() >= config.horizon &&
-          !has_optimistic_channel()) {
+          conservative_.barrier() >= config.horizon &&
+          !optimistic_.has_optimistic_channel()) {
         return RunOutcome::kHorizon;
       }
 
-      maybe_start_probe();
+      conservative_.maybe_start_probe();
     }
 
     if (progressed) {
@@ -727,17 +295,14 @@ Subsystem::RunOutcome Subsystem::run(const RunConfig& config) {
       continue;
     }
 
-    // Nothing to do locally: wait briefly for channel traffic.
-    bool woke = false;
-    for (std::uint32_t i = 0; i < channels_.size(); ++i) {
-      if (auto message =
-              channels_[i]->recv_for(std::chrono::milliseconds(1))) {
-        handle_message(ChannelId{i}, std::move(*message));
-        woke = true;
-        break;
-      }
-    }
-    if (woke) {
+    // Nothing to do locally: one unified wait on every channel at once
+    // (shared readiness signal + kernel fds), so the wake latency is
+    // independent of the channel count.  Whatever arrives is consumed by
+    // the next pass's drain, inside its flush hold.
+    auto wait = std::chrono::milliseconds(10);
+    if (recovery_.heartbeat_interval().count() > 0)
+      wait = std::min(wait, recovery_.heartbeat_interval());
+    if (channels_.wait_any(wait)) {
       last_progress = std::chrono::steady_clock::now();
       continue;
     }
@@ -749,480 +314,7 @@ Subsystem::RunOutcome Subsystem::run(const RunConfig& config) {
 }
 
 // ---------------------------------------------------------------------------
-// Chandy–Lamport distributed snapshots
-// ---------------------------------------------------------------------------
-
-std::uint64_t Subsystem::initiate_snapshot() {
-  const std::uint64_t token =
-      (static_cast<std::uint64_t>(id_) << 32) | next_cl_token_++;
-  PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kMark, scheduler_.now(),
-                token, /*initiated=*/1);
-  PendingSnapshot pending;
-  pending.local = take_checkpoint();
-  pending.positions = snapshot_positions_.at(pending.local);
-  pending.mark_pending.assign(channels_.size(), true);
-  pending.recorded.resize(channels_.size());
-  cl_snapshots_.emplace(token, std::move(pending));
-  for (auto& c : channels_) c->send_message(MarkMsg{.token = token});
-  maybe_persist_snapshot(token);  // complete immediately when channel-less
-  return token;
-}
-
-void Subsystem::handle_mark(ChannelId channel_id, const MarkMsg& mark) {
-  stats_.marks_received++;
-  PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kMark, scheduler_.now(),
-                mark.token, /*initiated=*/0);
-  auto it = cl_snapshots_.find(mark.token);
-  if (it == cl_snapshots_.end()) {
-    // First sight of this snapshot: checkpoint immediately, BEFORE
-    // receiving anything else, then relay marks (paper §2.2.5).
-    PendingSnapshot pending;
-    pending.local = take_checkpoint();
-    pending.positions = snapshot_positions_.at(pending.local);
-    pending.mark_pending.assign(channels_.size(), true);
-    pending.recorded.resize(channels_.size());
-    // The arrival channel's state is empty: everything the peer sent before
-    // its mark was already consumed (FIFO).
-    pending.mark_pending[channel_id.value()] = false;
-    it = cl_snapshots_.emplace(mark.token, std::move(pending)).first;
-    for (auto& c : channels_) c->send_message(MarkMsg{.token = mark.token});
-  } else {
-    it->second.mark_pending[channel_id.value()] = false;
-  }
-  maybe_persist_snapshot(mark.token);
-}
-
-bool Subsystem::snapshot_complete(std::uint64_t token) const {
-  const auto it = cl_snapshots_.find(token);
-  if (it == cl_snapshots_.end()) return false;
-  return std::none_of(it->second.mark_pending.begin(),
-                      it->second.mark_pending.end(),
-                      [](bool pending) { return pending; });
-}
-
-void Subsystem::restore_snapshot(std::uint64_t token) {
-  const auto it = cl_snapshots_.find(token);
-  PIA_REQUIRE(it != cl_snapshots_.end(), "unknown snapshot token");
-  PIA_REQUIRE(snapshot_complete(token),
-              "restore of an incomplete distributed snapshot");
-  const PendingSnapshot& pending = it->second;
-
-  checkpoints_.restore(pending.local);
-  scrub_retracted(pending.positions);
-  dispatches_since_checkpoint_ = 0;
-  // The subsystem is live again: any previous termination consensus or
-  // probe state described the discarded timeline.
-  terminate_received_ = false;
-  my_probe_.reset();
-  relayed_probes_.clear();
-  activity_at_last_failed_probe_ = UINT64_MAX;
-  ++activity_counter_;
-  // Anything still sitting in the links (stale grants, probe replies,
-  // statuses from the abandoned timeline) must not leak into the replay.
-  // Coordinated restores happen at global quiescence with no runner
-  // active, so whatever is pending is stale by definition.
-  for (auto& c : channels_) {
-    while (c->link().try_recv()) {
-    }
-    // ... including anything buffered inside the endpoint itself: an
-    // un-flushed outbound batch or decoded-but-undelivered inbound messages.
-    c->discard_pending();
-  }
-  for (auto pit = snapshot_positions_.upper_bound(pending.local);
-       pit != snapshot_positions_.end();)
-    pit = snapshot_positions_.erase(pit);
-
-  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
-    ChannelEndpoint& c = *channels_[i];
-    // Conservative promises describe the discarded future: re-negotiate.
-    c.granted_in = VirtualTime::zero();
-    c.granted_in_seen = 0;
-    c.granted_out = VirtualTime::zero();
-    c.granted_out_seen = 0;
-    c.request_outstanding = false;
-    c.peer_status_seen = false;
-    // Restart liveness from scratch: the peer may be mid-restart and the
-    // old timers describe the abandoned timeline.
-    c.peer_down = false;
-    c.liveness_armed = false;
-    // Sends and arrivals after the cut never happened, globally: peers are
-    // being restored to states from before those sends.
-    c.output_log.resize(
-        std::min(c.output_log.size(), pending.positions.out[i]));
-    c.replay_cursor =
-        std::min(pending.positions.cursor[i], c.output_log.size());
-    c.input_log.resize(std::min(c.input_log.size(), pending.positions.in[i]));
-    c.injected_count = c.input_log.size();
-    // The recorded channel state — messages in flight at the cut — is
-    // re-delivered.
-    for (const EventMsg& event : pending.recorded[i]) {
-      c.input_log.push_back(ChannelEndpoint::InputRecord{
-          .id = event.id,
-          .net_index = event.net_index,
-          .time = event.time,
-          .value = event.value});
-      inject_input(c, c.input_log.back());
-      c.injected_count = c.input_log.size();
-    }
-    // Re-base the event counters on the truncated logs so safe-time grants
-    // index consistently on both sides after the restore.
-    c.event_msgs_sent = c.output_trimmed + c.output_log.size();
-    c.event_msgs_received = c.input_trimmed + c.input_log.size();
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Durable snapshots / crash recovery
-// ---------------------------------------------------------------------------
-
-void Subsystem::maybe_persist_snapshot(std::uint64_t token) {
-  if (!store_) return;
-  const auto it = cl_snapshots_.find(token);
-  if (it == cl_snapshots_.end() || it->second.persisted) return;
-  if (!snapshot_complete(token)) return;
-  // A rollback past the cut discards its local checkpoint; the token can
-  // never be persisted here, so it never becomes common across the cluster.
-  if (!checkpoints_.contains(it->second.local)) return;
-  // A recorded in-flight event older than the cut is an optimistic
-  // straggler frozen mid-flight: replaying it bit-exactly needs rollback
-  // history from before the cut, which a fresh process cannot have.  Skip
-  // the token; recovery simply uses an earlier common one.
-  const VirtualTime cut_now = checkpoints_.snapshot_time(it->second.local);
-  for (const auto& recorded : it->second.recorded)
-    for (const EventMsg& event : recorded)
-      if (event.time < cut_now) return;
-  const Bytes payload = export_snapshot(token);
-  store_->commit(token, payload);
-  it->second.persisted = true;
-  stats_.snapshots_persisted++;
-  stats_.snapshot_persist_bytes += payload.size();
-  PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kSnapshotPersist,
-                scheduler_.now(), token, payload.size());
-}
-
-Bytes Subsystem::export_snapshot(std::uint64_t token) const {
-  const auto it = cl_snapshots_.find(token);
-  PIA_REQUIRE(it != cl_snapshots_.end(), "unknown snapshot token");
-  PIA_REQUIRE(snapshot_complete(token),
-              "export of an incomplete distributed snapshot");
-  const PendingSnapshot& pending = it->second;
-  PIA_REQUIRE(checkpoints_.contains(pending.local),
-              "snapshot's local checkpoint was discarded on " + name_);
-
-  serial::OutArchive ar;
-  // Version 2: events use the compact port encoding (see Event::save).
-  serial::begin_section(ar, "pia.dist.recovery", 2);
-  ar.put_string(name_);
-  ar.put_varint(token);
-  ar.put_varint(next_cl_token_);
-  serial::write(ar, checkpoints_.snapshot_time(pending.local));
-
-  // Component images, matched by name at restore (ids are assigned in
-  // construction order, but names make wiring mismatches loud).
-  const std::vector<ComponentId> comps = scheduler_.component_ids();
-  ar.put_varint(comps.size());
-  for (const ComponentId comp : comps) {
-    ar.put_string(scheduler_.component(comp).name());
-    ar.put_bytes(checkpoints_.snapshot_image(pending.local, comp));
-  }
-
-  // The event queue at the cut, original seqs included: replace_queue
-  // raises the restoring scheduler's counter past them so replayed
-  // injections keep sorting after the restored events.
-  const std::vector<Event> events =
-      checkpoints_.snapshot_events(pending.local);
-  ar.put_varint(events.size());
-  for (const Event& e : events) e.save(ar);
-
-  const auto put_record = [&ar](const auto& record) {
-    ar.put_varint(record.id.origin);
-    ar.put_varint(record.id.counter);
-    ar.put_varint(record.net_index);
-    serial::write(ar, record.time);
-    record.value.save(ar);
-    ar.put_bool(record.retracted);
-  };
-
-  ar.put_varint(channels_.size());
-  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
-    const ChannelEndpoint& c = *channels_[i];
-    ar.put_string(c.name());
-    ar.put_u8(static_cast<std::uint8_t>(c.mode()));
-    const std::size_t out =
-        std::min(pending.positions.out[i], c.output_log.size());
-    ar.put_varint(out);
-    for (std::size_t k = 0; k < out; ++k) put_record(c.output_log[k]);
-    const std::size_t in =
-        std::min(pending.positions.in[i], c.input_log.size());
-    ar.put_varint(in);
-    for (std::size_t k = 0; k < in; ++k) put_record(c.input_log[k]);
-    ar.put_varint(std::min(pending.positions.cursor[i], out));
-    ar.put_varint(c.output_trimmed);
-    ar.put_varint(c.input_trimmed);
-    ar.put_varint(c.send_counter());
-    // The channel state proper: events in flight at the cut.
-    const auto& recorded = pending.recorded[i];
-    ar.put_varint(recorded.size());
-    for (const EventMsg& event : recorded) {
-      ar.put_varint(event.id.origin);
-      ar.put_varint(event.id.counter);
-      ar.put_varint(event.net_index);
-      serial::write(ar, event.time);
-      event.value.save(ar);
-    }
-  }
-  return std::move(ar).take();
-}
-
-void Subsystem::restore_snapshot_image(BytesView image) {
-  PIA_REQUIRE(started_, "restore_snapshot_image before start() on " + name_);
-  serial::InArchive ar(image);
-  const std::uint32_t version =
-      serial::expect_section(ar, "pia.dist.recovery");
-  if (version != 1 && version != 2)
-    raise(ErrorKind::kSerialization,
-          "unsupported recovery image version " + std::to_string(version));
-  // Version-1 images carry the old raw Event port encoding.
-  const bool legacy_events = version == 1;
-  const std::string owner = ar.get_string();
-  if (owner != name_)
-    raise(ErrorKind::kState, "recovery image belongs to subsystem '" + owner +
-                                 "', not '" + name_ + "'");
-  const std::uint64_t token = ar.get_varint();
-  next_cl_token_ = ar.get_varint();
-  const VirtualTime cut_now = serial::read<VirtualTime>(ar);
-
-  // Whatever this process did in its brief pre-restore life is void.
-  checkpoints_.discard_all();
-  snapshot_positions_.clear();
-  cl_snapshots_.clear();
-
-  const std::uint64_t comp_count = ar.get_varint();
-  if (comp_count != scheduler_.component_count())
-    raise(ErrorKind::kState,
-          "recovery image has " + std::to_string(comp_count) +
-              " components, subsystem '" + name_ + "' has " +
-              std::to_string(scheduler_.component_count()));
-  for (std::uint64_t k = 0; k < comp_count; ++k) {
-    const std::string comp_name = ar.get_string();
-    const Bytes comp_image = ar.get_bytes();
-    Component* comp = scheduler_.find_component(comp_name);
-    if (comp == nullptr)
-      raise(ErrorKind::kState,
-            "recovery image names unknown component '" + comp_name + "'");
-    comp->restore_image(comp_image);
-  }
-
-  const std::uint64_t event_count = ar.get_varint();
-  std::vector<Event> events;
-  events.reserve(event_count);
-  for (std::uint64_t k = 0; k < event_count; ++k)
-    events.push_back(Event::load(ar, legacy_events));
-  scheduler_.replace_queue(std::move(events));
-  scheduler_.set_now(cut_now);
-
-  const std::uint64_t channel_count = ar.get_varint();
-  if (channel_count != channels_.size())
-    raise(ErrorKind::kState,
-          "recovery image has " + std::to_string(channel_count) +
-              " channels, subsystem '" + name_ + "' has " +
-              std::to_string(channels_.size()));
-  SnapshotPositions prefix;  // for the retracted-delivery scrub below
-  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
-    ChannelEndpoint& c = *channels_[i];
-    const std::string channel_name = ar.get_string();
-    if (channel_name != c.name())
-      raise(ErrorKind::kState, "recovery image channel '" + channel_name +
-                                   "' does not match '" + c.name() + "'");
-    const auto mode = static_cast<ChannelMode>(ar.get_u8());
-    if (mode != c.mode())
-      raise(ErrorKind::kState,
-            "recovery image mode mismatch on channel '" + c.name() + "'");
-
-    c.output_log.clear();
-    const std::uint64_t out_count = ar.get_varint();
-    c.output_log.reserve(out_count);
-    for (std::uint64_t k = 0; k < out_count; ++k) {
-      ChannelEndpoint::OutputRecord r;
-      r.id.origin = static_cast<std::uint32_t>(ar.get_varint());
-      r.id.counter = ar.get_varint();
-      r.net_index = static_cast<std::uint32_t>(ar.get_varint());
-      r.time = serial::read<VirtualTime>(ar);
-      r.value = Value::load(ar);
-      r.retracted = ar.get_bool();
-      c.output_log.push_back(std::move(r));
-    }
-    c.input_log.clear();
-    const std::uint64_t in_count = ar.get_varint();
-    c.input_log.reserve(in_count);
-    for (std::uint64_t k = 0; k < in_count; ++k) {
-      ChannelEndpoint::InputRecord r;
-      r.id.origin = static_cast<std::uint32_t>(ar.get_varint());
-      r.id.counter = ar.get_varint();
-      r.net_index = static_cast<std::uint32_t>(ar.get_varint());
-      r.time = serial::read<VirtualTime>(ar);
-      r.value = Value::load(ar);
-      r.retracted = ar.get_bool();
-      c.input_log.push_back(std::move(r));
-    }
-    c.replay_cursor = std::min<std::size_t>(ar.get_varint(),
-                                            c.output_log.size());
-    c.output_trimmed = ar.get_varint();
-    c.input_trimmed = ar.get_varint();
-    c.set_send_counter(ar.get_varint());
-    // The input prefix was already injected at the cut: its undispatched
-    // deliveries travel inside the restored queue.
-    c.injected_count = c.input_log.size();
-    prefix.out.push_back(c.output_log.size());
-    prefix.in.push_back(c.input_log.size());
-    prefix.cursor.push_back(c.replay_cursor);
-
-    // The recorded channel state — events in flight at the cut — is
-    // re-delivered now.  maybe_persist_snapshot guarantees none of them
-    // predates the cut, so these injections never hit the straggler path.
-    const std::uint64_t recorded_count = ar.get_varint();
-    for (std::uint64_t k = 0; k < recorded_count; ++k) {
-      ChannelEndpoint::InputRecord r;
-      r.id.origin = static_cast<std::uint32_t>(ar.get_varint());
-      r.id.counter = ar.get_varint();
-      r.net_index = static_cast<std::uint32_t>(ar.get_varint());
-      r.time = serial::read<VirtualTime>(ar);
-      r.value = Value::load(ar);
-      c.input_log.push_back(std::move(r));
-      inject_input(c, c.input_log.back());
-      c.injected_count = c.input_log.size();
-    }
-    c.event_msgs_sent = c.output_trimmed + c.output_log.size();
-    c.event_msgs_received = c.input_trimmed + c.input_log.size();
-
-    // Fresh process, fresh negotiation: grants, statuses and liveness all
-    // restart from scratch, symmetrically with the recovering peer.
-    c.granted_in = VirtualTime::zero();
-    c.granted_in_seen = 0;
-    c.granted_in_lookahead = VirtualTime::zero();
-    c.granted_out = VirtualTime::zero();
-    c.granted_out_seen = 0;
-    c.request_outstanding = false;
-    c.peer_status_seen = false;
-    c.msgs_sent = 0;
-    c.msgs_received = 0;
-    c.msgs_sent_at_last_status_push = UINT64_MAX;
-    c.idle_at_last_status_push = false;
-    c.peer_closed = false;
-    c.peer_down = false;
-    c.liveness_armed = false;
-  }
-
-  // Remove queued deliveries whose input record was retracted after the
-  // cut (the retraction is part of the committed global state).
-  scrub_retracted(prefix);
-
-  terminate_received_ = false;
-  my_probe_.reset();
-  relayed_probes_.clear();
-  activity_at_last_failed_probe_ = UINT64_MAX;
-  ++activity_counter_;
-  dispatches_since_auto_snapshot_ = 0;
-
-  // The restored cut becomes the rollback target of last resort.
-  take_checkpoint();
-
-  stats_.recoveries++;
-  PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kRecover,
-                scheduler_.now(), token);
-}
-
-void Subsystem::begin_rejoin(std::uint64_t token) {
-  for (auto& cp : channels_) {
-    ChannelEndpoint& c = *cp;
-    c.rejoin_token = token;
-    c.rejoin_verified = false;
-    // Freeze the cut's counters: execution may legitimately resume (and
-    // advance the live counters) before the peer's RejoinMsg arrives.
-    c.rejoin_sent = c.event_msgs_sent;
-    c.rejoin_received = c.event_msgs_received;
-    c.send_message(RejoinMsg{.token = token,
-                             .events_sent = c.rejoin_sent,
-                             .events_received = c.rejoin_received});
-  }
-}
-
-void Subsystem::handle_rejoin(ChannelId channel_id, const RejoinMsg& rejoin) {
-  ChannelEndpoint& c = channel(channel_id);
-  ++activity_counter_;
-  if (rejoin.protocol != kChannelProtocolVersion)
-    raise(ErrorKind::kProtocol,
-          "rejoin protocol mismatch on channel '" + c.name() +
-              "': peer speaks version " + std::to_string(rejoin.protocol) +
-              ", local side version " +
-              std::to_string(kChannelProtocolVersion));
-  if (!c.rejoin_token.has_value() || *c.rejoin_token != rejoin.token)
-    raise(ErrorKind::kProtocol,
-          "rejoin token mismatch on channel '" + c.name() +
-              "': peer restored " + std::to_string(rejoin.token) +
-              ", local side " +
-              (c.rejoin_token
-                   ? "restored " + std::to_string(*c.rejoin_token)
-                   : std::string("has no rejoin in progress")));
-  // My sent-at-the-cut must be your received-at-the-cut and vice versa, or
-  // the two sides restored inconsistent cuts and resuming would diverge
-  // silently.  Both sides compare the counters frozen by begin_rejoin():
-  // FIFO puts the peer's RejoinMsg ahead of any of its post-restore event
-  // traffic, but the *local* live counters may already have moved on.
-  if (rejoin.events_sent != c.rejoin_received ||
-      rejoin.events_received != c.rejoin_sent)
-    raise(ErrorKind::kProtocol,
-          "rejoin sequence mismatch on channel '" + c.name() +
-              "': peer sent " + std::to_string(rejoin.events_sent) +
-              "/received " + std::to_string(rejoin.events_received) +
-              ", local received " + std::to_string(c.rejoin_received) +
-              "/sent " + std::to_string(c.rejoin_sent));
-  c.rejoin_verified = true;
-  stats_.rejoins_verified++;
-}
-
-void Subsystem::replace_link(ChannelId channel_id, transport::LinkPtr link) {
-  channel(channel_id).replace_link(std::move(link));
-}
-
-// ---------------------------------------------------------------------------
-// Failure detection (heartbeats)
-// ---------------------------------------------------------------------------
-
-bool Subsystem::service_heartbeats() {
-  if (heartbeat_interval_.count() <= 0) return false;
-  const auto now = std::chrono::steady_clock::now();
-  bool any_down = false;
-  for (auto& cp : channels_) {
-    ChannelEndpoint& c = *cp;
-    if (!c.liveness_armed) {
-      // Lazy arming: timers start on the first serviced loop pass, not at
-      // wiring time, so a peer's slow startup is not mistaken for death.
-      c.liveness_armed = true;
-      c.last_arrival = now;
-      c.last_heartbeat_sent = now - heartbeat_interval_;  // beacon at once
-    }
-    if (now - c.last_heartbeat_sent >= heartbeat_interval_) {
-      c.send_message(HeartbeatMsg{.seq = c.heartbeat_seq++});
-      c.last_heartbeat_sent = now;
-      stats_.heartbeats_sent++;
-      PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kHeartbeat,
-                    scheduler_.now(), c.index, c.heartbeat_seq);
-    }
-    if (!c.peer_down && heartbeat_timeout_.count() > 0 &&
-        now - c.last_arrival > heartbeat_timeout_) {
-      c.peer_down = true;
-      stats_.peer_down_events++;
-      PIA_OBS_TRACE(scheduler_.trace(), obs::TraceKind::kPeerDown,
-                    scheduler_.now(), c.index);
-    }
-    any_down = any_down || c.peer_down;
-  }
-  return any_down;
-}
-
-// ---------------------------------------------------------------------------
-// GVT / fossil collection
+// GVT
 // ---------------------------------------------------------------------------
 
 VirtualTime Subsystem::local_virtual_floor() const {
@@ -1230,40 +322,6 @@ VirtualTime Subsystem::local_virtual_floor() const {
   // event is then reflected in some subsystem's queue, so the local floor is
   // simply the next unprocessed event time.
   return scheduler_.next_event_time();
-}
-
-void Subsystem::fossil_collect(VirtualTime gvt) {
-  const auto keep = checkpoints_.latest_at_or_before(gvt);
-  if (!keep) return;
-  checkpoints_.discard_before(*keep);
-  for (auto it = snapshot_positions_.begin();
-       it != snapshot_positions_.end();) {
-    if (it->first < *keep)
-      it = snapshot_positions_.erase(it);
-    else
-      ++it;
-  }
-  const SnapshotPositions& base = snapshot_positions_.at(*keep);
-  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
-    ChannelEndpoint& c = *channels_[i];
-    const std::size_t trim_out = base.out[i];
-    const std::size_t trim_in = base.in[i];
-    c.output_log.erase(c.output_log.begin(),
-                       c.output_log.begin() +
-                           static_cast<std::ptrdiff_t>(trim_out));
-    c.input_log.erase(c.input_log.begin(),
-                      c.input_log.begin() +
-                          static_cast<std::ptrdiff_t>(trim_in));
-    c.injected_count -= trim_in;
-    c.replay_cursor -= std::min(c.replay_cursor, trim_out);
-    c.output_trimmed += trim_out;
-    c.input_trimmed += trim_in;
-    for (auto& [snap, positions] : snapshot_positions_) {
-      positions.out[i] -= trim_out;
-      positions.in[i] -= trim_in;
-      positions.cursor[i] -= std::min(positions.cursor[i], trim_out);
-    }
-  }
 }
 
 }  // namespace pia::dist

@@ -3,45 +3,62 @@
 //
 // A Pia node contains one or more subsystems; each subsystem owns a
 // Scheduler (the local timing kernel), a CheckpointManager, and a set of
-// channels to peer subsystems.  The subsystem drives its scheduler under the
-// distributed time rules:
+// channels to peer subsystems.  The distributed time rules themselves live
+// in four layered engines under dist/sync/, each owning one protocol's
+// state and statistics:
 //
-//   * Conservative channels (§2.2.3): before advancing past a peer's last
-//     grant, request a safe time.  The grant we report to a requester is our
-//     own horizon with all restrictions *from that requester* removed
-//     (self-restriction removal), which is exact and deadlock-free because
-//     the topology validator only admits forests of bidirectional edges.
-//     Improved grants are also pushed unsolicited (null messages) so chains
-//     of idle subsystems converge without request storms.
+//   * sync::ConservativeEngine (§2.2.3): safe-time grants with
+//     self-restriction removal, unsolicited grant pushes (null messages),
+//     the advance barrier, and the diffusing termination probe.
 //
-//   * Optimistic channels (§2.2.4): advance freely; checkpoint every
-//     checkpoint_interval() dispatches; a straggler event or retraction
-//     rolls the subsystem back to the latest suitable snapshot, retracts the
-//     output messages produced after it (anti-messages) and replays logged
-//     inputs.
+//   * sync::OptimisticEngine (§2.2.4): checkpoint cadence, rollback to the
+//     newest suitable snapshot, retraction (anti-messages) with lazy
+//     cancellation, and GVT-driven fossil collection.
 //
-//   * Chandy–Lamport snapshots (§2.2.5): a mark received (or generated)
-//     triggers exactly one local checkpoint per token; events arriving on a
-//     channel between the local checkpoint and that channel's mark are
-//     recorded as channel state.  FIFO links make this correct.
+//   * sync::SnapshotCoordinator (§2.2.5): Chandy–Lamport marks, channel
+//     state recording, coordinated restore, and durable persistence.
+//
+//   * sync::RecoveryCoordinator: heartbeat liveness, the durable-image
+//     format, fresh-process restore, and the post-recovery rejoin
+//     handshake.
+//
+// The facade owns the run loop, the channel message dispatch, and the
+// outbound send path; engines reach shared infrastructure and each other's
+// services only through sync::EngineContext, which Subsystem implements
+// privately.  Aggregate SubsystemStats are assembled from the per-engine
+// statistics on demand, so existing consumers (metrics export, tests) see
+// the same totals as before the split.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <optional>
 #include <string>
-#include <vector>
 
 #include "core/checkpoint.hpp"
 #include "core/scheduler.hpp"
 #include "dist/channel.hpp"
+#include "dist/channel_set.hpp"
 #include "dist/protocol.hpp"
 #include "dist/snapshot_store.hpp"
+#include "dist/sync/conservative.hpp"
+#include "dist/sync/engine_context.hpp"
+#include "dist/sync/optimistic.hpp"
+#include "dist/sync/recovery.hpp"
+#include "dist/sync/snapshot.hpp"
 
 namespace pia::dist {
 
+/// The facade's own slice of the statistics: raw event traffic, counted on
+/// the send/receive paths the facade owns.
+struct TrafficStats {
+  std::uint64_t events_sent = 0;      // EventMsgs to peers
+  std::uint64_t events_received = 0;  // EventMsgs from peers
+};
+
+/// Aggregate view over the facade and all four engines.  Field-compatible
+/// with the pre-split Subsystem statistics; assembled by value in
+/// Subsystem::stats().
 struct SubsystemStats {
   std::uint64_t events_sent = 0;        // EventMsgs to peers
   std::uint64_t events_received = 0;    // EventMsgs from peers
@@ -65,16 +82,41 @@ struct SubsystemStats {
   std::uint64_t rejoins_verified = 0;    // rejoin handshakes cross-checked
 };
 
-class Subsystem {
+class Subsystem : private sync::EngineContext {
  public:
   Subsystem(std::string name, std::uint32_t numeric_id);
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::uint32_t numeric_id() const { return id_; }
-  [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
-  [[nodiscard]] const Scheduler& scheduler() const { return scheduler_; }
-  [[nodiscard]] CheckpointManager& checkpoints() { return checkpoints_; }
-  [[nodiscard]] const SubsystemStats& stats() const { return stats_; }
+  [[nodiscard]] Scheduler& scheduler() override { return scheduler_; }
+  [[nodiscard]] const Scheduler& scheduler() const override {
+    return scheduler_;
+  }
+  [[nodiscard]] CheckpointManager& checkpoints() override {
+    return checkpoints_;
+  }
+  [[nodiscard]] const CheckpointManager& checkpoints() const override {
+    return checkpoints_;
+  }
+
+  /// Aggregate statistics, assembled from the per-engine counters.  The
+  /// totals match the pre-split flat counters field for field.
+  [[nodiscard]] SubsystemStats stats() const;
+
+  // Per-engine statistics, for consumers that want the layered view.
+  [[nodiscard]] const TrafficStats& traffic_stats() const { return traffic_; }
+  [[nodiscard]] const sync::ConservativeStats& conservative_stats() const {
+    return conservative_.stats();
+  }
+  [[nodiscard]] const sync::OptimisticStats& optimistic_stats() const {
+    return optimistic_.stats();
+  }
+  [[nodiscard]] const sync::SnapshotStats& snapshot_stats() const {
+    return snapshot_.stats();
+  }
+  [[nodiscard]] const sync::RecoveryStats& recovery_stats() const {
+    return recovery_.stats();
+  }
 
   // --- channel setup ---------------------------------------------------------
 
@@ -106,10 +148,10 @@ class Subsystem {
   // --- checkpoint cadence (optimistic operation) -------------------------------
 
   void set_checkpoint_interval(std::uint64_t dispatches) {
-    checkpoint_interval_ = dispatches;
+    optimistic_.set_checkpoint_interval(dispatches);
   }
   [[nodiscard]] std::uint64_t checkpoint_interval() const {
-    return checkpoint_interval_;
+    return optimistic_.checkpoint_interval();
   }
 
   // --- runlevel coordination across channels ------------------------------------
@@ -122,12 +164,14 @@ class Subsystem {
 
   /// Starts a Chandy–Lamport snapshot; returns the token identifying it
   /// across all subsystems.
-  std::uint64_t initiate_snapshot();
-  [[nodiscard]] bool snapshot_complete(std::uint64_t token) const;
+  std::uint64_t initiate_snapshot() { return snapshot_.initiate(); }
+  [[nodiscard]] bool snapshot_complete(std::uint64_t token) const {
+    return snapshot_.complete(token);
+  }
   /// Restores the local checkpoint of `token` plus its recorded channel
   /// state.  All subsystems must restore the same token (coordinated by the
   /// caller) for a consistent global restore.
-  void restore_snapshot(std::uint64_t token);
+  void restore_snapshot(std::uint64_t token) { snapshot_.restore(token); }
 
   // --- durable snapshots / crash recovery ---------------------------------------
 
@@ -135,21 +179,23 @@ class Subsystem {
   /// completes on this subsystem is exported and committed automatically
   /// (atomic write-temp-then-rename; see SnapshotStore for the format).
   void set_snapshot_store(std::shared_ptr<SnapshotStore> store) {
-    store_ = std::move(store);
+    snapshot_.set_store(std::move(store));
   }
-  [[nodiscard]] SnapshotStore* snapshot_store() { return store_.get(); }
+  [[nodiscard]] SnapshotStore* snapshot_store() { return snapshot_.store(); }
 
   /// Makes this subsystem initiate a Chandy–Lamport snapshot every N local
   /// dispatches (0 disables).  Dispatch-count cadence keeps the snapshot
   /// points deterministic per run, unlike wall-clock timers.
   void set_auto_snapshot_interval(std::uint64_t dispatches) {
-    auto_snapshot_interval_ = dispatches;
+    snapshot_.set_auto_interval(dispatches);
   }
 
   /// Serializes the completed snapshot `token` — component images, event
   /// queue, per-channel logs and the recorded in-flight channel frames —
   /// into a self-contained durable image (the SnapshotStore payload).
-  [[nodiscard]] Bytes export_snapshot(std::uint64_t token) const;
+  [[nodiscard]] Bytes export_snapshot(std::uint64_t token) const {
+    return recovery_.export_image(token);
+  }
 
   /// Fresh-process restore: rebuilds this subsystem's entire execution
   /// state from a durable image produced by export_snapshot on an
@@ -162,11 +208,13 @@ class Subsystem {
   /// carrying `token` and the channel sequence state on every channel, and
   /// arms verification of the peer's announcement.  Counter or token
   /// mismatches raise Error{kProtocol}.
-  void begin_rejoin(std::uint64_t token);
+  void begin_rejoin(std::uint64_t token) { recovery_.begin_rejoin(token); }
 
   /// Swaps in a fresh link on one channel (reconnect path for a surviving
   /// subsystem whose peer is being restarted).
-  void replace_link(ChannelId channel_id, transport::LinkPtr link);
+  void replace_link(ChannelId channel_id, transport::LinkPtr link) {
+    recovery_.replace_link(channel_id, std::move(link));
+  }
 
   // --- failure detection ----------------------------------------------------------
 
@@ -175,8 +223,7 @@ class Subsystem {
   /// default (interval zero); timeout must comfortably exceed interval.
   void set_heartbeat(std::chrono::milliseconds interval,
                      std::chrono::milliseconds timeout) {
-    heartbeat_interval_ = interval;
-    heartbeat_timeout_ = timeout;
+    recovery_.set_heartbeat(interval, timeout);
   }
 
   // --- execution --------------------------------------------------------------------
@@ -232,122 +279,83 @@ class Subsystem {
   [[nodiscard]] VirtualTime local_virtual_floor() const;
 
   /// Discards checkpoints and log prefixes older than `gvt`.
-  void fossil_collect(VirtualTime gvt);
+  void fossil_collect(VirtualTime gvt) { optimistic_.fossil_collect(gvt); }
 
  private:
-  struct SnapshotPositions {
-    // per channel: output_log size, input injected count and lazy-replay
-    // cursor at request time
-    std::vector<std::size_t> out;
-    std::vector<std::size_t> in;
-    std::vector<std::size_t> cursor;
-  };
-
-  struct PendingSnapshot {  // Chandy–Lamport state per token
-    SnapshotId local;
-    std::vector<bool> mark_pending;  // per channel: still recording?
-    std::vector<std::vector<EventMsg>> recorded;  // channel state
-    SnapshotPositions positions;
-    bool persisted = false;  // committed to the attached SnapshotStore
-  };
-
+  // --- facade-owned message paths ------------------------------------------
   void handle_message(ChannelId channel_id, ChannelMessage message);
   void handle_event(ChannelId channel_id, EventMsg event);
-  void handle_rejoin(ChannelId channel_id, const RejoinMsg& rejoin);
-  /// Sends due heartbeats and checks liveness timeouts on every channel;
-  /// true when some peer has been declared down.
-  bool service_heartbeats();
-  /// Commits `token` to the attached store if the snapshot just completed.
-  void maybe_persist_snapshot(std::uint64_t token);
-  void handle_retract(ChannelId channel_id, const RetractMsg& retract);
-  void handle_mark(ChannelId channel_id, const MarkMsg& mark);
-  void handle_probe(ChannelId channel_id, const ProbeMsg& probe);
-  void handle_probe_reply(ChannelId channel_id, const ProbeReply& reply);
-  void handle_terminate(ChannelId from, const TerminateMsg& terminate);
-
-  /// Outbound path with lazy cancellation: a send identical to the next
-  /// unconfirmed output-log entry is a regeneration and is suppressed; a
-  /// divergence retracts the remaining unconfirmed tail.
+  /// Outbound path: runs the optimistic lazy-cancellation filter, then
+  /// transmits and logs the send.
   void send_or_suppress(ChannelEndpoint& endpoint, std::uint32_t net_index,
                         const Value& value, VirtualTime time);
-  /// Retracts unconfirmed entries that can no longer be regenerated
-  /// because execution reached `upto` (sends are monotone in time).
-  void flush_unregenerated(VirtualTime upto);
-  void retract_output(ChannelEndpoint& endpoint,
-                      ChannelEndpoint::OutputRecord& record);
 
-  /// Starts a termination probe round if none is outstanding.
-  void maybe_start_probe();
+  // --- sync::EngineContext (cross-engine service forwarding) ---------------
+  [[nodiscard]] ChannelSet& channels() override { return channels_; }
+  [[nodiscard]] const ChannelSet& channels() const override {
+    return channels_;
+  }
+  [[nodiscard]] const std::string& subsystem_name() const override {
+    return name_;
+  }
+  [[nodiscard]] std::uint32_t subsystem_id() const override { return id_; }
+  void note_activity() override { conservative_.note_activity(); }
+  void reset_termination() override { conservative_.reset_termination(); }
+  void flush_unregenerated(VirtualTime upto) override {
+    optimistic_.flush_unregenerated(upto);
+  }
+  SnapshotId take_checkpoint() override {
+    return optimistic_.take_checkpoint();
+  }
+  void reset_checkpoint_cadence() override { optimistic_.reset_cadence(); }
+  [[nodiscard]] sync::SnapshotPositions positions_of(
+      SnapshotId snap) const override {
+    return optimistic_.positions_of(snap);
+  }
+  void drop_positions_after(SnapshotId snap) override {
+    optimistic_.drop_positions_after(snap);
+  }
+  void clear_positions() override { optimistic_.clear_positions(); }
+  void scrub_retracted(const sync::SnapshotPositions& positions) override {
+    optimistic_.scrub_retracted(positions);
+  }
   void inject_input(ChannelEndpoint& endpoint,
-                    const ChannelEndpoint::InputRecord& record);
-  /// After a restore: remove from the restored queue any event whose input
-  /// record was retracted after the snapshot was taken (the snapshot may
-  /// still contain it as a pending delivery).
-  void scrub_retracted(const SnapshotPositions& positions);
-
-  /// The grant we can promise `requester` right now (self-restriction
-  /// removed): min over next local event and the grants peers on *other*
-  /// conservative channels gave us, plus the channel lookahead.
-  [[nodiscard]] VirtualTime grant_for(ChannelId requester) const;
-  /// Pushes improved grants on all conservative channels (null messages).
-  void push_grants();
-  void push_status_if_changed();
-
-  /// min over conservative channels of granted_in (the advance barrier).
-  [[nodiscard]] VirtualTime conservative_barrier() const;
-
-  void take_periodic_checkpoint_if_due();
-  SnapshotId take_checkpoint();
-  /// Rolls back so that an input event at `to_time` (at input-log position
-  /// `entry_hint` on `entry_channel` if known) can be (re)applied.
-  void rollback(VirtualTime to_time,
-                std::optional<std::pair<ChannelId, std::size_t>> entry_hint);
-
-  [[nodiscard]] bool has_optimistic_channel() const;
+                    const ChannelEndpoint::InputRecord& record) override {
+    optimistic_.inject_input(endpoint, record);
+  }
+  void invalidate_snapshots_after(SnapshotId kept) override {
+    snapshot_.invalidate_after(kept);
+  }
+  [[nodiscard]] const sync::PendingSnapshot* find_snapshot(
+      std::uint64_t token) const override {
+    return snapshot_.find(token);
+  }
+  [[nodiscard]] std::uint64_t snapshot_next_token() const override {
+    return snapshot_.next_token();
+  }
+  void reset_snapshots(std::uint64_t next_token) override {
+    snapshot_.reset(next_token);
+  }
+  [[nodiscard]] Bytes export_snapshot_image(
+      std::uint64_t token) const override {
+    return recovery_.export_image(token);
+  }
 
   std::string name_;
   std::uint32_t id_;
   Scheduler scheduler_;
   CheckpointManager checkpoints_;
-  std::vector<std::unique_ptr<ChannelEndpoint>> channels_;
+  ChannelSet channels_;
   bool started_ = false;
   std::uint32_t channel_batch_limit_ = 64;
+  TrafficStats traffic_;
 
-  std::uint64_t checkpoint_interval_ = 64;
-  std::uint64_t dispatches_since_checkpoint_ = 0;
-  std::map<SnapshotId, SnapshotPositions> snapshot_positions_;
-
-  std::map<std::uint64_t, PendingSnapshot> cl_snapshots_;
-  std::uint64_t next_cl_token_ = 1;
-
-  // Crash-recovery state.
-  std::shared_ptr<SnapshotStore> store_;
-  std::uint64_t auto_snapshot_interval_ = 0;
-  std::uint64_t dispatches_since_auto_snapshot_ = 0;
-  std::chrono::milliseconds heartbeat_interval_{0};  // 0 = disabled
-  std::chrono::milliseconds heartbeat_timeout_{0};
-
-  // Termination detection (diffusing probe waves).
-  struct ProbeRound {
-    std::uint64_t nonce = 0;
-    std::size_t pending = 0;
-    bool ok = true;
-    std::uint64_t activity_at_start = 0;
-  };
-  struct RelayedProbe {
-    ChannelId from;
-    std::size_t pending = 0;
-    bool ok = true;
-  };
-  std::optional<ProbeRound> my_probe_;
-  std::map<std::pair<std::uint64_t, std::uint64_t>, RelayedProbe>
-      relayed_probes_;
-  std::uint64_t next_probe_nonce_ = 1;
-  std::uint64_t activity_counter_ = 0;  // bumps on any state-changing input
-  std::uint64_t activity_at_last_failed_probe_ = UINT64_MAX;
-  bool terminate_received_ = false;
-
-  SubsystemStats stats_;
+  // Engines are constructed against *this as their EngineContext; they only
+  // store the reference, so ordering after channels_ is safe.
+  sync::ConservativeEngine conservative_{*this};
+  sync::OptimisticEngine optimistic_{*this};
+  sync::SnapshotCoordinator snapshot_{*this};
+  sync::RecoveryCoordinator recovery_{*this};
 };
 
 }  // namespace pia::dist

@@ -1,0 +1,241 @@
+#include "dist/sync/conservative.hpp"
+
+#include "base/log.hpp"
+
+namespace pia::dist::sync {
+
+void ConservativeEngine::on_request(ChannelId channel_id,
+                                    const SafeTimeRequest& request) {
+  ChannelEndpoint& endpoint = ctx_.channels().at(channel_id);
+  endpoint.granted_out = grant_for(channel_id);
+  endpoint.granted_out_seen = endpoint.event_msgs_received;
+  endpoint.send_message(
+      SafeTimeGrant{.request_id = request.request_id,
+                    .safe_time = endpoint.granted_out,
+                    .events_seen = endpoint.granted_out_seen,
+                    .lookahead = endpoint.reaction_lookahead});
+  stats_.grants_sent++;
+}
+
+void ConservativeEngine::on_grant(ChannelId channel_id,
+                                  const SafeTimeGrant& grant) {
+  ChannelEndpoint& endpoint = ctx_.channels().at(channel_id);
+  // FIFO: later grants reflect later grantor states; overwrite.
+  endpoint.granted_in = grant.safe_time;
+  endpoint.granted_in_seen = grant.events_seen;
+  endpoint.granted_in_lookahead = grant.lookahead;
+  endpoint.request_outstanding = false;
+  stats_.grants_received++;
+  PIA_OBS_TRACE(ctx_.scheduler().trace(), obs::TraceKind::kGrant,
+                grant.safe_time, endpoint.index, grant.events_seen);
+}
+
+VirtualTime ConservativeEngine::grant_for(ChannelId requester) const {
+  const ChannelSet& channels = ctx_.channels();
+  VirtualTime horizon = ctx_.scheduler().next_event_time();
+  for (std::uint32_t i = 0; i < channels.size(); ++i) {
+    if (ChannelId{i} == requester) continue;  // self-restriction removal
+    const ChannelEndpoint& c = channels[i];
+    // Every channel restricts the promise, optimistic ones included: an
+    // optimistic peer's pushed floor bounds the stragglers it can still
+    // send us, and a rollback they trigger here may regenerate sends to the
+    // requester no earlier than that floor.  Ignoring optimistic channels
+    // let a mixed subsystem promise infinity to a conservative peer before
+    // its optimistic upstream had produced anything (fuzz_cluster seed 2).
+    horizon = min(horizon, c.effective_grant());
+  }
+  const ChannelEndpoint& target = channels[requester.value()];
+  // Unconfirmed outputs already sent to the requester can still be
+  // retracted at their recorded times if re-execution diverges: they bound
+  // the promise too (times are monotone, the first live entry is the min).
+  for (std::size_t k = target.replay_cursor; k < target.output_log.size();
+       ++k) {
+    if (target.output_log[k].retracted) continue;
+    horizon = min(horizon, target.output_log[k].time);
+    break;
+  }
+  return horizon + target.lookahead;
+}
+
+VirtualTime ConservativeEngine::barrier() const {
+  VirtualTime barrier = VirtualTime::infinity();
+  for (const auto& c : ctx_.channels())
+    if (c->mode() == ChannelMode::kConservative)
+      barrier = min(barrier, c->effective_grant());
+  return barrier;
+}
+
+void ConservativeEngine::push_grants() {
+  // Floors are pushed on optimistic channels as well: they never block the
+  // receiver's advancement, but they let conservative safe times propagate
+  // *through* optimistic subsystems, which is what makes mixed-mode chains
+  // sound (a conservative grant grounded on an optimistic upstream).
+  ChannelSet& channels = ctx_.channels();
+  for (std::uint32_t i = 0; i < channels.size(); ++i) {
+    ChannelEndpoint& c = channels[i];
+    const VirtualTime grant = grant_for(ChannelId{i});
+    // Push when the promise improves in either dimension: a later horizon,
+    // or a horizon grounded on more of the peer's sends.  The second case
+    // pushes even when the time component regresses (e.g. an initial
+    // infinite promise made before any events were queued): every push is
+    // an independently sound promise, and withholding the events_seen
+    // acknowledgment froze the peer's unseen-send clamp forever, wedging
+    // whole mixed-mode chains (fuzz_cluster seed 2).
+    if (grant > c.granted_out ||
+        c.event_msgs_received > c.granted_out_seen) {
+      c.granted_out = grant;
+      c.granted_out_seen = c.event_msgs_received;
+      c.send_message(SafeTimeGrant{.request_id = 0,
+                                   .safe_time = grant,
+                                   .events_seen = c.granted_out_seen,
+                                   .lookahead = c.reaction_lookahead});
+      stats_.grants_sent++;
+    }
+  }
+}
+
+void ConservativeEngine::push_status_if_changed() {
+  const Scheduler& scheduler = ctx_.scheduler();
+  const bool idle = scheduler.idle();
+  for (auto& cp : ctx_.channels()) {
+    ChannelEndpoint& c = *cp;
+    const bool counters_changed =
+        c.msgs_sent != c.msgs_sent_at_last_status_push;
+    if (idle != c.idle_at_last_status_push || (idle && counters_changed)) {
+      c.send_message(StatusMsg{.now = scheduler.now(),
+                               .msgs_sent = c.msgs_sent,
+                               .msgs_received = c.msgs_received,
+                               .idle = idle});
+      c.idle_at_last_status_push = idle;
+      c.msgs_sent_at_last_status_push = c.msgs_sent;
+    }
+  }
+}
+
+void ConservativeEngine::on_blocked() {
+  stats_.stalls++;
+  const VirtualTime next = ctx_.scheduler().next_event_time();
+  PIA_OBS_TRACE(ctx_.scheduler().trace(), obs::TraceKind::kStall, next,
+                stats_.stalls);
+  for (auto& cp : ctx_.channels()) {
+    ChannelEndpoint& c = *cp;
+    if (c.mode() != ChannelMode::kConservative) continue;
+    if (c.effective_grant() >= next || c.request_outstanding) continue;
+    c.send_message(SafeTimeRequest{.request_id = c.next_request_id++});
+    c.request_outstanding = true;
+    stats_.requests_sent++;
+    PIA_OBS_TRACE(ctx_.scheduler().trace(), obs::TraceKind::kGrantRequest,
+                  next, c.index);
+  }
+}
+
+void ConservativeEngine::maybe_start_probe() {
+  ChannelSet& channels = ctx_.channels();
+  if (my_probe_ || terminate_received_) return;
+  if (!ctx_.scheduler().idle()) return;
+  // Don't spin probe rounds: retry only after something changed.
+  if (activity_counter_ == activity_at_last_failed_probe_) return;
+  // A clean probe requires our own unconfirmed outputs settled first.
+  ctx_.flush_unregenerated(VirtualTime::infinity());
+  my_probe_ = ProbeRound{.nonce = next_probe_nonce_++,
+                         .pending = channels.size(),
+                         .ok = true,
+                         .activity_at_start = activity_counter_};
+  const std::uint64_t origin =
+      static_cast<std::uint64_t>(ctx_.subsystem_id());
+  for (auto& c : channels)
+    c->send_message(ProbeMsg{.origin = origin, .nonce = my_probe_->nonce});
+}
+
+void ConservativeEngine::on_probe(ChannelId channel_id,
+                                  const ProbeMsg& probe) {
+  ChannelSet& channels = ctx_.channels();
+  ChannelEndpoint& from = channels.at(channel_id);
+  if (!ctx_.scheduler().idle()) {
+    from.send_message(ProbeReply{.origin = probe.origin,
+                                 .nonce = probe.nonce,
+                                 .ok = false});
+    return;
+  }
+  ctx_.flush_unregenerated(VirtualTime::infinity());
+  if (channels.size() == 1) {
+    from.send_message(ProbeReply{.origin = probe.origin,
+                                 .nonce = probe.nonce,
+                                 .ok = ctx_.scheduler().idle()});
+    return;
+  }
+  // Relay the wave away from the arrival channel; answer once the subtree
+  // answers (the topology is a forest, so the wave terminates).
+  RelayedProbe relayed{.from = channel_id,
+                       .pending = channels.size() - 1,
+                       .ok = true};
+  relayed_probes_[{probe.origin, probe.nonce}] = relayed;
+  for (std::uint32_t i = 0; i < channels.size(); ++i) {
+    if (ChannelId{i} == channel_id) continue;
+    channels[i].send_message(probe);
+  }
+}
+
+void ConservativeEngine::on_probe_reply(const ProbeReply& reply) {
+  ChannelSet& channels = ctx_.channels();
+  if (my_probe_ &&
+      reply.origin == static_cast<std::uint64_t>(ctx_.subsystem_id()) &&
+      reply.nonce == my_probe_->nonce) {
+    my_probe_->ok = my_probe_->ok && reply.ok;
+    if (--my_probe_->pending == 0) {
+      const bool confirmed = my_probe_->ok && ctx_.scheduler().idle() &&
+                             activity_counter_ == my_probe_->activity_at_start;
+      if (confirmed) {
+        terminate_received_ = true;
+        const std::uint64_t token =
+            (static_cast<std::uint64_t>(ctx_.subsystem_id()) << 32) |
+            my_probe_->nonce;
+        for (auto& c : channels)
+          c->send_message(TerminateMsg{.token = token});
+      } else {
+        activity_at_last_failed_probe_ = my_probe_->activity_at_start ==
+                                                 activity_counter_
+                                             ? activity_counter_
+                                             : UINT64_MAX;
+      }
+      my_probe_.reset();
+    }
+    return;
+  }
+  const auto it = relayed_probes_.find({reply.origin, reply.nonce});
+  if (it == relayed_probes_.end()) return;  // stale round
+  it->second.ok = it->second.ok && reply.ok;
+  if (--it->second.pending == 0) {
+    ChannelEndpoint& back = channels.at(it->second.from);
+    back.send_message(ProbeReply{.origin = reply.origin,
+                                 .nonce = reply.nonce,
+                                 .ok = it->second.ok &&
+                                       ctx_.scheduler().idle()});
+    relayed_probes_.erase(it);
+  }
+}
+
+void ConservativeEngine::on_terminate(ChannelId from,
+                                      const TerminateMsg& terminate) {
+  if (terminate_received_) return;
+  terminate_received_ = true;
+  // Flood away from the arrival direction only: on a tree every subsystem
+  // is reached exactly once and no terminate ever lingers unread in a link
+  // (a leftover would falsely stop a post-restore replay).
+  ChannelSet& channels = ctx_.channels();
+  for (std::uint32_t i = 0; i < channels.size(); ++i) {
+    if (ChannelId{i} == from) continue;
+    channels[i].send_message(terminate);
+  }
+}
+
+void ConservativeEngine::reset_termination() {
+  // The subsystem is live again: any previous termination consensus or
+  // probe state described the discarded timeline.
+  terminate_received_ = false;
+  my_probe_.reset();
+  relayed_probes_.clear();
+  activity_at_last_failed_probe_ = UINT64_MAX;
+}
+
+}  // namespace pia::dist::sync

@@ -1,0 +1,94 @@
+// ConservativeEngine: the safe-time protocol and termination detection
+// (paper §2.2.3).
+//
+// Owns grant negotiation with self-restriction removal, unsolicited grant
+// pushes (null messages), the advance barrier, idle-status pushes, the
+// stall-time SafeTimeRequest fan-out, and the diffusing termination probe
+// that decides infinite-horizon quiescence.  It also keeps the subsystem's
+// activity counter — the monotone "anything state-changing happened" clock
+// every probe round validates against.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "dist/sync/engine_context.hpp"
+
+namespace pia::dist::sync {
+
+struct ConservativeStats {
+  std::uint64_t grants_sent = 0;
+  std::uint64_t grants_received = 0;
+  std::uint64_t requests_sent = 0;
+  std::uint64_t stalls = 0;  // loop iterations blocked on a grant
+};
+
+class ConservativeEngine {
+ public:
+  explicit ConservativeEngine(EngineContext& ctx) : ctx_(ctx) {}
+
+  [[nodiscard]] const ConservativeStats& stats() const { return stats_; }
+
+  // --- message handlers ----------------------------------------------------
+  void on_request(ChannelId channel_id, const SafeTimeRequest& request);
+  void on_grant(ChannelId channel_id, const SafeTimeGrant& grant);
+  void on_probe(ChannelId channel_id, const ProbeMsg& probe);
+  void on_probe_reply(const ProbeReply& reply);
+  void on_terminate(ChannelId from, const TerminateMsg& terminate);
+
+  // --- run-loop services ---------------------------------------------------
+
+  /// The grant we can promise `requester` right now (self-restriction
+  /// removed): min over next local event and the grants peers on *other*
+  /// channels gave us, plus the channel lookahead.
+  [[nodiscard]] VirtualTime grant_for(ChannelId requester) const;
+
+  /// min over conservative channels of granted_in (the advance barrier).
+  [[nodiscard]] VirtualTime barrier() const;
+
+  /// Pushes improved grants on all channels (null messages).
+  void push_grants();
+  void push_status_if_changed();
+
+  /// The advance was blocked on a grant: count the stall and request safe
+  /// times from every conservative channel that restricts us.
+  void on_blocked();
+
+  /// Starts a termination probe round if none is outstanding.
+  void maybe_start_probe();
+
+  // --- activity / termination bookkeeping ----------------------------------
+  // Other engines reach these through EngineContext::note_activity /
+  // reset_termination.
+  void note_activity() { ++activity_counter_; }
+  void reset_termination();
+  [[nodiscard]] bool terminated() const { return terminate_received_; }
+
+ private:
+  // Termination detection (diffusing probe waves).
+  struct ProbeRound {
+    std::uint64_t nonce = 0;
+    std::size_t pending = 0;
+    bool ok = true;
+    std::uint64_t activity_at_start = 0;
+  };
+  struct RelayedProbe {
+    ChannelId from;
+    std::size_t pending = 0;
+    bool ok = true;
+  };
+
+  EngineContext& ctx_;
+  ConservativeStats stats_;
+  std::optional<ProbeRound> my_probe_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, RelayedProbe>
+      relayed_probes_;
+  std::uint64_t next_probe_nonce_ = 1;
+  std::uint64_t activity_counter_ = 0;  // bumps on any state-changing input
+  std::uint64_t activity_at_last_failed_probe_ = UINT64_MAX;
+  bool terminate_received_ = false;
+};
+
+}  // namespace pia::dist::sync

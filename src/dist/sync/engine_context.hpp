@@ -1,0 +1,100 @@
+// EngineContext: the narrow seam between the Subsystem facade and the four
+// sync engines (conservative, optimistic, snapshot, recovery).
+//
+// Each engine owns one protocol's state and stats and sees the rest of the
+// subsystem only through this interface: the shared infrastructure
+// (scheduler, checkpoint manager, channel set) plus a handful of
+// cross-engine services.  Every service is implemented by exactly one
+// engine and forwarded by the facade, so engines never include — or even
+// name — each other; the layering lint (tools/lint_layers.py) enforces
+// that structurally.  A test can implement EngineContext with a stub and
+// drive an engine without sockets, threads, or the other protocols.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/scheduler.hpp"
+#include "dist/channel_set.hpp"
+#include "dist/protocol.hpp"
+
+namespace pia::dist::sync {
+
+/// Per-channel log positions at a checkpoint: output_log size, input
+/// injected count and lazy-replay cursor at request time.  Owned per
+/// SnapshotId by the OptimisticEngine; shared here because the snapshot and
+/// recovery coordinators serialize and restore against the same shape.
+struct SnapshotPositions {
+  std::vector<std::size_t> out;
+  std::vector<std::size_t> in;
+  std::vector<std::size_t> cursor;
+};
+
+/// Chandy–Lamport bookkeeping per token.  Owned by the SnapshotCoordinator;
+/// the type is shared so the RecoveryCoordinator can serialize a completed
+/// cut without reaching into the coordinator's internals.
+struct PendingSnapshot {
+  SnapshotId local;
+  std::vector<bool> mark_pending;  // per channel: still recording?
+  std::vector<std::vector<EventMsg>> recorded;  // channel state
+  SnapshotPositions positions;
+  bool persisted = false;  // committed to the attached SnapshotStore
+};
+
+class EngineContext {
+ public:
+  virtual ~EngineContext() = default;
+
+  // --- shared infrastructure ---------------------------------------------
+  [[nodiscard]] virtual Scheduler& scheduler() = 0;
+  [[nodiscard]] virtual const Scheduler& scheduler() const = 0;
+  [[nodiscard]] virtual CheckpointManager& checkpoints() = 0;
+  [[nodiscard]] virtual const CheckpointManager& checkpoints() const = 0;
+  [[nodiscard]] virtual ChannelSet& channels() = 0;
+  [[nodiscard]] virtual const ChannelSet& channels() const = 0;
+  [[nodiscard]] virtual const std::string& subsystem_name() const = 0;
+  [[nodiscard]] virtual std::uint32_t subsystem_id() const = 0;
+
+  // --- services of the ConservativeEngine --------------------------------
+  /// Something state-changing happened (event, retract, runlevel, rejoin);
+  /// bumps the activity counter termination probes validate against.
+  virtual void note_activity() = 0;
+  /// A restore put the subsystem back on a live timeline: forget any
+  /// termination consensus and probe state from the abandoned one.
+  virtual void reset_termination() = 0;
+
+  // --- services of the OptimisticEngine -----------------------------------
+  virtual void flush_unregenerated(VirtualTime upto) = 0;
+  virtual SnapshotId take_checkpoint() = 0;
+  /// Restart the periodic-checkpoint countdown without taking one (used by
+  /// restores, which put a checkpoint-equivalent state in place).
+  virtual void reset_checkpoint_cadence() = 0;
+  [[nodiscard]] virtual SnapshotPositions positions_of(SnapshotId snap)
+      const = 0;
+  /// Forget checkpoint positions describing a discarded future.
+  virtual void drop_positions_after(SnapshotId snap) = 0;
+  virtual void clear_positions() = 0;
+  virtual void scrub_retracted(const SnapshotPositions& positions) = 0;
+  virtual void inject_input(ChannelEndpoint& endpoint,
+                            const ChannelEndpoint::InputRecord& record) = 0;
+
+  // --- services of the SnapshotCoordinator --------------------------------
+  /// A rollback discarded the future past `kept`: revoke durable cuts that
+  /// captured it.
+  virtual void invalidate_snapshots_after(SnapshotId kept) = 0;
+  [[nodiscard]] virtual const PendingSnapshot* find_snapshot(
+      std::uint64_t token) const = 0;
+  [[nodiscard]] virtual std::uint64_t snapshot_next_token() const = 0;
+  /// Fresh-process restore: drop all pending cuts and resume token
+  /// numbering where the image left off.
+  virtual void reset_snapshots(std::uint64_t next_token) = 0;
+
+  // --- services of the RecoveryCoordinator --------------------------------
+  /// Serializes the completed snapshot `token` into a durable image.
+  [[nodiscard]] virtual Bytes export_snapshot_image(
+      std::uint64_t token) const = 0;
+};
+
+}  // namespace pia::dist::sync

@@ -1,0 +1,65 @@
+// RecoveryCoordinator: the crash-recovery layer.
+//
+// Owns failure detection (heartbeat beacons + liveness timeouts), the
+// durable-image serialization format ("pia.dist.recovery"), the
+// fresh-process restore that rebuilds a subsystem from such an image, the
+// post-recovery rejoin handshake that cross-checks both sides restored the
+// same cut, and link replacement for surviving peers of a restarted node.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "dist/sync/engine_context.hpp"
+
+namespace pia::dist::sync {
+
+struct RecoveryStats {
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_received = 0;
+  std::uint64_t peer_down_events = 0;  // channels declared dead
+  std::uint64_t recoveries = 0;        // restores from a durable image
+  std::uint64_t rejoins_verified = 0;  // rejoin handshakes cross-checked
+};
+
+class RecoveryCoordinator {
+ public:
+  explicit RecoveryCoordinator(EngineContext& ctx) : ctx_(ctx) {}
+
+  [[nodiscard]] const RecoveryStats& stats() const { return stats_; }
+
+  // --- failure detection ---------------------------------------------------
+  void set_heartbeat(std::chrono::milliseconds interval,
+                     std::chrono::milliseconds timeout) {
+    heartbeat_interval_ = interval;
+    heartbeat_timeout_ = timeout;
+  }
+  [[nodiscard]] std::chrono::milliseconds heartbeat_interval() const {
+    return heartbeat_interval_;
+  }
+  /// Sends due heartbeats and checks liveness timeouts on every channel;
+  /// true when some peer has been declared down.
+  bool service_heartbeats();
+  void on_heartbeat(ChannelId channel_id, const HeartbeatMsg& heartbeat);
+
+  // --- durable image / rejoin ----------------------------------------------
+  /// Serializes the completed snapshot `token` into a self-contained
+  /// durable image (the SnapshotStore payload).
+  [[nodiscard]] Bytes export_image(std::uint64_t token) const;
+  /// Fresh-process restore from an image produced by export_image on an
+  /// identically wired subsystem.
+  void restore_image(BytesView image);
+  void begin_rejoin(std::uint64_t token);
+  void on_rejoin(ChannelId channel_id, const RejoinMsg& rejoin);
+  /// Swaps in a fresh link on one channel (reconnect path for a surviving
+  /// subsystem whose peer is being restarted).
+  void replace_link(ChannelId channel_id, transport::LinkPtr link);
+
+ private:
+  EngineContext& ctx_;
+  RecoveryStats stats_;
+  std::chrono::milliseconds heartbeat_interval_{0};  // 0 = disabled
+  std::chrono::milliseconds heartbeat_timeout_{0};
+};
+
+}  // namespace pia::dist::sync

@@ -1,0 +1,77 @@
+// SnapshotCoordinator: Chandy–Lamport distributed snapshots (paper §2.2.5)
+// plus their durable persistence.
+//
+// Owns the per-token mark bookkeeping and recorded channel state, the
+// dispatch-count auto-snapshot cadence, the coordinated (in-process)
+// restore, and the durable side: committing completed cuts to the attached
+// SnapshotStore and revoking cuts a rollback has unwound.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "dist/snapshot_store.hpp"
+#include "dist/sync/engine_context.hpp"
+
+namespace pia::dist::sync {
+
+struct SnapshotStats {
+  std::uint64_t marks_received = 0;
+  std::uint64_t snapshots_persisted = 0;  // completed CL cuts written out
+  std::uint64_t snapshot_persist_bytes = 0;
+  std::uint64_t snapshots_invalidated = 0;  // durable cuts revoked by rollback
+};
+
+class SnapshotCoordinator {
+ public:
+  explicit SnapshotCoordinator(EngineContext& ctx) : ctx_(ctx) {}
+
+  [[nodiscard]] const SnapshotStats& stats() const { return stats_; }
+
+  void set_store(std::shared_ptr<SnapshotStore> store) {
+    store_ = std::move(store);
+  }
+  [[nodiscard]] SnapshotStore* store() { return store_.get(); }
+  [[nodiscard]] const SnapshotStore* store() const { return store_.get(); }
+
+  void set_auto_interval(std::uint64_t dispatches) {
+    auto_snapshot_interval_ = dispatches;
+  }
+  /// Dispatch cadence: initiates a snapshot every N local dispatches.
+  /// Dispatch-count cadence keeps the cut points deterministic per run,
+  /// unlike wall-clock timers.
+  void on_dispatch();
+
+  /// Starts a Chandy–Lamport snapshot; returns its cluster-wide token.
+  std::uint64_t initiate();
+  void on_mark(ChannelId channel_id, const MarkMsg& mark);
+  /// Channel-state recording: every event arriving between the local
+  /// checkpoint of a token and that channel's mark belongs to the cut.
+  void on_event_received(ChannelId channel_id, const EventMsg& event);
+  [[nodiscard]] bool complete(std::uint64_t token) const;
+
+  /// Restores the local checkpoint of `token` plus its recorded channel
+  /// state (coordinated restore; all subsystems restore the same token).
+  void restore(std::uint64_t token);
+
+  // --- services reached via EngineContext ----------------------------------
+  void invalidate_after(SnapshotId kept);
+  [[nodiscard]] const PendingSnapshot* find(std::uint64_t token) const;
+  [[nodiscard]] std::uint64_t next_token() const { return next_cl_token_; }
+  void reset(std::uint64_t next_token);
+
+ private:
+  /// Commits `token` to the attached store if the snapshot just completed.
+  void maybe_persist(std::uint64_t token);
+
+  EngineContext& ctx_;
+  SnapshotStats stats_;
+  std::map<std::uint64_t, PendingSnapshot> cl_snapshots_;
+  std::uint64_t next_cl_token_ = 1;
+  std::shared_ptr<SnapshotStore> store_;
+  std::uint64_t auto_snapshot_interval_ = 0;
+  std::uint64_t dispatches_since_auto_snapshot_ = 0;
+};
+
+}  // namespace pia::dist::sync

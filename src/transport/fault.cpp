@@ -119,6 +119,19 @@ class FaultLink final : public Link {
     return inner_->describe() + "+fault";
   }
 
+  void set_ready_signal(ReadySignalPtr signal) override {
+    inner_->set_ready_signal(std::move(signal));
+  }
+
+  int readable_fd() const override { return inner_->readable_fd(); }
+
+  std::optional<Clock::time_point> next_ready_time() const override {
+    // A frame parked in pending_ matures silently at its release stamp —
+    // report it so a unified waiter does not sleep past it.
+    if (pending_) return Clock::time_point{Clock::duration{pending_stamp_}};
+    return inner_->next_ready_time();
+  }
+
  private:
   /// The injected crash_at fault is due: this endpoint has handled its
   /// allotted frames (both directions combined) and dies on the next one.

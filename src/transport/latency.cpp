@@ -58,6 +58,23 @@ class LatencyLink final : public Link {
     return inner_->describe() + "+latency";
   }
 
+  void set_ready_signal(ReadySignalPtr signal) override {
+    inner_->set_ready_signal(std::move(signal));
+  }
+
+  int readable_fd() const override { return inner_->readable_fd(); }
+
+  std::optional<Clock::time_point> next_ready_time() const override {
+    if (pending_) {
+      if (pending_->size() < sizeof(std::int64_t))
+        raise(ErrorKind::kProtocol, "latency header missing");
+      std::int64_t stamp = 0;
+      std::memcpy(&stamp, pending_->data(), sizeof(stamp));
+      return Clock::time_point{Clock::duration{stamp}};
+    }
+    return inner_->next_ready_time();
+  }
+
  private:
   std::optional<Bytes> release_if_due(bool may_wait,
                                       Clock::time_point deadline) {

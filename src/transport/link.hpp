@@ -18,6 +18,7 @@
 #include <string>
 
 #include "base/bytes.hpp"
+#include "transport/ready.hpp"
 
 namespace pia::transport {
 
@@ -68,6 +69,34 @@ class Link {
   [[nodiscard]] virtual bool closed() const = 0;
   [[nodiscard]] virtual LinkStats stats() const = 0;
   [[nodiscard]] virtual std::string describe() const = 0;
+
+  // --- Readiness plumbing for multi-channel waits (dist::ChannelSet) ---
+  //
+  // A link participates in a unified wait through exactly one of two
+  // mechanisms.  Queue-backed links (loopback) accept a shared ReadySignal
+  // and pulse it whenever a frame becomes receivable or the link closes.
+  // Kernel-fd-backed links (TCP) instead expose the fd so the waiter can
+  // poll it directly.  Decorators forward both calls to the wrapped link.
+  // The defaults — no signal, no fd, no buffered release — make new Link
+  // implementations safe by construction: the waiter simply falls back to
+  // its poll timeout for them.
+
+  /// Attach the waiter's shared signal.  Replaces any previous signal.
+  virtual void set_ready_signal(ReadySignalPtr /*signal*/) {}
+
+  /// Kernel fd that turns readable when traffic (or close) arrives, or -1
+  /// when readiness is reported via the ReadySignal instead.
+  [[nodiscard]] virtual int readable_fd() const { return -1; }
+
+  /// Earliest instant a frame already buffered *inside* this link becomes
+  /// receivable (fault/latency decorators holding a stamped frame for
+  /// future release).  Such frames raise neither fd nor signal when they
+  /// mature, so the waiter clamps its timeout to this.  nullopt when no
+  /// buffered frame is pending.
+  [[nodiscard]] virtual std::optional<std::chrono::steady_clock::time_point>
+  next_ready_time() const {
+    return std::nullopt;
+  }
 };
 
 using LinkPtr = std::unique_ptr<Link>;

@@ -14,6 +14,9 @@ struct Pipe {
   std::condition_variable ready;
   std::deque<Bytes> queue;
   bool closed = false;
+  /// Readiness signal of whoever reads this direction; pulsed (outside the
+  /// lock) by the writing side on every push and on close.
+  ReadySignalPtr signal;
 };
 
 class LoopbackLink final : public Link {
@@ -24,6 +27,7 @@ class LoopbackLink final : public Link {
   ~LoopbackLink() override { close(); }
 
   void send(BytesView frame, std::uint32_t message_count = 1) override {
+    ReadySignalPtr signal;
     {
       const std::lock_guard<std::mutex> lock(out_->mutex);
       if (out_->closed)
@@ -32,8 +36,10 @@ class LoopbackLink final : public Link {
       stats_.messages_sent += message_count;
       stats_.frames_sent++;
       stats_.bytes_sent += frame.size();
+      signal = out_->signal;
     }
     out_->ready.notify_one();
+    if (signal) signal->notify();
   }
 
   std::optional<Bytes> try_recv() override {
@@ -50,12 +56,20 @@ class LoopbackLink final : public Link {
 
   void close() override {
     for (auto& pipe : {out_, in_}) {
+      ReadySignalPtr signal;
       {
         const std::lock_guard<std::mutex> lock(pipe->mutex);
         pipe->closed = true;
+        signal = pipe->signal;
       }
       pipe->ready.notify_all();
+      if (signal) signal->notify();
     }
+  }
+
+  void set_ready_signal(ReadySignalPtr signal) override {
+    const std::lock_guard<std::mutex> lock(in_->mutex);
+    in_->signal = std::move(signal);
   }
 
   bool closed() const override {

@@ -1,0 +1,43 @@
+#include "transport/ready.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "base/error.hpp"
+
+namespace pia::transport {
+
+ReadySignal::ReadySignal() {
+  if (::pipe(fds_) < 0)
+    raise(ErrorKind::kTransport,
+          std::string("ready signal pipe: ") + std::strerror(errno));
+  for (const int fd : fds_) {
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+}
+
+ReadySignal::~ReadySignal() {
+  for (int& fd : fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+void ReadySignal::notify() {
+  const char pulse = 1;
+  // EAGAIN means the pipe is already full of pulses — already readable, so
+  // the waiter wakes either way.  Other errors only occur mid-destruction.
+  [[maybe_unused]] const ssize_t n = ::write(fds_[1], &pulse, 1);
+}
+
+void ReadySignal::drain() {
+  char sink[256];
+  while (::read(fds_[0], sink, sizeof(sink)) > 0) {
+  }
+}
+
+}  // namespace pia::transport

@@ -1,0 +1,45 @@
+// ReadySignal: a process-internal readiness pulse shared by many Links.
+//
+// A subsystem idling on N channels must not scan them sequentially (worst
+// case N × poll-timeout wake latency).  Instead every in-process link of the
+// subsystem shares one ReadySignal: a sender pulses it when a frame lands in
+// a queue the subsystem might be sleeping on, and the subsystem's single
+// wait includes the signal's fd alongside the kernel fds of any socket
+// links.  Wake latency is then one poll() round regardless of channel count.
+//
+// Implemented as a self-pipe so it composes with ::poll over socket fds:
+// notify() writes one byte (non-blocking — a full pipe already reads as
+// ready, so the lost write is harmless), drain() empties the pipe before a
+// wait so stale pulses don't cause busy spinning.
+#pragma once
+
+#include <memory>
+
+namespace pia::transport {
+
+class ReadySignal {
+ public:
+  ReadySignal();
+  ~ReadySignal();
+
+  ReadySignal(const ReadySignal&) = delete;
+  ReadySignal& operator=(const ReadySignal&) = delete;
+
+  /// Marks the signal ready; safe to call from any thread, never blocks.
+  void notify();
+
+  /// Consumes queued pulses.  Callers drain *before* re-inspecting the
+  /// queues they guard: a pulse that races the drain re-arms the next wait
+  /// rather than being lost.
+  void drain();
+
+  /// The fd a waiter adds to its poll set (POLLIN when notified).
+  [[nodiscard]] int fd() const { return fds_[0]; }
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+using ReadySignalPtr = std::shared_ptr<ReadySignal>;
+
+}  // namespace pia::transport

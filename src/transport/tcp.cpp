@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <future>
 #include <limits>
 #include <thread>
 
@@ -83,6 +84,12 @@ class TcpLink final : public Link {
   LinkStats stats() const override { return stats_; }
 
   std::string describe() const override { return "tcp"; }
+
+  // The socket fd doubles as the readiness source: data and EOF both make
+  // it readable.  Complete frames never linger in the decoder across an
+  // idle period (every drain pass pops until empty), so fd readiness alone
+  // is a complete wake condition.
+  int readable_fd() const override { return fd_; }
 
  private:
   std::optional<Bytes> recv_impl(int timeout_ms) {
@@ -218,6 +225,28 @@ LinkPtr tcp_connect(std::uint16_t port, std::chrono::milliseconds deadline) {
                    jitter.below(static_cast<std::uint64_t>(half) + 1))));
     backoff = std::min(backoff * 2, kBackoffCap);
   }
+}
+
+LinkPair connect_tcp_pair(TcpListener& listener) {
+  auto client = std::async(std::launch::async,
+                           [&] { return tcp_connect(listener.port()); });
+  LinkPair pair;
+  try {
+    pair.a = listener.accept();
+  } catch (...) {
+    // Join the client attempt before unwinding: left to the future's
+    // destructor, a failed accept would silently block for the client's
+    // full connect backoff.  Closing the listener makes the pending
+    // connect fail fast instead of retrying against a live port.
+    listener.close();
+    try {
+      client.get();
+    } catch (...) {
+    }
+    throw;
+  }
+  pair.b = client.get();
+  return pair;
 }
 
 }  // namespace pia::transport

@@ -48,4 +48,11 @@ LinkPtr tcp_connect(std::uint16_t port,
                     std::chrono::milliseconds deadline =
                         std::chrono::milliseconds(1000));
 
+/// Accepts one connection on `listener` while concurrently connecting to it,
+/// returning both ends as a pair (in-process wiring of a TCP channel).  If
+/// the accept fails, the in-flight client attempt is joined deterministically
+/// before the error propagates — it never blocks in a destructor waiting out
+/// the full connect backoff.
+LinkPair connect_tcp_pair(TcpListener& listener);
+
 }  // namespace pia::transport

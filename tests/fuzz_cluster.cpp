@@ -174,6 +174,52 @@ std::string dump(const PipelineResult& result) {
   return os.str();
 }
 
+// The engine split pins aggregate stats as a compatibility contract:
+// Subsystem::stats() must be exactly the recombination of the facade's
+// traffic counters and the four per-engine stat blocks, field for field.
+// Checked on every gating config so a future counter migration that forgets
+// a field (or double-counts one) fails the fuzzer, not a metrics consumer.
+bool stats_recombine(const Subsystem& s) {
+  const SubsystemStats agg = s.stats();
+  const TrafficStats& traffic = s.traffic_stats();
+  const sync::ConservativeStats& cons = s.conservative_stats();
+  const sync::OptimisticStats& opt = s.optimistic_stats();
+  const sync::SnapshotStats& snap = s.snapshot_stats();
+  const sync::RecoveryStats& rec = s.recovery_stats();
+  return agg.events_sent == traffic.events_sent &&
+         agg.events_received == traffic.events_received &&
+         agg.grants_sent == cons.grants_sent &&
+         agg.grants_received == cons.grants_received &&
+         agg.requests_sent == cons.requests_sent &&
+         agg.stalls == cons.stalls && agg.rollbacks == opt.rollbacks &&
+         agg.retracts_sent == opt.retracts_sent &&
+         agg.retracts_received == opt.retracts_received &&
+         agg.checkpoints == opt.checkpoints &&
+         agg.marks_received == snap.marks_received &&
+         agg.heartbeats_sent == rec.heartbeats_sent &&
+         agg.heartbeats_received == rec.heartbeats_received &&
+         agg.peer_down_events == rec.peer_down_events &&
+         agg.snapshots_persisted == snap.snapshots_persisted &&
+         agg.snapshot_persist_bytes == snap.snapshot_persist_bytes &&
+         agg.snapshots_invalidated == snap.snapshots_invalidated &&
+         agg.recoveries == rec.recoveries &&
+         agg.rejoins_verified == rec.rejoins_verified;
+}
+
+// At clean quiescence every EventMsg sent by some subsystem was received by
+// its peer (events only: grants, statuses and retracts are not conserved
+// this way, and faults affect wall-clock timing, never delivery).
+bool events_conserved(const std::vector<Subsystem*>& subsystems,
+                      std::uint64_t* sent, std::uint64_t* received) {
+  *sent = 0;
+  *received = 0;
+  for (const Subsystem* s : subsystems) {
+    *sent += s->stats().events_sent;
+    *received += s->stats().events_received;
+  }
+  return *sent == *received;
+}
+
 bool run_one_config(std::uint64_t seed, const FuzzCase& c,
                     const std::vector<ChannelMode>& modes, bool with_faults,
                     const PipelineResult& reference, bool verbose) {
@@ -187,6 +233,30 @@ bool run_one_config(std::uint64_t seed, const FuzzCase& c,
   bool ok = result == reference;
   for (const auto& [name, outcome] : outcomes)
     ok &= (outcome == Subsystem::RunOutcome::kQuiescent);
+
+  bool stats_ok = true;
+  for (const Subsystem* s : dut.subsystems) {
+    if (!stats_recombine(*s)) {
+      std::printf(
+          "FAIL seed=%llu: aggregate stats != per-engine recombination "
+          "for %s\n",
+          static_cast<unsigned long long>(seed), s->name().c_str());
+      stats_ok = false;
+    }
+  }
+  std::uint64_t total_sent = 0;
+  std::uint64_t total_received = 0;
+  if (ok && !events_conserved(dut.subsystems, &total_sent, &total_received)) {
+    std::printf(
+        "FAIL seed=%llu: event conservation at quiescence: sent=%llu "
+        "received=%llu\n",
+        static_cast<unsigned long long>(seed),
+        static_cast<unsigned long long>(total_sent),
+        static_cast<unsigned long long>(total_received));
+    stats_ok = false;
+  }
+  ok &= stats_ok;
+
   if (ok) {
     if (verbose)
       std::printf("  modes=%s faults=%d ... ok (%zu events)\n",

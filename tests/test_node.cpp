@@ -1,0 +1,88 @@
+// PiaNode id allocation and the in-process TCP channel wiring helper.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/error.hpp"
+#include "dist/node.hpp"
+#include "transport/tcp.hpp"
+
+namespace pia::dist {
+namespace {
+
+TEST(PiaNode, ConcurrentConstructionHandsOutUniqueIdBlocks) {
+  // Nodes are legitimately constructed from concurrent driver threads; the
+  // static seed behind each node's subsystem-id block must hand every node
+  // a distinct block even under contention.
+  constexpr int kThreads = 16;
+  constexpr int kNodesPerThread = 8;
+  std::vector<std::vector<std::uint32_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &ids] {
+      for (int n = 0; n < kNodesPerThread; ++n) {
+        PiaNode node("node_t" + std::to_string(t) + "_" + std::to_string(n));
+        ids[t].push_back(
+            node.add_subsystem("probe").numeric_id());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::set<std::uint32_t> unique;
+  for (const auto& per_thread : ids)
+    for (const std::uint32_t id : per_thread) unique.insert(id);
+  EXPECT_EQ(unique.size(),
+            static_cast<std::size_t>(kThreads) * kNodesPerThread);
+}
+
+TEST(ConnectTcpPair, WiresBothDirections) {
+  transport::TcpListener listener(0);
+  transport::LinkPair pair = transport::connect_tcp_pair(listener);
+  ASSERT_NE(pair.a, nullptr);
+  ASSERT_NE(pair.b, nullptr);
+
+  const Bytes ping{std::byte{0x01}, std::byte{0x02}};
+  pair.a->send(ping);
+  auto got = pair.b->recv_for(std::chrono::milliseconds(1000));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, ping);
+
+  const Bytes pong{std::byte{0x03}};
+  pair.b->send(pong);
+  got = pair.a->recv_for(std::chrono::milliseconds(1000));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, pong);
+}
+
+TEST(ConnectTcpPair, FailedAcceptJoinsClientAndPropagates) {
+  // Regression: when accept() throws, the in-flight client attempt must be
+  // joined deterministically on the error path — not left to the future's
+  // destructor, which would silently block while unwinding.  The accept
+  // error must propagate, bounded by the client's connect backoff, never
+  // hang.
+  transport::TcpListener listener(0);
+  listener.close();
+
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    (void)transport::connect_tcp_pair(listener);
+    FAIL() << "connect_tcp_pair on a closed listener must throw";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.kind(), ErrorKind::kTransport);
+    EXPECT_NE(std::string(error.what()).find("accept"), std::string::npos);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // The client's connect backoff deadline is ~1 s; anything wildly beyond
+  // it means the error path blocked on something it shouldn't.
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+}  // namespace
+}  // namespace pia::dist

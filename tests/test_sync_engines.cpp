@@ -1,0 +1,325 @@
+// Engine-isolation tests: drive the sync engines against a stub
+// EngineContext — a real scheduler, checkpoint manager and channel set, but
+// no Subsystem facade, no run loop, no sockets.  Each channel is one side of
+// a loopback pair whose far end stays in the stub, so a test can decode
+// exactly what an engine transmitted.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/scheduler.hpp"
+#include "dist/channel_set.hpp"
+#include "dist/sync/conservative.hpp"
+#include "dist/sync/optimistic.hpp"
+#include "dist/sync/snapshot.hpp"
+#include "transport/link.hpp"
+
+namespace pia::dist::sync {
+namespace {
+
+constexpr std::uint32_t kStubId = 7;
+
+class StubContext : public EngineContext {
+ public:
+  StubContext() {
+    scheduler_.init();
+    conservative_ = std::make_unique<ConservativeEngine>(*this);
+    optimistic_ = std::make_unique<OptimisticEngine>(*this);
+    snapshot_ = std::make_unique<SnapshotCoordinator>(*this);
+  }
+
+  ChannelId add_channel(ChannelMode mode) {
+    auto pair = transport::make_loopback_pair();
+    const ChannelId id{static_cast<std::uint32_t>(channels_.size())};
+    auto endpoint = std::make_unique<ChannelEndpoint>(
+        "stub" + std::to_string(id.value()), mode, std::move(pair.a), kStubId);
+    endpoint->index = id.value();
+    channels_.add(std::move(endpoint));
+    peers_.push_back(std::make_unique<ChannelEndpoint>(
+        "peer" + std::to_string(id.value()), mode, std::move(pair.b), 99));
+    return id;
+  }
+
+  /// Everything the engine sent on channel `i` since the last call.
+  std::vector<ChannelMessage> sent_on(std::size_t i) {
+    std::vector<ChannelMessage> out;
+    while (auto message = peers_[i]->poll()) out.push_back(std::move(*message));
+    return out;
+  }
+
+  [[nodiscard]] ConservativeEngine& conservative() { return *conservative_; }
+  [[nodiscard]] OptimisticEngine& optimistic() { return *optimistic_; }
+  [[nodiscard]] SnapshotCoordinator& snapshot() { return *snapshot_; }
+
+  // --- EngineContext -------------------------------------------------------
+  Scheduler& scheduler() override { return scheduler_; }
+  const Scheduler& scheduler() const override { return scheduler_; }
+  CheckpointManager& checkpoints() override { return checkpoints_; }
+  const CheckpointManager& checkpoints() const override {
+    return checkpoints_;
+  }
+  ChannelSet& channels() override { return channels_; }
+  const ChannelSet& channels() const override { return channels_; }
+  const std::string& subsystem_name() const override { return name_; }
+  std::uint32_t subsystem_id() const override { return kStubId; }
+  void note_activity() override { conservative_->note_activity(); }
+  void reset_termination() override { conservative_->reset_termination(); }
+  void flush_unregenerated(VirtualTime upto) override {
+    optimistic_->flush_unregenerated(upto);
+  }
+  SnapshotId take_checkpoint() override {
+    return optimistic_->take_checkpoint();
+  }
+  void reset_checkpoint_cadence() override { optimistic_->reset_cadence(); }
+  SnapshotPositions positions_of(SnapshotId snap) const override {
+    return optimistic_->positions_of(snap);
+  }
+  void drop_positions_after(SnapshotId snap) override {
+    optimistic_->drop_positions_after(snap);
+  }
+  void clear_positions() override { optimistic_->clear_positions(); }
+  void scrub_retracted(const SnapshotPositions& positions) override {
+    optimistic_->scrub_retracted(positions);
+  }
+  void inject_input(ChannelEndpoint& endpoint,
+                    const ChannelEndpoint::InputRecord& record) override {
+    optimistic_->inject_input(endpoint, record);
+  }
+  void invalidate_snapshots_after(SnapshotId kept) override {
+    snapshot_->invalidate_after(kept);
+  }
+  const PendingSnapshot* find_snapshot(std::uint64_t token) const override {
+    return snapshot_->find(token);
+  }
+  std::uint64_t snapshot_next_token() const override {
+    return snapshot_->next_token();
+  }
+  void reset_snapshots(std::uint64_t next_token) override {
+    snapshot_->reset(next_token);
+  }
+  Bytes export_snapshot_image(std::uint64_t /*token*/) const override {
+    return Bytes{};
+  }
+
+ private:
+  Scheduler scheduler_{"stub"};
+  CheckpointManager checkpoints_{scheduler_, CheckpointPolicy::kImmediate};
+  ChannelSet channels_;
+  std::string name_ = "stub";
+  std::vector<std::unique_ptr<ChannelEndpoint>> peers_;
+  std::unique_ptr<ConservativeEngine> conservative_;
+  std::unique_ptr<OptimisticEngine> optimistic_;
+  std::unique_ptr<SnapshotCoordinator> snapshot_;
+};
+
+// ---------------------------------------------------------------------------
+// Conservative grant math
+// ---------------------------------------------------------------------------
+
+TEST(SyncConservative, GrantAppliesSelfRestrictionRemoval) {
+  StubContext ctx;
+  const ChannelId a = ctx.add_channel(ChannelMode::kConservative);
+  const ChannelId b = ctx.add_channel(ChannelMode::kConservative);
+  ctx.channels().at(a).granted_in = ticks(5);
+  ctx.channels().at(a).lookahead = ticks(3);
+  ctx.channels().at(b).granted_in = ticks(50);
+
+  // The promise to `a` ignores a's own restriction (only b's grant and the
+  // empty local queue bound it) and adds a's lookahead.
+  EXPECT_EQ(ctx.conservative().grant_for(a).ticks(), 53);
+  // The promise to `b` IS bounded by a's grant.
+  EXPECT_EQ(ctx.conservative().grant_for(b).ticks(), 5);
+}
+
+TEST(SyncConservative, GrantClampedByFirstLiveUnconfirmedOutput) {
+  StubContext ctx;
+  const ChannelId a = ctx.add_channel(ChannelMode::kConservative);
+  const ChannelId b = ctx.add_channel(ChannelMode::kConservative);
+  ctx.channels().at(b).granted_in = VirtualTime::infinity();
+
+  // Two unconfirmed outputs to the requester; the first is retracted, so
+  // only the second (t=20) bounds the promise.
+  ChannelEndpoint& ea = ctx.channels().at(a);
+  ea.output_log.push_back(ChannelEndpoint::OutputRecord{
+      .id = SendId{kStubId, 1}, .net_index = 0, .time = ticks(10),
+      .value = Value{std::uint64_t{1}}, .retracted = true});
+  ea.output_log.push_back(ChannelEndpoint::OutputRecord{
+      .id = SendId{kStubId, 2}, .net_index = 0, .time = ticks(20),
+      .value = Value{std::uint64_t{2}}});
+  ea.replay_cursor = 0;  // whole log unconfirmed
+
+  EXPECT_EQ(ctx.conservative().grant_for(a).ticks(), 20);
+  // Confirmed outputs stop bounding the promise.
+  ea.replay_cursor = ea.output_log.size();
+  EXPECT_TRUE(ctx.conservative().grant_for(a).is_infinite());
+}
+
+TEST(SyncConservative, EffectiveGrantGroundsOnEventsSeen) {
+  StubContext ctx;
+  const ChannelId a = ctx.add_channel(ChannelMode::kConservative);
+  ChannelEndpoint& ea = ctx.channels().at(a);
+
+  // The peer promised 100 having seen none of our two sends: the barrier
+  // clamps to the first unseen send's time plus the peer's reaction slack.
+  ea.output_log.push_back(ChannelEndpoint::OutputRecord{
+      .id = SendId{kStubId, 1}, .net_index = 0, .time = ticks(30),
+      .value = Value{std::uint64_t{1}}});
+  ea.output_log.push_back(ChannelEndpoint::OutputRecord{
+      .id = SendId{kStubId, 2}, .net_index = 0, .time = ticks(40),
+      .value = Value{std::uint64_t{2}}});
+  ea.event_msgs_sent = 2;
+  ea.granted_in = ticks(100);
+  ea.granted_in_seen = 0;
+  ea.granted_in_lookahead = ticks(2);
+  EXPECT_EQ(ea.effective_grant().ticks(), 32);
+
+  // Once the peer has seen everything, the grant stands on its own.
+  ea.granted_in_seen = 2;
+  EXPECT_EQ(ea.effective_grant().ticks(), 100);
+}
+
+// ---------------------------------------------------------------------------
+// Termination probe state machine
+// ---------------------------------------------------------------------------
+
+TEST(SyncConservative, ProbeRoundConfirmsTermination) {
+  StubContext ctx;
+  ctx.add_channel(ChannelMode::kConservative);
+  ctx.add_channel(ChannelMode::kConservative);
+  ConservativeEngine& engine = ctx.conservative();
+
+  engine.maybe_start_probe();
+  auto m0 = ctx.sent_on(0);
+  auto m1 = ctx.sent_on(1);
+  ASSERT_EQ(m0.size(), 1u);
+  ASSERT_EQ(m1.size(), 1u);
+  const ProbeMsg probe = std::get<ProbeMsg>(m0[0]);
+  EXPECT_EQ(probe.origin, kStubId);
+
+  engine.on_probe_reply(
+      ProbeReply{.origin = probe.origin, .nonce = probe.nonce, .ok = true});
+  EXPECT_FALSE(engine.terminated());
+  engine.on_probe_reply(
+      ProbeReply{.origin = probe.origin, .nonce = probe.nonce, .ok = true});
+  EXPECT_TRUE(engine.terminated());
+
+  // Consensus floods TerminateMsg on every channel.
+  EXPECT_TRUE(std::holds_alternative<TerminateMsg>(ctx.sent_on(0).at(0)));
+  EXPECT_TRUE(std::holds_alternative<TerminateMsg>(ctx.sent_on(1).at(0)));
+}
+
+TEST(SyncConservative, FailedProbeRetriesOnlyAfterActivity) {
+  StubContext ctx;
+  ctx.add_channel(ChannelMode::kConservative);
+  ConservativeEngine& engine = ctx.conservative();
+
+  engine.maybe_start_probe();
+  const ProbeMsg probe = std::get<ProbeMsg>(ctx.sent_on(0).at(0));
+  engine.on_probe_reply(
+      ProbeReply{.origin = probe.origin, .nonce = probe.nonce, .ok = false});
+  EXPECT_FALSE(engine.terminated());
+
+  // Nothing changed since the failed round: no new probe is started.
+  engine.maybe_start_probe();
+  EXPECT_TRUE(ctx.sent_on(0).empty());
+
+  // Activity re-arms the probe.
+  engine.note_activity();
+  engine.maybe_start_probe();
+  EXPECT_EQ(ctx.sent_on(0).size(), 1u);
+}
+
+TEST(SyncConservative, RelayedProbeAnswersTowardOrigin) {
+  StubContext ctx;
+  ctx.add_channel(ChannelMode::kConservative);
+  ctx.add_channel(ChannelMode::kConservative);
+  ConservativeEngine& engine = ctx.conservative();
+
+  // A foreign probe arriving on channel 0 relays away from it only.
+  engine.on_probe(ChannelId{0}, ProbeMsg{.origin = 42, .nonce = 9});
+  EXPECT_TRUE(ctx.sent_on(0).empty());
+  const auto relayed = ctx.sent_on(1);
+  ASSERT_EQ(relayed.size(), 1u);
+  EXPECT_EQ(std::get<ProbeMsg>(relayed[0]).origin, 42u);
+
+  // Once the subtree answers, the reply travels back toward the origin.
+  engine.on_probe_reply(ProbeReply{.origin = 42, .nonce = 9, .ok = true});
+  const auto back = ctx.sent_on(0);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_TRUE(std::get<ProbeReply>(back[0]).ok);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot mark bookkeeping
+// ---------------------------------------------------------------------------
+
+TEST(SyncSnapshot, MarkBookkeepingRecordsInFlightChannelState) {
+  StubContext ctx;
+  ctx.add_channel(ChannelMode::kConservative);
+  ctx.add_channel(ChannelMode::kConservative);
+  SnapshotCoordinator& snap = ctx.snapshot();
+
+  const std::uint64_t token = snap.initiate();
+  EXPECT_EQ(token >> 32, kStubId);
+  EXPECT_FALSE(snap.complete(token));
+  EXPECT_TRUE(
+      std::holds_alternative<MarkMsg>(ctx.sent_on(0).at(0)));
+  EXPECT_TRUE(
+      std::holds_alternative<MarkMsg>(ctx.sent_on(1).at(0)));
+
+  // An event arriving before a channel's mark belongs to the cut; one
+  // arriving after it does not.
+  const EventMsg in_flight{.id = SendId{99, 1}, .net_index = 0,
+                           .time = ticks(4),
+                           .value = Value{std::uint64_t{5}}};
+  snap.on_event_received(ChannelId{0}, in_flight);
+  snap.on_mark(ChannelId{0}, MarkMsg{.token = token});
+  snap.on_event_received(ChannelId{0},
+                         EventMsg{.id = SendId{99, 2}, .net_index = 0,
+                                  .time = ticks(6),
+                                  .value = Value{std::uint64_t{6}}});
+  EXPECT_FALSE(snap.complete(token));
+  snap.on_mark(ChannelId{1}, MarkMsg{.token = token});
+  EXPECT_TRUE(snap.complete(token));
+
+  const PendingSnapshot* pending = snap.find(token);
+  ASSERT_NE(pending, nullptr);
+  ASSERT_EQ(pending->recorded.size(), 2u);
+  ASSERT_EQ(pending->recorded[0].size(), 1u);
+  EXPECT_EQ(pending->recorded[0][0].id.counter, 1u);
+  EXPECT_TRUE(pending->recorded[1].empty());
+  EXPECT_EQ(snap.stats().marks_received, 2u);
+}
+
+TEST(SyncSnapshot, PeerMarkCheckpointsOnceAndRelays) {
+  StubContext ctx;
+  ctx.add_channel(ChannelMode::kConservative);
+  ctx.add_channel(ChannelMode::kConservative);
+  SnapshotCoordinator& snap = ctx.snapshot();
+  const std::uint64_t before = ctx.optimistic().stats().checkpoints;
+
+  // First sight of a peer-initiated token: checkpoint, relay marks on every
+  // channel, and treat the arrival channel's state as already complete.
+  snap.on_mark(ChannelId{0}, MarkMsg{.token = 77});
+  EXPECT_EQ(ctx.optimistic().stats().checkpoints, before + 1);
+  EXPECT_EQ(ctx.sent_on(0).size(), 1u);
+  EXPECT_EQ(ctx.sent_on(1).size(), 1u);
+  const PendingSnapshot* pending = snap.find(77);
+  ASSERT_NE(pending, nullptr);
+  EXPECT_FALSE(pending->mark_pending[0]);
+  EXPECT_TRUE(pending->mark_pending[1]);
+
+  // The second mark completes the cut without another checkpoint or relay.
+  snap.on_mark(ChannelId{1}, MarkMsg{.token = 77});
+  EXPECT_TRUE(snap.complete(77));
+  EXPECT_EQ(ctx.optimistic().stats().checkpoints, before + 1);
+  EXPECT_TRUE(ctx.sent_on(0).empty());
+}
+
+}  // namespace
+}  // namespace pia::dist::sync

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Layering lint: assert the first-party include DAG of src/.
+
+Layer order (an arrow means "may include"):
+
+    base <- serial, obs, transport      (leaf utility layers)
+    base, serial, obs <- core
+    base, serial, obs, core, transport <- dist
+    base, serial, core, transport <- hw
+    base, serial, core <- proc
+    base, serial, core, dist, proc <- wubbleu
+
+On top of the directory DAG, the sync engines under src/dist/sync/ carry
+stricter rules (the engine split's structural guarantee):
+
+  * an engine (conservative / optimistic / snapshot / recovery) may include
+    its own header, engine_context.hpp, and the dist protocol/channel layer
+    (protocol.hpp, channel.hpp, channel_set.hpp, snapshot_store.hpp) —
+    NEVER another engine, and never the facade layer (subsystem.hpp,
+    node.hpp, topology.hpp); engines communicate only through EngineContext.
+  * engine_context.hpp itself must not include any engine.
+
+Run from anywhere: paths are resolved relative to this script.  Exits 0 when
+clean, 1 with one line per violation otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+# Directory DAG: layer -> first-party layers it may include.
+ALLOWED = {
+    "base": {"base"},
+    "serial": {"base", "serial"},
+    "obs": {"base", "obs"},
+    "transport": {"base", "transport"},
+    "core": {"base", "serial", "obs", "core"},
+    "dist": {"base", "serial", "obs", "core", "transport", "dist"},
+    "hw": {"base", "serial", "core", "transport", "hw"},
+    "proc": {"base", "serial", "core", "proc"},
+    "wubbleu": {"base", "serial", "core", "dist", "proc", "wubbleu"},
+}
+
+ENGINES = {"conservative", "optimistic", "snapshot", "recovery"}
+
+# dist/ headers an engine may reach (besides lower layers and sync/ itself).
+ENGINE_DIST_ALLOWED = {
+    "dist/protocol.hpp",
+    "dist/channel.hpp",
+    "dist/channel_set.hpp",
+    "dist/snapshot_store.hpp",
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def first_party_includes(path):
+    for line_number, line in enumerate(
+        path.read_text().splitlines(), start=1
+    ):
+        match = INCLUDE_RE.match(line)
+        if match:
+            yield line_number, match.group(1)
+
+
+def check_directory_dag(path, layer, errors):
+    for line_number, inc in first_party_includes(path):
+        target = inc.split("/")[0]
+        if target not in ALLOWED:
+            errors.append(
+                f"{path}:{line_number}: include of unknown layer "
+                f'"{inc}" (expected one of {sorted(ALLOWED)})'
+            )
+        elif target not in ALLOWED[layer]:
+            errors.append(
+                f"{path}:{line_number}: layer violation: {layer}/ must not "
+                f'include "{inc}" (allowed: {sorted(ALLOWED[layer])})'
+            )
+
+
+def check_engine(path, errors):
+    stem = path.name.split(".")[0]
+    for line_number, inc in first_party_includes(path):
+        if inc.startswith("dist/sync/"):
+            target = Path(inc).name.split(".")[0]
+            own = target == stem or target == "engine_context"
+            if stem == "engine_context" and target in ENGINES:
+                errors.append(
+                    f"{path}:{line_number}: engine_context must not "
+                    f'include an engine ("{inc}")'
+                )
+            elif not own and target in ENGINES:
+                errors.append(
+                    f"{path}:{line_number}: engines must not include each "
+                    f'other ("{inc}"); communicate through EngineContext'
+                )
+        elif inc.startswith("dist/"):
+            if inc not in ENGINE_DIST_ALLOWED:
+                errors.append(
+                    f"{path}:{line_number}: sync engine reaches into the "
+                    f'facade layer ("{inc}"; allowed: '
+                    f"{sorted(ENGINE_DIST_ALLOWED)})"
+                )
+        # Lower layers are covered by the directory DAG pass.
+
+
+def main():
+    if not SRC.is_dir():
+        print(f"lint_layers: src/ not found at {SRC}", file=sys.stderr)
+        return 1
+    errors = []
+    checked = 0
+    for layer in sorted(ALLOWED):
+        directory = SRC / layer
+        if not directory.is_dir():
+            errors.append(f"lint_layers: missing layer directory {directory}")
+            continue
+        for path in sorted(directory.rglob("*")):
+            if path.suffix not in {".hpp", ".cpp"}:
+                continue
+            checked += 1
+            check_directory_dag(path, layer, errors)
+            if path.parent.name == "sync":
+                check_engine(path, errors)
+    sync_dir = SRC / "dist" / "sync"
+    expected = ENGINES | {"engine_context"}
+    present = {p.name.split(".")[0] for p in sync_dir.glob("*.hpp")}
+    for missing in sorted(expected - present):
+        errors.append(f"lint_layers: expected engine header missing: "
+                      f"{sync_dir / (missing + '.hpp')}")
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"lint_layers: {len(errors)} violation(s) in {checked} files")
+        return 1
+    print(f"lint_layers: OK ({checked} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
