@@ -1,11 +1,44 @@
 #include "core/scheduler.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "base/error.hpp"
 #include "base/log.hpp"
 
 namespace pia {
+namespace {
+
+std::uint64_t this_thread_token() {
+  const std::uint64_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return h == 0 ? 1 : h;  // 0 is reserved for "unconfined"
+}
+
+}  // namespace
+
+Scheduler::ConfinementGuard::ConfinementGuard(Scheduler& scheduler)
+    : scheduler_(scheduler) {
+  const std::uint64_t self = this_thread_token();
+  previous_ = scheduler_.confined_to_.exchange(self,
+                                               std::memory_order_acq_rel);
+  if (previous_ != 0 && previous_ != self)
+    raise(ErrorKind::kConsistency,
+          "scheduler '" + scheduler_.name_ +
+              "' confined by another thread (concurrent slice?)");
+}
+
+Scheduler::ConfinementGuard::~ConfinementGuard() {
+  scheduler_.confined_to_.store(previous_, std::memory_order_release);
+}
+
+void Scheduler::assert_confined(const char* operation) const {
+  const std::uint64_t owner = confined_to_.load(std::memory_order_acquire);
+  if (owner != 0 && owner != this_thread_token())
+    raise(ErrorKind::kConsistency,
+          std::string(operation) + " on scheduler '" + name_ +
+              "' from a thread that does not hold its confinement");
+}
 
 Scheduler::Scheduler(std::string name)
     : name_(std::move(name)), trace_(name_, obs::default_trace_capacity()) {}
@@ -127,6 +160,7 @@ VirtualTime Scheduler::next_event_time() const {
 }
 
 bool Scheduler::step() {
+  assert_confined("step()");
   if (queue_.empty()) return false;
   const Event event = queue_.pop();
 
@@ -160,6 +194,7 @@ std::uint64_t Scheduler::run(std::uint64_t max_events) {
 }
 
 void Scheduler::inject(Event event) {
+  assert_confined("inject()");
   if (event.time < now_) {
     if (straggler_handler && straggler_handler(event)) return;
     raise(ErrorKind::kConsistency,

@@ -16,6 +16,7 @@
 // runs ahead and restores a checkpoint on a straggler (optimistic channels).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -150,6 +151,29 @@ class Scheduler final : public ComponentContext {
   [[nodiscard]] obs::TraceBuffer& trace() { return trace_; }
   [[nodiscard]] const obs::TraceBuffer& trace() const { return trace_; }
 
+  // --- thread confinement ----------------------------------------------------------
+  //
+  // A scheduler is single-threaded by design; what changed with the worker
+  // pool is that *which* thread drives it can move between loop slices.
+  // The driving thread declares itself with a ConfinementGuard for the
+  // duration of a slice; step() and inject() then verify the caller is that
+  // thread.  Two workers slicing the same subsystem concurrently — the
+  // executor bug class this exists to catch — dies with Error{kConsistency}
+  // immediately instead of corrupting the event queue silently.  The guard
+  // nests (the legacy run loop wraps slices that may re-enter).
+
+  class ConfinementGuard {
+   public:
+    explicit ConfinementGuard(Scheduler& scheduler);
+    ~ConfinementGuard();
+    ConfinementGuard(const ConfinementGuard&) = delete;
+    ConfinementGuard& operator=(const ConfinementGuard&) = delete;
+
+   private:
+    Scheduler& scheduler_;
+    std::uint64_t previous_;
+  };
+
   // --- checkpoint support --------------------------------------------------------
   // Used by CheckpointManager; see checkpoint.hpp for the semantics.
 
@@ -177,6 +201,8 @@ class Scheduler final : public ComponentContext {
                                 const RunLevel& level) override;
 
  private:
+  friend class ConfinementGuard;
+  void assert_confined(const char* operation) const;
   void schedule(Event event);
   void dispatch(const Event& event);
   void evaluate_switchpoints();
@@ -200,6 +226,10 @@ class Scheduler final : public ComponentContext {
   SchedulerStats stats_;
   std::vector<std::uint64_t> dispatch_counts_;  // indexed by component id
   obs::TraceBuffer trace_;
+
+  // Hash of the thread currently confining this scheduler; 0 = unconfined
+  // (single-threaded callers that never enter a guard keep working).
+  std::atomic<std::uint64_t> confined_to_{0};
 };
 
 }  // namespace pia

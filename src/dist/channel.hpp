@@ -174,6 +174,16 @@ class ChannelEndpoint {
   std::uint64_t granted_out_seen = 0;
   bool request_outstanding = false;
   std::uint64_t next_request_id = 1;
+  /// Dedup state for safe-time requests: the (pending dispatch time,
+  /// effective grant) pair the last request was sent under.  A reply that
+  /// improves nothing clears request_outstanding, and without this memory
+  /// the next blocked pass would fire an identical request at once —
+  /// degenerating into a request/grant ping-pong storm between two pooled
+  /// workers (observed: ~150 round trips per event on an 8-leaf star).
+  /// Re-requesting is pointless until either value changes; liveness is
+  /// preserved because push_grants() pushes every real improvement anyway.
+  VirtualTime last_request_next = VirtualTime::infinity();
+  VirtualTime last_request_grant = VirtualTime::infinity();
 
   /// EventMsg counters on this channel (grant grounding).
   std::uint64_t event_msgs_sent = 0;
@@ -203,6 +213,14 @@ class ChannelEndpoint {
   /// inside grants so the peer can run ahead of its unacknowledged sends;
   /// a pure sink honestly declares infinity.
   VirtualTime reaction_lookahead = VirtualTime::zero();
+  /// Derived at Subsystem::start() from the net topology: false when no
+  /// split net on this endpoint has a local driver besides the channel
+  /// component's own hidden port, i.e. no component output can ever route
+  /// an event out through this side of the channel.  Such a sink-side
+  /// endpoint promises infinite safe time (the peer's advancement must not
+  /// wait on our processing) — without this a forward-only pipeline runs in
+  /// virtual-time lockstep, every stage throttled by its downstream.
+  bool can_send_events = true;
 
   // --- optimistic logs --------------------------------------------------------
 

@@ -37,51 +37,72 @@ void ChannelSet::replace_link(ChannelId id, transport::LinkPtr link) {
   endpoint.link().set_ready_signal(signal_);
 }
 
-bool ChannelSet::wait_any(std::chrono::milliseconds timeout) {
+std::chrono::milliseconds ChannelSet::prepare_wait(
+    std::vector<pollfd>& fds, std::chrono::milliseconds timeout) {
   // Frames parked inside fault/latency decorators mature silently: clamp
   // the wait to the earliest reported release so they are picked up on
   // time regardless of how long the caller was willing to sleep.
   const Clock::time_point now = Clock::now();
-  auto wait = timeout;
-  bool clamped = false;
+  auto wait = std::max(timeout, std::chrono::milliseconds(0));
   for (const auto& c : channels_) {
     if (const auto due = c->link().next_ready_time()) {
       const auto remaining =
           std::chrono::ceil<std::chrono::milliseconds>(*due - now);
-      const auto bounded = std::max(remaining, std::chrono::milliseconds(0));
-      if (bounded < wait) {
-        wait = bounded;
-        clamped = true;
-      }
+      wait = std::min(wait,
+                      std::max(remaining, std::chrono::milliseconds(0)));
     }
   }
 
   // Drain stale pulses BEFORE building the poll set: a pulse racing in
   // after this point simply leaves the signal fd readable and the poll
   // returns immediately — a spurious wake, never a lost one.
-  signal_->drain();
+  //
+  // A pulse consumed HERE is also a wake, not noise: it may belong to a
+  // frame that landed after the caller's last queue inspection, and eating
+  // it silently would stall that frame for the full idle timeout.  Clamp
+  // the wait to zero so the caller re-inspects at once; at worst the frame
+  // was already consumed and the caller pays one empty re-slice.
+  if (signal_->drain()) wait = std::chrono::milliseconds(0);
 
-  // Allocating the poll set per call is fine: this is the idle path.
-  std::vector<pollfd> fds;
-  fds.reserve(channels_.size() + 1);
   fds.push_back(pollfd{.fd = signal_->fd(), .events = POLLIN, .revents = 0});
   for (const auto& c : channels_) {
     const int fd = c->link().readable_fd();
     if (fd >= 0)
       fds.push_back(pollfd{.fd = fd, .events = POLLIN, .revents = 0});
   }
+  return wait;
+}
 
-  const int wait_ms = static_cast<int>(std::clamp<std::int64_t>(
-      wait.count(), 0, std::numeric_limits<int>::max()));
-  const int pr = ::poll(fds.data(), fds.size(), wait_ms);
-  if (pr < 0) {
-    if (errno == EINTR) return true;  // treat as a spurious wake
-    raise(ErrorKind::kTransport,
-          std::string("channel wait poll: ") + std::strerror(errno));
+bool ChannelSet::wait_any(std::chrono::milliseconds timeout) {
+  // Allocating the poll set per call is fine: this is the idle path.
+  std::vector<pollfd> fds;
+  fds.reserve(channels_.size() + 1);
+  const auto wait = prepare_wait(fds, timeout);
+  const bool clamped = wait < timeout;
+
+  const Clock::time_point deadline = Clock::now() + wait;
+  for (;;) {
+    const auto remaining =
+        std::chrono::ceil<std::chrono::milliseconds>(deadline - Clock::now());
+    const int wait_ms = static_cast<int>(std::clamp<std::int64_t>(
+        remaining.count(), 0, std::numeric_limits<int>::max()));
+    const int pr = ::poll(fds.data(), fds.size(), wait_ms);
+    if (pr < 0) {
+      if (errno == EINTR) {
+        // A signal interrupted the poll.  Reporting that as either a wake
+        // or a timeout would be a lie; retry for whatever wait remains.
+        if (Clock::now() >= deadline) break;
+        continue;
+      }
+      raise(ErrorKind::kTransport,
+            std::string("channel wait poll: ") + std::strerror(errno));
+    }
+    if (pr > 0) return true;
+    break;  // full timeout elapsed
   }
   // A clamped timeout that expired is a wake too: the matured frame is now
   // receivable even though no fd fired.
-  return pr > 0 || (clamped && wait < timeout);
+  return clamped;
 }
 
 }  // namespace pia::dist

@@ -9,6 +9,8 @@
 // channel.
 #pragma once
 
+#include <poll.h>
+
 #include <chrono>
 #include <memory>
 #include <vector>
@@ -57,6 +59,17 @@ class ChannelSet {
   /// caller's next drain pass decides.  False means the full timeout passed
   /// with no wake condition.
   bool wait_any(std::chrono::milliseconds timeout);
+
+  /// The fan-in half of wait_any, exposed so a worker pool can sleep on the
+  /// channel sets of *several* subsystems in one poll: drains this set's
+  /// shared signal and appends its poll entries (the signal fd plus every
+  /// kernel-backed link fd) to `fds`, returning `timeout` clamped to the
+  /// earliest decorator-buffered frame release.  A return value strictly
+  /// below `timeout` therefore means "a buffered frame matures then — treat
+  /// its expiry as a wake".  Call order matters: drain before inspect, so a
+  /// pulse racing in after this point leaves the fd readable for the poll.
+  std::chrono::milliseconds prepare_wait(std::vector<pollfd>& fds,
+                                         std::chrono::milliseconds timeout);
 
  private:
   std::vector<std::unique_ptr<ChannelEndpoint>> channels_;

@@ -1,0 +1,66 @@
+// NodeExecutor: the per-node worker pool for multi-threaded subsystem
+// execution.
+//
+// NodeCluster::run_all historically spawned one OS thread per subsystem —
+// fine for a handful, wasteful for many, and with no control over placement.
+// A NodeExecutor instead owns a fixed pool of scheduler threads (one per
+// core is the intended configuration; see PiaNode::set_worker_threads) and
+// multiplexes the node's subsystems over them in cooperative *slices*
+// (Subsystem::run_slice): one drain / advance-burst / grant-push round per
+// slice, after which the subsystem can migrate to any worker.
+//
+// Scheduling model:
+//   * Each worker owns a queue of subsystems.  It takes its whole queue as
+//     a batch, slices every member once, and requeues the unfinished ones.
+//     A subsystem is either queued or held in exactly one worker's batch —
+//     never in two places — so no two workers can slice it concurrently
+//     (Scheduler::ConfinementGuard enforces this at runtime).
+//   * Work stealing: a worker with an empty queue takes half of the largest
+//     victim queue (queued entries only; a batch in flight is not
+//     stealable), which rebalances load without a central dispatcher.
+//   * Idle: when a full batch pass makes no progress, the worker builds ONE
+//     poll set spanning every owned subsystem's channels
+//     (ChannelSet::prepare_wait) and sleeps until any of them may have
+//     traffic — the pooled generalization of the single-subsystem
+//     wait_any.
+//
+// Determinism: a subsystem's event order depends only on its own scheduler
+// queue and the FIFO order of each channel, both of which are independent
+// of which worker runs a slice or how slices interleave across subsystems —
+// so results are bit-exact with the thread-per-subsystem (and the
+// single-threaded oracle) execution at every worker count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dist/subsystem.hpp"
+
+namespace pia::dist {
+
+class NodeExecutor {
+ public:
+  /// The pool slices `subsystems` on `workers` threads (at least 1).
+  NodeExecutor(std::vector<Subsystem*> subsystems, std::size_t workers);
+
+  /// Runs every subsystem to completion and returns the outcome per
+  /// subsystem name.  Rethrows the first worker exception after all
+  /// workers have stopped (mirroring NodeCluster::run_all).
+  std::map<std::string, Subsystem::RunOutcome> run(
+      const Subsystem::RunConfig& config);
+
+  struct Stats {
+    std::uint64_t slices = 0;  // run_slice calls across all workers
+    std::uint64_t steals = 0;  // queue-rebalance events
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  std::vector<Subsystem*> subsystems_;
+  std::size_t workers_;
+  Stats stats_;
+};
+
+}  // namespace pia::dist

@@ -5,7 +5,9 @@
 
 #include "base/error.hpp"
 #include "base/log.hpp"
+#include "dist/executor.hpp"
 #include "obs/chrome_trace.hpp"
+#include "transport/spsc.hpp"
 
 namespace pia::dist {
 
@@ -20,6 +22,7 @@ PiaNode::PiaNode(std::string name)
 Subsystem& PiaNode::add_subsystem(const std::string& subsystem_name) {
   subsystems_.push_back(
       std::make_unique<Subsystem>(subsystem_name, next_subsystem_id_++));
+  subsystems_.back()->set_host_node(this);
   return *subsystems_.back();
 }
 
@@ -46,9 +49,20 @@ ChannelPair connect(Subsystem& a, Subsystem& b, ChannelMode mode, Wire wire,
                     transport::LatencyModel latency,
                     const transport::FaultPlan& fault) {
   transport::LinkPair pair;
+  // Co-scheduled subsystems (same host node) are each driven by exactly
+  // one thread at a time in every execution mode, which is precisely the
+  // single-producer/single-consumer contract — upgrade their loopback to
+  // the mutex-free ring so pooled workers never serialize on a pipe lock.
+  if (wire == Wire::kLoopback && a.host_node() != nullptr &&
+      a.host_node() == b.host_node()) {
+    wire = Wire::kSpsc;
+  }
   switch (wire) {
     case Wire::kLoopback:
       pair = transport::make_loopback_pair();
+      break;
+    case Wire::kSpsc:
+      pair = transport::make_spsc_pair();
       break;
     case Wire::kTcp: {
       transport::TcpListener listener(0);
@@ -121,26 +135,49 @@ void NodeCluster::start_all() {
 
 std::map<std::string, Subsystem::RunOutcome> NodeCluster::run_all(
     const Subsystem::RunConfig& config) {
-  std::map<std::string, Subsystem::RunOutcome> outcomes;
-  std::vector<Subsystem*> subs = all_subsystems();
-  std::vector<std::thread> threads;
-  std::vector<Subsystem::RunOutcome> results(subs.size(),
-                                             Subsystem::RunOutcome::kStalled);
-  std::vector<std::exception_ptr> errors(subs.size());
-  threads.reserve(subs.size());
-  for (std::size_t i = 0; i < subs.size(); ++i) {
-    threads.emplace_back([&, i] {
-      try {
-        results[i] = subs[i]->run(config);
-      } catch (...) {
-        errors[i] = std::current_exception();
+  // Per node: a NodeExecutor pool when the node asked for one, the legacy
+  // one-thread-per-subsystem layout otherwise.  Nodes always run
+  // concurrently with each other either way.
+  struct Runner {
+    std::thread thread;
+    std::map<std::string, Subsystem::RunOutcome> outcomes;
+    std::exception_ptr error;
+  };
+  std::vector<std::unique_ptr<Runner>> runners;
+  for (auto& n : nodes_) {
+    if (n->worker_threads() > 0) {
+      auto runner = std::make_unique<Runner>();
+      Runner* r = runner.get();
+      PiaNode* node = n.get();
+      r->thread = std::thread([r, node, &config] {
+        try {
+          NodeExecutor executor(node->subsystems(), node->worker_threads());
+          r->outcomes = executor.run(config);
+        } catch (...) {
+          r->error = std::current_exception();
+        }
+      });
+      runners.push_back(std::move(runner));
+    } else {
+      for (Subsystem* s : n->subsystems()) {
+        auto runner = std::make_unique<Runner>();
+        Runner* r = runner.get();
+        r->thread = std::thread([r, s, &config] {
+          try {
+            r->outcomes[s->name()] = s->run(config);
+          } catch (...) {
+            r->error = std::current_exception();
+          }
+        });
+        runners.push_back(std::move(runner));
       }
-    });
+    }
   }
-  for (auto& t : threads) t.join();
-  for (std::size_t i = 0; i < subs.size(); ++i) {
-    if (errors[i]) std::rethrow_exception(errors[i]);
-    outcomes[subs[i]->name()] = results[i];
+  for (auto& r : runners) r->thread.join();
+  std::map<std::string, Subsystem::RunOutcome> outcomes;
+  for (auto& r : runners) {
+    if (r->error) std::rethrow_exception(r->error);
+    outcomes.merge(r->outcomes);
   }
   return outcomes;
 }

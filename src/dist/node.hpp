@@ -41,10 +41,19 @@ class PiaNode {
   /// start() every subsystem (after wiring and channel setup).
   void start_all();
 
+  /// Worker pool size for NodeCluster::run_all.  0 (the default) keeps the
+  /// legacy execution exactly: one dedicated OS thread per subsystem.  Any
+  /// n >= 1 runs this node's subsystems on a NodeExecutor pool of n
+  /// scheduler threads with work stealing — set it to the core count to
+  /// let an N-core host actually run N subsystems at once.
+  void set_worker_threads(std::size_t n) { worker_threads_ = n; }
+  [[nodiscard]] std::size_t worker_threads() const { return worker_threads_; }
+
  private:
   friend class NodeCluster;
   std::string name_;
   std::vector<std::unique_ptr<Subsystem>> subsystems_;
+  std::size_t worker_threads_ = 0;
   std::uint32_t next_subsystem_id_;
   // Atomic: nodes are legitimately constructed from concurrent test/driver
   // threads, and a torn read-modify-write here would hand two nodes the
@@ -60,6 +69,7 @@ struct ChannelPair {
 /// How the two endpoints of a channel are physically connected.
 enum class Wire {
   kLoopback,  // in-process pipe (same node, or co-located nodes)
+  kSpsc,      // lock-free in-process ring (co-scheduled subsystems)
   kTcp,       // real sockets over localhost (the "Internet" of Fig. 1)
 };
 

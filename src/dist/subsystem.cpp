@@ -101,6 +101,22 @@ void Subsystem::send_runlevel(ChannelId channel_id,
 void Subsystem::start() {
   PIA_REQUIRE(!started_, "subsystem '" + name_ + "' already started");
   started_ = true;
+  // Topology-derived self-restriction removal: an endpoint none of whose
+  // split nets has a local driver besides the proxy's own hidden port can
+  // never emit an event, so it owes the peer no finite safe-time promise
+  // and no reaction slack.  Deriving this here (wiring is frozen once the
+  // subsystem starts) is what lets a forward-only pipeline actually
+  // pipeline: upstream stages are no longer throttled to the processing
+  // frontier of stages that only ever listen.
+  for (auto& cp : channels_) {
+    ChannelEndpoint& c = *cp;
+    bool drives = false;
+    for (const NetId net_id : c.split_nets)
+      for (const Endpoint& driver : scheduler_.net(net_id).drivers)
+        drives |= driver.component != c.channel_component;
+    c.can_send_events = drives;
+    if (!drives) c.reaction_lookahead = VirtualTime::infinity();
+  }
   scheduler_.init();
   // Base checkpoint: the rollback target of last resort.
   optimistic_.take_checkpoint();
@@ -230,65 +246,79 @@ bool Subsystem::quiescent() const {
   return channels_.empty() && scheduler_.idle();
 }
 
+std::optional<Subsystem::RunOutcome> Subsystem::run_slice(
+    const RunConfig& config, bool& progressed) {
+  PIA_REQUIRE(started_, "run_slice() before start() on " + name_);
+  // The slice owns the scheduler for its duration; a second worker slicing
+  // concurrently dies here instead of corrupting the event queue.
+  const Scheduler::ConfinementGuard confined(scheduler_);
+
+  // One frame per loop slice: everything the drain / advance burst /
+  // grant and status push emit on a channel shares a batch.  The caller's
+  // idle wait happens outside the hold so replies flush first.
+  FlushHold hold(channels_);
+  progressed = drain();
+
+  // A dead link can never deliver the grants, retractions or probe
+  // replies the protocols below wait for: give up cleanly rather than
+  // spinning into the stall timeout.
+  for (const auto& c : channels_)
+    if (c->peer_closed) return RunOutcome::kDisconnected;
+
+  // Liveness: a peer that stopped sending *anything* (not even
+  // heartbeats) is down even though the transport still looks open.
+  if (recovery_.service_heartbeats()) return RunOutcome::kPeerDown;
+
+  bool blocked = false;
+  for (int burst = 0; burst < 256; ++burst) {
+    const StepResult result = try_advance(config.horizon);
+    if (result == StepResult::kStepped) {
+      progressed = true;
+      continue;
+    }
+    blocked = (result == StepResult::kBlocked);
+    break;
+  }
+
+  conservative_.push_grants();
+  conservative_.push_status_if_changed();
+
+  if (conservative_.terminated()) return RunOutcome::kQuiescent;
+  if (channels_.empty() && scheduler_.idle()) return RunOutcome::kQuiescent;
+
+  if (blocked) conservative_.on_blocked();
+
+  // Horizon exit (finite horizons only): everything below the horizon is
+  // done and conservative grants guarantee nothing earlier can still
+  // arrive.  Infinite-horizon quiescence always goes through the
+  // termination probe instead — exiting unilaterally on infinite grants
+  // left peers that still needed our probe replies stalled forever
+  // (fuzz_cluster seed 13: a conservative leaf next to a mixed chain).
+  const VirtualTime t = scheduler_.next_event_time();
+  if (!config.horizon.is_infinite() && (t.is_infinite() || t > config.horizon) &&
+      conservative_.barrier() >= config.horizon &&
+      !optimistic_.has_optimistic_channel()) {
+    return RunOutcome::kHorizon;
+  }
+
+  conservative_.maybe_start_probe();
+  return std::nullopt;
+}
+
+std::chrono::milliseconds Subsystem::idle_wait_hint() const {
+  auto wait = std::chrono::milliseconds(10);
+  if (recovery_.heartbeat_interval().count() > 0)
+    wait = std::min(wait, recovery_.heartbeat_interval());
+  return wait;
+}
+
 Subsystem::RunOutcome Subsystem::run(const RunConfig& config) {
   PIA_REQUIRE(started_, "run() before start() on " + name_);
   auto last_progress = std::chrono::steady_clock::now();
 
   for (;;) {
     bool progressed = false;
-    {
-      // One frame per loop slice: everything the drain / advance burst /
-      // grant and status push emit on a channel shares a batch.  The idle
-      // wait below stays outside the hold so replies flush first.
-      FlushHold hold(channels_);
-      progressed = drain();
-
-      // A dead link can never deliver the grants, retractions or probe
-      // replies the protocols below wait for: give up cleanly rather than
-      // spinning into the stall timeout.
-      for (const auto& c : channels_)
-        if (c->peer_closed) return RunOutcome::kDisconnected;
-
-      // Liveness: a peer that stopped sending *anything* (not even
-      // heartbeats) is down even though the transport still looks open.
-      if (recovery_.service_heartbeats()) return RunOutcome::kPeerDown;
-
-      bool blocked = false;
-      for (int burst = 0; burst < 256; ++burst) {
-        const StepResult result = try_advance(config.horizon);
-        if (result == StepResult::kStepped) {
-          progressed = true;
-          continue;
-        }
-        blocked = (result == StepResult::kBlocked);
-        break;
-      }
-
-      conservative_.push_grants();
-      conservative_.push_status_if_changed();
-
-      if (conservative_.terminated()) return RunOutcome::kQuiescent;
-      if (channels_.empty() && scheduler_.idle())
-        return RunOutcome::kQuiescent;
-
-      if (blocked) conservative_.on_blocked();
-
-      // Horizon exit (finite horizons only): everything below the horizon is
-      // done and conservative grants guarantee nothing earlier can still
-      // arrive.  Infinite-horizon quiescence always goes through the
-      // termination probe instead — exiting unilaterally on infinite grants
-      // left peers that still needed our probe replies stalled forever
-      // (fuzz_cluster seed 13: a conservative leaf next to a mixed chain).
-      const VirtualTime t = scheduler_.next_event_time();
-      if (!config.horizon.is_infinite() &&
-          (t.is_infinite() || t > config.horizon) &&
-          conservative_.barrier() >= config.horizon &&
-          !optimistic_.has_optimistic_channel()) {
-        return RunOutcome::kHorizon;
-      }
-
-      conservative_.maybe_start_probe();
-    }
+    if (const auto outcome = run_slice(config, progressed)) return *outcome;
 
     if (progressed) {
       last_progress = std::chrono::steady_clock::now();
@@ -299,10 +329,7 @@ Subsystem::RunOutcome Subsystem::run(const RunConfig& config) {
     // (shared readiness signal + kernel fds), so the wake latency is
     // independent of the channel count.  Whatever arrives is consumed by
     // the next pass's drain, inside its flush hold.
-    auto wait = std::chrono::milliseconds(10);
-    if (recovery_.heartbeat_interval().count() > 0)
-      wait = std::min(wait, recovery_.heartbeat_interval());
-    if (channels_.wait_any(wait)) {
+    if (channels_.wait_any(idle_wait_hint())) {
       last_progress = std::chrono::steady_clock::now();
       continue;
     }

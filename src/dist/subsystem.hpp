@@ -33,6 +33,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/checkpoint.hpp"
@@ -269,6 +270,31 @@ class Subsystem : private sync::EngineContext {
   RunOutcome run(const RunConfig& config);
   RunOutcome run() { return run(RunConfig{}); }
 
+  /// One cooperative slice of the main loop: drain, a bounded advance
+  /// burst, grant/status push, and the exit checks — everything run() does
+  /// between two idle waits.  Returns an outcome when the subsystem is
+  /// finished, nullopt to keep going; `progressed` reports whether the
+  /// slice consumed messages or dispatched events (the caller's idle/stall
+  /// signal).  The calling thread holds the scheduler confinement for the
+  /// duration of the slice, so a pool may move a subsystem between workers
+  /// across slices but never run two slices concurrently.
+  std::optional<RunOutcome> run_slice(const RunConfig& config,
+                                      bool& progressed);
+
+  /// How long an idle wait after an unproductive slice may sleep before
+  /// protocol timers (heartbeats) need service.
+  [[nodiscard]] std::chrono::milliseconds idle_wait_hint() const;
+
+  /// The channel table, for callers that wait on several subsystems at
+  /// once (dist::NodeExecutor builds one poll set across pool members).
+  [[nodiscard]] ChannelSet& channel_set() { return channels_; }
+
+  /// Host tagging (set by PiaNode::add_subsystem): lets connect() pick the
+  /// mutex-free SPSC transport when both endpoints are co-scheduled on the
+  /// same node.  Opaque to Subsystem itself.
+  void set_host_node(const void* node) { host_node_ = node; }
+  [[nodiscard]] const void* host_node() const { return host_node_; }
+
   /// True when this subsystem is locally idle and every peer reported an
   /// idle status with matched message counters (nothing in flight).
   [[nodiscard]] bool quiescent() const;
@@ -346,6 +372,7 @@ class Subsystem : private sync::EngineContext {
   Scheduler scheduler_;
   CheckpointManager checkpoints_;
   ChannelSet channels_;
+  const void* host_node_ = nullptr;
   bool started_ = false;
   std::uint32_t channel_batch_limit_ = 64;
   TrafficStats traffic_;

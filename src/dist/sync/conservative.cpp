@@ -32,6 +32,14 @@ void ConservativeEngine::on_grant(ChannelId channel_id,
 
 VirtualTime ConservativeEngine::grant_for(ChannelId requester) const {
   const ChannelSet& channels = ctx_.channels();
+  // Sink-side endpoint (no local driver can route onto it, derived at
+  // start()): nothing will ever be sent to the requester, so the honest
+  // promise is infinity regardless of local progress.  This is the paper's
+  // self-restriction removal extended to topology: without it the grant is
+  // capped by next_event_time() and a forward-only pipeline degenerates to
+  // virtual-time lockstep, every stage waiting on its downstream listener.
+  if (!channels[requester.value()].can_send_events)
+    return VirtualTime::infinity();
   VirtualTime horizon = ctx_.scheduler().next_event_time();
   for (std::uint32_t i = 0; i < channels.size(); ++i) {
     if (ChannelId{i} == requester) continue;  // self-restriction removal
@@ -120,7 +128,16 @@ void ConservativeEngine::on_blocked() {
   for (auto& cp : ctx_.channels()) {
     ChannelEndpoint& c = *cp;
     if (c.mode() != ChannelMode::kConservative) continue;
-    if (c.effective_grant() >= next || c.request_outstanding) continue;
+    const VirtualTime grant = c.effective_grant();
+    if (grant >= next || c.request_outstanding) continue;
+    // Nothing moved since the last request on this channel: the peer
+    // already answered for exactly this state, and asking again only
+    // manufactures wakeups (see last_request_next in channel.hpp).  The
+    // next improvement arrives via the peer's proactive grant push.
+    if (c.last_request_next == next && c.last_request_grant == grant)
+      continue;
+    c.last_request_next = next;
+    c.last_request_grant = grant;
     c.send_message(SafeTimeRequest{.request_id = c.next_request_id++});
     c.request_outstanding = true;
     stats_.requests_sent++;

@@ -257,6 +257,8 @@ void RecoveryCoordinator::restore_image(BytesView image) {
     c.granted_out = VirtualTime::zero();
     c.granted_out_seen = 0;
     c.request_outstanding = false;
+    c.last_request_next = VirtualTime::infinity();
+    c.last_request_grant = VirtualTime::infinity();
     c.peer_status_seen = false;
     c.msgs_sent = 0;
     c.msgs_received = 0;

@@ -110,6 +110,8 @@ void SnapshotCoordinator::restore(std::uint64_t token) {
     c.granted_out = VirtualTime::zero();
     c.granted_out_seen = 0;
     c.request_outstanding = false;
+    c.last_request_next = VirtualTime::infinity();
+    c.last_request_grant = VirtualTime::infinity();
     c.peer_status_seen = false;
     // Restart liveness from scratch: the peer may be mid-restart and the
     // old timers describe the abandoned timeline.

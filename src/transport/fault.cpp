@@ -45,13 +45,14 @@ class FaultLink final : public Link {
     if (plan_.delay_jitter_max.count() > 0) {
       const auto extra = std::chrono::microseconds(jitter_rng_.below(
           static_cast<std::uint64_t>(plan_.delay_jitter_max.count()) + 1));
-      if (extra.count() > 0) ++stats_.faults_delayed;
+      if (extra.count() > 0)
+        stats_.faults_delayed.fetch_add(1, std::memory_order_relaxed);
       delay += std::chrono::duration_cast<Clock::duration>(extra);
     }
     if (plan_.drop_probability > 0.0 &&
         drop_rng_.chance(plan_.drop_probability)) {
       // First transmission lost; model the retransmission as extra latency.
-      ++stats_.faults_dropped;
+      stats_.faults_dropped.fetch_add(1, std::memory_order_relaxed);
       delay += std::chrono::duration_cast<Clock::duration>(plan_.retry_delay);
     }
 
@@ -70,12 +71,10 @@ class FaultLink final : public Link {
     inner_->send(send_scratch_, message_count);
     if (plan_.dup_probability > 0.0 &&
         dup_rng_.chance(plan_.dup_probability)) {
-      ++stats_.faults_duplicated;
+      stats_.faults_duplicated.fetch_add(1, std::memory_order_relaxed);
       inner_->send(send_scratch_, message_count);
     }
-    stats_.messages_sent += message_count;
-    stats_.frames_sent++;
-    stats_.bytes_sent += message.size();
+    stats_.count_send(message_count, message.size());
   }
 
   std::optional<Bytes> try_recv() override {
@@ -112,7 +111,7 @@ class FaultLink final : public Link {
   LinkStats stats() const override {
     // Logical (post-fault) message counts plus the fault counters; the
     // inner link's own stats would double-count duplicated frames.
-    return stats_;
+    return stats_.snapshot();
   }
 
   std::string describe() const override {
@@ -142,7 +141,7 @@ class FaultLink final : public Link {
   void trip() {
     if (tripped_) return;
     tripped_ = true;
-    ++stats_.faults_abrupt_closes;
+    stats_.faults_abrupt_closes.fetch_add(1, std::memory_order_relaxed);
     inner_->close();
   }
 
@@ -152,7 +151,7 @@ class FaultLink final : public Link {
       const auto end = start + window.duration;
       if (release >= start && release < end) {
         release = end;
-        ++stats_.faults_partition_held;
+        stats_.faults_partition_held.fetch_add(1, std::memory_order_relaxed);
       }
     }
     return release;
@@ -165,7 +164,7 @@ class FaultLink final : public Link {
     std::uint64_t seq = 0;
     std::memcpy(&seq, raw.data(), sizeof(seq));
     if (seq <= recv_seq_) {  // FIFO inner link => duplicate, not reorder
-      ++stats_.faults_dup_discarded;
+      stats_.faults_dup_discarded.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     if (crash_due()) {
@@ -197,9 +196,7 @@ class FaultLink final : public Link {
     }
     Bytes out = std::move(*pending_);
     pending_.reset();
-    ++stats_.messages_received;
-    ++stats_.frames_received;
-    stats_.bytes_received += out.size();
+    stats_.count_recv(out.size());
     return out;
   }
 
@@ -218,7 +215,9 @@ class FaultLink final : public Link {
   std::optional<Bytes> pending_;
   std::int64_t pending_stamp_ = 0;
   Bytes send_scratch_;  // reused seq+stamp header assembly buffer
-  LinkStats stats_;
+  // stats() may be read while another thread drives the send or recv path;
+  // the counters are lock-free atomics so the read needs no mutex.
+  AtomicLinkStats stats_;
 };
 
 }  // namespace

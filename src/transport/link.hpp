@@ -11,6 +11,7 @@
 // A LatencyLink decorator injects wide-area delay into either.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -45,6 +46,60 @@ struct LinkStats {
   std::uint64_t faults_dup_discarded = 0;  // duplicate frames discarded
   std::uint64_t faults_partition_held = 0; // frames held by a partition
   std::uint64_t faults_abrupt_closes = 0;  // injected peer-crash closes
+};
+
+/// The link implementations' internal counter block.  A link endpoint is
+/// legitimately shared between a sending and a receiving thread (and
+/// stats() may be read by a third, e.g. a metrics collector), so the
+/// counters are lock-free atomics: each path bumps its own counters with
+/// relaxed ordering — they are independent monotone tallies, not a
+/// consistency group — and stats() returns a plain LinkStats snapshot.
+struct AtomicLinkStats {
+  std::atomic<std::uint64_t> messages_sent{0};
+  std::atomic<std::uint64_t> messages_received{0};
+  std::atomic<std::uint64_t> frames_sent{0};
+  std::atomic<std::uint64_t> frames_received{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> bytes_received{0};
+  std::atomic<std::uint64_t> faults_delayed{0};
+  std::atomic<std::uint64_t> faults_duplicated{0};
+  std::atomic<std::uint64_t> faults_dropped{0};
+  std::atomic<std::uint64_t> faults_dup_discarded{0};
+  std::atomic<std::uint64_t> faults_partition_held{0};
+  std::atomic<std::uint64_t> faults_abrupt_closes{0};
+
+  /// One frame out: `messages` protocol messages in `bytes` payload bytes.
+  void count_send(std::uint32_t messages, std::size_t bytes) {
+    messages_sent.fetch_add(messages, std::memory_order_relaxed);
+    frames_sent.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  /// One frame in, `bytes` payload bytes.
+  void count_recv(std::size_t bytes) {
+    messages_received.fetch_add(1, std::memory_order_relaxed);
+    frames_received.fetch_add(1, std::memory_order_relaxed);
+    bytes_received.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] LinkStats snapshot() const {
+    LinkStats s;
+    s.messages_sent = messages_sent.load(std::memory_order_relaxed);
+    s.messages_received = messages_received.load(std::memory_order_relaxed);
+    s.frames_sent = frames_sent.load(std::memory_order_relaxed);
+    s.frames_received = frames_received.load(std::memory_order_relaxed);
+    s.bytes_sent = bytes_sent.load(std::memory_order_relaxed);
+    s.bytes_received = bytes_received.load(std::memory_order_relaxed);
+    s.faults_delayed = faults_delayed.load(std::memory_order_relaxed);
+    s.faults_duplicated = faults_duplicated.load(std::memory_order_relaxed);
+    s.faults_dropped = faults_dropped.load(std::memory_order_relaxed);
+    s.faults_dup_discarded =
+        faults_dup_discarded.load(std::memory_order_relaxed);
+    s.faults_partition_held =
+        faults_partition_held.load(std::memory_order_relaxed);
+    s.faults_abrupt_closes =
+        faults_abrupt_closes.load(std::memory_order_relaxed);
+    return s;
+  }
 };
 
 class Link {

@@ -33,11 +33,10 @@ class LoopbackLink final : public Link {
       if (out_->closed)
         raise(ErrorKind::kTransport, "send on closed loopback link");
       out_->queue.emplace_back(frame.begin(), frame.end());
-      stats_.messages_sent += message_count;
-      stats_.frames_sent++;
-      stats_.bytes_sent += frame.size();
       signal = out_->signal;
     }
+    // Outside the pipe lock: stats_ is this endpoint's own atomic block.
+    stats_.count_send(message_count, frame.size());
     out_->ready.notify_one();
     if (signal) signal->notify();
   }
@@ -77,7 +76,7 @@ class LoopbackLink final : public Link {
     return out_->closed;
   }
 
-  LinkStats stats() const override { return stats_; }
+  LinkStats stats() const override { return stats_.snapshot(); }
 
   std::string describe() const override { return "loopback"; }
 
@@ -86,15 +85,16 @@ class LoopbackLink final : public Link {
     if (in_->queue.empty()) return std::nullopt;
     Bytes msg = std::move(in_->queue.front());
     in_->queue.pop_front();
-    stats_.messages_received++;
-    stats_.frames_received++;
-    stats_.bytes_received += msg.size();
+    stats_.count_recv(msg.size());
     return msg;
   }
 
   std::shared_ptr<Pipe> out_;
   std::shared_ptr<Pipe> in_;
-  LinkStats stats_;
+  // Send path and recv path run under *different* pipe mutexes (out_ / in_)
+  // and stats() takes no lock at all, so the counters must not rely on
+  // either mutex: AtomicLinkStats makes every access lock-free.
+  AtomicLinkStats stats_;
 };
 
 }  // namespace

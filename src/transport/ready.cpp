@@ -14,9 +14,20 @@ ReadySignal::ReadySignal() {
   if (::pipe(fds_) < 0)
     raise(ErrorKind::kTransport,
           std::string("ready signal pipe: ") + std::strerror(errno));
+  // A silently-blocking pipe end would turn notify() into a deadlock and
+  // drain() into a hang, so flag-setting failures must not pass unnoticed.
   for (const int fd : fds_) {
-    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
-    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    const int fl = ::fcntl(fd, F_GETFL);
+    if (fl < 0 || ::fcntl(fd, F_SETFL, fl | O_NONBLOCK) < 0 ||
+        ::fcntl(fd, F_SETFD, FD_CLOEXEC) < 0) {
+      const int saved = errno;
+      for (int& open_fd : fds_) {
+        if (open_fd >= 0) ::close(open_fd);
+        open_fd = -1;
+      }
+      raise(ErrorKind::kTransport,
+            std::string("ready signal fcntl: ") + std::strerror(saved));
+    }
   }
 }
 
@@ -34,9 +45,22 @@ void ReadySignal::notify() {
   [[maybe_unused]] const ssize_t n = ::write(fds_[1], &pulse, 1);
 }
 
-void ReadySignal::drain() {
+bool ReadySignal::drain() {
   char sink[256];
-  while (::read(fds_[0], sink, sizeof(sink)) > 0) {
+  bool consumed = false;
+  for (;;) {
+    const ssize_t n = ::read(fds_[0], sink, sizeof(sink));
+    if (n > 0) {
+      consumed = true;
+      continue;
+    }
+    if (n == 0) return consumed;  // write end closed mid-destruction
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return consumed;  // empty
+    if (errno == EINTR) continue;
+    // Anything else (EBADF after a double close, EIO) means the wake
+    // mechanism is broken — waiting on it would hang forever, so fail loud.
+    raise(ErrorKind::kTransport,
+          std::string("ready signal drain: ") + std::strerror(errno));
   }
 }
 

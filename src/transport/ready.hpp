@@ -30,8 +30,10 @@ class ReadySignal {
 
   /// Consumes queued pulses.  Callers drain *before* re-inspecting the
   /// queues they guard: a pulse that races the drain re-arms the next wait
-  /// rather than being lost.
-  void drain();
+  /// rather than being lost.  Returns true if any pulse was consumed — a
+  /// consumed pulse means a sender signalled since the last drain, so the
+  /// guarded queues must be re-inspected before sleeping at all.
+  bool drain();
 
   /// The fd a waiter adds to its poll set (POLLIN when notified).
   [[nodiscard]] int fd() const { return fds_[0]; }

@@ -1,0 +1,33 @@
+// SPSC link: the mutex-free in-process pipe for co-scheduled subsystems.
+//
+// When several subsystems share one worker pool (dist::NodeExecutor), every
+// cross-subsystem send lands on the hot path of a scheduler thread — taking
+// a mutex there serializes the very threads the pool exists to decouple.
+// An SpscLink endpoint is written by exactly one thread (the subsystem that
+// sends on it) and read by exactly one thread (its peer's current worker),
+// so each direction can be a classic single-producer/single-consumer ring:
+// the producer owns the tail index, the consumer owns the head index, and
+// the only synchronization is one acquire/release pair per message.
+//
+// The Link contract (FIFO, loss-free, never blocks the sender) still holds
+// when the ring fills: overflow spills into a mutex-protected side queue,
+// and the producer keeps spilling until the consumer has drained the spill
+// completely — ring items are always older than spilled items, so reading
+// ring-first preserves order.  The mutex is touched only in the overflow
+// regime; steady-state traffic never takes it.
+//
+// Readiness: each direction owns an internal ReadySignal whose read end is
+// exposed through readable_fd(), exactly like a socket link — a pooled
+// waiter polls the fd directly, and the producer pulses it once per send.
+#pragma once
+
+#include "transport/link.hpp"
+
+namespace pia::transport {
+
+/// Creates a connected pair of lock-free SPSC ring links.  Each endpoint
+/// must be driven by at most one sending thread and one receiving thread at
+/// a time (the subsystem-per-worker execution model guarantees this).
+LinkPair make_spsc_pair();
+
+}  // namespace pia::transport

@@ -50,9 +50,7 @@ class TcpLink final : public Link {
       }
       off += static_cast<std::size_t>(n);
     }
-    stats_.messages_sent += message_count;
-    stats_.frames_sent++;
-    stats_.bytes_sent += frame.size();
+    stats_.count_send(message_count, frame.size());
   }
 
   std::optional<Bytes> try_recv() override { return recv_impl(0); }
@@ -81,7 +79,7 @@ class TcpLink final : public Link {
     return fd_ < 0 && !decoder_.has_complete_frame();
   }
 
-  LinkStats stats() const override { return stats_; }
+  LinkStats stats() const override { return stats_.snapshot(); }
 
   std::string describe() const override { return "tcp"; }
 
@@ -138,18 +136,16 @@ class TcpLink final : public Link {
 
   std::optional<Bytes> pop() {
     auto msg = decoder_.next();
-    if (msg) {
-      stats_.messages_received++;
-      stats_.frames_received++;
-      stats_.bytes_received += msg->size();
-    }
+    if (msg) stats_.count_recv(msg->size());
     return msg;
   }
 
   int fd_;
   FrameDecoder decoder_;
   Bytes frame_scratch_;  // reused PIAF frame assembly buffer
-  LinkStats stats_;
+  // A sender and a receiver thread may share this endpoint, and stats() is
+  // read without any lock (metrics collection): counters are atomic.
+  AtomicLinkStats stats_;
 };
 
 }  // namespace

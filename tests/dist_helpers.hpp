@@ -221,15 +221,26 @@ struct FuzzCluster {
   std::vector<std::shared_ptr<SnapshotStore>> stores;
   Sink* sink = nullptr;
 
+  /// `worker_threads` == 0: one node per subsystem, each on its own OS
+  /// thread (the legacy layout).  > 0: every subsystem co-hosted on ONE
+  /// node whose NodeExecutor pool has that many workers — the layout the
+  /// threads equivalence arm compares against the single-threaded oracle.
   FuzzCluster(const PipelineSpec& spec,
               const std::vector<ChannelMode>& channel_modes, Wire wire,
               transport::LatencyModel latency,
               const transport::FaultPlan& fault,
               const std::vector<std::uint64_t>& checkpoint_intervals,
-              const std::optional<CrashSpec>& crash = std::nullopt) {
+              const std::optional<CrashSpec>& crash = std::nullopt,
+              std::size_t worker_threads = 0) {
     const std::size_t hosts = spec.subsystem_count();
+    PiaNode* pooled = nullptr;
+    if (worker_threads > 0) {
+      pooled = &cluster.add_node("pool");
+      pooled->set_worker_threads(worker_threads);
+    }
     for (std::size_t g = 0; g < hosts; ++g) {
-      PiaNode& node = cluster.add_node("node" + std::to_string(g));
+      PiaNode& node =
+          pooled ? *pooled : cluster.add_node("node" + std::to_string(g));
       subsystems.push_back(&node.add_subsystem("ss" + std::to_string(g)));
       subsystems.back()->set_checkpoint_interval(
           checkpoint_intervals[g % checkpoint_intervals.size()]);
@@ -366,13 +377,13 @@ inline RecoveryReport run_with_crash_and_recover(
     const transport::FaultPlan& fault,
     const std::vector<std::uint64_t>& checkpoint_intervals,
     const FuzzCluster::CrashSpec& crash, const RecoveryOptions& options,
-    std::chrono::milliseconds stall_timeout = std::chrono::milliseconds(
-        2000)) {
+    std::chrono::milliseconds stall_timeout = std::chrono::milliseconds(2000),
+    std::size_t worker_threads = 0) {
   RecoveryReport report;
 
   {
     FuzzCluster wounded(spec, modes, wire, latency, fault,
-                        checkpoint_intervals, crash);
+                        checkpoint_intervals, crash, worker_threads);
     wounded.enable_recovery(options);
     std::map<std::string, Subsystem::RunOutcome> outcomes;
     PipelineResult first = wounded.run(stall_timeout, &outcomes);
@@ -418,7 +429,8 @@ inline RecoveryReport run_with_crash_and_recover(
   for (const std::optional<std::uint64_t>& token : attempts) {
     // Freshly constructed subsystems, identical wiring, no bomb.
     FuzzCluster restarted(spec, modes, wire, latency, fault,
-                          checkpoint_intervals);
+                          checkpoint_intervals, std::nullopt,
+                          worker_threads);
     restarted.enable_recovery(options);  // re-opens the store directories
     restarted.cluster.start_all();
     ++report.restart_attempts;

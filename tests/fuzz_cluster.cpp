@@ -222,11 +222,12 @@ bool events_conserved(const std::vector<Subsystem*>& subsystems,
 
 bool run_one_config(std::uint64_t seed, const FuzzCase& c,
                     const std::vector<ChannelMode>& modes, bool with_faults,
-                    const PipelineResult& reference, bool verbose) {
+                    const PipelineResult& reference, bool verbose,
+                    std::size_t threads) {
   const transport::FaultPlan plan =
       with_faults ? c.fault : transport::FaultPlan::none();
   FuzzCluster dut(c.spec, modes, c.wire, c.latency, plan,
-                  c.checkpoint_intervals);
+                  c.checkpoint_intervals, std::nullopt, threads);
   std::map<std::string, Subsystem::RunOutcome> outcomes;
   const PipelineResult result = dut.run(20'000ms, &outcomes);
 
@@ -259,15 +260,15 @@ bool run_one_config(std::uint64_t seed, const FuzzCase& c,
 
   if (ok) {
     if (verbose)
-      std::printf("  modes=%s faults=%d ... ok (%zu events)\n",
-                  describe_modes(modes).c_str(), with_faults ? 1 : 0,
+      std::printf("  modes=%s faults=%d threads=%zu ... ok (%zu events)\n",
+                  describe_modes(modes).c_str(), with_faults ? 1 : 0, threads,
                   result.received.size());
     return true;
   }
 
-  std::printf("FAIL seed=%llu modes=%s faults=%d\n",
+  std::printf("FAIL seed=%llu modes=%s faults=%d threads=%zu\n",
               static_cast<unsigned long long>(seed),
-              describe_modes(modes).c_str(), with_faults ? 1 : 0);
+              describe_modes(modes).c_str(), with_faults ? 1 : 0, threads);
   std::printf("  case: %s\n", describe_case(c).c_str());
   for (const auto& [name, outcome] : outcomes)
     if (outcome != Subsystem::RunOutcome::kQuiescent)
@@ -280,8 +281,11 @@ bool run_one_config(std::uint64_t seed, const FuzzCase& c,
                       : "HORIZON");
   std::printf("  expected %s\n  got      %s\n",
               dump(reference).c_str(), dump(result).c_str());
-  std::printf("  reproduce: fuzz_cluster --seed=%llu\n",
-              static_cast<unsigned long long>(seed));
+  std::printf("  reproduce: fuzz_cluster --seed=%llu%s\n",
+              static_cast<unsigned long long>(seed),
+              threads > 0
+                  ? (" --threads=" + std::to_string(threads)).c_str()
+                  : "");
   return false;
 }
 
@@ -291,7 +295,8 @@ bool run_one_config(std::uint64_t seed, const FuzzCase& c,
 
 bool run_recovery_config(std::uint64_t seed, const FuzzCase& c,
                          const std::vector<ChannelMode>& modes,
-                         const PipelineResult& reference, bool verbose) {
+                         const PipelineResult& reference, bool verbose,
+                         std::size_t threads) {
   // The crash point and snapshot cadence derive from the seed too, so every
   // failure reproduces from `--recovery --seed=S` alone.
   Rng crash_rng(seed ^ 0xC4A5ED1AD15EA5EDULL);
@@ -301,10 +306,14 @@ bool run_recovery_config(std::uint64_t seed, const FuzzCase& c,
       .frames = 15 + crash_rng.below(50),
       .endpoint = 1 + crash_rng.below(2)};
   testing::RecoveryOptions options;
+  // The store root includes the worker-thread count: the --threads ctest
+  // arms run the same seeds as the single-threaded arm, and under a
+  // parallel ctest both would otherwise remove_all/commit into the same
+  // directory at once.
   const std::filesystem::path root =
       std::filesystem::temp_directory_path() /
       ("pia_fuzz_recovery_" + std::to_string(seed) + "_" +
-       describe_modes(modes));
+       describe_modes(modes) + "_t" + std::to_string(threads));
   std::filesystem::remove_all(root);
   options.store_root = root.string();
   options.auto_snapshot_every = 4 + crash_rng.below(12);
@@ -314,7 +323,7 @@ bool run_recovery_config(std::uint64_t seed, const FuzzCase& c,
   try {
     const testing::RecoveryReport report = testing::run_with_crash_and_recover(
         c.spec, modes, c.wire, c.latency, transport::FaultPlan::none(),
-        c.checkpoint_intervals, crash, options, 20'000ms);
+        c.checkpoint_intervals, crash, options, 20'000ms, threads);
     if (report.result == reference) {
       std::filesystem::remove_all(root);
       if (verbose)
@@ -345,12 +354,13 @@ bool run_recovery_config(std::uint64_t seed, const FuzzCase& c,
   return false;
 }
 
-bool run_recovery_seed(std::uint64_t seed, bool verbose) {
+bool run_recovery_seed(std::uint64_t seed, bool verbose,
+                       std::size_t threads) {
   const FuzzCase c = generate(seed);
   if (verbose)
-    std::printf("seed=%llu %s (recovery)\n",
+    std::printf("seed=%llu %s (recovery, threads=%zu)\n",
                 static_cast<unsigned long long>(seed),
-                describe_case(c).c_str());
+                describe_case(c).c_str(), threads);
   const PipelineResult reference = run_single_host_pipeline(c.spec);
 
   const std::size_t channels = c.spec.subsystem_count() - 1;
@@ -368,11 +378,11 @@ bool run_recovery_seed(std::uint64_t seed, bool verbose) {
 
   bool ok = true;
   for (const auto& modes : mode_sets)
-    ok &= run_recovery_config(seed, c, modes, reference, verbose);
+    ok &= run_recovery_config(seed, c, modes, reference, verbose, threads);
   return ok;
 }
 
-bool run_seed(std::uint64_t seed, bool verbose) {
+bool run_seed(std::uint64_t seed, bool verbose, std::size_t threads) {
   const FuzzCase c = generate(seed);
   if (verbose)
     std::printf("seed=%llu %s\n", static_cast<unsigned long long>(seed),
@@ -396,7 +406,8 @@ bool run_seed(std::uint64_t seed, bool verbose) {
   bool ok = true;
   for (const auto& modes : mode_sets)
     for (const bool with_faults : {false, true})
-      ok &= run_one_config(seed, c, modes, with_faults, reference, verbose);
+      ok &= run_one_config(seed, c, modes, with_faults, reference, verbose,
+                           threads);
   return ok;
 }
 
@@ -409,6 +420,7 @@ int main(int argc, char** argv) {
   std::uint64_t start_seed = 1;
   bool verbose = false;
   bool recovery = false;
+  std::size_t threads = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -423,6 +435,8 @@ int main(int argc, char** argv) {
       runs = std::stoull(arg.substr(7));
     } else if (arg.rfind("--start-seed=", 0) == 0) {
       start_seed = std::stoull(arg.substr(13));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::stoull(arg.substr(10));
     } else if (arg == "--recovery") {
       recovery = true;
     } else if (arg == "--verbose" || arg == "-v") {
@@ -431,7 +445,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: fuzz_cluster [--recovery] [--seed=S | "
                    "--seeds=S1,S2,... | --runs=N [--start-seed=K]] "
-                   "[--verbose]\n");
+                   "[--threads=N] [--verbose]\n");
       return 2;
     }
   }
@@ -452,8 +466,9 @@ int main(int argc, char** argv) {
 
   std::uint64_t failures = 0;
   for (const std::uint64_t seed : seeds) {
-    const bool ok = recovery ? pia::dist::run_recovery_seed(seed, verbose)
-                             : pia::dist::run_seed(seed, verbose);
+    const bool ok =
+        recovery ? pia::dist::run_recovery_seed(seed, verbose, threads)
+                 : pia::dist::run_seed(seed, verbose, threads);
     if (!ok) ++failures;
     if (!verbose) {
       std::printf(".");

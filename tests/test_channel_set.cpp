@@ -101,6 +101,11 @@ TEST(ChannelSetWait, ClampsToBufferedDecoratorFrame) {
   pair.b->send(payload());
   // Pull the frame into the decorator's hold buffer; it is not yet mature.
   ASSERT_FALSE(set[0].link().try_recv().has_value());
+  // The send pulsed the shared signal; a pulse consumed by a wait is an
+  // immediate wake (the caller must re-inspect its queues).  Consume it
+  // with a zero-budget wait — the role a slice's drain plays in the real
+  // loop — so the timed wait below measures only the decorator clamp.
+  set.wait_any(milliseconds(0));
 
   const auto start = steady_clock::now();
   const bool woke = set.wait_any(milliseconds(1000));

@@ -130,6 +130,12 @@ TEST(DistFaults, AbruptCloseWindsDownAsDisconnected) {
 
   SplitPipe pipe(50, ChannelMode::kConservative, Wire::kLoopback, {},
                  ticks(10), plan);
+  // One frame per message: sink-side endpoints grant infinite safe time up
+  // front now, so the producer bursts everything in one slice and the
+  // default batch limit would pack the whole run into fewer frames than
+  // close_after_sends needs to trigger.
+  pipe.a->set_channel_batch_limit(1);
+  pipe.b->set_channel_batch_limit(1);
   pipe.cluster.start_all();
 
   std::map<std::string, Subsystem::RunOutcome> outcomes;

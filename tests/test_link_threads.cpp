@@ -1,0 +1,378 @@
+// Thread-safety storms for the Link implementations, regression tests for
+// the hardened ReadySignal / ChannelSet::wait_any, and the NodeExecutor
+// worker pool.  Everything here is about concurrency: FIFO order under
+// sender/receiver/stats races, close() mid-storm, EINTR resilience, and
+// bit-exact pooled execution.  Run under ThreadSanitizer in CI.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <pthread.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/error.hpp"
+#include "dist/executor.hpp"
+#include "dist/node.hpp"
+#include "dist_helpers.hpp"
+#include "transport/link.hpp"
+#include "transport/ready.hpp"
+#include "transport/spsc.hpp"
+#include "transport/tcp.hpp"
+
+namespace pia::transport {
+namespace {
+
+using namespace std::chrono_literals;
+
+Bytes frame_for(std::uint32_t i) {
+  Bytes b(4);
+  b[0] = std::byte(i & 0xff);
+  b[1] = std::byte((i >> 8) & 0xff);
+  b[2] = std::byte((i >> 16) & 0xff);
+  b[3] = std::byte((i >> 24) & 0xff);
+  return b;
+}
+
+std::uint32_t index_of(const Bytes& b) {
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+/// One sender thread streaming `count` indexed frames, one receiver thread
+/// draining them, one thread hammering stats() the whole time.  Asserts
+/// FIFO delivery of every frame and a consistent final counter snapshot.
+void storm(Link& tx, Link& rx, std::uint32_t count) {
+  std::atomic<bool> done{false};
+
+  std::thread stats_reader([&] {
+    std::uint64_t last_sent = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const LinkStats s = tx.stats();
+      // Monotone under concurrent sends — a torn counter would go backwards.
+      EXPECT_GE(s.messages_sent, last_sent);
+      last_sent = s.messages_sent;
+      (void)rx.stats();
+    }
+  });
+
+  std::thread sender([&] {
+    for (std::uint32_t i = 0; i < count; ++i) tx.send(frame_for(i));
+  });
+
+  std::uint32_t next = 0;
+  while (next < count) {
+    auto got = rx.recv_for(2000ms);
+    ASSERT_TRUE(got.has_value()) << "lost frame " << next;
+    ASSERT_EQ(index_of(*got), next) << "FIFO violated";
+    ++next;
+  }
+
+  sender.join();
+  done.store(true, std::memory_order_release);
+  stats_reader.join();
+
+  const LinkStats sent = tx.stats();
+  EXPECT_EQ(sent.messages_sent, count);
+  EXPECT_EQ(sent.frames_sent, count);
+  const LinkStats received = rx.stats();
+  EXPECT_EQ(received.frames_received, count);
+}
+
+TEST(LinkStorm, LoopbackFifoUnderStatsRace) {
+  LinkPair pair = make_loopback_pair();
+  storm(*pair.a, *pair.b, 5000);
+}
+
+TEST(LinkStorm, SpscFifoUnderStatsRace) {
+  LinkPair pair = make_spsc_pair();
+  // Well above the ring capacity so the spill path runs too.
+  storm(*pair.a, *pair.b, 5000);
+}
+
+TEST(LinkStorm, TcpFifoUnderStatsRace) {
+  TcpListener listener(0);
+  LinkPair pair = connect_tcp_pair(listener);
+  storm(*pair.a, *pair.b, 2000);
+}
+
+TEST(LinkStorm, SpscSpillPreservesOrderAcrossOverflow) {
+  // Fill far past the ring capacity with no receiver running, so frames
+  // land in ring + spill, then drain: order must be exactly send order.
+  LinkPair pair = make_spsc_pair();
+  constexpr std::uint32_t kFrames = 2048;  // ring holds 256
+  for (std::uint32_t i = 0; i < kFrames; ++i) pair.a->send(frame_for(i));
+  for (std::uint32_t i = 0; i < kFrames; ++i) {
+    auto got = pair.b->try_recv();
+    ASSERT_TRUE(got.has_value()) << "frame " << i;
+    EXPECT_EQ(index_of(*got), i);
+  }
+  EXPECT_FALSE(pair.b->try_recv().has_value());
+}
+
+TEST(LinkStorm, SpscReadableFdWakesPoll) {
+  LinkPair pair = make_spsc_pair();
+  const int fd = pair.b->readable_fd();
+  ASSERT_GE(fd, 0);
+
+  std::thread sender([&] {
+    std::this_thread::sleep_for(50ms);
+    pair.a->send(frame_for(7));
+  });
+  pollfd p{fd, POLLIN, 0};
+  const int pr = ::poll(&p, 1, 2000);
+  sender.join();
+  EXPECT_EQ(pr, 1);
+  auto got = pair.b->try_recv();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(index_of(*got), 7u);
+}
+
+/// close() racing a send storm: the sender must either complete or observe
+/// Error{kTransport}; the receiver drains what was delivered and then sees
+/// nullopt.  No deadlock, no crash, FIFO for whatever arrives.
+void close_storm(LinkPair pair) {
+  std::atomic<bool> sender_saw_close{false};
+  std::thread sender([&] {
+    try {
+      for (std::uint32_t i = 0; i < 100000; ++i) pair.a->send(frame_for(i));
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kTransport);
+      sender_saw_close.store(true, std::memory_order_release);
+    }
+  });
+
+  // Take a few frames, then slam the door from the receive side.
+  std::uint32_t next = 0;
+  for (; next < 100; ++next) {
+    auto got = pair.b->recv_for(2000ms);
+    ASSERT_TRUE(got.has_value());
+    ASSERT_EQ(index_of(*got), next);
+  }
+  pair.b->close();
+  sender.join();
+
+  // Drain whatever was in flight: still FIFO, then EOF.
+  while (auto got = pair.b->try_recv()) ASSERT_EQ(index_of(*got), next++);
+  EXPECT_FALSE(pair.b->try_recv().has_value());
+  EXPECT_TRUE(sender_saw_close.load(std::memory_order_acquire));
+}
+
+TEST(LinkStorm, LoopbackCloseMidStorm) { close_storm(make_loopback_pair()); }
+
+TEST(LinkStorm, SpscCloseMidStorm) { close_storm(make_spsc_pair()); }
+
+// --- ReadySignal hardening regressions -----------------------------------
+
+TEST(ReadySignal, DrainOnEmptyPipeReturnsQuietly) {
+  ReadySignal signal;
+  signal.drain();  // empty pipe: EAGAIN path, must not throw
+  pollfd p{signal.fd(), POLLIN, 0};
+  EXPECT_EQ(::poll(&p, 1, 0), 0);
+}
+
+TEST(ReadySignal, DrainConsumesEveryQueuedPulse) {
+  ReadySignal signal;
+  for (int i = 0; i < 64; ++i) signal.notify();
+  pollfd p{signal.fd(), POLLIN, 0};
+  EXPECT_EQ(::poll(&p, 1, 0), 1);
+  signal.drain();
+  EXPECT_EQ(::poll(&p, 1, 0), 0);  // no stale pulse left to busy-spin on
+}
+
+TEST(ReadySignal, ReadEndIsNonBlocking) {
+  // The ctor must verify its fcntl calls; a blocking read end would hang
+  // drain() forever on an empty pipe.
+  ReadySignal signal;
+  const int flags = ::fcntl(signal.fd(), F_GETFL);
+  ASSERT_GE(flags, 0);
+  EXPECT_TRUE(flags & O_NONBLOCK);
+}
+
+namespace {
+void sigusr1_noop(int) {}
+}  // namespace
+
+/// Pepper a blocked recv_for with signals: poll returns EINTR, and the wait
+/// must resume with the *remaining* timeout — neither returning early nor
+/// restarting from scratch.
+TEST(ReadySignal, RecvForSurvivesEintrStorm) {
+  struct sigaction sa = {};
+  sa.sa_handler = sigusr1_noop;
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, nullptr), 0);
+
+  LinkPair pair = make_spsc_pair();
+  std::optional<Bytes> got;
+  const auto start = std::chrono::steady_clock::now();
+  std::thread waiter([&] { got = pair.b->recv_for(400ms); });
+  const pthread_t handle = waiter.native_handle();
+  for (int i = 0; i < 8; ++i) {
+    std::this_thread::sleep_for(25ms);
+    ::pthread_kill(handle, SIGUSR1);
+  }
+  waiter.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  EXPECT_FALSE(got.has_value());
+  EXPECT_GE(elapsed, 350ms);  // signals must not shorten the wait
+  EXPECT_LT(elapsed, 5s);     // ...nor restart it indefinitely
+}
+
+TEST(ReadySignal, WaitAnySurvivesEintrStorm) {
+  struct sigaction sa = {};
+  sa.sa_handler = sigusr1_noop;
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, nullptr), 0);
+
+  // A real subsystem channel table with no traffic: wait_any must ride out
+  // the interruptions and report a clean timeout.
+  dist::testing::SplitPipe pipe(1, dist::ChannelMode::kConservative);
+  bool woke = true;
+  const auto start = std::chrono::steady_clock::now();
+  std::thread waiter(
+      [&] { woke = pipe.a->channel_set().wait_any(400ms); });
+  const pthread_t handle = waiter.native_handle();
+  for (int i = 0; i < 8; ++i) {
+    std::this_thread::sleep_for(25ms);
+    ::pthread_kill(handle, SIGUSR1);
+  }
+  waiter.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  EXPECT_FALSE(woke);
+  EXPECT_GE(elapsed, 350ms);
+  EXPECT_LT(elapsed, 5s);
+}
+
+}  // namespace
+}  // namespace pia::transport
+
+namespace pia::dist {
+namespace {
+
+using namespace std::chrono_literals;
+
+testing::PipelineSpec executor_spec() {
+  testing::PipelineSpec spec;
+  spec.count = 40;
+  spec.relays = {{.think_ticks = 3, .level = runlevels::kWord},
+                 {.think_ticks = 5, .level = runlevels::kTransaction},
+                 {.think_ticks = 2, .level = runlevels::kWord}};
+  spec.stage_host = {0, 1, 2, 3};
+  spec.sink_host = 0;  // multi-hop loop-back: result crosses every channel
+  return spec;
+}
+
+/// The tentpole acceptance check in miniature: the pooled executor must be
+/// bit-exact with the single-threaded oracle at every worker count.
+TEST(NodeExecutor, BitExactWithOracleAcrossWorkerCounts) {
+  const testing::PipelineSpec spec = executor_spec();
+  const testing::PipelineResult oracle =
+      testing::run_single_host_pipeline(spec);
+  const std::vector<ChannelMode> modes{ChannelMode::kConservative,
+                                       ChannelMode::kOptimistic,
+                                       ChannelMode::kConservative};
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    testing::FuzzCluster dut(spec, modes, Wire::kLoopback, {}, {}, {16},
+                             std::nullopt, workers);
+    std::map<std::string, Subsystem::RunOutcome> outcomes;
+    const testing::PipelineResult got = dut.run(20'000ms, &outcomes);
+    EXPECT_EQ(got, oracle) << "workers=" << workers;
+    for (const auto& [name, outcome] : outcomes)
+      EXPECT_EQ(outcome, Subsystem::RunOutcome::kQuiescent)
+          << name << " workers=" << workers;
+  }
+}
+
+TEST(NodeExecutor, CoHostedLoopbackChannelsUpgradeToSpsc) {
+  // Two subsystems on one node: connect() must substitute the lock-free
+  // SPSC ring for the mutex-protected loopback pipe.
+  NodeCluster cluster;
+  PiaNode& node = cluster.add_node("pool");
+  Subsystem& a = node.add_subsystem("a");
+  Subsystem& b = node.add_subsystem("b");
+  const ChannelPair chans =
+      cluster.connect_checked(a, b, ChannelMode::kConservative);
+  EXPECT_EQ(a.channel_set().at(chans.a).link().describe(), "spsc");
+
+  // Split across two nodes the same call stays a loopback pipe.
+  PiaNode& other = cluster.add_node("far");
+  Subsystem& c = other.add_subsystem("c");
+  const ChannelPair remote =
+      cluster.connect_checked(a, c, ChannelMode::kConservative);
+  EXPECT_EQ(a.channel_set().at(remote.a).link().describe(), "loopback");
+}
+
+TEST(NodeExecutor, RunsDirectlyAndCountsSlices) {
+  const testing::PipelineSpec spec = executor_spec();
+  const std::vector<ChannelMode> modes(3, ChannelMode::kConservative);
+  testing::FuzzCluster dut(spec, modes, Wire::kLoopback, {}, {}, {16},
+                           std::nullopt, /*worker_threads=*/2);
+  dut.cluster.start_all();
+  NodeExecutor executor(dut.cluster.node("pool").subsystems(), 2);
+  const auto outcomes =
+      executor.run(Subsystem::RunConfig{.stall_timeout = 20'000ms});
+  ASSERT_EQ(outcomes.size(), 4u);
+  for (const auto& [name, outcome] : outcomes)
+    EXPECT_EQ(outcome, Subsystem::RunOutcome::kQuiescent) << name;
+  EXPECT_GT(executor.stats().slices, 0u);
+  EXPECT_EQ(dut.sink->received,
+            testing::run_single_host_pipeline(spec).received);
+}
+
+TEST(SchedulerConfinement, ForeignThreadStepRaisesConsistency) {
+  // The executor's safety net: while one thread holds a slice (the
+  // ConfinementGuard), step()/inject() from any other thread must fail
+  // loudly instead of corrupting the event queue.
+  Scheduler sched;
+  const Scheduler::ConfinementGuard guard(sched);
+  sched.step();  // owner thread: fine
+
+  std::optional<ErrorKind> kind;
+  std::thread intruder([&] {
+    try {
+      sched.step();
+    } catch (const Error& e) {
+      kind = e.kind();
+    }
+  });
+  intruder.join();
+  ASSERT_TRUE(kind.has_value());
+  EXPECT_EQ(*kind, ErrorKind::kConsistency);
+}
+
+TEST(SchedulerConfinement, GuardsNestAndRelease) {
+  Scheduler sched;
+  {
+    const Scheduler::ConfinementGuard outer(sched);
+    {
+      const Scheduler::ConfinementGuard inner(sched);  // same thread: fine
+      sched.step();
+    }
+    sched.step();
+  }
+  // Fully released: another thread may now take a slice.
+  std::optional<ErrorKind> kind;
+  std::thread successor([&] {
+    try {
+      const Scheduler::ConfinementGuard guard(sched);
+      sched.step();
+    } catch (const Error& e) {
+      kind = e.kind();
+    }
+  });
+  successor.join();
+  EXPECT_FALSE(kind.has_value());
+}
+
+}  // namespace
+}  // namespace pia::dist

@@ -20,6 +20,11 @@ stricter rules (the engine split's structural guarantee):
     node.hpp, topology.hpp); engines communicate only through EngineContext.
   * engine_context.hpp itself must not include any engine.
 
+The worker pool (src/dist/executor.*) sits beside the facade but below the
+node layer: it drives subsystems only through the public Subsystem slice API
+— it must never include a sync engine (dist/sync/*) nor the cluster wiring
+(dist/node.hpp), so scheduling policy stays separable from both.
+
 Run from anywhere: paths are resolved relative to this script.  Exits 0 when
 clean, 1 with one line per violation otherwise.
 """
@@ -51,6 +56,14 @@ ENGINE_DIST_ALLOWED = {
     "dist/channel.hpp",
     "dist/channel_set.hpp",
     "dist/snapshot_store.hpp",
+}
+
+# dist/ headers the executor may reach: subsystems via their public slice
+# API only — no sync engines, no node/cluster wiring.
+EXECUTOR_DIST_ALLOWED = {
+    "dist/executor.hpp",
+    "dist/subsystem.hpp",
+    "dist/channel_set.hpp",
 }
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
@@ -106,6 +119,20 @@ def check_engine(path, errors):
         # Lower layers are covered by the directory DAG pass.
 
 
+def check_executor(path, errors):
+    for line_number, inc in first_party_includes(path):
+        if inc.startswith("dist/sync/"):
+            errors.append(
+                f"{path}:{line_number}: executor must not include a sync "
+                f'engine ("{inc}"); drive subsystems through run_slice'
+            )
+        elif inc.startswith("dist/") and inc not in EXECUTOR_DIST_ALLOWED:
+            errors.append(
+                f"{path}:{line_number}: executor reaches outside its seam "
+                f'("{inc}"; allowed: {sorted(EXECUTOR_DIST_ALLOWED)})'
+            )
+
+
 def main():
     if not SRC.is_dir():
         print(f"lint_layers: src/ not found at {SRC}", file=sys.stderr)
@@ -124,6 +151,8 @@ def main():
             check_directory_dag(path, layer, errors)
             if path.parent.name == "sync":
                 check_engine(path, errors)
+            if layer == "dist" and path.name.split(".")[0] == "executor":
+                check_executor(path, errors)
     sync_dir = SRC / "dist" / "sync"
     expected = ENGINES | {"engine_context"}
     present = {p.name.split(".")[0] for p in sync_dir.glob("*.hpp")}
