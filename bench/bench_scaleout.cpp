@@ -1,0 +1,177 @@
+// Scale-out harness throughput: N handheld clients against a sharded
+// gateway farm, swept over N x shards x edge workers for both frontend
+// layouts (station-aggregated vs one-channel-per-client).
+//
+// The claim under test is the station mux: fan-in keeps the frontend's
+// channel count — and with it the conservative grant chatter — at O(N/cps)
+// instead of O(N), so the aggregated layout must overtake the per-client
+// baseline once N is large (acceptance: N >= 100).  Events/sec is total
+// scheduler dispatches across every subsystem divided by wall time; the
+// frontend's sync-message count is reported alongside because that is the
+// quantity the mux actually compresses.
+//
+// Total simulated work is held roughly constant across N (requests per
+// client scale down as clients scale up) so the sweep measures protocol
+// overhead, not a growing workload.  Emits BENCH_scaleout.json.
+//
+//   bench_scaleout [--max-n=N]   cap the client sweep (CI smoke: 100)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "wubbleu/scaleout.hpp"
+
+using namespace pia;
+using namespace pia::bench;
+using namespace std::chrono_literals;
+
+namespace {
+
+struct RunStats {
+  double seconds = 0;
+  std::uint64_t events = 0;
+  std::uint64_t fetches = 0;
+  std::uint64_t frontend_msgs = 0;
+  std::size_t channels = 0;
+  bool complete = false;
+
+  [[nodiscard]] double events_per_sec() const {
+    return seconds > 0 ? static_cast<double>(events) / seconds : 0;
+  }
+};
+
+wubbleu::ScaleoutSpec make_spec(std::size_t clients, std::uint32_t shards,
+                                std::size_t workers, bool aggregated) {
+  wubbleu::ScaleoutSpec spec;
+  spec.clients = clients;
+  spec.shards = shards;
+  spec.aggregated = aggregated;
+  spec.clients_per_station = 50;
+  // ~4000 request round-trips regardless of N, min 2 per client.
+  spec.requests_per_client =
+      static_cast<std::uint32_t>(std::max<std::size_t>(2, 4000 / clients));
+  spec.catalog.pages = 64;
+  spec.catalog.page_bytes = 512;
+  spec.seed = 20'260'807;
+  spec.worker_threads = workers;
+  return spec;
+}
+
+RunStats run_config(const wubbleu::ScaleoutSpec& spec) {
+  wubbleu::ScaleoutCluster cluster(spec);
+  const WallTimer timer;
+  const auto outcomes = cluster.run(
+      dist::Subsystem::RunConfig{.stall_timeout = 120'000ms});
+  RunStats stats;
+  stats.seconds = timer.seconds();
+  stats.complete = true;
+  for (const auto& [name, outcome] : outcomes)
+    stats.complete &= outcome == dist::Subsystem::RunOutcome::kQuiescent;
+  stats.events = cluster.events_dispatched();
+  stats.fetches = cluster.result().total_fetches();
+  stats.complete &= stats.fetches == static_cast<std::uint64_t>(spec.clients) *
+                                         spec.requests_per_client;
+  const dist::SubsystemStats fe = cluster.frontend_stats();
+  stats.frontend_msgs = fe.events_sent + fe.events_received +
+                        fe.grants_sent + fe.grants_received;
+  stats.channels = cluster.channel_count();
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t max_n = 1000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--max-n=", 8) == 0) {
+      max_n = static_cast<std::size_t>(std::strtoull(argv[i] + 8, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: bench_scaleout [--max-n=N]\n");
+      return 2;
+    }
+  }
+  wubbleu::raise_fd_limit();
+
+  JsonReport report("scaleout");
+  report.metric("max_n", static_cast<std::uint64_t>(max_n));
+  bool all_complete = true;
+
+  // agg-eps / per-eps per (shards, workers) cell at the largest swept N.
+  // The mux costs one extra hop per request (a fixed tax) and saves grant
+  // chatter proportional to channel count, so the win must be judged where
+  // the channel count is largest; the per-N ratios locate the crossover.
+  std::vector<double> ratios_at_max_n;
+  std::size_t largest_n = 0;
+
+  for (const std::size_t clients : {1u, 10u, 100u, 1000u}) {
+    if (clients > max_n) continue;
+    if (clients > largest_n) {
+      largest_n = clients;
+      ratios_at_max_n.clear();
+    }
+    for (const std::uint32_t shards : {1u, 4u}) {
+      for (const std::size_t workers : {1u, 4u}) {
+        double eps[2] = {0, 0};  // [per-client, aggregated]
+        for (const bool aggregated : {false, true}) {
+          const wubbleu::ScaleoutSpec spec =
+              make_spec(clients, shards, workers, aggregated);
+          const RunStats r = run_config(spec);
+          all_complete &= r.complete;
+          eps[aggregated ? 1 : 0] = r.events_per_sec();
+          const std::string tag = "n" + std::to_string(clients) + "_s" +
+                                  std::to_string(shards) + "_w" +
+                                  std::to_string(workers) +
+                                  (aggregated ? "_agg" : "_per");
+          report.metric("eps_" + tag, r.events_per_sec());
+          report.metric("wall_ms_" + tag, r.seconds * 1e3);
+          report.metric("events_" + tag, r.events);
+          report.metric("frontend_msgs_" + tag, r.frontend_msgs);
+          report.metric("channels_" + tag,
+                        static_cast<std::uint64_t>(r.channels));
+          std::printf(
+              "  n=%-5zu shards=%u w=%zu %s  %9.0f ev/s  %7.0f ms  "
+              "fe_msgs=%-7llu ch=%zu%s\n",
+              clients, shards, workers, aggregated ? "agg" : "per",
+              r.events_per_sec(), r.seconds * 1e3,
+              static_cast<unsigned long long>(r.frontend_msgs), r.channels,
+              r.complete ? "" : "  INCOMPLETE");
+        }
+        if (eps[0] > 0) {
+          const double ratio = eps[1] / eps[0];
+          report.metric("agg_over_per_n" + std::to_string(clients) + "_s" +
+                            std::to_string(shards) + "_w" +
+                            std::to_string(workers),
+                        ratio);
+          ratios_at_max_n.push_back(ratio);
+        }
+      }
+    }
+  }
+
+  if (!ratios_at_max_n.empty()) {
+    double mean = 0, worst = ratios_at_max_n.front();
+    for (const double r : ratios_at_max_n) {
+      mean += r;
+      worst = std::min(worst, r);
+    }
+    mean /= static_cast<double>(ratios_at_max_n.size());
+    report.metric("agg_over_per_mean_at_max_n", mean);
+    report.metric("agg_over_per_worst_at_max_n", worst);
+    report.metric("agg_beats_per_at_max_n",
+                  static_cast<std::uint64_t>(mean > 1.0 ? 1 : 0));
+    note("aggregated vs per-client at N=" + std::to_string(largest_n) +
+         ": mean " + std::to_string(mean) + "x, worst cell " +
+         std::to_string(worst) + "x " +
+         (mean > 1.0 ? "(aggregation wins)" : "(BASELINE FASTER)"));
+  }
+  report.metric("all_complete",
+                static_cast<std::uint64_t>(all_complete ? 1 : 0));
+  if (!all_complete) {
+    std::fprintf(stderr, "!! at least one configuration failed to complete\n");
+    return 1;
+  }
+  return 0;
+}

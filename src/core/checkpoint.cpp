@@ -185,21 +185,21 @@ void CheckpointManager::restore(SnapshotId id) {
   Snapshot& snap = it->second;
 
   // 1. Component images.
-  VirtualTime min_local = VirtualTime::infinity();
-  for (ComponentId comp : scheduler_.component_ids()) {
+  for (ComponentId comp : scheduler_.component_ids())
     scheduler_.component(comp).restore_image(materialize_image(id, comp));
-    min_local = min(min_local, scheduler_.component(comp).local_time());
-  }
 
   // 2. Event queue: recorded channel state (plus, for immediate snapshots,
   //    the full queue as captured).  Original seq numbers are kept so that
   //    re-execution dispatches in the original deterministic order.
   scheduler_.replace_queue(snapshot_events(id));
 
-  // 3. Subsystem time: never later than any local time or pending event.
-  VirtualTime now = min(min_local, scheduler_.next_event_time());
-  if (now.is_infinite()) now = snap.requested_at;
-  scheduler_.set_now(now);
+  // 3. Subsystem time: exactly the capture point.  Component images hold
+  //    state as of the request, so the clock must say so too — deriving it
+  //    from min(component local times) under-shoots whenever some component
+  //    sat idle before the snapshot, and a subsystem whose clock trails its
+  //    state accepts events *behind* that state as if they were fresh (the
+  //    optimistic straggler check compares against now()).
+  scheduler_.set_now(snap.requested_at);
 
   // A restore invalidates any armed later request.
   if (armed_ && *armed_ != id) {

@@ -26,6 +26,10 @@ class EventQueue {
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
   /// The (time, seq)-minimal event.  Undefined when empty.
   [[nodiscard]] const Event& top() const { return heap_.front(); }
+  /// Read-only view of the pending events in heap order (NOT dispatch
+  /// order).  For aggregate scans that need a min over a subset without
+  /// disturbing the queue.
+  [[nodiscard]] const std::vector<Event>& events() const { return heap_; }
 
   void reserve(std::size_t n) { heap_.reserve(n); }
   void clear() { heap_.clear(); }

@@ -193,22 +193,23 @@ std::uint64_t Scheduler::run(std::uint64_t max_events) {
   return count;
 }
 
-void Scheduler::inject(Event event) {
+std::uint64_t Scheduler::inject(Event event) {
   assert_confined("inject()");
   if (event.time < now_) {
-    if (straggler_handler && straggler_handler(event)) return;
+    if (straggler_handler && straggler_handler(event)) return 0;
     raise(ErrorKind::kConsistency,
           "straggler event at " + event.time.str() + " injected into '" +
               name_ + "' at subsystem time " + now_.str());
   }
-  schedule(std::move(event));
+  return schedule(std::move(event));
 }
 
-void Scheduler::schedule(Event event) {
-  event.seq = next_seq_++;
+std::uint64_t Scheduler::schedule(Event event) {
+  const std::uint64_t seq = event.seq = next_seq_++;
   stats_.events_scheduled++;
   if (on_schedule_hook) on_schedule_hook(event);
   queue_.push(std::move(event));
+  return seq;
 }
 
 std::uint64_t Scheduler::dispatches(ComponentId id) const {
@@ -242,7 +243,9 @@ void Scheduler::dispatch(const Event& event) {
     raise(ErrorKind::kConsistency,
           "synchronous delivery at " + event.time.str() + " to '" +
               target.name() + "' whose local time is " +
-              target.local_time().str());
+              target.local_time().str() + " [sched=" + name_ + " now=" +
+              now_.str() + " port=" + std::to_string(event.port) + " seq=" +
+              std::to_string(event.seq) + "]");
   }
   if (p.sync == PortSync::kSynchronous) {
     target.local_time_ = event.time;

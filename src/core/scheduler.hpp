@@ -100,6 +100,12 @@ class Scheduler final : public ComponentContext {
   [[nodiscard]] VirtualTime next_event_time() const;
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  /// Read-only view of the pending events, heap order (NOT dispatch order).
+  /// For aggregate scans — e.g. the conservative engine prices queued
+  /// channel-proxy crossings at their exact stamps when granting safe times.
+  [[nodiscard]] const std::vector<Event>& pending() const {
+    return queue_.events();
+  }
 
   /// Dispatches the next event.  Returns false when the queue is empty.
   bool step();
@@ -109,11 +115,14 @@ class Scheduler final : public ComponentContext {
   std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
 
   /// Schedules an event originating outside this subsystem (a channel
-  /// delivery).  The event keeps its given time; seq is assigned here.
+  /// delivery).  The event keeps its given time; seq is assigned here and
+  /// returned so the caller can later address exactly this queue entry
+  /// (retraction must not guess by payload — identical payloads are legal).
   /// Injecting into the past (time < now()) invokes the straggler handler —
   /// that is the optimistic-channel rollback trigger — or throws
-  /// Error{kConsistency} if none is installed.
-  void inject(Event event);
+  /// Error{kConsistency} if none is installed.  Returns 0 when the straggler
+  /// handler consumed the event.
+  std::uint64_t inject(Event event);
 
   // --- runlevels ---------------------------------------------------------------
 
@@ -203,7 +212,7 @@ class Scheduler final : public ComponentContext {
  private:
   friend class ConfinementGuard;
   void assert_confined(const char* operation) const;
-  void schedule(Event event);
+  std::uint64_t schedule(Event event);
   void dispatch(const Event& event);
   void evaluate_switchpoints();
   void apply_pending_runlevels();

@@ -188,6 +188,13 @@ class ChannelEndpoint {
   /// EventMsg counters on this channel (grant grounding).
   std::uint64_t event_msgs_sent = 0;
   std::uint64_t event_msgs_received = 0;
+  /// RetractMsg counters (termination accounting only: the probe's global
+  /// send/receive balance must count every revival-capable message).  Like
+  /// the event counters these are re-based at every snapshot restore — a
+  /// restarted process has no engine-stat history, so the balance would
+  /// otherwise never close after a recovery.
+  std::uint64_t retract_msgs_sent = 0;
+  std::uint64_t retract_msgs_received = 0;
   /// Entries trimmed off the front of the logs by fossil collection.
   std::uint64_t output_trimmed = 0;
   std::uint64_t input_trimmed = 0;
@@ -237,6 +244,12 @@ class ChannelEndpoint {
     VirtualTime time;
     Value value;
     bool retracted = false;
+    /// Scheduler seq of this input's queued delivery, refreshed on every
+    /// (re-)injection.  Retraction erases by seq: payload matching is
+    /// ambiguous when two live sends carry identical (time, value) — a
+    /// common case under hot-page load — and erasing a sibling's copy
+    /// silently loses its event.
+    std::uint64_t seq = 0;
   };
   std::vector<OutputRecord> output_log;
   std::vector<InputRecord> input_log;

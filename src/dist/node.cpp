@@ -207,8 +207,15 @@ VirtualTime NodeCluster::fossil_collect_all() {
 // Observability
 // ---------------------------------------------------------------------------
 
-void collect_metrics(Subsystem& subsystem, obs::MetricsRegistry& registry) {
-  const std::string sub_scope = "sub/" + subsystem.name();
+void collect_metrics(Subsystem& subsystem, obs::MetricsRegistry& registry,
+                     const std::string& tag) {
+  const std::string& scope_tag = tag.empty() ? subsystem.name() : tag;
+  const std::string sub_scope = "sub/" + scope_tag;
+  // A second collection into the same scope would silently interleave two
+  // subsystems' counters; scope tags must be unique per registry.
+  PIA_CHECK(!registry.has_scope(sub_scope),
+            "metric scope collision: '" + sub_scope +
+                "' already collected; disambiguate with an explicit tag");
   const SubsystemStats& stats = subsystem.stats();
   registry.set(sub_scope, "events_sent", stats.events_sent);
   registry.set(sub_scope, "events_received", stats.events_received);
@@ -235,7 +242,7 @@ void collect_metrics(Subsystem& subsystem, obs::MetricsRegistry& registry) {
   // The layered view: the same counters grouped by owning sync engine.
   // Additive — the flat "sub/<name>" aggregate keys above are the stable
   // interface and stay untouched.
-  const std::string engine_scope = "engine/" + subsystem.name();
+  const std::string engine_scope = "engine/" + scope_tag;
   const TrafficStats& traffic = subsystem.traffic_stats();
   registry.set(engine_scope + "/traffic", "events_sent", traffic.events_sent);
   registry.set(engine_scope + "/traffic", "events_received",
@@ -297,7 +304,7 @@ void collect_metrics(Subsystem& subsystem, obs::MetricsRegistry& registry) {
   registry.set(sub_scope, "trace_records", sched.trace().total_recorded());
   registry.set(sub_scope, "trace_dropped", sched.trace().dropped());
 
-  const std::string dispatch_scope = "dispatch/" + subsystem.name();
+  const std::string dispatch_scope = "dispatch/" + scope_tag;
   for (const ComponentId id : sched.component_ids())
     registry.set(dispatch_scope, sched.component(id).name(),
                  sched.dispatches(id));
@@ -305,7 +312,7 @@ void collect_metrics(Subsystem& subsystem, obs::MetricsRegistry& registry) {
   for (std::size_t i = 0; i < subsystem.channel_count(); ++i) {
     ChannelEndpoint& c =
         subsystem.channel(ChannelId{static_cast<std::uint32_t>(i)});
-    const std::string scope = "chan/" + subsystem.name() + "/" +
+    const std::string scope = "chan/" + scope_tag + "/" +
                               std::to_string(c.index) + ":" + c.name();
     registry.set(scope, "event_msgs_sent", c.event_msgs_sent);
     registry.set(scope, "event_msgs_received", c.event_msgs_received);
@@ -341,7 +348,20 @@ void collect_metrics(Subsystem& subsystem, obs::MetricsRegistry& registry) {
 
 obs::MetricsRegistry NodeCluster::metrics() {
   obs::MetricsRegistry registry;
-  for (Subsystem* s : all_subsystems()) collect_metrics(*s, registry);
+  // Scenario generators legitimately stamp out same-named subsystems on
+  // different nodes; suffix duplicates with their cluster ordinal so every
+  // scope stays unique (unique names keep their plain scope — the stable
+  // interface existing consumers read).
+  std::map<std::string, std::size_t> name_counts;
+  const std::vector<Subsystem*> subsystems = all_subsystems();
+  for (Subsystem* s : subsystems) ++name_counts[s->name()];
+  std::map<std::string, std::size_t> ordinals;
+  for (Subsystem* s : subsystems) {
+    std::string tag = s->name();
+    if (name_counts[tag] > 1)
+      tag += "#" + std::to_string(ordinals[s->name()]++);
+    collect_metrics(*s, registry, tag);
+  }
   return registry;
 }
 

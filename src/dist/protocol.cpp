@@ -88,6 +88,9 @@ void encode_message_into(serial::OutArchive& ar,
           ar.put_varint(m.origin);
           ar.put_varint(m.nonce);
           ar.put_bool(m.ok);
+          ar.put_varint(m.sent);
+          ar.put_varint(m.received);
+          ar.put_varint(m.activity);
         } else if constexpr (std::is_same_v<T, TerminateMsg>) {
           ar.put_u8(static_cast<std::uint8_t>(Tag::kTerminate));
           ar.put_varint(m.token);
@@ -161,6 +164,9 @@ ChannelMessage decode_message(BytesView data) {
       m.origin = ar.get_varint();
       m.nonce = ar.get_varint();
       m.ok = ar.get_bool();
+      m.sent = ar.get_varint();
+      m.received = ar.get_varint();
+      m.activity = ar.get_varint();
       return m;
     }
     case Tag::kTerminate:

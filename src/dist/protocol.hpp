@@ -114,6 +114,15 @@ struct ProbeReply {
   std::uint64_t origin = 0;
   std::uint64_t nonce = 0;
   bool ok = false;
+  /// Safra-style subtree accounting: simulation messages (events and
+  /// retractions) sent and received, plus the activity counter, summed over
+  /// every subsystem in the replying subtree.  A single all-ok wave cannot
+  /// rule out an in-flight message reviving a subsystem that already
+  /// replied, so the origin terminates only after two consecutive candidate
+  /// rounds report identical sums with sent == received.
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t activity = 0;
 };
 
 /// Broadcast by the subsystem whose probe confirmed global quiescence;

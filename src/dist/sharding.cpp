@@ -1,0 +1,37 @@
+#include "dist/sharding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace pia::dist {
+
+ZipfSampler::ZipfSampler(std::size_t items, double exponent)
+    : exponent_(exponent) {
+  PIA_CHECK(items > 0, "ZipfSampler needs at least one item");
+  PIA_CHECK(exponent >= 0.0, "Zipf exponent must be non-negative");
+  cdf_.reserve(items);
+  double total = 0.0;
+  for (std::size_t r = 0; r < items; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding leaving the tail unreachable
+}
+
+std::uint32_t ZipfSampler::sample(double u) const {
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const std::size_t rank =
+      it == cdf_.end() ? cdf_.size() - 1
+                       : static_cast<std::size_t>(it - cdf_.begin());
+  return static_cast<std::uint32_t>(rank);
+}
+
+double ZipfSampler::probability(std::uint32_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace pia::dist

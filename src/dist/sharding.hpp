@@ -1,0 +1,89 @@
+// Shard routing and seeded workload streams for scale-out scenarios.
+//
+// A sharded deployment hash-partitions gateway state across M nodes; every
+// party (load generators, base-station muxes, gateway shards, the
+// single-host oracle) must agree on the partition function, so it lives
+// here, below the wiring layers.  The same file owns the deterministic
+// seed-splitting used to give each of N clients an independent RNG stream
+// derived from (run seed, client id), and the Zipf sampler that shapes page
+// popularity — the classic web-traffic skew, so a handful of hot pages
+// dominate while the tail stays long.
+//
+// Everything here is pure arithmetic over explicit inputs: no clocks, no
+// global state, no I/O.  That is what makes an (N, shards, workers) run
+// reproducible bit-for-bit from its seed alone.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace pia::dist {
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Derives the seed of stream `stream` from the run seed.  Streams are
+/// decorrelated by double-mixing: neighbouring stream ids land in unrelated
+/// regions of the SplitMix64 sequence, so client k and client k+1 never see
+/// shifted copies of the same draws.
+[[nodiscard]] constexpr std::uint64_t stream_seed(std::uint64_t seed,
+                                                 std::uint64_t stream) {
+  return mix64(seed ^ mix64(stream * 0xD6E8FEB86659FD93ULL +
+                            0x2545F4914F6CDD1DULL));
+}
+
+/// FNV-1a over text keys (URLs).  Same constants as pia::fnv1a over bytes;
+/// duplicated for string_view so routing never copies the key.
+[[nodiscard]] constexpr std::uint64_t fnv1a_str(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// The partition function: which of `shards` nodes owns the key with this
+/// hash.  Remixes before reducing so low-entropy hashes (short URLs differ
+/// in one digit) still spread evenly.
+[[nodiscard]] constexpr std::uint32_t shard_of(std::uint64_t hash,
+                                               std::uint32_t shards) {
+  return shards <= 1
+             ? 0u
+             : static_cast<std::uint32_t>(mix64(hash) % shards);
+}
+
+[[nodiscard]] constexpr std::uint32_t shard_of_key(std::string_view key,
+                                                   std::uint32_t shards) {
+  return shard_of(fnv1a_str(key), shards);
+}
+
+/// Zipf(s) sampler over ranks 0..items-1: P(rank r) proportional to
+/// 1/(r+1)^s.  The CDF is precomputed once; sample() maps a uniform draw in
+/// [0,1) through a binary search, so a shared immutable sampler serves any
+/// number of client streams.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t items, double exponent);
+
+  /// Maps u in [0,1) to a rank.  Monotone in u.
+  [[nodiscard]] std::uint32_t sample(double u) const;
+
+  /// Exact model probability of `rank`, for distribution tests.
+  [[nodiscard]] double probability(std::uint32_t rank) const;
+
+  [[nodiscard]] std::size_t items() const { return cdf_.size(); }
+  [[nodiscard]] double exponent() const { return exponent_; }
+
+ private:
+  double exponent_;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r); back() == 1.0
+};
+
+}  // namespace pia::dist

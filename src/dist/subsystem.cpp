@@ -200,7 +200,12 @@ void Subsystem::handle_event(ChannelId channel_id, EventMsg event) {
       raise(ErrorKind::kConsistency,
             "conservative channel '" + endpoint.name() +
                 "' delivered an event at " + event.time.str() +
-                " behind subsystem time " + scheduler_.now().str());
+                " behind subsystem time " + scheduler_.now().str() +
+                " [sub=" + name_ + " granted_in=" +
+                endpoint.granted_in.str() + " granted_in_seen=" +
+                std::to_string(endpoint.granted_in_seen) + " sent=" +
+                std::to_string(endpoint.event_msgs_sent) + " recv=" +
+                std::to_string(endpoint.event_msgs_received) + "]");
     }
     // Optimistic straggler: rewind first, then apply.
     optimistic_.rollback(event.time, std::nullopt);

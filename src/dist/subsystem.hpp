@@ -327,6 +327,24 @@ class Subsystem : private sync::EngineContext {
   [[nodiscard]] std::uint32_t subsystem_id() const override { return id_; }
   void note_activity() override { conservative_.note_activity(); }
   void reset_termination() override { conservative_.reset_termination(); }
+  // Termination accounting sums the per-channel counters, NOT the run-loop
+  // stats: channel counters are re-based at every snapshot restore, so the
+  // probe's global balance closes again after a recovery (a restarted
+  // process has no stats history, and a survivor's stats keep pre-crash
+  // traffic the replacement never received).
+  [[nodiscard]] std::uint64_t messages_sent_total() const override {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < channels_.size(); ++i)
+      total += channels_[i].event_msgs_sent + channels_[i].retract_msgs_sent;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t messages_received_total() const override {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < channels_.size(); ++i)
+      total += channels_[i].event_msgs_received +
+               channels_[i].retract_msgs_received;
+    return total;
+  }
   void flush_unregenerated(VirtualTime upto) override {
     optimistic_.flush_unregenerated(upto);
   }
@@ -346,7 +364,7 @@ class Subsystem : private sync::EngineContext {
     optimistic_.scrub_retracted(positions);
   }
   void inject_input(ChannelEndpoint& endpoint,
-                    const ChannelEndpoint::InputRecord& record) override {
+                    ChannelEndpoint::InputRecord& record) override {
     optimistic_.inject_input(endpoint, record);
   }
   void invalidate_snapshots_after(SnapshotId kept) override {

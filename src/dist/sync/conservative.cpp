@@ -40,7 +40,37 @@ VirtualTime ConservativeEngine::grant_for(ChannelId requester) const {
   // virtual-time lockstep, every stage waiting on its downstream listener.
   if (!channels[requester.value()].can_send_events)
     return VirtualTime::infinity();
-  VirtualTime horizon = ctx_.scheduler().next_event_time();
+  const ChannelEndpoint& target = channels[requester.value()];
+  // Split the pending events by what they mean to the requester.  A
+  // delivery already queued for the requester's own channel proxy on a
+  // hidden (split-net) port IS a crossing: its timestamp carries the full
+  // sender-side net delay and the proxy forwards it to the peer unchanged,
+  // so it arrives at exactly event.time — no lookahead applies on top.
+  // Folding these into a flat next_event_time() + lookahead over-promised
+  // by exactly the lookahead whenever a relay routed a value onto the
+  // channel without advancing its own clock past the net delay first
+  // (delay-carrying split nets, e.g. the scale-out station fan-in).
+  // Everything else — wakes, ordinary local deliveries, and rx-port
+  // injections (whose causal responses re-cross no earlier than their own
+  // stamp plus the net delay the lookahead declares) — still earns it.
+  const ComponentId proxy = target.channel_component;
+  VirtualTime crossing = VirtualTime::infinity();
+  VirtualTime horizon = VirtualTime::infinity();
+  if (proxy.valid()) {
+    const PortIndex rx = static_cast<const ChannelComponent&>(
+                             ctx_.scheduler().component(proxy))
+                             .rx_port();
+    for (const Event& e : ctx_.scheduler().pending()) {
+      if (e.kind == EventKind::kDeliver && e.target == proxy && e.port != rx)
+        crossing = min(crossing, e.time);
+      else
+        horizon = min(horizon, e.time);
+    }
+  } else {
+    // Endpoint without a local proxy (protocol unit tests): every pending
+    // event is plain local work.
+    horizon = ctx_.scheduler().next_event_time();
+  }
   for (std::uint32_t i = 0; i < channels.size(); ++i) {
     if (ChannelId{i} == requester) continue;  // self-restriction removal
     const ChannelEndpoint& c = channels[i];
@@ -52,7 +82,6 @@ VirtualTime ConservativeEngine::grant_for(ChannelId requester) const {
     // its optimistic upstream had produced anything (fuzz_cluster seed 2).
     horizon = min(horizon, c.effective_grant());
   }
-  const ChannelEndpoint& target = channels[requester.value()];
   // Unconfirmed outputs already sent to the requester can still be
   // retracted at their recorded times if re-execution diverges: they bound
   // the promise too (times are monotone, the first live entry is the min).
@@ -62,7 +91,7 @@ VirtualTime ConservativeEngine::grant_for(ChannelId requester) const {
     horizon = min(horizon, target.output_log[k].time);
     break;
   }
-  return horizon + target.lookahead;
+  return min(horizon + target.lookahead, crossing);
 }
 
 VirtualTime ConservativeEngine::barrier() const {
@@ -150,8 +179,11 @@ void ConservativeEngine::maybe_start_probe() {
   ChannelSet& channels = ctx_.channels();
   if (my_probe_ || terminate_received_) return;
   if (!ctx_.scheduler().idle()) return;
-  // Don't spin probe rounds: retry only after something changed.
-  if (activity_counter_ == activity_at_last_failed_probe_) return;
+  // Don't spin probe rounds: retry only after something changed — unless a
+  // candidate round awaits its confirming twin, which by construction runs
+  // with the activity counter unmoved.
+  if (activity_counter_ == activity_at_last_failed_probe_ && !confirm_pending_)
+    return;
   // A clean probe requires our own unconfirmed outputs settled first.
   ctx_.flush_unregenerated(VirtualTime::infinity());
   my_probe_ = ProbeRound{.nonce = next_probe_nonce_++,
@@ -178,14 +210,18 @@ void ConservativeEngine::on_probe(ChannelId channel_id,
   if (channels.size() == 1) {
     from.send_message(ProbeReply{.origin = probe.origin,
                                  .nonce = probe.nonce,
-                                 .ok = ctx_.scheduler().idle()});
+                                 .ok = ctx_.scheduler().idle(),
+                                 .sent = ctx_.messages_sent_total(),
+                                 .received = ctx_.messages_received_total(),
+                                 .activity = activity_counter_});
     return;
   }
   // Relay the wave away from the arrival channel; answer once the subtree
   // answers (the topology is a forest, so the wave terminates).
   RelayedProbe relayed{.from = channel_id,
                        .pending = channels.size() - 1,
-                       .ok = true};
+                       .ok = true,
+                       .activity_at_arrival = activity_counter_};
   relayed_probes_[{probe.origin, probe.nonce}] = relayed;
   for (std::uint32_t i = 0; i < channels.size(); ++i) {
     if (ChannelId{i} == channel_id) continue;
@@ -199,17 +235,36 @@ void ConservativeEngine::on_probe_reply(const ProbeReply& reply) {
       reply.origin == static_cast<std::uint64_t>(ctx_.subsystem_id()) &&
       reply.nonce == my_probe_->nonce) {
     my_probe_->ok = my_probe_->ok && reply.ok;
+    my_probe_->sent += reply.sent;
+    my_probe_->received += reply.received;
+    my_probe_->activity += reply.activity;
     if (--my_probe_->pending == 0) {
-      const bool confirmed = my_probe_->ok && ctx_.scheduler().idle() &&
+      const bool candidate = my_probe_->ok && ctx_.scheduler().idle() &&
                              activity_counter_ == my_probe_->activity_at_start;
-      if (confirmed) {
+      const CandidateRound round{
+          .sent = my_probe_->sent + ctx_.messages_sent_total(),
+          .received = my_probe_->received + ctx_.messages_received_total(),
+          .activity = my_probe_->activity + activity_counter_};
+      // Terminate only on the second of two identical all-ok rounds whose
+      // global send/receive totals balance: a lone ok-round describes the
+      // past, and a message that was in flight during it can still revive
+      // a subsystem that already answered.  Nothing moved anywhere between
+      // two identical rounds, and balanced totals mean nothing is in
+      // flight now.
+      if (candidate && round.sent == round.received &&
+          last_candidate_ == round) {
         terminate_received_ = true;
         const std::uint64_t token =
             (static_cast<std::uint64_t>(ctx_.subsystem_id()) << 32) |
             my_probe_->nonce;
         for (auto& c : channels)
           c->send_message(TerminateMsg{.token = token});
+      } else if (candidate) {
+        last_candidate_ = round;
+        confirm_pending_ = true;
       } else {
+        last_candidate_.reset();
+        confirm_pending_ = false;
         activity_at_last_failed_probe_ = my_probe_->activity_at_start ==
                                                  activity_counter_
                                              ? activity_counter_
@@ -222,12 +277,19 @@ void ConservativeEngine::on_probe_reply(const ProbeReply& reply) {
   const auto it = relayed_probes_.find({reply.origin, reply.nonce});
   if (it == relayed_probes_.end()) return;  // stale round
   it->second.ok = it->second.ok && reply.ok;
+  it->second.sent += reply.sent;
+  it->second.received += reply.received;
+  it->second.activity += reply.activity;
   if (--it->second.pending == 0) {
     ChannelEndpoint& back = channels.at(it->second.from);
-    back.send_message(ProbeReply{.origin = reply.origin,
-                                 .nonce = reply.nonce,
-                                 .ok = it->second.ok &&
-                                       ctx_.scheduler().idle()});
+    back.send_message(ProbeReply{
+        .origin = reply.origin,
+        .nonce = reply.nonce,
+        .ok = it->second.ok && ctx_.scheduler().idle() &&
+              activity_counter_ == it->second.activity_at_arrival,
+        .sent = it->second.sent + ctx_.messages_sent_total(),
+        .received = it->second.received + ctx_.messages_received_total(),
+        .activity = it->second.activity + activity_counter_});
     relayed_probes_.erase(it);
   }
 }
@@ -253,6 +315,8 @@ void ConservativeEngine::reset_termination() {
   my_probe_.reset();
   relayed_probes_.clear();
   activity_at_last_failed_probe_ = UINT64_MAX;
+  last_candidate_.reset();
+  confirm_pending_ = false;
 }
 
 }  // namespace pia::dist::sync

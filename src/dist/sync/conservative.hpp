@@ -73,11 +73,39 @@ class ConservativeEngine {
     std::size_t pending = 0;
     bool ok = true;
     std::uint64_t activity_at_start = 0;
+    // Subtree sums accumulated from the replies (the origin's own totals
+    // are added at completion).
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::uint64_t activity = 0;
+  };
+  /// Global accounting of the last all-ok round.  Termination needs two
+  /// consecutive candidate rounds with identical sums and sent == received:
+  /// one round alone can certify a past in which a subsystem that had
+  /// already replied was later revived by a message still in flight.
+  struct CandidateRound {
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::uint64_t activity = 0;
+    friend bool operator==(const CandidateRound&,
+                           const CandidateRound&) = default;
   };
   struct RelayedProbe {
     ChannelId from;
     std::size_t pending = 0;
     bool ok = true;
+    /// Activity when the probe arrived.  The origin validates its own
+    /// round-long quiet window, but a relay can go busy *after* forwarding
+    /// the wave (an optimistic subsystem speculating on an in-flight
+    /// straggler) and be idle again by the time the subtree answers; its
+    /// reply must then be negative or the origin confirms a termination
+    /// that a revived relay is about to break with fresh sends.
+    std::uint64_t activity_at_arrival = 0;
+    // Subtree sums accumulated from the replies (the relay's own totals
+    // are added when it answers).
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::uint64_t activity = 0;
   };
 
   EngineContext& ctx_;
@@ -88,6 +116,11 @@ class ConservativeEngine {
   std::uint64_t next_probe_nonce_ = 1;
   std::uint64_t activity_counter_ = 0;  // bumps on any state-changing input
   std::uint64_t activity_at_last_failed_probe_ = UINT64_MAX;
+  std::optional<CandidateRound> last_candidate_;
+  // A candidate round is pending confirmation: re-probe even though the
+  // activity counter has not moved (the usual don't-spin guard would
+  // otherwise block the confirming round forever).
+  bool confirm_pending_ = false;
   bool terminate_received_ = false;
 };
 

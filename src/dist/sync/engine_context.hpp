@@ -61,6 +61,13 @@ class EngineContext {
   /// Something state-changing happened (event, retract, runlevel, rejoin);
   /// bumps the activity counter termination probes validate against.
   virtual void note_activity() = 0;
+  /// Lifetime totals of simulation messages (events + retractions) this
+  /// subsystem sent / received, on all channels.  Termination probes sum
+  /// them over the tree: the cluster is only done when the global sums
+  /// match — an excess on the sent side is a message still in flight
+  /// toward a subsystem that would otherwise already have stopped.
+  [[nodiscard]] virtual std::uint64_t messages_sent_total() const = 0;
+  [[nodiscard]] virtual std::uint64_t messages_received_total() const = 0;
   /// A restore put the subsystem back on a live timeline: forget any
   /// termination consensus and probe state from the abandoned one.
   virtual void reset_termination() = 0;
@@ -78,7 +85,7 @@ class EngineContext {
   virtual void clear_positions() = 0;
   virtual void scrub_retracted(const SnapshotPositions& positions) = 0;
   virtual void inject_input(ChannelEndpoint& endpoint,
-                            const ChannelEndpoint::InputRecord& record) = 0;
+                            ChannelEndpoint::InputRecord& record) = 0;
 
   // --- services of the SnapshotCoordinator --------------------------------
   /// A rollback discarded the future past `kept`: revoke durable cuts that

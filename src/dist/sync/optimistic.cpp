@@ -45,11 +45,11 @@ void OptimisticEngine::drop_positions_after(SnapshotId snap) {
     it = snapshot_positions_.erase(it);
 }
 
-void OptimisticEngine::inject_input(
-    ChannelEndpoint& endpoint, const ChannelEndpoint::InputRecord& record) {
+void OptimisticEngine::inject_input(ChannelEndpoint& endpoint,
+                                    ChannelEndpoint::InputRecord& record) {
   if (record.retracted) return;
   Scheduler& scheduler = ctx_.scheduler();
-  scheduler.inject(Event{
+  record.seq = scheduler.inject(Event{
       .time = record.time,
       .target = endpoint.channel_component,
       .port = static_cast<ChannelComponent&>(
@@ -64,6 +64,7 @@ void OptimisticEngine::on_retract(ChannelId channel_id,
                                   const RetractMsg& retract) {
   ChannelEndpoint& endpoint = ctx_.channels().at(channel_id);
   stats_.retracts_received++;
+  endpoint.retract_msgs_received++;
   ctx_.note_activity();
 
   // Find the cancelled event (search newest-first: retractions target
@@ -87,26 +88,28 @@ void OptimisticEngine::on_retract(ChannelId channel_id,
     return;
   }
   Scheduler& scheduler = ctx_.scheduler();
+  log[index].retracted = true;
   if (retract.time > scheduler.now()) {
-    // Injected but not yet dispatched: cancel it in the queue.
-    log[index].retracted = true;
-    const Value expected =
-        ChannelComponent::encode_remote(log[index].net_index,
-                                        log[index].value);
+    // Probably injected but not yet dispatched: try to cancel its queued
+    // delivery, addressed by the seq recorded at injection (payloads are
+    // not unique — two live sends may carry identical (time, value)).
+    // This is a fast path, not a guarantee: across rollback histories the
+    // clock alone cannot prove the event is still pending.  If the erase
+    // finds nothing, fall through to the rewind below, which is correct
+    // either way.
+    const std::uint64_t seq = log[index].seq;
     bool removed = false;
     scheduler.erase_events_if([&](const Event& e) {
-      if (removed || e.time != retract.time ||
-          e.target != endpoint.channel_component || !(e.value == expected))
+      if (e.seq != seq || e.target != endpoint.channel_component)
         return false;
       removed = true;
       return true;
     });
-    PIA_CHECK(removed, "retracted event not found in queue on " +
-                           ctx_.subsystem_name());
-    return;
+    if (removed) return;
   }
-  // Already dispatched: its effects are in component state — rewind.
-  log[index].retracted = true;
+  // Its effects may already be in component state — rewind.  The entry hint
+  // forces a snapshot from before this input's injection; the tombstone set
+  // above keeps the replay loop from re-injecting it.
   rollback(retract.time, std::make_pair(channel_id, index));
 }
 
@@ -179,6 +182,7 @@ void OptimisticEngine::retract_output(ChannelEndpoint& endpoint,
   record.retracted = true;
   endpoint.send_message(RetractMsg{.id = record.id, .time = record.time});
   stats_.retracts_sent++;
+  endpoint.retract_msgs_sent++;
 }
 
 bool OptimisticEngine::suppress_regeneration(ChannelEndpoint& endpoint,
@@ -236,15 +240,12 @@ void OptimisticEngine::scrub_retracted(const SnapshotPositions& positions) {
          ++k) {
       const auto& record = c.input_log[k];
       if (!record.retracted) continue;
-      const Value expected =
-          ChannelComponent::encode_remote(record.net_index, record.value);
-      bool removed = false;
+      // The restored queue preserves original seqs, so a record retracted
+      // after the snapshot is erased by the exact entry it re-materialised.
+      // If the record's copy was already consumed before the snapshot there
+      // is no seq match and nothing is (wrongly) erased.
       scheduler.erase_events_if([&](const Event& e) {
-        if (removed || e.time != record.time ||
-            e.target != c.channel_component || !(e.value == expected))
-          return false;
-        removed = true;
-        return true;
+        return e.seq == record.seq && e.target == c.channel_component;
       });
     }
   }

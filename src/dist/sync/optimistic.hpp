@@ -75,7 +75,7 @@ class OptimisticEngine {
 
   /// Re-schedules a logged input (skipping tombstones).
   void inject_input(ChannelEndpoint& endpoint,
-                    const ChannelEndpoint::InputRecord& record);
+                    ChannelEndpoint::InputRecord& record);
 
   /// After a restore: remove from the restored queue any event whose input
   /// record was retracted after the snapshot was taken (the snapshot may

@@ -248,6 +248,8 @@ void RecoveryCoordinator::restore_image(BytesView image) {
     }
     c.event_msgs_sent = c.output_trimmed + c.output_log.size();
     c.event_msgs_received = c.input_trimmed + c.input_log.size();
+    c.retract_msgs_sent = 0;
+    c.retract_msgs_received = 0;
 
     // Fresh process, fresh negotiation: grants, statuses and liveness all
     // restart from scratch, symmetrically with the recovering peer.

@@ -137,9 +137,13 @@ void SnapshotCoordinator::restore(std::uint64_t token) {
       c.injected_count = c.input_log.size();
     }
     // Re-base the event counters on the truncated logs so safe-time grants
-    // index consistently on both sides after the restore.
+    // index consistently on both sides after the restore; retract counters
+    // restart at zero on both sides of the cut (they only feed the
+    // termination balance, which needs a shared epoch, not history).
     c.event_msgs_sent = c.output_trimmed + c.output_log.size();
     c.event_msgs_received = c.input_trimmed + c.input_log.size();
+    c.retract_msgs_sent = 0;
+    c.retract_msgs_received = 0;
   }
 }
 

@@ -42,6 +42,7 @@
 
 #include "base/rng.hpp"
 #include "dist_helpers.hpp"
+#include "wubbleu/scaleout.hpp"
 
 namespace pia::dist {
 namespace {
@@ -382,6 +383,169 @@ bool run_recovery_seed(std::uint64_t seed, bool verbose,
   return ok;
 }
 
+// ---------------------------------------------------------------------------
+// Scale-out arm
+// ---------------------------------------------------------------------------
+//
+// Each seed derives a small shard farm (2..16 handhelds, 1..4 shards,
+// random station fan-in, catalog shape and Zipf exponent) and requires the
+// distributed cluster to match the single-host oracle bit-exactly under
+// conservative, optimistic and mixed channel modes, in both the aggregated
+// (station fan-in) and per-client channel layouts.
+
+wubbleu::ScaleoutSpec generate_scaleout(std::uint64_t seed) {
+  Rng rng(seed ^ 0x5CA1E0C7FA23B00CULL);
+  wubbleu::ScaleoutSpec spec;
+  spec.seed = seed;
+  spec.clients = 2 + rng.below(15);
+  spec.shards = 1 + static_cast<std::uint32_t>(rng.below(4));
+  spec.clients_per_station = 1 + static_cast<std::size_t>(rng.below(6));
+  spec.requests_per_client = 1 + rng.below(4);
+  spec.catalog.pages = 8 + static_cast<std::uint32_t>(rng.below(56));
+  spec.catalog.page_bytes =
+      256 + static_cast<std::uint32_t>(rng.below(1792));
+  spec.zipf_exponent = 0.7 + 0.7 * rng.uniform();
+  const std::uint32_t kBatchLimits[] = {1, 8, 64};
+  spec.batch_limit = kBatchLimits[rng.below(3)];
+  return spec;
+}
+
+std::string describe_scaleout(const wubbleu::ScaleoutSpec& spec) {
+  std::ostringstream os;
+  os << "clients=" << spec.clients << " shards=" << spec.shards
+     << " cps=" << spec.clients_per_station
+     << " reqs=" << spec.requests_per_client
+     << " pages=" << spec.catalog.pages << " zipf=" << spec.zipf_exponent
+     << " batch=" << spec.batch_limit;
+  return os.str();
+}
+
+bool run_scaleout_config(std::uint64_t seed, wubbleu::ScaleoutSpec spec,
+                         const std::vector<ChannelMode>& cycle,
+                         std::size_t phase, bool aggregated,
+                         const wubbleu::ScaleoutResult& reference,
+                         bool verbose, std::size_t threads) {
+  spec.mode_cycle = cycle;
+  spec.mode_phase = phase;
+  spec.aggregated = aggregated;
+  spec.worker_threads = threads;
+  wubbleu::ScaleoutCluster dut(spec);
+  const auto outcomes = dut.run();
+  bool ok = true;
+  for (const auto& [name, outcome] : outcomes) {
+    if (outcome == Subsystem::RunOutcome::kQuiescent) continue;
+    std::printf("FAIL seed=%llu (scaleout): outcome[%s] != quiescent\n",
+                static_cast<unsigned long long>(seed), name.c_str());
+    ok = false;
+  }
+  const wubbleu::ScaleoutResult result = dut.result();
+  if (!(result == reference)) {
+    std::printf(
+        "FAIL seed=%llu (scaleout) modes=%s agg=%d threads=%zu: "
+        "fetch log diverges from single-host oracle\n",
+        static_cast<unsigned long long>(seed),
+        describe_modes(cycle).c_str(), aggregated ? 1 : 0, threads);
+    for (std::size_t c = 0; c < reference.fetches.size(); ++c) {
+      const auto& want = reference.fetches[c];
+      const auto& got = result.fetches[c];
+      if (want == got) continue;
+      std::printf("  client %zu: %zu fetches expected, %zu got\n", c,
+                  want.size(), got.size());
+      for (std::size_t k = 0; k < std::max(want.size(), got.size()); ++k) {
+        const auto dump = [](const wubbleu::Fetch& f) {
+          return "page=" + std::to_string(f.page) + " issued=" +
+                 f.issued.str() + " completed=" + f.completed.str() +
+                 " bytes=" + std::to_string(f.body_bytes) + " hash=" +
+                 std::to_string(f.body_hash) + " status=" +
+                 std::to_string(f.status);
+        };
+        const std::string w =
+            k < want.size() ? dump(want[k]) : std::string("<none>");
+        const std::string g =
+            k < got.size() ? dump(got[k]) : std::string("<none>");
+        if (w != g)
+          std::printf("    [%zu] expected %s\n         got      %s\n", k,
+                      w.c_str(), g.c_str());
+      }
+    }
+    for (dist::Subsystem* sub : dut.cluster().all_subsystems()) {
+      const auto& os = sub->optimistic_stats();
+      std::printf("  sub %-12s rollbacks=%llu retracts tx/rx=%llu/%llu\n",
+                  sub->name().c_str(),
+                  static_cast<unsigned long long>(os.rollbacks),
+                  static_cast<unsigned long long>(os.retracts_sent),
+                  static_cast<unsigned long long>(os.retracts_received));
+      for (std::size_t ch = 0; ch < sub->channel_count(); ++ch) {
+        const dist::ChannelEndpoint& e =
+            sub->channel(ChannelId(static_cast<std::uint32_t>(ch)));
+        std::size_t unconfirmed = 0;
+        for (std::size_t k = e.replay_cursor; k < e.output_log.size(); ++k)
+          if (!e.output_log[k].retracted) ++unconfirmed;
+        std::size_t in_tomb = 0;
+        for (const auto& r : e.input_log)
+          if (r.retracted) ++in_tomb;
+        std::printf(
+            "    ch %-24s msgs tx/rx=%llu/%llu out=%zu(cursor=%zu "
+            "unconf=%zu) in=%zu(tomb=%zu)\n",
+            e.name().c_str(),
+            static_cast<unsigned long long>(e.event_msgs_sent),
+            static_cast<unsigned long long>(e.event_msgs_received),
+            e.output_log.size(), e.replay_cursor, unconfirmed,
+            e.input_log.size(), in_tomb);
+      }
+    }
+    ok = false;
+  }
+  const SubsystemStats total = dut.total_stats();
+  if (ok && total.events_sent != total.events_received) {
+    std::printf(
+        "FAIL seed=%llu (scaleout): event conservation at quiescence: "
+        "sent=%llu received=%llu\n",
+        static_cast<unsigned long long>(seed),
+        static_cast<unsigned long long>(total.events_sent),
+        static_cast<unsigned long long>(total.events_received));
+    ok = false;
+  }
+  if (!ok) {
+    std::printf("  case: %s\n", describe_scaleout(spec).c_str());
+    std::printf("  reproduce: fuzz_cluster --scaleout --seed=%llu%s\n",
+                static_cast<unsigned long long>(seed),
+                threads > 0
+                    ? (" --threads=" + std::to_string(threads)).c_str()
+                    : "");
+  } else if (verbose) {
+    std::printf("  modes=%s agg=%d threads=%zu ... ok (%llu fetches)\n",
+                describe_modes(cycle).c_str(), aggregated ? 1 : 0, threads,
+                static_cast<unsigned long long>(result.total_fetches()));
+  }
+  return ok;
+}
+
+bool run_scaleout_seed(std::uint64_t seed, bool verbose,
+                       std::size_t threads) {
+  const wubbleu::ScaleoutSpec spec = generate_scaleout(seed);
+  if (verbose)
+    std::printf("seed=%llu %s (scaleout, threads=%zu)\n",
+                static_cast<unsigned long long>(seed),
+                describe_scaleout(spec).c_str(), threads);
+  // One oracle serves every configuration: channel modes, worker counts
+  // and the station fan-in must never change simulated behaviour.
+  const wubbleu::ScaleoutResult reference = wubbleu::run_single_host(spec);
+
+  const std::vector<std::vector<ChannelMode>> cycles = {
+      {ChannelMode::kConservative},
+      {ChannelMode::kOptimistic},
+      {ChannelMode::kConservative, ChannelMode::kOptimistic},
+  };
+  bool ok = true;
+  for (const auto& cycle : cycles)
+    for (const bool aggregated : {true, false})
+      ok &= run_scaleout_config(seed, spec, cycle,
+                                cycle.size() > 1 ? seed % 2 : 0, aggregated,
+                                reference, verbose, threads);
+  return ok;
+}
+
 bool run_seed(std::uint64_t seed, bool verbose, std::size_t threads) {
   const FuzzCase c = generate(seed);
   if (verbose)
@@ -420,6 +584,7 @@ int main(int argc, char** argv) {
   std::uint64_t start_seed = 1;
   bool verbose = false;
   bool recovery = false;
+  bool scaleout = false;
   std::size_t threads = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -439,11 +604,13 @@ int main(int argc, char** argv) {
       threads = std::stoull(arg.substr(10));
     } else if (arg == "--recovery") {
       recovery = true;
+    } else if (arg == "--scaleout") {
+      scaleout = true;
     } else if (arg == "--verbose" || arg == "-v") {
       verbose = true;
     } else {
       std::fprintf(stderr,
-                   "usage: fuzz_cluster [--recovery] [--seed=S | "
+                   "usage: fuzz_cluster [--recovery | --scaleout] [--seed=S | "
                    "--seeds=S1,S2,... | --runs=N [--start-seed=K]] "
                    "[--threads=N] [--verbose]\n");
       return 2;
@@ -459,16 +626,23 @@ int main(int argc, char** argv) {
     // Recovery gating trio: seed 9 restores from disk over TCP in both
     // modes, seed 11 drives the optimistic fallback ladder (multiple
     // restart attempts), seed 2 crashes a mixed-mode 4-host TCP pipeline.
-    seeds = recovery ? std::vector<std::uint64_t>{2, 9, 11}
-                     : std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6,
-                                                  7, 8, 11, 13, 17, 23};
+    // Scale-out gating trio: seed 1 draws a 14-client 3-shard farm, seed 5
+    // a 9-client 2-shard farm (the one that exposed the termination-probe
+    // revival race under threads), seed 12 a 9-client 4-shard farm; between
+    // them they cover both frontend layouts, mixed channel modes and
+    // station fan-in > 1.
+    seeds = recovery   ? std::vector<std::uint64_t>{2, 9, 11}
+            : scaleout ? std::vector<std::uint64_t>{1, 5, 12}
+                       : std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6,
+                                                    7, 8, 11, 13, 17, 23};
   }
 
   std::uint64_t failures = 0;
   for (const std::uint64_t seed : seeds) {
     const bool ok =
-        recovery ? pia::dist::run_recovery_seed(seed, verbose, threads)
-                 : pia::dist::run_seed(seed, verbose, threads);
+        recovery   ? pia::dist::run_recovery_seed(seed, verbose, threads)
+        : scaleout ? pia::dist::run_scaleout_seed(seed, verbose, threads)
+                   : pia::dist::run_seed(seed, verbose, threads);
     if (!ok) ++failures;
     if (!verbose) {
       std::printf(".");
@@ -484,6 +658,10 @@ int main(int argc, char** argv) {
   if (recovery)
     std::printf("all %zu seeds passed (kill + restart from durable "
                 "snapshots == single-host)\n",
+                seeds.size());
+  else if (scaleout)
+    std::printf("all %zu seeds passed (sharded farm == single-host, "
+                "aggregated and per-client, every mode)\n",
                 seeds.size());
   else
     std::printf("all %zu seeds passed (conservative == optimistic == "

@@ -1,0 +1,146 @@
+// Long-horizon soak for the scale-out harness: a 500-handheld, 4-shard farm
+// driven to quiescence in stepped horizons.  Asserts, at every step and at
+// the end:
+//   - no subsystem ever reports kStalled (a missed wakeup anywhere in the
+//     grant/wait machinery shows up here as a stall timeout),
+//   - GVT is monotone across steps,
+//   - global event conservation at quiescence (every EventMsg sent was
+//     received),
+//   - the fetch logs match the single-host oracle bit-exactly.
+//
+// Labelled `soak` in ctest and excluded from the PR-gating tier: without
+// PIA_SOAK=1 in the environment the binary exits with the ctest skip code.
+// Run it directly with --quick for a scaled-down local smoke.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "wubbleu/scaleout.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pia;
+  using namespace std::chrono_literals;
+
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: soak_scaleout [--quick]\n");
+      return 2;
+    }
+  }
+  if (!quick && std::getenv("PIA_SOAK") == nullptr) {
+    std::printf("soak skipped: set PIA_SOAK=1 (or pass --quick)\n");
+    return 77;  // ctest SKIP_RETURN_CODE
+  }
+
+  wubbleu::ScaleoutSpec spec;
+  spec.clients = quick ? 40 : 500;
+  spec.shards = 4;
+  spec.clients_per_station = 25;
+  spec.requests_per_client = quick ? 3 : 8;
+  spec.catalog.pages = 64;
+  spec.catalog.page_bytes = 1024;
+  spec.seed = 20'260'807;
+  // Pool the edge node: 500 thread-per-subsystem clients would be a thread
+  // stress test, not a protocol soak.
+  spec.worker_threads = 8;
+
+  std::printf("soak: clients=%zu shards=%u stations=%zu requests=%u\n",
+              spec.clients, spec.shards, spec.stations(),
+              spec.requests_per_client);
+
+  const wubbleu::ScaleoutResult oracle = wubbleu::run_single_host(spec);
+  wubbleu::ScaleoutCluster cluster(spec);
+
+  bool ok = true;
+  const VirtualTime step = ticks(5'000);
+  VirtualTime gvt_prev = VirtualTime::zero();
+  VirtualTime horizon = step;
+  bool quiescent = false;
+  for (std::size_t n = 1; !quiescent; ++n, horizon = horizon + step) {
+    if (n > 100'000) {
+      std::printf("FAIL: no quiescence after %zu horizon steps\n", n);
+      ok = false;
+      break;
+    }
+    const auto outcomes = cluster.run(
+        {.horizon = horizon, .stall_timeout = 60'000ms});
+    quiescent = true;
+    for (const auto& [name, outcome] : outcomes) {
+      if (outcome == dist::Subsystem::RunOutcome::kQuiescent) continue;
+      quiescent = false;
+      if (outcome != dist::Subsystem::RunOutcome::kHorizon) {
+        std::printf("FAIL: outcome[%s] at horizon %s is %s\n", name.c_str(),
+                    horizon.str().c_str(),
+                    outcome == dist::Subsystem::RunOutcome::kStalled
+                        ? "STALLED (missed wakeup)"
+                        : "not quiescent/horizon");
+        ok = false;
+      }
+    }
+    if (!ok) break;
+    const VirtualTime gvt = cluster.cluster().compute_gvt();
+    if (gvt < gvt_prev) {
+      std::printf("FAIL: GVT regressed %s -> %s at horizon %s\n",
+                  gvt_prev.str().c_str(), gvt.str().c_str(),
+                  horizon.str().c_str());
+      ok = false;
+      break;
+    }
+    gvt_prev = gvt;
+    if (n % 4 == 0 || quiescent || gvt.is_infinite())
+      std::printf("  horizon=%s gvt=%s\n", horizon.str().c_str(),
+                  gvt.str().c_str());
+    if (!quiescent && gvt.is_infinite()) {
+      // Every queue is drained (GVT passed every pending event), but a
+      // horizon-bounded run() reports kHorizon regardless, and the
+      // termination probe only concludes on an unbounded run: finish with
+      // one infinite-horizon slice and require the probe to confirm.
+      const auto final_outcomes = cluster.run({.stall_timeout = 60'000ms});
+      quiescent = true;
+      for (const auto& [name, outcome] : final_outcomes) {
+        if (outcome == dist::Subsystem::RunOutcome::kQuiescent) continue;
+        quiescent = false;
+        std::printf("FAIL: outcome[%s] on the final unbounded run is not "
+                    "quiescent\n", name.c_str());
+        ok = false;
+      }
+      if (!ok) break;
+    }
+  }
+
+  if (ok) {
+    const dist::SubsystemStats total = cluster.total_stats();
+    if (total.events_sent != total.events_received) {
+      std::printf(
+          "FAIL: event conservation at quiescence: sent=%llu received=%llu\n",
+          static_cast<unsigned long long>(total.events_sent),
+          static_cast<unsigned long long>(total.events_received));
+      ok = false;
+    }
+    const wubbleu::ScaleoutResult result = cluster.result();
+    if (!(result == oracle)) {
+      std::printf("FAIL: fetch logs diverge from the single-host oracle\n");
+      ok = false;
+    }
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(spec.clients) * spec.requests_per_client;
+    if (result.total_fetches() != expected) {
+      std::printf("FAIL: %llu fetches, expected %llu\n",
+                  static_cast<unsigned long long>(result.total_fetches()),
+                  static_cast<unsigned long long>(expected));
+      ok = false;
+    }
+    if (ok)
+      std::printf(
+          "soak ok: %llu fetches, %llu events conserved, gvt monotone\n",
+          static_cast<unsigned long long>(result.total_fetches()),
+          static_cast<unsigned long long>(total.events_sent));
+  }
+  return ok ? 0 : 1;
+}

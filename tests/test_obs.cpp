@@ -260,6 +260,38 @@ TEST(ClusterObservability, ConservativeRunProducesProtocolRecords) {
   EXPECT_EQ(chan_scopes, 2u);
 }
 
+TEST(ClusterObservability, DuplicateSubsystemNamesGetOrdinalScopes) {
+  // Scenario generators (scaleout shard farms) stamp out same-named
+  // subsystems on different nodes; the cluster snapshot must keep their
+  // scopes distinct instead of silently interleaving their counters.
+  dist::NodeCluster cluster;
+  dist::PiaNode& node_a = cluster.add_node("nodeA");
+  dist::PiaNode& node_b = cluster.add_node("nodeB");
+  node_a.add_subsystem("worker");
+  node_b.add_subsystem("worker");
+  node_b.add_subsystem("solo");
+  MetricsRegistry metrics = cluster.metrics();
+  EXPECT_TRUE(metrics.has_scope("sub/worker#0"));
+  EXPECT_TRUE(metrics.has_scope("sub/worker#1"));
+  EXPECT_FALSE(metrics.has_scope("sub/worker"));
+  // Unique names keep their plain scope — the stable consumer interface.
+  EXPECT_TRUE(metrics.has_scope("sub/solo"));
+  EXPECT_FALSE(metrics.has_scope("sub/solo#0"));
+}
+
+TEST(ClusterObservability, CollidingManualCollectionIsRejected) {
+  dist::NodeCluster cluster;
+  dist::Subsystem& sub = cluster.add_node("node").add_subsystem("dup");
+  MetricsRegistry registry;
+  dist::collect_metrics(sub, registry);
+  EXPECT_THROW(dist::collect_metrics(sub, registry), Error);
+  MetricsRegistry tagged;
+  dist::collect_metrics(sub, tagged, "dup#a");
+  dist::collect_metrics(sub, tagged, "dup#b");
+  EXPECT_TRUE(tagged.has_scope("sub/dup#a"));
+  EXPECT_TRUE(tagged.has_scope("sub/dup#b"));
+}
+
 TEST(ClusterObservability, DisabledCaptureRecordsNothing) {
   TraceFlagGuard guard;
   set_trace_enabled(false);

@@ -56,6 +56,11 @@ class StubContext : public EngineContext {
   [[nodiscard]] OptimisticEngine& optimistic() { return *optimistic_; }
   [[nodiscard]] SnapshotCoordinator& snapshot() { return *snapshot_; }
 
+  // Message totals reported to termination probes; tests set these to model
+  // in-flight traffic.
+  std::uint64_t sent_total = 0;
+  std::uint64_t received_total = 0;
+
   // --- EngineContext -------------------------------------------------------
   Scheduler& scheduler() override { return scheduler_; }
   const Scheduler& scheduler() const override { return scheduler_; }
@@ -69,6 +74,10 @@ class StubContext : public EngineContext {
   std::uint32_t subsystem_id() const override { return kStubId; }
   void note_activity() override { conservative_->note_activity(); }
   void reset_termination() override { conservative_->reset_termination(); }
+  std::uint64_t messages_sent_total() const override { return sent_total; }
+  std::uint64_t messages_received_total() const override {
+    return received_total;
+  }
   void flush_unregenerated(VirtualTime upto) override {
     optimistic_->flush_unregenerated(upto);
   }
@@ -87,7 +96,7 @@ class StubContext : public EngineContext {
     optimistic_->scrub_retracted(positions);
   }
   void inject_input(ChannelEndpoint& endpoint,
-                    const ChannelEndpoint::InputRecord& record) override {
+                    ChannelEndpoint::InputRecord& record) override {
     optimistic_->inject_input(endpoint, record);
   }
   void invalidate_snapshots_after(SnapshotId kept) override {
@@ -187,30 +196,83 @@ TEST(SyncConservative, EffectiveGrantGroundsOnEventsSeen) {
 // Termination probe state machine
 // ---------------------------------------------------------------------------
 
-TEST(SyncConservative, ProbeRoundConfirmsTermination) {
+TEST(SyncConservative, TerminationNeedsTwoIdenticalBalancedRounds) {
   StubContext ctx;
   ctx.add_channel(ChannelMode::kConservative);
   ctx.add_channel(ChannelMode::kConservative);
   ConservativeEngine& engine = ctx.conservative();
 
+  // Round 1: all ok, subtree sums balanced (3 sent, 3 received).  This is
+  // only a *candidate* — a lone ok-round can describe a past that an
+  // in-flight message is about to invalidate — so no terminate yet.
   engine.maybe_start_probe();
   auto m0 = ctx.sent_on(0);
-  auto m1 = ctx.sent_on(1);
   ASSERT_EQ(m0.size(), 1u);
-  ASSERT_EQ(m1.size(), 1u);
+  ASSERT_EQ(ctx.sent_on(1).size(), 1u);
   const ProbeMsg probe = std::get<ProbeMsg>(m0[0]);
   EXPECT_EQ(probe.origin, kStubId);
-
-  engine.on_probe_reply(
-      ProbeReply{.origin = probe.origin, .nonce = probe.nonce, .ok = true});
+  engine.on_probe_reply(ProbeReply{.origin = probe.origin,
+                                   .nonce = probe.nonce,
+                                   .ok = true,
+                                   .sent = 3,
+                                   .received = 3});
   EXPECT_FALSE(engine.terminated());
   engine.on_probe_reply(
       ProbeReply{.origin = probe.origin, .nonce = probe.nonce, .ok = true});
+  EXPECT_FALSE(engine.terminated());
+  EXPECT_TRUE(ctx.sent_on(0).empty());  // no terminate flood yet
+
+  // Round 2: the pending confirmation re-arms the probe even though the
+  // activity counter has not moved; identical sums confirm.
+  engine.maybe_start_probe();
+  const ProbeMsg confirm = std::get<ProbeMsg>(ctx.sent_on(0).at(0));
+  EXPECT_GT(confirm.nonce, probe.nonce);
+  ctx.sent_on(1);
+  engine.on_probe_reply(ProbeReply{.origin = confirm.origin,
+                                   .nonce = confirm.nonce,
+                                   .ok = true,
+                                   .sent = 3,
+                                   .received = 3});
+  engine.on_probe_reply(
+      ProbeReply{.origin = confirm.origin, .nonce = confirm.nonce, .ok = true});
   EXPECT_TRUE(engine.terminated());
 
   // Consensus floods TerminateMsg on every channel.
   EXPECT_TRUE(std::holds_alternative<TerminateMsg>(ctx.sent_on(0).at(0)));
   EXPECT_TRUE(std::holds_alternative<TerminateMsg>(ctx.sent_on(1).at(0)));
+}
+
+TEST(SyncConservative, InFlightMessageDefersTermination) {
+  // Regression for the optimistic revival race: a subsystem replies ok,
+  // then a straggler that was already in flight revives it.  The round's
+  // global send/receive totals are unbalanced (1 sent, 0 received), so no
+  // matter how many times the same picture repeats, the origin must not
+  // terminate until the counts balance — and then only after the balanced
+  // picture holds for two consecutive rounds.
+  StubContext ctx;
+  ctx.add_channel(ChannelMode::kConservative);
+  ConservativeEngine& engine = ctx.conservative();
+
+  const auto run_round = [&](std::uint64_t sent, std::uint64_t received) {
+    engine.maybe_start_probe();
+    const auto out = ctx.sent_on(0);
+    ASSERT_FALSE(out.empty());
+    const ProbeMsg probe = std::get<ProbeMsg>(out[0]);
+    engine.on_probe_reply(ProbeReply{.origin = probe.origin,
+                                     .nonce = probe.nonce,
+                                     .ok = true,
+                                     .sent = sent,
+                                     .received = received});
+  };
+
+  run_round(1, 0);  // message in flight
+  EXPECT_FALSE(engine.terminated());
+  run_round(1, 0);  // identical round — still unbalanced, still no
+  EXPECT_FALSE(engine.terminated());
+  run_round(1, 1);  // delivered: balanced, but sums changed — candidate only
+  EXPECT_FALSE(engine.terminated());
+  run_round(1, 1);  // confirming twin
+  EXPECT_TRUE(engine.terminated());
 }
 
 TEST(SyncConservative, FailedProbeRetriesOnlyAfterActivity) {

@@ -25,6 +25,16 @@ node layer: it drives subsystems only through the public Subsystem slice API
 — it must never include a sync engine (dist/sync/*) nor the cluster wiring
 (dist/node.hpp), so scheduling policy stays separable from both.
 
+Two scale-out seams carry their own rules:
+
+  * dist/sharding.* is a pure-function leaf (shard maps, ownership math):
+    besides its own header it may include only base/.  It must stay usable
+    from a client that links none of the sync machinery.
+  * wubbleu/scaleout.* builds topologies through the node facade only — it
+    must not include a sync engine (dist/sync/*) nor the worker pool
+    (dist/executor.hpp); thread placement is chosen via NodeCluster options,
+    never by reaching into the pool directly.
+
 Run from anywhere: paths are resolved relative to this script.  Exits 0 when
 clean, 1 with one line per violation otherwise.
 """
@@ -119,6 +129,25 @@ def check_engine(path, errors):
         # Lower layers are covered by the directory DAG pass.
 
 
+def check_sharding(path, errors):
+    for line_number, inc in first_party_includes(path):
+        if inc == "dist/sharding.hpp" or inc.startswith("base/"):
+            continue
+        errors.append(
+            f"{path}:{line_number}: sharding is a base-only leaf; it must "
+            f'not include "{inc}"'
+        )
+
+
+def check_scaleout(path, errors):
+    for line_number, inc in first_party_includes(path):
+        if inc.startswith("dist/sync/") or inc == "dist/executor.hpp":
+            errors.append(
+                f"{path}:{line_number}: scaleout harness must drive the "
+                f'cluster through the node facade, not "{inc}"'
+            )
+
+
 def check_executor(path, errors):
     for line_number, inc in first_party_includes(path):
         if inc.startswith("dist/sync/"):
@@ -153,6 +182,10 @@ def main():
                 check_engine(path, errors)
             if layer == "dist" and path.name.split(".")[0] == "executor":
                 check_executor(path, errors)
+            if layer == "dist" and path.name.split(".")[0] == "sharding":
+                check_sharding(path, errors)
+            if layer == "wubbleu" and path.name.split(".")[0] == "scaleout":
+                check_scaleout(path, errors)
     sync_dir = SRC / "dist" / "sync"
     expected = ENGINES | {"engine_context"}
     present = {p.name.split(".")[0] for p in sync_dir.glob("*.hpp")}
