@@ -162,6 +162,17 @@ std::optional<ChannelMessage> ChannelEndpoint::recv_for(
   return take_inbound();
 }
 
+void ChannelEndpoint::prime_inbound() {
+  if (peer_closed) return;
+  auto raw = link_->try_recv();
+  if (!raw) {
+    if (link_->closed()) peer_closed = true;
+    return;
+  }
+  note_arrival();
+  decode_frame(*raw, inbound_);
+}
+
 void ChannelEndpoint::discard_pending() {
   batch_count_ = 0;
   batch_.clear();

@@ -129,6 +129,13 @@ class ChannelEndpoint {
   /// already-decoded inbound queue first, then the link).
   std::optional<ChannelMessage> recv_for(std::chrono::milliseconds timeout);
 
+  /// Pulls a frame already sitting on the link into the decoded inbound
+  /// queue WITHOUT delivering anything.  Keeps last_arrival honest while
+  /// the subsystem sits inside a long advance burst: liveness stamping must
+  /// not wait for the slice-top drain, or a busy peer judges a live sender
+  /// silent (the receive-side half of the heartbeat false positive).
+  void prime_inbound();
+
   /// Drops buffered state on both sides: the un-flushed outbound batch and
   /// the decoded-but-undelivered inbound queue.  Used when the link is
   /// replaced or a snapshot restore discards in-flight traffic.
@@ -268,6 +275,7 @@ class ChannelEndpoint {
   StatusMsg peer_status{};          // last status received
   bool peer_status_seen = false;
   std::uint64_t msgs_sent_at_last_status_push = UINT64_MAX;
+  std::uint64_t msgs_received_at_last_status_push = UINT64_MAX;
   bool idle_at_last_status_push = false;
 
   // --- wiring ------------------------------------------------------------------

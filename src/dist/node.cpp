@@ -45,10 +45,23 @@ void PiaNode::start_all() {
     if (!s->started()) s->start();
 }
 
+transport::LinkPair make_wire_pair(Wire wire) {
+  switch (wire) {
+    case Wire::kLoopback:
+      return transport::make_loopback_pair();
+    case Wire::kSpsc:
+      return transport::make_spsc_pair();
+    case Wire::kTcp: {
+      transport::TcpListener listener(0);
+      return transport::connect_tcp_pair(listener);
+    }
+  }
+  raise(ErrorKind::kState, "unknown wire kind");
+}
+
 ChannelPair connect(Subsystem& a, Subsystem& b, ChannelMode mode, Wire wire,
                     transport::LatencyModel latency,
                     const transport::FaultPlan& fault) {
-  transport::LinkPair pair;
   // Co-scheduled subsystems (same host node) are each driven by exactly
   // one thread at a time in every execution mode, which is precisely the
   // single-producer/single-consumer contract — upgrade their loopback to
@@ -57,19 +70,7 @@ ChannelPair connect(Subsystem& a, Subsystem& b, ChannelMode mode, Wire wire,
       a.host_node() == b.host_node()) {
     wire = Wire::kSpsc;
   }
-  switch (wire) {
-    case Wire::kLoopback:
-      pair = transport::make_loopback_pair();
-      break;
-    case Wire::kSpsc:
-      pair = transport::make_spsc_pair();
-      break;
-    case Wire::kTcp: {
-      transport::TcpListener listener(0);
-      pair = transport::connect_tcp_pair(listener);
-      break;
-    }
-  }
+  transport::LinkPair pair = make_wire_pair(wire);
   // Faults sit closest to the wire (they model the wire); latency decorates
   // the faulty link the way WAN delay rides on a lossy path.
   if (fault.enabled()) {
@@ -123,9 +124,14 @@ ChannelPair NodeCluster::connect_checked(Subsystem& a, Subsystem& b,
                                          ChannelMode mode, Wire wire,
                                          transport::LatencyModel latency,
                                          const transport::FaultPlan& fault) {
-  topology_.add_channel(a.name(), b.name());
-  topology_.validate();  // fail fast at wiring time
+  register_logical_channel(a.name(), b.name());
   return connect(a, b, mode, wire, latency, fault);
+}
+
+void NodeCluster::register_logical_channel(const std::string& a,
+                                           const std::string& b) {
+  topology_.add_channel(a, b);
+  topology_.validate();  // fail fast at wiring time
 }
 
 void NodeCluster::start_all() {
@@ -190,10 +196,16 @@ VirtualTime NodeCluster::compute_gvt() {
   bool moved = true;
   while (moved) {
     moved = false;
-    for (Subsystem* s : subs) moved |= s->drain();
+    for (Subsystem* s : subs)
+      if (!s->retired()) moved |= s->drain();
   }
   VirtualTime gvt = VirtualTime::infinity();
-  for (Subsystem* s : subs) gvt = min(gvt, s->local_virtual_floor());
+  for (Subsystem* s : subs) {
+    // A dead replica member's floor is frozen at its crash point; letting it
+    // into the min would drag cluster GVT backwards forever.
+    if (s->retired()) continue;
+    gvt = min(gvt, s->local_virtual_floor());
+  }
   return gvt;
 }
 

@@ -73,6 +73,11 @@ enum class Wire {
   kTcp,       // real sockets over localhost (the "Internet" of Fig. 1)
 };
 
+/// Builds a connected raw link pair for `wire` — no latency, faults or
+/// loopback→SPSC upgrade applied.  connect() and the replica wiring share
+/// this so every transport is constructed one way.
+transport::LinkPair make_wire_pair(Wire wire);
+
 /// Connects two subsystems with a channel.  `latency` models the wide-area
 /// path and `fault` injects seed-driven wire faults (both applied in both
 /// directions; fault decisions are endpoint-salted so the two directions do
@@ -112,6 +117,12 @@ class NodeCluster {
                               Wire wire = Wire::kLoopback,
                               transport::LatencyModel latency = {},
                               const transport::FaultPlan& fault = {});
+
+  /// Adds an edge to the topology forest without wiring a transport —
+  /// connect_replicated_checked() registers a replica group as ONE logical
+  /// edge (peer <-> set name) this way, since its K member links are not
+  /// forest edges of their own.
+  void register_logical_channel(const std::string& a, const std::string& b);
 
   /// Validates topology and starts every subsystem.
   void start_all();

@@ -203,6 +203,28 @@ void decode_frame(BytesView frame, std::deque<ChannelMessage>& out) {
     raise(ErrorKind::kProtocol, "trailing bytes after channel batch");
 }
 
+void encode_replica_frame(serial::OutArchive& out, std::uint32_t member,
+                          std::uint64_t epoch, BytesView inner) {
+  out.put_u8(kReplicaFrameTag);
+  out.put_varint(member);
+  out.put_varint(epoch);
+  out.put_raw(inner);
+}
+
+std::optional<std::pair<ReplicaFrameHeader, BytesView>> split_replica_frame(
+    BytesView frame) {
+  if (frame.empty() ||
+      static_cast<std::uint8_t>(frame[0]) != kReplicaFrameTag) {
+    return std::nullopt;
+  }
+  serial::InArchive ar(frame);
+  (void)ar.get_u8();  // kReplicaFrameTag
+  ReplicaFrameHeader header;
+  header.member = static_cast<std::uint32_t>(ar.get_varint());
+  header.epoch = ar.get_varint();
+  return std::make_pair(header, ar.get_view(ar.remaining()));
+}
+
 const char* message_name(const ChannelMessage& message) {
   return std::visit(
       [](const auto& m) -> const char* {

@@ -176,6 +176,29 @@ inline constexpr std::uint8_t kBatchFrameTag = 13;
 /// messages to `out` in send order.
 void decode_frame(BytesView frame, std::deque<ChannelMessage>& out);
 
+/// First payload byte of a replica-tagged frame: `kReplicaFrameTag`, then a
+/// varint member index, a varint member epoch, and the inner frame (bare
+/// message or batch) unchanged.  Stamped by ReplicaTagLink on every frame a
+/// replica member sends so the receiving ReplicaLinkGroup can attribute the
+/// frame to a (member, epoch) for deduplication; frames from a retired
+/// epoch of the same member slot are dropped instead of corrupting the
+/// dedup cursor of its replacement.
+inline constexpr std::uint8_t kReplicaFrameTag = 14;
+
+struct ReplicaFrameHeader {
+  std::uint32_t member = 0;  // slot in the ReplicaSet, stable across respawns
+  std::uint64_t epoch = 0;   // bumped every time the slot is re-attached
+};
+
+/// Wraps `inner` (a complete bare or batch frame) with a replica header.
+void encode_replica_frame(serial::OutArchive& out, std::uint32_t member,
+                          std::uint64_t epoch, BytesView inner);
+
+/// Splits a replica-tagged frame into its header and the inner frame view
+/// (aliasing `frame`).  nullopt when `frame` carries no replica header.
+[[nodiscard]] std::optional<std::pair<ReplicaFrameHeader, BytesView>>
+split_replica_frame(BytesView frame);
+
 [[nodiscard]] const char* message_name(const ChannelMessage& message);
 
 /// Control messages are protocol plumbing (status, probes, termination,

@@ -105,11 +105,22 @@ void SnapshotStore::commit(std::uint64_t token, BytesView payload) {
           "snapshot store: rename to '" + final_path + "': " + ec.message());
   stats_.commits++;
   stats_.bytes_written += payload.size();
+  if (tokens_cache_) {
+    auto& cache = *tokens_cache_;
+    const auto it = std::lower_bound(cache.begin(), cache.end(), token);
+    if (it == cache.end() || *it != token) cache.insert(it, token);
+  }
 
   if (retain_ > 0) {
     std::vector<std::uint64_t> all = tokens();
     while (all.size() > retain_) {
       fs::remove(path_for(all.front()), ec);  // best effort
+      if (tokens_cache_) {
+        auto& cache = *tokens_cache_;
+        const auto it =
+            std::lower_bound(cache.begin(), cache.end(), all.front());
+        if (it != cache.end() && *it == all.front()) cache.erase(it);
+      }
       all.erase(all.begin());
       stats_.pruned++;
     }
@@ -119,6 +130,9 @@ void SnapshotStore::commit(std::uint64_t token, BytesView payload) {
 void SnapshotStore::remove(std::uint64_t token) {
   std::error_code ec;
   if (fs::remove(path_for(token), ec)) stats_.invalidated++;
+  // The delete is best effort, so don't guess at the outcome: drop the
+  // cache and let the next tokens() re-scan the truth on disk.
+  tokens_cache_.reset();
 }
 
 Bytes SnapshotStore::load(std::uint64_t token) const {
@@ -172,6 +186,7 @@ Bytes SnapshotStore::load(std::uint64_t token) const {
 }
 
 std::vector<std::uint64_t> SnapshotStore::tokens() const {
+  if (tokens_cache_) return *tokens_cache_;
   std::vector<std::uint64_t> out;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
@@ -180,6 +195,7 @@ std::vector<std::uint64_t> SnapshotStore::tokens() const {
       out.push_back(*token);
   }
   std::sort(out.begin(), out.end());
+  tokens_cache_ = out;
   return out;
 }
 

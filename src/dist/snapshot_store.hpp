@@ -69,6 +69,11 @@ class SnapshotStore {
   [[nodiscard]] Bytes load(std::uint64_t token) const;
 
   /// Committed tokens on disk, ascending (no validation beyond the name).
+  /// Served from a cached listing: the first call scans the directory, and
+  /// commit/retention maintain the cache incrementally — the per-persist
+  /// rescan latest_common_valid_token used to trigger is gone.  remove()
+  /// invalidates the cache (the delete may fail best-effort, so the next
+  /// call re-scans the truth on disk).
   [[nodiscard]] std::vector<std::uint64_t> tokens() const;
 
   /// Newest token whose file validates; corrupt files are skipped (falling
@@ -92,6 +97,7 @@ class SnapshotStore {
   std::string dir_;
   std::size_t retain_;
   mutable SnapshotStoreStats stats_;
+  mutable std::optional<std::vector<std::uint64_t>> tokens_cache_;
 };
 
 }  // namespace pia::dist

@@ -166,8 +166,14 @@ void Subsystem::handle_message(ChannelId channel_id, ChannelMessage message) {
           scheduler_.set_runlevel(m.component,
                                   RunLevel{m.level_name, m.detail});
         } else if constexpr (std::is_same_v<T, StatusMsg>) {
+          const bool moved = !endpoint.peer_status_seen ||
+                             endpoint.peer_status.idle != m.idle ||
+                             endpoint.peer_status.msgs_sent != m.msgs_sent ||
+                             endpoint.peer_status.msgs_received !=
+                                 m.msgs_received;
           endpoint.peer_status = m;
           endpoint.peer_status_seen = true;
+          if (moved) conservative_.note_peer_status_changed();
         } else if constexpr (std::is_same_v<T, ProbeMsg>) {
           conservative_.on_probe(channel_id, m);
         } else if constexpr (std::is_same_v<T, ProbeReply>) {
@@ -270,15 +276,20 @@ std::optional<Subsystem::RunOutcome> Subsystem::run_slice(
   for (const auto& c : channels_)
     if (c->peer_closed) return RunOutcome::kDisconnected;
 
-  // Liveness: a peer that stopped sending *anything* (not even
-  // heartbeats) is down even though the transport still looks open.
-  if (recovery_.service_heartbeats()) return RunOutcome::kPeerDown;
+  // Beacon-send is decoupled from the slice loop: it fires here and again
+  // inside the advance burst, and each beacon is flushed past the batch
+  // hold — a worker pinned in a long slice keeps proving it is alive.
+  recovery_.service_beacons();
 
   bool blocked = false;
   for (int burst = 0; burst < 256; ++burst) {
     const StepResult result = try_advance(config.horizon);
     if (result == StepResult::kStepped) {
       progressed = true;
+      // Heavy components make bursts long; keep the beacons flowing.
+      // service_beacons is self-gating on the interval, so this costs one
+      // clock read every 32 dispatches.
+      if ((burst & 31) == 31) recovery_.service_beacons();
       continue;
     }
     blocked = (result == StepResult::kBlocked);
@@ -292,6 +303,10 @@ std::optional<Subsystem::RunOutcome> Subsystem::run_slice(
   if (channels_.empty() && scheduler_.idle()) return RunOutcome::kQuiescent;
 
   if (blocked) conservative_.on_blocked();
+
+  // Liveness: a peer that stopped sending *anything* (not even heartbeats)
+  // is down even though the transport still looks open.
+  if (recovery_.judge_liveness()) return RunOutcome::kPeerDown;
 
   // Horizon exit (finite horizons only): everything below the horizon is
   // done and conservative grants guarantee nothing earlier can still

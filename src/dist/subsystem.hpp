@@ -30,6 +30,7 @@
 // the same totals as before the split.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -295,6 +296,24 @@ class Subsystem : private sync::EngineContext {
   void set_host_node(const void* node) { host_node_ = node; }
   [[nodiscard]] const void* host_node() const { return host_node_; }
 
+  /// Marks this subsystem as a member of a ReplicaSet.  Replica members
+  /// never ORIGINATE termination probes — a probe floods away from its
+  /// arrival channel, so one originated by a replica could confirm
+  /// termination without ever consulting the sibling clones.  They still
+  /// relay probes and reply.
+  void set_replica_member(bool on) {
+    conservative_.set_originate_probes(!on);
+  }
+
+  /// Retires this subsystem from cluster-wide accounting (GVT minima).  Set
+  /// by the replica failover path when this member's link group drops it:
+  /// its virtual floor is frozen at the crash point and must not drag GVT.
+  /// Atomic because the death is detected on the peer's runner thread.
+  void set_retired() { retired_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool retired() const {
+    return retired_.load(std::memory_order_relaxed);
+  }
+
   /// True when this subsystem is locally idle and every peer reported an
   /// idle status with matched message counters (nothing in flight).
   [[nodiscard]] bool quiescent() const;
@@ -391,6 +410,7 @@ class Subsystem : private sync::EngineContext {
   CheckpointManager checkpoints_;
   ChannelSet channels_;
   const void* host_node_ = nullptr;
+  std::atomic<bool> retired_{false};
   bool started_ = false;
   std::uint32_t channel_batch_limit_ = 64;
   TrafficStats traffic_;

@@ -136,8 +136,13 @@ void ConservativeEngine::push_status_if_changed() {
   const bool idle = scheduler.idle();
   for (auto& cp : ctx_.channels()) {
     ChannelEndpoint& c = *cp;
+    // Receive counters matter too: a pure sink that consumes each batch
+    // within one slice is idle at every boundary and never sends, yet its
+    // peer's termination probe failed against the unconsumed messages and
+    // waits on exactly this announcement to respin.
     const bool counters_changed =
-        c.msgs_sent != c.msgs_sent_at_last_status_push;
+        c.msgs_sent != c.msgs_sent_at_last_status_push ||
+        c.msgs_received != c.msgs_received_at_last_status_push;
     if (idle != c.idle_at_last_status_push || (idle && counters_changed)) {
       c.send_message(StatusMsg{.now = scheduler.now(),
                                .msgs_sent = c.msgs_sent,
@@ -145,6 +150,7 @@ void ConservativeEngine::push_status_if_changed() {
                                .idle = idle});
       c.idle_at_last_status_push = idle;
       c.msgs_sent_at_last_status_push = c.msgs_sent;
+      c.msgs_received_at_last_status_push = c.msgs_received;
     }
   }
 }
@@ -177,6 +183,7 @@ void ConservativeEngine::on_blocked() {
 
 void ConservativeEngine::maybe_start_probe() {
   ChannelSet& channels = ctx_.channels();
+  if (!originate_probes_) return;
   if (my_probe_ || terminate_received_) return;
   if (!ctx_.scheduler().idle()) return;
   // Don't spin probe rounds: retry only after something changed — unless a
@@ -192,6 +199,9 @@ void ConservativeEngine::maybe_start_probe() {
                          .activity_at_start = activity_counter_};
   const std::uint64_t origin =
       static_cast<std::uint64_t>(ctx_.subsystem_id());
+  PIA_TRACE("[" << ctx_.subsystem_name() << "] probe start nonce="
+                << my_probe_->nonce << " pending=" << my_probe_->pending
+                << " act=" << activity_counter_);
   for (auto& c : channels)
     c->send_message(ProbeMsg{.origin = origin, .nonce = my_probe_->nonce});
 }
@@ -200,7 +210,12 @@ void ConservativeEngine::on_probe(ChannelId channel_id,
                                   const ProbeMsg& probe) {
   ChannelSet& channels = ctx_.channels();
   ChannelEndpoint& from = channels.at(channel_id);
+  if (std::uint64_t& seen = probe_nonce_seen_[probe.origin];
+      probe.nonce > seen)
+    seen = probe.nonce;
   if (!ctx_.scheduler().idle()) {
+    PIA_TRACE("[" << ctx_.subsystem_name() << "] probe nonce=" << probe.nonce
+                  << " busy -> ok=false");
     from.send_message(ProbeReply{.origin = probe.origin,
                                  .nonce = probe.nonce,
                                  .ok = false});
@@ -208,6 +223,11 @@ void ConservativeEngine::on_probe(ChannelId channel_id,
   }
   ctx_.flush_unregenerated(VirtualTime::infinity());
   if (channels.size() == 1) {
+    PIA_TRACE("[" << ctx_.subsystem_name() << "] probe nonce=" << probe.nonce
+                  << " leaf reply ok=" << ctx_.scheduler().idle()
+                  << " sent=" << ctx_.messages_sent_total()
+                  << " recv=" << ctx_.messages_received_total()
+                  << " act=" << activity_counter_);
     from.send_message(ProbeReply{.origin = probe.origin,
                                  .nonce = probe.nonce,
                                  .ok = ctx_.scheduler().idle(),
@@ -245,14 +265,23 @@ void ConservativeEngine::on_probe_reply(const ProbeReply& reply) {
           .sent = my_probe_->sent + ctx_.messages_sent_total(),
           .received = my_probe_->received + ctx_.messages_received_total(),
           .activity = my_probe_->activity + activity_counter_};
+      PIA_TRACE("[" << ctx_.subsystem_name() << "] probe done nonce="
+                    << my_probe_->nonce << " ok=" << my_probe_->ok
+                    << " candidate=" << candidate << " sent=" << round.sent
+                    << " recv=" << round.received << " act=" << round.activity
+                    << " confirm=" << confirm_pending_);
       // Terminate only on the second of two identical all-ok rounds whose
       // global send/receive totals balance: a lone ok-round describes the
       // past, and a message that was in flight during it can still revive
       // a subsystem that already answered.  Nothing moved anywhere between
       // two identical rounds, and balanced totals mean nothing is in
       // flight now.
-      if (candidate && round.sent == round.received &&
+      if (!terminate_received_ && candidate && round.sent == round.received &&
           last_candidate_ == round) {
+        // The !terminate_received_ guard stops a duplicate flood: when the
+        // peer's own confirming round won the race, its TerminateMsg already
+        // reached us, and a second terminate launched here would linger
+        // unread in the link once the peer stops draining.
         terminate_received_ = true;
         const std::uint64_t token =
             (static_cast<std::uint64_t>(ctx_.subsystem_id()) << 32) |
@@ -265,10 +294,26 @@ void ConservativeEngine::on_probe_reply(const ProbeReply& reply) {
       } else {
         last_candidate_.reset();
         confirm_pending_ = false;
-        activity_at_last_failed_probe_ = my_probe_->activity_at_start ==
-                                                 activity_counter_
-                                             ? activity_counter_
-                                             : UINT64_MAX;
+        // Don't arm the don't-respin guard when every peer's latest status
+        // already claims idle: the busy reply that failed this round was
+        // generated before those reports and is stale.  With clone peers
+        // the statuses contradicting it can be byte-identical duplicates
+        // of one another, so note_peer_status_changed() would never fire
+        // again.  Leaving the guard open costs at most a few extra rounds;
+        // correctness rests on the two-candidate confirmation, not on this
+        // spin brake.
+        bool peers_report_idle = true;
+        for (auto& c : channels) {
+          if (!c->peer_status_seen || !c->peer_status.idle) {
+            peers_report_idle = false;
+            break;
+          }
+        }
+        activity_at_last_failed_probe_ =
+            !peers_report_idle &&
+                    my_probe_->activity_at_start == activity_counter_
+                ? activity_counter_
+                : UINT64_MAX;
       }
       my_probe_.reset();
     }
@@ -296,7 +341,23 @@ void ConservativeEngine::on_probe_reply(const ProbeReply& reply) {
 
 void ConservativeEngine::on_terminate(ChannelId from,
                                       const TerminateMsg& terminate) {
+  const std::uint64_t origin = terminate.token >> 32;
+  const std::uint64_t nonce = terminate.token & 0xffffffffull;
+  if (const auto floor = terminate_floor_.find(origin);
+      floor != terminate_floor_.end() && nonce < floor->second) {
+    // In flight since before a restore rolled this subsystem back: the
+    // confirming rounds certified the discarded timeline, and honoring the
+    // verdict now would falsely quiesce the replay.  No re-flood either —
+    // every neighbour judges the same token against its own floor.
+    PIA_TRACE("[" << ctx_.subsystem_name() << "] stale terminate dropped"
+                  << " origin=" << origin << " nonce=" << nonce);
+    return;
+  }
+  if (std::uint64_t& seen = probe_nonce_seen_[origin]; nonce > seen)
+    seen = nonce;
   if (terminate_received_) return;
+  PIA_TRACE("[" << ctx_.subsystem_name() << "] terminate received token="
+                << terminate.token);
   terminate_received_ = true;
   // Flood away from the arrival direction only: on a tree every subsystem
   // is reached exactly once and no terminate ever lingers unread in a link
@@ -317,6 +378,10 @@ void ConservativeEngine::reset_termination() {
   activity_at_last_failed_probe_ = UINT64_MAX;
   last_candidate_.reset();
   confirm_pending_ = false;
+  // Terminates still in flight certify the timeline being discarded: raise
+  // the staleness floor past every nonce seen so they land dead on arrival.
+  for (const auto& [origin, seen] : probe_nonce_seen_)
+    terminate_floor_[origin] = seen + 1;
 }
 
 }  // namespace pia::dist::sync

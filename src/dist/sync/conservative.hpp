@@ -59,6 +59,22 @@ class ConservativeEngine {
   /// Starts a termination probe round if none is outstanding.
   void maybe_start_probe();
 
+  /// Replica members must not ORIGINATE probes: a probe floods away from
+  /// its arrival channel, and a replica leaf has only the one channel — its
+  /// own round would confirm termination without consulting the sibling
+  /// clones.  Relaying and replying stay enabled.
+  void set_originate_probes(bool on) { originate_probes_ = on; }
+
+  /// A peer's status report moved (it flipped idle, or its counters
+  /// advanced): a probe round that failed on that peer's busyness can
+  /// succeed now, so drop the don't-respin guard.  Without this, a
+  /// subsystem whose peers never originate probes (a replica set is all
+  /// leaves) wedges after one failed round: its own activity never moves
+  /// again and nobody else re-opens the wave.
+  void note_peer_status_changed() {
+    activity_at_last_failed_probe_ = UINT64_MAX;
+  }
+
   // --- activity / termination bookkeeping ----------------------------------
   // Other engines reach these through EngineContext::note_activity /
   // reset_termination.
@@ -113,6 +129,16 @@ class ConservativeEngine {
   std::optional<ProbeRound> my_probe_;
   std::map<std::pair<std::uint64_t, std::uint64_t>, RelayedProbe>
       relayed_probes_;
+  /// Highest probe nonce observed per remote origin (probes and terminate
+  /// tokens both carry one), and the staleness floor a TerminateMsg must
+  /// clear to be honored.  reset_termination() raises the floor past
+  /// everything seen: a terminate still in flight when a snapshot restore
+  /// rolled the timeline back certifies the DISCARDED run, and honoring it
+  /// would falsely quiesce the replay.  Origins keep their monotone nonce
+  /// counters across resets, so every post-restore terminate clears the
+  /// floor naturally.
+  std::map<std::uint64_t, std::uint64_t> probe_nonce_seen_;
+  std::map<std::uint64_t, std::uint64_t> terminate_floor_;
   std::uint64_t next_probe_nonce_ = 1;
   std::uint64_t activity_counter_ = 0;  // bumps on any state-changing input
   std::uint64_t activity_at_last_failed_probe_ = UINT64_MAX;
@@ -122,6 +148,7 @@ class ConservativeEngine {
   // otherwise block the confirming round forever).
   bool confirm_pending_ = false;
   bool terminate_received_ = false;
+  bool originate_probes_ = true;
 };
 
 }  // namespace pia::dist::sync

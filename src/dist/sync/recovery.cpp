@@ -8,10 +8,9 @@
 
 namespace pia::dist::sync {
 
-bool RecoveryCoordinator::service_heartbeats() {
-  if (heartbeat_interval_.count() <= 0) return false;
+void RecoveryCoordinator::service_beacons() {
+  if (heartbeat_interval_.count() <= 0) return;
   const auto now = std::chrono::steady_clock::now();
-  bool any_down = false;
   for (auto& cp : ctx_.channels()) {
     ChannelEndpoint& c = *cp;
     if (!c.liveness_armed) {
@@ -23,11 +22,34 @@ bool RecoveryCoordinator::service_heartbeats() {
     }
     if (now - c.last_heartbeat_sent >= heartbeat_interval_) {
       c.send_message(HeartbeatMsg{.seq = c.heartbeat_seq++});
+      // The beacon must reach the wire NOW.  Inside a slice the batch
+      // FlushHold defers sends to slice end, and a long slice would hold
+      // the beacon past the peer's liveness timeout — the classic
+      // heartbeat false positive under load.
+      c.flush();
       c.last_heartbeat_sent = now;
       stats_.heartbeats_sent++;
       PIA_OBS_TRACE(ctx_.scheduler().trace(), obs::TraceKind::kHeartbeat,
                     ctx_.scheduler().now(), c.index, c.heartbeat_seq);
     }
+    // The receive-side half: a burst that neither drains nor polls would
+    // let last_arrival go stale and judge a live, beaconing peer silent.
+    // Priming pulls waiting frames into the inbound queue (stamping the
+    // arrival clock) without delivering anything out of order.
+    c.prime_inbound();
+  }
+}
+
+bool RecoveryCoordinator::judge_liveness() {
+  if (heartbeat_interval_.count() <= 0) return false;
+  const auto now = std::chrono::steady_clock::now();
+  bool any_down = false;
+  for (auto& cp : ctx_.channels()) {
+    ChannelEndpoint& c = *cp;
+    if (!c.liveness_armed) continue;
+    // Silence alone is the verdict: beacons are sent (and flushed) from
+    // inside the slice loop, so a live peer keeps arriving no matter how
+    // loaded it is — what remains silent past the timeout is dead.
     if (!c.peer_down && heartbeat_timeout_.count() > 0 &&
         now - c.last_arrival > heartbeat_timeout_) {
       c.peer_down = true;

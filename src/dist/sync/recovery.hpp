@@ -37,9 +37,18 @@ class RecoveryCoordinator {
   [[nodiscard]] std::chrono::milliseconds heartbeat_interval() const {
     return heartbeat_interval_;
   }
-  /// Sends due heartbeats and checks liveness timeouts on every channel;
-  /// true when some peer has been declared down.
-  bool service_heartbeats();
+  /// Sends due liveness beacons on every channel and pushes them onto the
+  /// wire immediately (past any batch FlushHold).  Cheap when nothing is
+  /// due; called at the top of every slice AND periodically from inside
+  /// long advance bursts so a heavily loaded worker never starves its own
+  /// beacons past a peer's timeout.
+  void service_beacons();
+  /// Judges peer liveness; true when some peer stands declared down.  A
+  /// channel silent for the timeout is dead: with beacons serviced from
+  /// inside the advance burst (see service_beacons), a live peer keeps
+  /// arriving no matter how loaded it is, so silence is no longer the
+  /// false positive it was when beacons waited for slice boundaries.
+  bool judge_liveness();
   void on_heartbeat(ChannelId channel_id, const HeartbeatMsg& heartbeat);
 
   // --- durable image / rejoin ----------------------------------------------

@@ -500,10 +500,18 @@ ScaleoutCluster::ScaleoutCluster(const ScaleoutSpec& spec) : spec_(spec) {
   edge.set_worker_threads(spec_.worker_threads);
   dist::PiaNode& core = cluster_.add_node("core");
   core.set_worker_threads(spec_.worker_threads > 0 ? 1 : 0);
-  std::vector<dist::PiaNode*> shard_nodes;
+  const std::size_t replicas =
+      std::max<std::size_t>(std::size_t{1}, spec_.shard_replicas);
+  std::vector<dist::PiaNode*> shard_nodes;  // [m * replicas + k]
   for (std::uint32_t m = 0; m < spec_.shards; ++m) {
-    shard_nodes.push_back(&cluster_.add_node("shardnode" + std::to_string(m)));
-    shard_nodes.back()->set_worker_threads(spec_.worker_threads > 0 ? 1 : 0);
+    for (std::size_t k = 0; k < replicas; ++k) {
+      // Replica members get their own nodes: ReplicaSet placement is
+      // anti-affine, one clone per failure domain.
+      std::string name = "shardnode" + std::to_string(m);
+      if (replicas > 1) name += "r" + std::to_string(k);
+      shard_nodes.push_back(&cluster_.add_node(name));
+      shard_nodes.back()->set_worker_threads(spec_.worker_threads > 0 ? 1 : 0);
+    }
   }
 
   std::vector<dist::Subsystem*> client_ss;
@@ -524,15 +532,25 @@ ScaleoutCluster::ScaleoutCluster(const ScaleoutSpec& spec) : spec_(spec) {
   frontend_ss_ = &frontend_ss;
   subsystems_.push_back(&frontend_ss);
 
-  std::vector<dist::Subsystem*> shard_ss;
+  std::vector<std::vector<dist::Subsystem*>> shard_ss;  // [shard][member]
   for (std::uint32_t m = 0; m < spec_.shards; ++m) {
-    dist::Subsystem& ss =
-        shard_nodes[m]->add_subsystem("shard" + std::to_string(m));
-    ss.set_channel_batch_limit(spec_.batch_limit);
-    shards_.push_back(&ss.scheduler().emplace<ShardGateway>(
-        "shard" + std::to_string(m), shard_config(spec_, m)));
-    shard_ss.push_back(&ss);
-    subsystems_.push_back(&ss);
+    shard_ss.emplace_back();
+    shard_members_.emplace_back();
+    for (std::size_t k = 0; k < replicas; ++k) {
+      // Every member of a shard runs the identical deterministic config;
+      // only the instance name differs.  The logical shard name is the
+      // ReplicaSet's ("shard<m>"), so members get an r<k> suffix.
+      std::string name = "shard" + std::to_string(m);
+      if (replicas > 1) name += "r" + std::to_string(k);
+      dist::Subsystem& ss =
+          shard_nodes[m * replicas + k]->add_subsystem(name);
+      ss.set_channel_batch_limit(spec_.batch_limit);
+      shard_members_.back().push_back(&ss.scheduler().emplace<ShardGateway>(
+          name, shard_config(spec_, m)));
+      shard_ss.back().push_back(&ss);
+      subsystems_.push_back(&ss);
+    }
+    shards_.push_back(shard_members_.back().front());
   }
 
   Scheduler& fs = frontend_ss.scheduler();
@@ -639,27 +657,83 @@ ScaleoutCluster::ScaleoutCluster(const ScaleoutSpec& spec) : spec_(spec) {
   }
 
   for (std::uint32_t m = 0; m < spec_.shards; ++m) {
-    Scheduler& sh = shard_ss[m]->scheduler();
-    const dist::ChannelPair pair = cluster_.connect_checked(
-        frontend_ss, *shard_ss[m], spec_.mode_at(chan++));
+    if (replicas == 1) {
+      Scheduler& sh = shard_ss[m][0]->scheduler();
+      const dist::ChannelPair pair = cluster_.connect_checked(
+          frontend_ss, *shard_ss[m][0], spec_.mode_at(chan++));
+
+      const NetId tx_f = fs.make_net("tx" + std::to_string(m), spec_.fanout);
+      fs.attach(tx_f, frontend_->id(), "tx" + std::to_string(m));
+      const NetId rx_m = sh.make_net("rx");
+      sh.attach(rx_m, shards_[m]->id(), "rx");
+      dist::split_net(frontend_ss, pair.a, tx_f, *shard_ss[m][0], pair.b,
+                      rx_m);
+
+      const NetId tx_m = sh.make_net("tx", spec_.fanout);
+      sh.attach(tx_m, shards_[m]->id(), "tx");
+      const NetId rx_f = fs.make_net("rx" + std::to_string(m));
+      fs.attach(rx_f, frontend_->id(), "rx" + std::to_string(m));
+      dist::split_net(*shard_ss[m][0], pair.b, tx_m, frontend_ss, pair.a,
+                      rx_f);
+
+      frontend_ss.set_lookahead(pair.a, spec_.fanout);
+      frontend_ss.set_reaction_lookahead(
+          pair.a, spec_.downlink + spec_.think_base + spec_.uplink);
+      shard_ss[m][0]->set_lookahead(pair.b, spec_.fanout);
+      shard_ss[m][0]->set_reaction_lookahead(pair.b, spec_.service_base);
+      ++channel_count_;
+      continue;
+    }
+
+    // Replicated: the K clones form ONE logical channel to the frontend —
+    // sends fan out to every live member, replies dedup down to a single
+    // stream, and a member crash promotes a survivor with zero rollback.
+    auto set = std::make_unique<dist::ReplicaSet>("shard" + std::to_string(m));
+    for (std::size_t k = 0; k < replicas; ++k) set->add_member(*shard_ss[m][k]);
+
+    std::vector<transport::FaultPlan> member_faults;
+    const ScaleoutSpec::ReplicaKill& kill = spec_.replica_kill;
+    if (kill.frames > 0 && kill.shard == m) {
+      member_faults.resize(replicas);
+      // Endpoint 2 is the member side of each sub-link: the clone's wire
+      // dies and the group side survives to detect it and promote.
+      member_faults.at(kill.member) =
+          transport::FaultPlan::crash_at(kill.seed, kill.frames, 2);
+    }
+
+    (void)spec_.mode_at(chan++);  // keep the mode cycle aligned with K == 1
+    const dist::ReplicaSet::Channel rchan = dist::connect_replicated_checked(
+        cluster_, frontend_ss, *set, dist::ChannelMode::kConservative,
+        dist::Wire::kLoopback, {}, std::move(member_faults));
 
     const NetId tx_f = fs.make_net("tx" + std::to_string(m), spec_.fanout);
     fs.attach(tx_f, frontend_->id(), "tx" + std::to_string(m));
-    const NetId rx_m = sh.make_net("rx");
-    sh.attach(rx_m, shards_[m]->id(), "rx");
-    dist::split_net(frontend_ss, pair.a, tx_f, *shard_ss[m], pair.b, rx_m);
+    NetId rx_m{};
+    NetId tx_m{};
+    for (std::size_t k = 0; k < replicas; ++k) {
+      // Clones create their nets in the same order, so the NetIds (and the
+      // per-channel export indices) line up across the whole set.
+      Scheduler& sh = shard_ss[m][k]->scheduler();
+      rx_m = sh.make_net("rx");
+      sh.attach(rx_m, shard_members_[m][k]->id(), "rx");
+      tx_m = sh.make_net("tx", spec_.fanout);
+      sh.attach(tx_m, shard_members_[m][k]->id(), "tx");
+    }
+    set->export_net(frontend_ss, rchan, tx_f, rx_m);
 
-    const NetId tx_m = sh.make_net("tx", spec_.fanout);
-    sh.attach(tx_m, shards_[m]->id(), "tx");
     const NetId rx_f = fs.make_net("rx" + std::to_string(m));
     fs.attach(rx_f, frontend_->id(), "rx" + std::to_string(m));
-    dist::split_net(*shard_ss[m], pair.b, tx_m, frontend_ss, pair.a, rx_f);
+    set->export_net(frontend_ss, rchan, rx_f, tx_m);
 
-    frontend_ss.set_lookahead(pair.a, spec_.fanout);
+    frontend_ss.set_lookahead(rchan.peer, spec_.fanout);
     frontend_ss.set_reaction_lookahead(
-        pair.a, spec_.downlink + spec_.think_base + spec_.uplink);
-    shard_ss[m]->set_lookahead(pair.b, spec_.fanout);
-    shard_ss[m]->set_reaction_lookahead(pair.b, spec_.service_base);
+        rchan.peer, spec_.downlink + spec_.think_base + spec_.uplink);
+    for (std::size_t k = 0; k < replicas; ++k) {
+      shard_ss[m][k]->set_lookahead(rchan.members[k], spec_.fanout);
+      shard_ss[m][k]->set_reaction_lookahead(rchan.members[k],
+                                             spec_.service_base);
+    }
+    replica_sets_.push_back(std::move(set));
     ++channel_count_;
   }
 

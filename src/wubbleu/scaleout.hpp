@@ -53,6 +53,7 @@
 #include "core/component.hpp"
 #include "core/scheduler.hpp"
 #include "dist/node.hpp"
+#include "dist/replica.hpp"
 #include "dist/sharding.hpp"
 #include "wubbleu/http.hpp"
 #include "wubbleu/page.hpp"
@@ -323,6 +324,26 @@ struct ScaleoutSpec {
   std::uint32_t batch_limit = 64;
   std::size_t worker_threads = 0;  // 0 = thread per subsystem
 
+  /// Functional replication of the gateway shards (dist/replica.hpp): each
+  /// shard is stamped out `shard_replicas` times on distinct nodes and
+  /// wired to the frontend as ONE logical channel (fan-out + dedup).  The
+  /// replica channel is forced conservative.  1 = unreplicated (the exact
+  /// pre-replication topology, channel for channel).
+  std::size_t shard_replicas = 1;
+
+  /// Seeded mid-run kill of one shard replica member: member `member` of
+  /// shard `shard` has its wire slammed shut (FaultPlan::crash_at) after
+  /// `frames` frames, and the group must promote a survivor with zero
+  /// rollback — the fetch logs must stay bit-exact vs the unreplicated
+  /// oracle.  frames == 0 disables the kill.
+  struct ReplicaKill {
+    std::uint32_t shard = 0;
+    std::size_t member = 1;
+    std::uint64_t frames = 0;  // 0 = no kill
+    std::uint64_t seed = 42;
+  };
+  ReplicaKill replica_kill{};
+
   [[nodiscard]] dist::ChannelMode mode_at(std::size_t channel) const {
     return mode_cycle[(mode_phase + channel) % mode_cycle.size()];
   }
@@ -375,6 +396,20 @@ class ScaleoutCluster {
   [[nodiscard]] const std::vector<ShardGateway*>& shards() const {
     return shards_;
   }
+  /// Replica member k of shard m (member 0 == shards()[m]).  Only indices
+  /// below spec().shard_replicas exist.
+  [[nodiscard]] ShardGateway* shard_member(std::size_t m,
+                                           std::size_t k) const {
+    return shard_members_.at(m).at(k);
+  }
+  /// The ReplicaSet carrying shard m's logical channel; only populated when
+  /// spec().shard_replicas > 1.
+  [[nodiscard]] dist::ReplicaSet& replica_set(std::size_t m) {
+    return *replica_sets_.at(m);
+  }
+  [[nodiscard]] std::size_t replica_set_count() const {
+    return replica_sets_.size();
+  }
   [[nodiscard]] const std::vector<StationMux*>& station_muxes() const {
     return stations_;
   }
@@ -398,7 +433,9 @@ class ScaleoutCluster {
   std::vector<ClientLoadGen*> clients_;
   std::vector<StationMux*> stations_;
   ShardFrontend* frontend_ = nullptr;
-  std::vector<ShardGateway*> shards_;
+  std::vector<ShardGateway*> shards_;  // member 0 of each shard
+  std::vector<std::vector<ShardGateway*>> shard_members_;  // [shard][member]
+  std::vector<std::unique_ptr<dist::ReplicaSet>> replica_sets_;
   std::size_t channel_count_ = 0;
 };
 

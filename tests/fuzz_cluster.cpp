@@ -546,6 +546,140 @@ bool run_scaleout_seed(std::uint64_t seed, bool verbose,
   return ok;
 }
 
+// ---------------------------------------------------------------------------
+// Replication arm
+// ---------------------------------------------------------------------------
+//
+// Each seed reuses the scale-out farm generator, replicates every gateway
+// shard K-ways (K in {2,3}, seed-salted) and — in the kill configuration —
+// slams one member's wire shut after a frame budget.  The acceptance bar is
+// the zero-rollback failover contract: fetch logs bit-exact against the
+// UNREPLICATED single-host oracle, every subsystem quiescent, and when the
+// kill fired the group must have promoted a survivor in place (one member
+// dropped, one promotion, no snapshot restore anywhere).
+
+bool run_replicas_config(std::uint64_t seed, wubbleu::ScaleoutSpec spec,
+                         bool aggregated, bool kill,
+                         const wubbleu::ScaleoutResult& reference,
+                         bool verbose, std::size_t threads) {
+  Rng salt(seed ^ 0x2E111CA7EDF00DULL);
+  spec.aggregated = aggregated;
+  spec.worker_threads = threads;
+  spec.shard_replicas = 2 + salt.below(2);
+  if (kill) {
+    spec.replica_kill.shard =
+        static_cast<std::uint32_t>(salt.below(spec.shards));
+    spec.replica_kill.member = salt.below(spec.shard_replicas);
+    spec.replica_kill.frames = 4 + salt.below(24);
+    spec.replica_kill.seed = seed;
+  }
+
+  wubbleu::ScaleoutCluster dut(spec);
+  const auto outcomes = dut.run();
+  // The felled clone's wire dies under it: kDisconnected is its correct
+  // exit.  Everyone else must reach clean quiescence.
+  const std::string killed =
+      kill ? "shard" + std::to_string(spec.replica_kill.shard) + "r" +
+                 std::to_string(spec.replica_kill.member)
+           : "";
+  bool ok = true;
+  for (const auto& [name, outcome] : outcomes) {
+    const Subsystem::RunOutcome want =
+        name == killed ? Subsystem::RunOutcome::kDisconnected
+                       : Subsystem::RunOutcome::kQuiescent;
+    if (outcome == want) continue;
+    std::printf("FAIL seed=%llu (replicas): outcome[%s] unexpected (%d)\n",
+                static_cast<unsigned long long>(seed), name.c_str(),
+                static_cast<int>(outcome));
+    ok = false;
+  }
+
+  const wubbleu::ScaleoutResult result = dut.result();
+  if (!(result == reference)) {
+    std::printf(
+        "FAIL seed=%llu (replicas) K=%zu agg=%d kill=%d threads=%zu: fetch "
+        "log diverges from unreplicated single-host oracle\n",
+        static_cast<unsigned long long>(seed), spec.shard_replicas,
+        aggregated ? 1 : 0, kill ? 1 : 0, threads);
+    ok = false;
+  }
+
+  std::uint64_t dropped = 0;
+  std::uint64_t promotions = 0;
+  for (std::size_t m = 0; m < dut.replica_set_count(); ++m) {
+    const dist::ReplicaGroupStats& stats =
+        dut.replica_set(m).group().group_stats();
+    dropped += stats.members_dropped;
+    promotions += stats.promotions;
+  }
+  if (kill && (dropped != 1 || promotions != 1)) {
+    std::printf(
+        "FAIL seed=%llu (replicas): kill fired dropped=%llu promotions=%llu "
+        "(want 1/1 — survivor promotion, not a restore)\n",
+        static_cast<unsigned long long>(seed),
+        static_cast<unsigned long long>(dropped),
+        static_cast<unsigned long long>(promotions));
+    ok = false;
+  }
+  if (!kill && dropped != 0) {
+    std::printf("FAIL seed=%llu (replicas): spurious member drop (%llu)\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(dropped));
+    ok = false;
+  }
+  // Zero rollback: a promotion must never route through the snapshot
+  // ladder.  Any recovery on any subsystem means the failover rolled state
+  // back instead of resuming on the survivor.
+  const SubsystemStats total = dut.total_stats();
+  if (total.recoveries != 0) {
+    std::printf("FAIL seed=%llu (replicas): %llu snapshot recoveries during "
+                "a replica failover (zero-rollback contract)\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(total.recoveries));
+    ok = false;
+  }
+
+  if (!ok) {
+    std::printf("  case: %s K=%zu\n", describe_scaleout(spec).c_str(),
+                spec.shard_replicas);
+    std::printf("  reproduce: fuzz_cluster --replicas --seed=%llu%s\n",
+                static_cast<unsigned long long>(seed),
+                threads > 0
+                    ? (" --threads=" + std::to_string(threads)).c_str()
+                    : "");
+  } else if (verbose) {
+    std::printf(
+        "  K=%zu agg=%d kill=%d threads=%zu ... ok (%llu fetches, "
+        "failover=%lluus)\n",
+        spec.shard_replicas, aggregated ? 1 : 0, kill ? 1 : 0, threads,
+        static_cast<unsigned long long>(result.total_fetches()),
+        static_cast<unsigned long long>(
+            kill ? dut.replica_set(spec.replica_kill.shard)
+                       .group()
+                       .group_stats()
+                       .last_failover_micros
+                 : 0));
+  }
+  return ok;
+}
+
+bool run_replicas_seed(std::uint64_t seed, bool verbose,
+                       std::size_t threads) {
+  const wubbleu::ScaleoutSpec spec = generate_scaleout(seed);
+  if (verbose)
+    std::printf("seed=%llu %s (replicas, threads=%zu)\n",
+                static_cast<unsigned long long>(seed),
+                describe_scaleout(spec).c_str(), threads);
+  const wubbleu::ScaleoutResult reference = wubbleu::run_single_host(spec);
+
+  bool ok = true;
+  for (const bool aggregated : {true, false})
+    for (const bool kill : {false, true})
+      ok &= run_replicas_config(seed, spec, aggregated, kill, reference,
+                                verbose, threads);
+  return ok;
+}
+
 bool run_seed(std::uint64_t seed, bool verbose, std::size_t threads) {
   const FuzzCase c = generate(seed);
   if (verbose)
@@ -585,6 +719,7 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool recovery = false;
   bool scaleout = false;
+  bool replicas = false;
   std::size_t threads = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -606,11 +741,14 @@ int main(int argc, char** argv) {
       recovery = true;
     } else if (arg == "--scaleout") {
       scaleout = true;
+    } else if (arg == "--replicas") {
+      replicas = true;
     } else if (arg == "--verbose" || arg == "-v") {
       verbose = true;
     } else {
       std::fprintf(stderr,
-                   "usage: fuzz_cluster [--recovery | --scaleout] [--seed=S | "
+                   "usage: fuzz_cluster [--recovery | --scaleout | "
+                   "--replicas] [--seed=S | "
                    "--seeds=S1,S2,... | --runs=N [--start-seed=K]] "
                    "[--threads=N] [--verbose]\n");
       return 2;
@@ -631,8 +769,13 @@ int main(int argc, char** argv) {
     // revival race under threads), seed 12 a 9-client 4-shard farm; between
     // them they cover both frontend layouts, mixed channel modes and
     // station fan-in > 1.
+    // Replica gating trio: seed 1 replicates a 14-client 3-shard farm
+    // 2-ways, seed 2 draws K=3 (a kill leaves TWO live clones deduping),
+    // seed 7 kills under station fan-in > 1; each seed runs both layouts
+    // with and without the kill.
     seeds = recovery   ? std::vector<std::uint64_t>{2, 9, 11}
             : scaleout ? std::vector<std::uint64_t>{1, 5, 12}
+            : replicas ? std::vector<std::uint64_t>{1, 2, 7}
                        : std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6,
                                                     7, 8, 11, 13, 17, 23};
   }
@@ -642,6 +785,7 @@ int main(int argc, char** argv) {
     const bool ok =
         recovery   ? pia::dist::run_recovery_seed(seed, verbose, threads)
         : scaleout ? pia::dist::run_scaleout_seed(seed, verbose, threads)
+        : replicas ? pia::dist::run_replicas_seed(seed, verbose, threads)
                    : pia::dist::run_seed(seed, verbose, threads);
     if (!ok) ++failures;
     if (!verbose) {
@@ -662,6 +806,10 @@ int main(int argc, char** argv) {
   else if (scaleout)
     std::printf("all %zu seeds passed (sharded farm == single-host, "
                 "aggregated and per-client, every mode)\n",
+                seeds.size());
+  else if (replicas)
+    std::printf("all %zu seeds passed (K-replicated shards with seeded "
+                "member kills == unreplicated single-host, zero rollback)\n",
                 seeds.size());
   else
     std::printf("all %zu seeds passed (conservative == optimistic == "

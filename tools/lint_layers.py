@@ -25,6 +25,13 @@ node layer: it drives subsystems only through the public Subsystem slice API
 — it must never include a sync engine (dist/sync/*) nor the cluster wiring
 (dist/node.hpp), so scheduling policy stays separable from both.
 
+The replication shim (src/dist/replica.*) wraps transport links BELOW the
+protocol engines: it fans frames out, dedups them, and promotes survivors
+without ever interpreting sync state beyond message identity.  It must not
+include a sync engine (dist/sync/*) — if failover ever needs engine help,
+that help must arrive through the Subsystem facade, keeping replication
+composable with any future engine.
+
 Two scale-out seams carry their own rules:
 
   * dist/sharding.* is a pure-function leaf (shard maps, ownership math):
@@ -148,6 +155,16 @@ def check_scaleout(path, errors):
             )
 
 
+def check_replica(path, errors):
+    for line_number, inc in first_party_includes(path):
+        if inc.startswith("dist/sync/"):
+            errors.append(
+                f"{path}:{line_number}: replica shim must stay below the "
+                f'sync engines ("{inc}"); it replicates frames and message '
+                f"identity, never engine state"
+            )
+
+
 def check_executor(path, errors):
     for line_number, inc in first_party_includes(path):
         if inc.startswith("dist/sync/"):
@@ -184,6 +201,8 @@ def main():
                 check_executor(path, errors)
             if layer == "dist" and path.name.split(".")[0] == "sharding":
                 check_sharding(path, errors)
+            if layer == "dist" and path.name.split(".")[0] == "replica":
+                check_replica(path, errors)
             if layer == "wubbleu" and path.name.split(".")[0] == "scaleout":
                 check_scaleout(path, errors)
     sync_dir = SRC / "dist" / "sync"
