@@ -1,9 +1,23 @@
 #include "dist/channel.hpp"
 
+#include <cstring>
+
 #include "base/error.hpp"
 #include "serial/archive.hpp"
 
 namespace pia::dist {
+namespace {
+
+// Arena batch layout.  The header gap is sized for the worst case batch
+// header (1 tag byte + a 5-byte u32 count varint); flush() right-aligns the
+// real header into it.  Each message is preceded by a fixed-width 2-byte
+// padded varint length, back-patched in place once the message is encoded —
+// lengths ≥ 2^14 (rare giants) grow the prefix by shifting the message tail.
+constexpr std::size_t kBatchHeadroom = 6;
+constexpr std::size_t kLenPrefixBytes = 2;
+constexpr std::size_t kPaddedLenMax = std::size_t{1} << (7 * kLenPrefixBytes);
+
+}  // namespace
 
 ChannelComponent::ChannelComponent(std::string name)
     : Component(std::move(name)) {
@@ -88,12 +102,26 @@ SendId ChannelEndpoint::send_event(std::uint32_t net_index,
 
 void ChannelEndpoint::send_message(const ChannelMessage& message) {
   if (peer_closed) return;  // nobody is listening any more
-  scratch_.clear();
-  encode_message_into(scratch_, message);
-  const std::size_t before = batch_.size();
-  batch_.put_varint(scratch_.size());
-  if (batch_count_ == 0) batch_first_offset_ = batch_.size() - before;
-  batch_.put_raw(scratch_.bytes());
+  Bytes& buf = arena_.storage();
+  if (batch_count_ == 0) buf.assign(kBatchHeadroom, std::byte{0});
+  const std::size_t prefix_at = buf.size();
+  buf.resize(prefix_at + kLenPrefixBytes);
+  encode_message_into(enc_, message);  // appends in place after the prefix
+  const std::size_t len = buf.size() - prefix_at - kLenPrefixBytes;
+  std::size_t prefix_bytes = kLenPrefixBytes;
+  if (len < kPaddedLenMax) {
+    serial::encode_padded_varint(buf.data() + prefix_at, kLenPrefixBytes,
+                                 len);
+  } else {
+    std::byte enc[10];
+    const std::size_t n = serial::encode_varint(enc, len);
+    buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(prefix_at +
+                                                         kLenPrefixBytes),
+               enc + kLenPrefixBytes, enc + n);
+    std::memcpy(buf.data() + prefix_at, enc, kLenPrefixBytes);
+    prefix_bytes = n;
+  }
+  if (batch_count_ == 0) first_payload_offset_ = prefix_at + prefix_bytes;
   ++batch_count_;
   // Counted at enqueue: a flush that fails mid-batch closes the channel, so
   // the counters stop mattering on the same path they could diverge on.
@@ -106,29 +134,31 @@ void ChannelEndpoint::flush() {
   const std::uint32_t count = batch_count_;
   batch_count_ = 0;
   if (peer_closed) {
-    batch_.clear();
+    arena_.reset();
     return;
   }
+  Bytes& buf = arena_.storage();
   BytesView payload;
   if (count == 1) {
-    // A lone message travels in the bare wire format.
-    payload = BytesView{batch_.bytes()}.subspan(batch_first_offset_);
+    // A lone message travels in the bare wire format: skip the header gap
+    // and the length prefix.
+    payload = BytesView{buf}.subspan(first_payload_offset_);
   } else {
-    frame_.clear();
-    frame_.put_u8(kBatchFrameTag);
-    frame_.put_varint(count);
-    frame_.put_raw(batch_.bytes());
-    payload = frame_.bytes();
+    std::byte hdr[kBatchHeadroom];
+    hdr[0] = std::byte{kBatchFrameTag};
+    const std::size_t h = 1 + serial::encode_varint(hdr + 1, count);
+    std::memcpy(buf.data() + (kBatchHeadroom - h), hdr, h);
+    payload = BytesView{buf}.subspan(kBatchHeadroom - h);
   }
   try {
     link_->send(payload, count);
   } catch (const Error& e) {
-    batch_.clear();
+    arena_.reset();
     if (e.kind() != ErrorKind::kTransport) throw;
     peer_closed = true;
     return;
   }
-  batch_.clear();
+  arena_.end_epoch();
 }
 
 ChannelMessage ChannelEndpoint::take_inbound() {
@@ -138,15 +168,31 @@ ChannelMessage ChannelEndpoint::take_inbound() {
   return message;
 }
 
+bool ChannelEndpoint::pull_frame() {
+  if (link_->supports_recv_view()) {
+    // Zero-copy receive: decode straight out of link-owned storage (a ring
+    // segment or queue slot).  decode_frame copies message payloads out of
+    // the frame, so the borrow can be released as soon as it returns.
+    const auto view = link_->try_recv_view();
+    if (!view) return false;
+    note_arrival();
+    decode_frame(*view, inbound_);
+    link_->release_recv_view();
+    return true;
+  }
+  auto raw = link_->try_recv();
+  if (!raw) return false;
+  note_arrival();
+  decode_frame(*raw, inbound_);
+  return true;
+}
+
 std::optional<ChannelMessage> ChannelEndpoint::poll() {
   if (inbound_.empty()) {
-    auto raw = link_->try_recv();
-    if (!raw) {
+    if (!pull_frame()) {
       if (link_->closed()) peer_closed = true;
       return std::nullopt;
     }
-    note_arrival();
-    decode_frame(*raw, inbound_);
   }
   return take_inbound();
 }
@@ -164,18 +210,12 @@ std::optional<ChannelMessage> ChannelEndpoint::recv_for(
 
 void ChannelEndpoint::prime_inbound() {
   if (peer_closed) return;
-  auto raw = link_->try_recv();
-  if (!raw) {
-    if (link_->closed()) peer_closed = true;
-    return;
-  }
-  note_arrival();
-  decode_frame(*raw, inbound_);
+  if (!pull_frame() && link_->closed()) peer_closed = true;
 }
 
 void ChannelEndpoint::discard_pending() {
   batch_count_ = 0;
-  batch_.clear();
+  arena_.reset();
   inbound_.clear();
 }
 

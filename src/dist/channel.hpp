@@ -27,6 +27,7 @@
 #include "core/component.hpp"
 #include "dist/protocol.hpp"
 #include "serial/archive.hpp"
+#include "serial/arena.hpp"
 #include "transport/link.hpp"
 
 namespace pia::dist {
@@ -119,6 +120,10 @@ class ChannelEndpoint {
   [[nodiscard]] std::uint32_t batch_limit() const { return batch_limit_; }
   [[nodiscard]] std::uint32_t pending_batch() const { return batch_count_; }
 
+  /// The batch arena (capacity/epoch/shrink introspection for tests and
+  /// benches).
+  [[nodiscard]] const serial::FrameArena& arena() const { return arena_; }
+
   // --- inbound -------------------------------------------------------------
 
   /// Non-blocking: next decoded message, if any.  A drained closed link
@@ -171,6 +176,11 @@ class ChannelEndpoint {
   /// legitimately resume sending before the peer's handshake frame arrives.
   std::uint64_t rejoin_sent = 0;
   std::uint64_t rejoin_received = 0;
+  /// Transport-capability bitmask from the peer's RejoinMsg (kTransportShm
+  /// etc.; 0 from pre-capability peers ⇒ assume the TCP baseline).  Purely
+  /// informational — capability mismatch is never a handshake failure, the
+  /// channel just stays on the transport it already has.
+  std::uint64_t peer_transports = 0;
 
   // --- conservative state ----------------------------------------------------
 
@@ -298,20 +308,27 @@ class ChannelEndpoint {
   /// Pops the front of the decoded inbound queue and counts it.
   ChannelMessage take_inbound();
 
+  /// Pulls the next ready frame off the link into the decoded queue,
+  /// borrowing it in place when the link supports views.  Returns false
+  /// when no frame was ready.
+  bool pull_frame();
+
   std::string name_;
   ChannelMode mode_;
   transport::LinkPtr link_;
   std::uint32_t origin_id_;
   std::uint64_t next_send_counter_ = 0;
 
-  // Outbound batching state.  batch_ holds length-prefixed encoded
-  // messages; scratch_ is the per-message encode buffer.  Both keep their
-  // allocations across frames.
-  serial::OutArchive scratch_;
-  serial::OutArchive batch_;
-  serial::OutArchive frame_;  // batch header + payload assembly
+  // Outbound batching state.  The whole batch — a reserved header gap, then
+  // per-message [length prefix][encoded message] — builds up contiguously
+  // in the arena; flush() back-patches the header and hands the batch to
+  // the link as one subspan, with no intermediate scratch→batch→frame
+  // copies.  The arena's epoch recycling keeps the allocation warm across
+  // frames and bounds the high-water mark after a burst.
+  serial::FrameArena arena_;
+  serial::OutArchive enc_{arena_.storage()};  // appends into the arena
   std::uint32_t batch_count_ = 0;
-  std::size_t batch_first_offset_ = 0;  // skip of the first length prefix
+  std::size_t first_payload_offset_ = 0;  // bare-format start, batch of one
   std::uint32_t batch_limit_ = 64;
   std::uint32_t flush_hold_ = 0;
 

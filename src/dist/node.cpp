@@ -1,6 +1,8 @@
 #include "dist/node.hpp"
 
 #include <atomic>
+#include <cstdlib>
+#include <string_view>
 #include <thread>
 
 #include "base/error.hpp"
@@ -51,6 +53,8 @@ transport::LinkPair make_wire_pair(Wire wire) {
       return transport::make_loopback_pair();
     case Wire::kSpsc:
       return transport::make_spsc_pair();
+    case Wire::kShm:
+      return transport::make_shm_pair();
     case Wire::kTcp: {
       transport::TcpListener listener(0);
       return transport::connect_tcp_pair(listener);
@@ -58,6 +62,23 @@ transport::LinkPair make_wire_pair(Wire wire) {
   }
   raise(ErrorKind::kState, "unknown wire kind");
 }
+
+namespace {
+
+enum class ShmPolicy { kDefault, kForce, kForbid };
+
+/// PIA_SHM knob (see node.hpp).  Read per connect call so tests can flip it
+/// between clusters.
+ShmPolicy shm_policy() {
+  const char* v = std::getenv(kShmEnvVar);
+  if (v == nullptr) return ShmPolicy::kDefault;
+  const std::string_view s{v};
+  if (s == "1" || s == "force") return ShmPolicy::kForce;
+  if (s == "0" || s == "forbid") return ShmPolicy::kForbid;
+  return ShmPolicy::kDefault;
+}
+
+}  // namespace
 
 ChannelPair connect(Subsystem& a, Subsystem& b, ChannelMode mode, Wire wire,
                     transport::LatencyModel latency,
@@ -69,6 +90,21 @@ ChannelPair connect(Subsystem& a, Subsystem& b, ChannelMode mode, Wire wire,
   if (wire == Wire::kLoopback && a.host_node() != nullptr &&
       a.host_node() == b.host_node()) {
     wire = Wire::kSpsc;
+  }
+  // The shm force/forbid ladder: kShm is an explicit per-channel request
+  // (both endpoints must be in this process, which connect() guarantees);
+  // PIA_SHM=force upgrades every in-process ring to shm, PIA_SHM=forbid
+  // maps shm requests back to the SPSC ring.  TCP is never rewritten —
+  // it is the only transport that crosses hosts.
+  switch (shm_policy()) {
+    case ShmPolicy::kForce:
+      if (wire != Wire::kTcp) wire = Wire::kShm;
+      break;
+    case ShmPolicy::kForbid:
+      if (wire == Wire::kShm) wire = Wire::kSpsc;
+      break;
+    case ShmPolicy::kDefault:
+      break;
   }
   transport::LinkPair pair = make_wire_pair(wire);
   // Faults sit closest to the wire (they model the wire); latency decorates

@@ -70,8 +70,15 @@ struct ChannelPair {
 enum class Wire {
   kLoopback,  // in-process pipe (same node, or co-located nodes)
   kSpsc,      // lock-free in-process ring (co-scheduled subsystems)
+  kShm,       // shared-memory byte ring, zero-copy receive (co-located)
   kTcp,       // real sockets over localhost (the "Internet" of Fig. 1)
 };
+
+/// Environment override for the shm transport (read per connect call):
+///   PIA_SHM=1 / force  — upgrade every co-located channel to Wire::kShm
+///   PIA_SHM=0 / forbid — map Wire::kShm requests back to the SPSC ring
+/// Unset: shm is used exactly where the caller asked for it.
+inline constexpr const char* kShmEnvVar = "PIA_SHM";
 
 /// Builds a connected raw link pair for `wire` — no latency, faults or
 /// loopback→SPSC upgrade applied.  connect() and the replica wiring share

@@ -33,21 +33,63 @@
 
 namespace pia::serial {
 
+/// Encode v as LEB128 into out[0..9]; returns the byte count (1–10).
+inline std::size_t encode_varint(std::byte* out, std::uint64_t v) {
+  std::size_t n = 0;
+  while (v >= 0x80) {
+    out[n++] = std::byte{static_cast<std::uint8_t>(v | 0x80)};
+    v >>= 7;
+  }
+  out[n++] = std::byte{static_cast<std::uint8_t>(v)};
+  return n;
+}
+
+/// Encode v as EXACTLY `width` LEB128 bytes by padding with redundant
+/// continuation groups (high bits zero).  The decoder accepts redundant
+/// encodings, so this lets a length prefix be reserved at a fixed width and
+/// back-patched in place once the payload length is known — the heart of the
+/// arena's single-pass batch encoding.  v must fit in 7*width bits.
+inline void encode_padded_varint(std::byte* out, std::size_t width,
+                                 std::uint64_t v) {
+  for (std::size_t i = 0; i + 1 < width; ++i) {
+    out[i] = std::byte{static_cast<std::uint8_t>((v & 0x7F) | 0x80)};
+    v >>= 7;
+  }
+  out[width - 1] = std::byte{static_cast<std::uint8_t>(v & 0x7F)};
+}
+
 class OutArchive {
  public:
   OutArchive() = default;
 
+  /// Arena-backed mode: append into an external buffer (e.g. a
+  /// FrameArena's storage) instead of the archive's own.  The caller
+  /// guarantees `external` outlives the archive.
+  explicit OutArchive(Bytes& external) : buffer_(&external) {}
+
+  OutArchive(const OutArchive&) = delete;
+  OutArchive& operator=(const OutArchive&) = delete;
+  OutArchive(OutArchive&& other) noexcept
+      : own_(std::move(other.own_)),
+        buffer_(other.buffer_ == &other.own_ ? &own_ : other.buffer_) {}
+  OutArchive& operator=(OutArchive&& other) noexcept {
+    if (this == &other) return *this;
+    own_ = std::move(other.own_);
+    buffer_ = other.buffer_ == &other.own_ ? &own_ : other.buffer_;
+    return *this;
+  }
+
   /// Take the encoded bytes out of the archive.
-  [[nodiscard]] Bytes take() && { return std::move(buffer_); }
-  [[nodiscard]] const Bytes& bytes() const { return buffer_; }
-  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+  [[nodiscard]] Bytes take() && { return std::move(*buffer_); }
+  [[nodiscard]] const Bytes& bytes() const { return *buffer_; }
+  [[nodiscard]] std::size_t size() const { return buffer_->size(); }
 
   /// Reset for reuse, keeping the allocation (scratch-archive pattern on
   /// the channel send path).
-  void clear() { buffer_.clear(); }
-  void reserve(std::size_t n) { buffer_.reserve(n); }
+  void clear() { buffer_->clear(); }
+  void reserve(std::size_t n) { buffer_->reserve(n); }
 
-  void put_u8(std::uint8_t v) { buffer_.push_back(std::byte{v}); }
+  void put_u8(std::uint8_t v) { buffer_->push_back(std::byte{v}); }
 
   void put_varint(std::uint64_t v) {
     while (v >= 0x80) {
@@ -73,7 +115,7 @@ class OutArchive {
   }
 
   void put_raw(BytesView raw) {
-    buffer_.insert(buffer_.end(), raw.begin(), raw.end());
+    buffer_->insert(buffer_->end(), raw.begin(), raw.end());
   }
 
   void put_bytes(BytesView raw) {
@@ -84,13 +126,20 @@ class OutArchive {
   void put_string(std::string_view s) {
     put_varint(s.size());
     const auto* p = reinterpret_cast<const std::byte*>(s.data());
-    buffer_.insert(buffer_.end(), p, p + s.size());
+    buffer_->insert(buffer_->end(), p, p + s.size());
   }
 
  private:
-  Bytes buffer_;
+  Bytes own_;
+  Bytes* buffer_ = &own_;
 };
 
+// InArchive is a borrowed-buffer reader: it never copies the backing bytes,
+// so a receiver can decode a frame in place — straight out of a shared-memory
+// ring slot or a loopback queue — as long as the buffer outlives every view
+// handed out (get_view, and any Value payloads still aliasing it).  Decoded
+// messages copy payloads OUT of the frame (Value::load), so once decoding
+// finishes the borrowed frame may be released.
 class InArchive {
  public:
   explicit InArchive(BytesView data) : data_(data) {}

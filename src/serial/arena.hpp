@@ -1,0 +1,80 @@
+// FrameArena: bump-pointer storage for outbound frame batches.
+//
+// A channel endpoint encodes a whole batch — header gap, per-message length
+// prefixes, message bodies — into ONE contiguous buffer owned by the arena,
+// so the batch reaches Link::send() as a single write with no intermediate
+// scratch→batch→frame copies.  The arena is epoch-recycled: end_epoch() at
+// flush resets the write position while keeping the allocation warm, so a
+// steady stream of batches performs zero allocations after the first.
+//
+// The shrink policy bounds the high-water mark: one giant batch (say a
+// checkpoint-sized Value flood) would otherwise pin its peak allocation on
+// the channel forever.  The arena tracks usage over a rolling window of
+// epochs and, once per window, releases capacity that has been running far
+// above the recent peak.  This replaces the old per-channel scratch
+// OutArchives, whose capacity was never returned.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "base/bytes.hpp"
+
+namespace pia::serial {
+
+class FrameArena {
+ public:
+  /// Capacity below this is never released — re-growing tiny buffers every
+  /// window would churn the allocator for no memory win.
+  static constexpr std::size_t kMinRetainedBytes = 4096;
+
+  explicit FrameArena(std::size_t shrink_window = 32)
+      : window_(std::max<std::size_t>(shrink_window, 1), 0) {}
+
+  /// The backing buffer.  An OutArchive bound to it appends in place;
+  /// callers may also patch reserved gaps (length prefixes, batch headers)
+  /// directly.  The reference stays valid for the arena's lifetime.
+  [[nodiscard]] Bytes& storage() { return buffer_; }
+  [[nodiscard]] const Bytes& storage() const { return buffer_; }
+
+  /// Close out one batch epoch: record how much of the buffer the batch
+  /// used, reset the write position (keeping the allocation), and — once per
+  /// window — shrink capacity that dwarfs the recent high-water mark.
+  void end_epoch() {
+    window_[epoch_ % window_.size()] = buffer_.size();
+    ++epoch_;
+    buffer_.clear();
+    if (epoch_ % window_.size() == 0) maybe_shrink();
+  }
+
+  /// Drop pending bytes without recording an epoch (discard path).
+  void reset() { buffer_.clear(); }
+
+  [[nodiscard]] std::size_t capacity() const { return buffer_.capacity(); }
+  [[nodiscard]] std::uint64_t epochs() const { return epoch_; }
+  [[nodiscard]] std::uint64_t shrinks() const { return shrinks_; }
+
+  /// High-water usage across the current rolling window.
+  [[nodiscard]] std::size_t window_peak() const {
+    return *std::max_element(window_.begin(), window_.end());
+  }
+
+ private:
+  void maybe_shrink() {
+    const std::size_t peak = std::max(window_peak(), kMinRetainedBytes);
+    if (buffer_.capacity() <= 2 * peak) return;
+    Bytes trimmed;
+    trimmed.reserve(peak);
+    buffer_.swap(trimmed);
+    ++shrinks_;
+  }
+
+  Bytes buffer_;
+  std::vector<std::size_t> window_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t shrinks_ = 0;
+};
+
+}  // namespace pia::serial

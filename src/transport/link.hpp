@@ -114,6 +114,29 @@ class Link {
   /// Dequeue the next message if one is ready, without blocking.
   virtual std::optional<Bytes> try_recv() = 0;
 
+  // --- Borrowed-frame receive (zero-copy hot path) ---
+  //
+  // Links whose inbound frames already live in stable memory (a loopback
+  // queue slot, an SPSC ring slot, a shared-memory ring segment) can hand
+  // the receiver a VIEW of the next frame instead of a heap copy.  The view
+  // aliases link-owned storage and stays valid only until
+  // release_recv_view() or any subsequent recv call on this endpoint; the
+  // receiver must finish decoding (copying payloads out, e.g. via
+  // Value::load) before releasing.  Exactly one view may be outstanding.
+  // The defaults keep new implementations correct: no view support, and the
+  // caller falls back to the owning try_recv().
+
+  /// True when try_recv_view() may return frames.
+  [[nodiscard]] virtual bool supports_recv_view() const { return false; }
+
+  /// Borrow a view of the next frame without copying or consuming it.
+  /// Returns nullopt when no frame is ready (or views are unsupported).
+  virtual std::optional<BytesView> try_recv_view() { return std::nullopt; }
+
+  /// Consume the frame most recently borrowed via try_recv_view(),
+  /// invalidating the view and freeing its slot for the producer.
+  virtual void release_recv_view() {}
+
   /// Dequeue the next message, waiting up to `timeout`.
   virtual std::optional<Bytes> recv_for(std::chrono::milliseconds timeout) = 0;
 
@@ -164,5 +187,10 @@ struct LinkPair {
 
 /// Creates a FIFO loopback pipe pair.
 LinkPair make_loopback_pair();
+
+/// Creates a shared-memory ring pair (see transport/shm.hpp) with the
+/// default ring size.  Declared here so the dist wire factory can construct
+/// one without seeing the shm internals.
+LinkPair make_shm_pair();
 
 }  // namespace pia::transport

@@ -43,14 +43,36 @@ class LoopbackLink final : public Link {
 
   std::optional<Bytes> try_recv() override {
     const std::lock_guard<std::mutex> lock(in_->mutex);
+    commit_pending_locked();
     return pop_locked();
   }
 
   std::optional<Bytes> recv_for(std::chrono::milliseconds timeout) override {
     std::unique_lock<std::mutex> lock(in_->mutex);
+    commit_pending_locked();
     in_->ready.wait_for(lock, timeout,
                         [&] { return !in_->queue.empty() || in_->closed; });
     return pop_locked();
+  }
+
+  bool supports_recv_view() const override { return true; }
+
+  /// Borrow a view of the queue front.  Senders only push_back (which never
+  /// moves existing deque elements) and nothing else pops until the view is
+  /// released, so the front element — and the view aliasing it — stays put
+  /// even once the lock drops.
+  std::optional<BytesView> try_recv_view() override {
+    const std::lock_guard<std::mutex> lock(in_->mutex);
+    commit_pending_locked();
+    if (in_->queue.empty()) return std::nullopt;
+    pending_view_ = true;
+    stats_.count_recv(in_->queue.front().size());
+    return BytesView{in_->queue.front()};
+  }
+
+  void release_recv_view() override {
+    const std::lock_guard<std::mutex> lock(in_->mutex);
+    commit_pending_locked();
   }
 
   void close() override {
@@ -89,8 +111,16 @@ class LoopbackLink final : public Link {
     return msg;
   }
 
+  void commit_pending_locked() {
+    if (!pending_view_) return;
+    in_->queue.pop_front();
+    pending_view_ = false;
+  }
+
   std::shared_ptr<Pipe> out_;
   std::shared_ptr<Pipe> in_;
+  // Deferred consumption for the borrowed-view path; guarded by in_->mutex.
+  bool pending_view_ = false;
   // Send path and recv path run under *different* pipe mutexes (out_ / in_)
   // and stats() takes no lock at all, so the counters must not rely on
   // either mutex: AtomicLinkStats makes every access lock-free.

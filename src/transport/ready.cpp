@@ -3,12 +3,54 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#ifdef __linux__
+#include <sys/eventfd.h>
+#endif
+
 #include <cerrno>
+#include <cstdint>
 #include <cstring>
 
 #include "base/error.hpp"
 
 namespace pia::transport {
+
+#ifdef __linux__
+
+ReadySignal::ReadySignal() {
+  fds_[0] = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (fds_[0] < 0)
+    raise(ErrorKind::kTransport,
+          std::string("ready signal eventfd: ") + std::strerror(errno));
+}
+
+ReadySignal::~ReadySignal() {
+  if (fds_[0] >= 0) ::close(fds_[0]);
+  fds_[0] = -1;
+}
+
+void ReadySignal::notify() {
+  const std::uint64_t pulse = 1;
+  // EAGAIN means the counter is saturated — already readable, so the waiter
+  // wakes either way.  Other errors only occur mid-destruction.
+  [[maybe_unused]] const ssize_t n = ::write(fds_[0], &pulse, sizeof(pulse));
+}
+
+bool ReadySignal::drain() {
+  std::uint64_t count = 0;
+  for (;;) {
+    const ssize_t n = ::read(fds_[0], &count, sizeof(count));
+    if (n == sizeof(count)) return true;  // counter read resets it to zero
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
+    if (n < 0 && errno == EINTR) continue;
+    // Anything else (EBADF after a double close, EIO) means the wake
+    // mechanism is broken — waiting on it would hang forever, so fail loud.
+    raise(ErrorKind::kTransport,
+          std::string("ready signal drain: ") + std::strerror(errno));
+  }
+}
+
+#else  // self-pipe fallback for non-Linux hosts
 
 ReadySignal::ReadySignal() {
   if (::pipe(fds_) < 0)
@@ -63,5 +105,7 @@ bool ReadySignal::drain() {
           std::string("ready signal drain: ") + std::strerror(errno));
   }
 }
+
+#endif
 
 }  // namespace pia::transport

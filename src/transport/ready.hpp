@@ -7,10 +7,12 @@
 // wait includes the signal's fd alongside the kernel fds of any socket
 // links.  Wake latency is then one poll() round regardless of channel count.
 //
-// Implemented as a self-pipe so it composes with ::poll over socket fds:
-// notify() writes one byte (non-blocking — a full pipe already reads as
-// ready, so the lost write is harmless), drain() empties the pipe before a
-// wait so stale pulses don't cause busy spinning.
+// On Linux this is an eventfd doorbell: one fd instead of a pipe pair,
+// notify() adds to the counter (saturation already reads as ready, so a
+// refused add is harmless), drain() reads the counter to zero in one
+// syscall.  Elsewhere it falls back to the classic self-pipe.  Either way it
+// composes with ::poll over socket fds, and drain() empties the doorbell
+// before a wait so stale pulses don't cause busy spinning.
 #pragma once
 
 #include <memory>
@@ -39,6 +41,7 @@ class ReadySignal {
   [[nodiscard]] int fd() const { return fds_[0]; }
 
  private:
+  // eventfd mode uses fds_[0] only; pipe mode uses both ends.
   int fds_[2] = {-1, -1};
 };
 

@@ -1,0 +1,39 @@
+// Shared-memory ring Link for co-located nodes.
+//
+// One mmap(MAP_SHARED)-backed byte ring per direction: the producer appends
+// length-prefixed frames at an acquire/release tail cursor, the consumer
+// walks a head cursor, and frames never straddle the wrap point (a wrap
+// marker burns the tail slack instead), so every inbound frame is one
+// contiguous segment the receiver can decode IN PLACE via the Link
+// borrowed-view API — the only copy between two co-located endpoints is the
+// producer's single memcpy into the ring.
+//
+// The ring implements the full Link contract: FIFO, never-blocking send (a
+// full ring spills to an in-process overflow queue exactly like the SPSC
+// link, bursts only), closed() on peer close/death, atomic LinkStats with
+// byte counters, and frame-granular compatibility with the FaultLink /
+// LatencyLink decorators.  Readiness integrates with ChannelSet::wait_any
+// through the shared ReadySignal doorbell (eventfd on Linux).
+//
+// Deployment note: the cursors and payload bytes live in the MAP_SHARED
+// region (a forked co-located worker inherits them); the doorbell and spill
+// queue are in-process conveniences for the node-in-one-process topologies
+// this repo runs.  Cross-host traffic stays on TCP — shm is negotiated only
+// for same-host peers (see dist/node.cpp and the rejoin capability varint).
+#pragma once
+
+#include <cstddef>
+
+#include "transport/link.hpp"
+
+namespace pia::transport {
+
+/// Default per-direction ring capacity.
+inline constexpr std::size_t kShmDefaultRingBytes = 1 << 20;
+
+/// Shared-memory ring pair with an explicit per-direction ring size
+/// (rounded up to a power of two, minimum 64 bytes).  The zero-argument
+/// overload in link.hpp uses kShmDefaultRingBytes.
+LinkPair make_shm_pair(std::size_t ring_bytes);
+
+}  // namespace pia::transport

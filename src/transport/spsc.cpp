@@ -85,6 +85,7 @@ class SpscLink final : public Link {
   }
 
   std::optional<Bytes> try_recv() override {
+    commit_pending_view();
     if (auto msg = pop()) return msg;
     // Looked empty: consume stale pulses so a pooled poll on our fd does
     // not spin, then re-check.  A push racing the drain is caught by the
@@ -114,6 +115,17 @@ class SpscLink final : public Link {
               std::string("spsc poll: ") + std::strerror(errno));
     }
   }
+
+  bool supports_recv_view() const override { return true; }
+
+  std::optional<BytesView> try_recv_view() override {
+    commit_pending_view();
+    if (auto view = peek()) return view;
+    in_->signal.drain();
+    return peek();
+  }
+
+  void release_recv_view() override { commit_pending_view(); }
 
   void close() override {
     for (const auto& ring : {out_, in_}) {
@@ -172,8 +184,60 @@ class SpscLink final : public Link {
     return std::nullopt;
   }
 
+  /// Borrow the next frame without consuming it: a ring frame aliases its
+  /// slot (the producer cannot reuse the slot until head advances at
+  /// commit), a spilled frame aliases the deque front (stable until popped
+  /// — deque growth never moves existing elements).
+  std::optional<BytesView> peek() {
+    const std::size_t head = in_->head.load(std::memory_order_relaxed);
+    const std::size_t tail = in_->tail.load(std::memory_order_acquire);
+    if (head != tail) {
+      const Bytes& msg = in_->slots[head & (kRingCapacity - 1)];
+      pending_ring_ = true;
+      stats_.count_recv(msg.size());
+      return BytesView{msg};
+    }
+    if (in_->spill_active.load(std::memory_order_acquire)) {
+      const std::lock_guard<std::mutex> lock(in_->spill_mutex);
+      const std::size_t h = in_->head.load(std::memory_order_relaxed);
+      const std::size_t t = in_->tail.load(std::memory_order_acquire);
+      if (h != t) {
+        const Bytes& msg = in_->slots[h & (kRingCapacity - 1)];
+        pending_ring_ = true;
+        stats_.count_recv(msg.size());
+        return BytesView{msg};
+      }
+      if (!in_->spill.empty()) {
+        pending_spill_ = true;
+        stats_.count_recv(in_->spill.front().size());
+        return BytesView{in_->spill.front()};
+      }
+      in_->spill_active.store(false, std::memory_order_release);
+    }
+    return std::nullopt;
+  }
+
+  void commit_pending_view() {
+    if (pending_ring_) {
+      const std::size_t head = in_->head.load(std::memory_order_relaxed);
+      in_->head.store(head + 1, std::memory_order_release);
+      pending_ring_ = false;
+    }
+    if (pending_spill_) {
+      const std::lock_guard<std::mutex> lock(in_->spill_mutex);
+      in_->spill.pop_front();
+      if (in_->spill.empty())
+        in_->spill_active.store(false, std::memory_order_release);
+      pending_spill_ = false;
+    }
+  }
+
   std::shared_ptr<Ring> out_;
   std::shared_ptr<Ring> in_;
+  // Deferred consumption for the borrowed-view path; touched only by the
+  // consumer thread (the Link SPSC contract).
+  bool pending_ring_ = false;
+  bool pending_spill_ = false;
   AtomicLinkStats stats_;
 };
 

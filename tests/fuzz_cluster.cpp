@@ -19,6 +19,8 @@
 //   fuzz_cluster --runs=50 --start-seed=1000   # a range (nightly CI)
 //   fuzz_cluster --recovery [...]  # crash-recovery arm: kill one endpoint
 //                                  # mid-run, restart from durable snapshots
+//   fuzz_cluster --shm [...]       # force every channel onto the
+//                                  # shared-memory ring (zero-copy receive)
 //
 // The --recovery arm checks the crash-recovery guarantee instead: each seed
 // additionally derives a crash point (channel, frame budget, endpoint) and
@@ -157,7 +159,10 @@ std::string describe_case(const FuzzCase& c) {
   os << "stages=" << c.spec.stage_host.size() << " hosts="
      << c.spec.subsystem_count() << " count=" << c.spec.count
      << " period=" << c.spec.period.str() << " sink_host=" << c.spec.sink_host
-     << " wire=" << (c.wire == Wire::kTcp ? "tcp" : "loopback")
+     << " wire="
+     << (c.wire == Wire::kTcp   ? "tcp"
+         : c.wire == Wire::kShm ? "shm"
+                                : "loopback")
      << " latency_us=" << c.latency.base.count()
      << " batch=" << c.spec.batch_limit << " placement=";
   for (const std::size_t h : c.spec.stage_host) os << h;
@@ -282,8 +287,9 @@ bool run_one_config(std::uint64_t seed, const FuzzCase& c,
                       : "HORIZON");
   std::printf("  expected %s\n  got      %s\n",
               dump(reference).c_str(), dump(result).c_str());
-  std::printf("  reproduce: fuzz_cluster --seed=%llu%s\n",
+  std::printf("  reproduce: fuzz_cluster --seed=%llu%s%s\n",
               static_cast<unsigned long long>(seed),
+              c.wire == Wire::kShm ? " --shm" : "",
               threads > 0
                   ? (" --threads=" + std::to_string(threads)).c_str()
                   : "");
@@ -311,10 +317,13 @@ bool run_recovery_config(std::uint64_t seed, const FuzzCase& c,
   // arms run the same seeds as the single-threaded arm, and under a
   // parallel ctest both would otherwise remove_all/commit into the same
   // directory at once.
+  // ... and the wire: the --shm arm replays the same seeds as the plain
+  // recovery arm in a parallel ctest schedule.
   const std::filesystem::path root =
       std::filesystem::temp_directory_path() /
       ("pia_fuzz_recovery_" + std::to_string(seed) + "_" +
-       describe_modes(modes) + "_t" + std::to_string(threads));
+       describe_modes(modes) + "_t" + std::to_string(threads) +
+       (c.wire == Wire::kShm ? "_shm" : ""));
   std::filesystem::remove_all(root);
   options.store_root = root.string();
   options.auto_snapshot_every = 4 + crash_rng.below(12);
@@ -350,14 +359,19 @@ bool run_recovery_config(std::uint64_t seed, const FuzzCase& c,
   }
   std::printf("  case: %s\n", describe_case(c).c_str());
   std::printf("  stores left in %s\n", root.string().c_str());
-  std::printf("  reproduce: fuzz_cluster --recovery --seed=%llu\n",
-              static_cast<unsigned long long>(seed));
+  std::printf("  reproduce: fuzz_cluster --recovery --seed=%llu%s\n",
+              static_cast<unsigned long long>(seed),
+              c.wire == Wire::kShm ? " --shm" : "");
   return false;
 }
 
-bool run_recovery_seed(std::uint64_t seed, bool verbose,
-                       std::size_t threads) {
-  const FuzzCase c = generate(seed);
+bool run_recovery_seed(std::uint64_t seed, bool verbose, std::size_t threads,
+                       bool shm) {
+  FuzzCase c = generate(seed);
+  // --shm re-runs the same seed-derived workloads over the shared-memory
+  // ring: every case keeps its placement, faults and batch limits, only the
+  // transport changes — so any divergence is the transport's fault.
+  if (shm) c.wire = Wire::kShm;
   if (verbose)
     std::printf("seed=%llu %s (recovery, threads=%zu)\n",
                 static_cast<unsigned long long>(seed),
@@ -680,8 +694,10 @@ bool run_replicas_seed(std::uint64_t seed, bool verbose,
   return ok;
 }
 
-bool run_seed(std::uint64_t seed, bool verbose, std::size_t threads) {
-  const FuzzCase c = generate(seed);
+bool run_seed(std::uint64_t seed, bool verbose, std::size_t threads,
+              bool shm) {
+  FuzzCase c = generate(seed);
+  if (shm) c.wire = Wire::kShm;
   if (verbose)
     std::printf("seed=%llu %s\n", static_cast<unsigned long long>(seed),
                 describe_case(c).c_str());
@@ -720,6 +736,7 @@ int main(int argc, char** argv) {
   bool recovery = false;
   bool scaleout = false;
   bool replicas = false;
+  bool shm = false;
   std::size_t threads = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -743,6 +760,8 @@ int main(int argc, char** argv) {
       scaleout = true;
     } else if (arg == "--replicas") {
       replicas = true;
+    } else if (arg == "--shm") {
+      shm = true;
     } else if (arg == "--verbose" || arg == "-v") {
       verbose = true;
     } else {
@@ -750,7 +769,7 @@ int main(int argc, char** argv) {
                    "usage: fuzz_cluster [--recovery | --scaleout | "
                    "--replicas] [--seed=S | "
                    "--seeds=S1,S2,... | --runs=N [--start-seed=K]] "
-                   "[--threads=N] [--verbose]\n");
+                   "[--shm] [--threads=N] [--verbose]\n");
       return 2;
     }
   }
@@ -783,10 +802,10 @@ int main(int argc, char** argv) {
   std::uint64_t failures = 0;
   for (const std::uint64_t seed : seeds) {
     const bool ok =
-        recovery   ? pia::dist::run_recovery_seed(seed, verbose, threads)
+        recovery   ? pia::dist::run_recovery_seed(seed, verbose, threads, shm)
         : scaleout ? pia::dist::run_scaleout_seed(seed, verbose, threads)
         : replicas ? pia::dist::run_replicas_seed(seed, verbose, threads)
-                   : pia::dist::run_seed(seed, verbose, threads);
+                   : pia::dist::run_seed(seed, verbose, threads, shm);
     if (!ok) ++failures;
     if (!verbose) {
       std::printf(".");

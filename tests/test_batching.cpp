@@ -134,6 +134,64 @@ TEST(Batching, DiscardPendingDropsUnflushedBatch) {
   EXPECT_FALSE(pair.b->try_recv().has_value());
 }
 
+TEST(Batching, GiantMessageInBatchSurvivesPrefixWidening) {
+  // A message longer than the 2-byte padded length prefix can express
+  // (>= 16 KB) forces the send path to widen its back-patched prefix,
+  // shifting the batch tail.  Pack one between two small messages so both
+  // the shifted bytes and the messages after them are checked.
+  transport::LinkPair pair = transport::make_loopback_pair();
+  auto sender = make_endpoint(std::move(pair.a), 1);
+  auto receiver = make_endpoint(std::move(pair.b), 2);
+
+  Bytes big(40000);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i] = std::byte(i * 131 % 256);
+
+  sender->hold_flush();
+  sender->send_message(HeartbeatMsg{.seq = 1});
+  sender->send_message(EventMsg{.id = {.origin = 1, .counter = 9},
+                                .net_index = 0,
+                                .time = ticks(5),
+                                .value = Value::packet(big)});
+  sender->send_message(HeartbeatMsg{.seq = 2});
+  sender->release_flush();
+  EXPECT_EQ(sender->link().stats().frames_sent, 1u);
+
+  auto first = receiver->recv_for(std::chrono::milliseconds(2000));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(std::get<HeartbeatMsg>(*first).seq, 1u);
+  auto middle = receiver->recv_for(std::chrono::milliseconds(2000));
+  ASSERT_TRUE(middle.has_value());
+  const auto& event = std::get<EventMsg>(*middle);
+  EXPECT_EQ(event.id.counter, 9u);
+  const BytesView payload = event.value.as_packet();
+  ASSERT_EQ(payload.size(), big.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), big.begin()));
+  auto last = receiver->recv_for(std::chrono::milliseconds(2000));
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(std::get<HeartbeatMsg>(*last).seq, 2u);
+}
+
+TEST(Batching, ArenaReachesSteadyStateAcrossBursts) {
+  // The zero-copy contract at the channel layer: after a warmup burst the
+  // arena must recycle its buffer — epochs advance per flush, capacity
+  // stays put (no per-batch reallocation, no growth).
+  transport::LinkPair pair = transport::make_loopback_pair();
+  auto sender = make_endpoint(std::move(pair.a), 1);
+  auto receiver = make_endpoint(std::move(pair.b), 2);
+
+  send_burst(*sender, 64);  // warmup sizes the buffer
+  expect_burst(*receiver, 64);
+  const std::size_t steady = sender->arena().capacity();
+  const std::uint64_t epochs = sender->arena().epochs();
+  for (int burst = 0; burst < 50; ++burst) {
+    send_burst(*sender, 64);
+    expect_burst(*receiver, 64);
+  }
+  EXPECT_EQ(sender->arena().capacity(), steady);
+  EXPECT_EQ(sender->arena().epochs(), epochs + 50);
+}
+
 TEST(Batching, HeldBurstSharesFramesOverTcp) {
   transport::TcpListener listener(0);
   auto client = std::async(std::launch::async,

@@ -4,6 +4,7 @@
 
 #include "base/rng.hpp"
 #include "serial/archive.hpp"
+#include "serial/arena.hpp"
 
 namespace pia::serial {
 namespace {
@@ -137,6 +138,88 @@ TEST_P(ArchiveFuzz, MixedRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ArchiveFuzz,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(VarintEncode, RawMatchesArchive) {
+  for (const std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull, 1ull << 32,
+        ~0ull}) {
+    std::byte raw[10];
+    const std::size_t n = encode_varint(raw, v);
+    OutArchive out;
+    out.put_varint(v);
+    ASSERT_EQ(out.bytes().size(), n);
+    EXPECT_TRUE(std::equal(raw, raw + n, out.bytes().data()));
+  }
+}
+
+TEST(VarintEncode, PaddedFormDecodesToSameValue) {
+  // The arena send path back-patches fixed-width length prefixes, relying
+  // on the decoder accepting redundant LEB128 continuations.
+  for (const std::uint64_t v : {0ull, 1ull, 127ull, 300ull, 16383ull}) {
+    for (const std::size_t width : {2ull, 3ull, 5ull}) {
+      Bytes padded(width);
+      encode_padded_varint(padded.data(), width, v);
+      InArchive in(padded);
+      EXPECT_EQ(in.get_varint(), v) << "width " << width;
+      EXPECT_TRUE(in.at_end());
+    }
+  }
+}
+
+TEST(OutArchiveExternal, WritesIntoCallerBuffer) {
+  Bytes external;
+  OutArchive out(external);
+  out.put_varint(300);
+  out.put_bytes(Bytes{std::byte{0xAB}, std::byte{0xCD}});
+  EXPECT_FALSE(external.empty());
+  InArchive in(external);
+  EXPECT_EQ(in.get_varint(), 300u);
+  EXPECT_EQ(in.get_bytes(), (Bytes{std::byte{0xAB}, std::byte{0xCD}}));
+}
+
+TEST(OutArchiveExternal, MovedFromSelfOwnedArchiveKeepsBytes) {
+  OutArchive a;
+  a.put_varint(7);
+  OutArchive b = std::move(a);
+  b.put_varint(8);
+  InArchive in(b.bytes());
+  EXPECT_EQ(in.get_varint(), 7u);
+  EXPECT_EQ(in.get_varint(), 8u);
+}
+
+TEST(FrameArena, EpochClearsButKeepsCapacity) {
+  FrameArena arena;
+  arena.storage().resize(10000);
+  const std::size_t cap = arena.storage().capacity();
+  arena.end_epoch();
+  EXPECT_TRUE(arena.storage().empty());
+  EXPECT_GE(arena.storage().capacity(), cap);  // steady state: no realloc
+  EXPECT_EQ(arena.epochs(), 1u);
+}
+
+TEST(FrameArena, ShrinksAfterAWindowOfSmallEpochs) {
+  // One giant epoch inflates the buffer; a full window of small epochs must
+  // hand the slack back (bounded by the 2× window-peak rule).
+  FrameArena arena(/*shrink_window=*/4);
+  arena.storage().resize(1 << 20);
+  arena.end_epoch();
+  for (int i = 0; i < 8; ++i) {
+    arena.storage().resize(64);
+    arena.end_epoch();
+  }
+  EXPECT_GE(arena.shrinks(), 1u);
+  EXPECT_LT(arena.capacity(), std::size_t{1} << 20);
+}
+
+TEST(FrameArena, NeverShrinksBelowFloorOrActivePeak) {
+  FrameArena arena(/*shrink_window=*/2);
+  for (int i = 0; i < 10; ++i) {
+    arena.storage().resize(50000);  // every epoch genuinely needs 50 KB
+    arena.end_epoch();
+  }
+  EXPECT_EQ(arena.shrinks(), 0u);
+  EXPECT_GE(arena.capacity(), 50000u);
+}
 
 }  // namespace
 }  // namespace pia::serial

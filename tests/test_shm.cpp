@@ -1,0 +1,402 @@
+// Shared-memory ring Link: byte-level wraparound torture, spill ordering,
+// peer-death close semantics, borrowed-view aliasing rules, and the same
+// concurrency storms the other links face (mirrors test_link_threads.cpp —
+// the LinkStorm suites here run under ThreadSanitizer in CI).
+
+#include <gtest/gtest.h>
+
+#include <poll.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "base/error.hpp"
+#include "dist/node.hpp"
+#include "dist/protocol.hpp"
+#include "dist_helpers.hpp"
+#include "serial/archive.hpp"
+#include "transport/link.hpp"
+#include "transport/shm.hpp"
+
+namespace pia::transport {
+namespace {
+
+using namespace std::chrono_literals;
+
+Bytes frame_for(std::uint32_t i) {
+  Bytes b(4);
+  b[0] = std::byte(i & 0xff);
+  b[1] = std::byte((i >> 8) & 0xff);
+  b[2] = std::byte((i >> 16) & 0xff);
+  b[3] = std::byte((i >> 24) & 0xff);
+  return b;
+}
+
+std::uint32_t index_of(const Bytes& b) {
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+/// A frame whose every byte is derived from (seed, position) — a wrap that
+/// splices ring bytes from the wrong offset cannot go unnoticed.
+Bytes patterned_frame(std::uint32_t seed, std::size_t size) {
+  Bytes b(size);
+  for (std::size_t i = 0; i < size; ++i)
+    b[i] = std::byte((seed * 131 + i * 7) & 0xff);
+  return b;
+}
+
+TEST(ShmRing, WraparoundTortureAtEveryOffset) {
+  // A deliberately tiny ring and a frame-size cycle coprime with it: the
+  // record boundary lands on every reachable offset (mod 4 — records are
+  // 4-aligned), exercising the wrap marker, the sub-header slack burn, and
+  // ordinary wraps.  One-in-one-out keeps the ring nearly full the whole
+  // time so the wrap logic runs constantly.
+  LinkPair pair = make_shm_pair(256);
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    const std::size_t size = (i * 13) % 61;  // 0..60, includes empty frames
+    pair.a->send(patterned_frame(i, size));
+    auto got = pair.b->try_recv();
+    ASSERT_TRUE(got.has_value()) << "frame " << i;
+    EXPECT_EQ(*got, patterned_frame(i, size)) << "frame " << i;
+  }
+  EXPECT_FALSE(pair.b->try_recv().has_value());
+}
+
+TEST(ShmRing, FullRingSpillAndDrainOrdering) {
+  // Fill far past the ring capacity with no receiver running, so frames
+  // land in ring + spill, then drain: order must be exactly send order and
+  // the ring must be reusable afterwards.
+  LinkPair pair = make_shm_pair(256);
+  constexpr std::uint32_t kFrames = 2048;
+  for (std::uint32_t i = 0; i < kFrames; ++i) pair.a->send(frame_for(i));
+  for (std::uint32_t i = 0; i < kFrames; ++i) {
+    auto got = pair.b->try_recv();
+    ASSERT_TRUE(got.has_value()) << "frame " << i;
+    EXPECT_EQ(index_of(*got), i);
+  }
+  EXPECT_FALSE(pair.b->try_recv().has_value());
+  // Spill fully drained: the next send takes the ring fast path again.
+  pair.a->send(frame_for(99));
+  auto got = pair.b->try_recv();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(index_of(*got), 99u);
+}
+
+TEST(ShmRing, FrameLargerThanRingSpillsIntact) {
+  LinkPair pair = make_shm_pair(256);
+  const Bytes giant = patterned_frame(5, 10000);  // 39× the ring
+  pair.a->send(BytesView{giant});
+  auto got = pair.b->recv_for(2000ms);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, giant);
+}
+
+TEST(ShmRing, ClosedOnPeerDeathMidFrame) {
+  // Peer endpoint destroyed in the middle of a stream: the survivor must
+  // observe closed(), drain everything already delivered — including a
+  // frame still sitting in the ring — and then see EOF; its own sends
+  // must throw kTransport rather than write into a dead ring.
+  LinkPair pair = make_shm_pair(1024);
+  pair.a->send(frame_for(0));
+  pair.a->send(frame_for(1));
+  pair.a.reset();  // peer dies with frames in flight
+
+  EXPECT_TRUE(pair.b->closed());
+  auto first = pair.b->try_recv();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(index_of(*first), 0u);
+  auto second = pair.b->try_recv();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(index_of(*second), 1u);
+  EXPECT_FALSE(pair.b->try_recv().has_value());
+  EXPECT_THROW(pair.b->send(frame_for(2)), Error);
+}
+
+TEST(ShmRing, BorrowedViewMatchesOwningRecv) {
+  LinkPair pair = make_shm_pair(512);
+  ASSERT_TRUE(pair.b->supports_recv_view());
+  for (std::uint32_t i = 0; i < 512; ++i)
+    pair.a->send(patterned_frame(i, (i * 11) % 97));
+  for (std::uint32_t i = 0; i < 512; ++i) {
+    const Bytes expect = patterned_frame(i, (i * 11) % 97);
+    if (i % 2 == 0) {
+      const auto view = pair.b->try_recv_view();
+      ASSERT_TRUE(view.has_value()) << "frame " << i;
+      EXPECT_EQ(Bytes(view->begin(), view->end()), expect);
+      pair.b->release_recv_view();
+    } else {
+      // Alternating with the owning API must preserve FIFO.
+      auto got = pair.b->try_recv();
+      ASSERT_TRUE(got.has_value()) << "frame " << i;
+      EXPECT_EQ(*got, expect);
+    }
+  }
+  EXPECT_FALSE(pair.b->try_recv_view().has_value());
+}
+
+TEST(ShmRing, BorrowedViewStableWhileProducerFillsRing) {
+  // The aliasing contract: a borrowed frame's slot must not be reused
+  // until release, no matter how hard the producer pushes (overflow goes
+  // to the spill instead).
+  LinkPair pair = make_shm_pair(256);
+  const Bytes expect = patterned_frame(7, 48);
+  pair.a->send(BytesView{expect});
+  const auto view = pair.b->try_recv_view();
+  ASSERT_TRUE(view.has_value());
+  for (std::uint32_t i = 0; i < 300; ++i) pair.a->send(frame_for(i));
+  EXPECT_EQ(Bytes(view->begin(), view->end()), expect);  // untouched
+  pair.b->release_recv_view();
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    auto got = pair.b->try_recv();
+    ASSERT_TRUE(got.has_value()) << "frame " << i;
+    EXPECT_EQ(index_of(*got), i);
+  }
+}
+
+TEST(ShmRing, AbandonedViewIsConsumedByNextRecv) {
+  // Contract: any subsequent recv call invalidates (and consumes) an
+  // unreleased view, so a decode error cannot wedge the ring.
+  LinkPair pair = make_shm_pair(256);
+  pair.a->send(frame_for(1));
+  pair.a->send(frame_for(2));
+  ASSERT_TRUE(pair.b->try_recv_view().has_value());  // never released
+  auto got = pair.b->try_recv();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(index_of(*got), 2u);  // frame 1 was consumed with its view
+}
+
+TEST(ShmRing, StatsCountMessagesAndBytes) {
+  LinkPair pair = make_shm_pair(1024);
+  pair.a->send(patterned_frame(1, 100), /*message_count=*/7);
+  pair.a->send(patterned_frame(2, 50), /*message_count=*/3);
+  ASSERT_TRUE(pair.b->try_recv().has_value());
+  const auto view = pair.b->try_recv_view();
+  ASSERT_TRUE(view.has_value());
+  pair.b->release_recv_view();
+
+  const LinkStats tx = pair.a->stats();
+  EXPECT_EQ(tx.messages_sent, 10u);
+  EXPECT_EQ(tx.frames_sent, 2u);
+  EXPECT_EQ(tx.bytes_sent, 150u);
+  const LinkStats rx = pair.b->stats();
+  EXPECT_EQ(rx.frames_received, 2u);
+  EXPECT_EQ(rx.bytes_received, 150u);
+}
+
+TEST(ShmRing, ReadableFdWakesPoll) {
+  LinkPair pair = make_shm_pair(1024);
+  const int fd = pair.b->readable_fd();
+  ASSERT_GE(fd, 0);
+
+  std::thread sender([&] {
+    std::this_thread::sleep_for(50ms);
+    pair.a->send(frame_for(7));
+  });
+  pollfd p{fd, POLLIN, 0};
+  const int pr = ::poll(&p, 1, 2000);
+  sender.join();
+  EXPECT_EQ(pr, 1);
+  auto got = pair.b->try_recv();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(index_of(*got), 7u);
+}
+
+// --- concurrency storms (mirroring test_link_threads.cpp) ------------------
+
+/// One sender thread streaming `count` indexed frames, one receiver thread
+/// draining them, one thread hammering stats() the whole time.  Asserts
+/// FIFO delivery of every frame and a consistent final counter snapshot.
+void storm(Link& tx, Link& rx, std::uint32_t count) {
+  std::atomic<bool> done{false};
+
+  std::thread stats_reader([&] {
+    std::uint64_t last_sent = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const LinkStats s = tx.stats();
+      EXPECT_GE(s.messages_sent, last_sent);
+      last_sent = s.messages_sent;
+      (void)rx.stats();
+    }
+  });
+
+  std::thread sender([&] {
+    for (std::uint32_t i = 0; i < count; ++i) tx.send(frame_for(i));
+  });
+
+  std::uint32_t next = 0;
+  while (next < count) {
+    auto got = rx.recv_for(2000ms);
+    ASSERT_TRUE(got.has_value()) << "lost frame " << next;
+    ASSERT_EQ(index_of(*got), next) << "FIFO violated";
+    ++next;
+  }
+
+  sender.join();
+  done.store(true, std::memory_order_release);
+  stats_reader.join();
+
+  const LinkStats sent = tx.stats();
+  EXPECT_EQ(sent.messages_sent, count);
+  EXPECT_EQ(sent.frames_sent, count);
+  const LinkStats received = rx.stats();
+  EXPECT_EQ(received.frames_received, count);
+}
+
+TEST(LinkStorm, ShmFifoUnderStatsRace) {
+  LinkPair pair = make_shm_pair(kShmDefaultRingBytes);
+  storm(*pair.a, *pair.b, 5000);
+}
+
+TEST(LinkStorm, ShmSmallRingFifoUnderStatsRace) {
+  // A ring far smaller than the traffic keeps the wrap + spill machinery
+  // hot while the consumer races the producer.
+  LinkPair pair = make_shm_pair(512);
+  storm(*pair.a, *pair.b, 5000);
+}
+
+TEST(LinkStorm, ShmBorrowedViewFifoUnderSendRace) {
+  // The borrowed-view consumer against a storming producer: views must be
+  // byte-exact and FIFO even while the ring wraps and spills around them.
+  LinkPair pair = make_shm_pair(512);
+  constexpr std::uint32_t kFrames = 5000;
+  std::thread sender([&] {
+    for (std::uint32_t i = 0; i < kFrames; ++i) pair.a->send(frame_for(i));
+  });
+  std::uint32_t next = 0;
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (next < kFrames) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "stalled";
+    const auto view = pair.b->try_recv_view();
+    if (!view) continue;
+    ASSERT_EQ(view->size(), 4u);
+    ASSERT_EQ(index_of(Bytes(view->begin(), view->end())), next);
+    pair.b->release_recv_view();
+    ++next;
+  }
+  sender.join();
+}
+
+/// close() racing a send storm: the sender must either complete or observe
+/// Error{kTransport}; the receiver drains what was delivered and then sees
+/// nullopt.  No deadlock, no crash, FIFO for whatever arrives.
+TEST(LinkStorm, ShmCloseMidStorm) {
+  LinkPair pair = make_shm_pair(kShmDefaultRingBytes);
+  std::atomic<bool> sender_saw_close{false};
+  std::thread sender([&] {
+    try {
+      for (std::uint32_t i = 0; i < 100000; ++i) pair.a->send(frame_for(i));
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kTransport);
+      sender_saw_close.store(true, std::memory_order_release);
+    }
+  });
+
+  std::uint32_t next = 0;
+  for (; next < 100; ++next) {
+    auto got = pair.b->recv_for(2000ms);
+    ASSERT_TRUE(got.has_value());
+    ASSERT_EQ(index_of(*got), next);
+  }
+  pair.b->close();
+  sender.join();
+
+  while (auto got = pair.b->try_recv()) ASSERT_EQ(index_of(*got), next++);
+  EXPECT_FALSE(pair.b->try_recv().has_value());
+  EXPECT_TRUE(sender_saw_close.load(std::memory_order_acquire));
+}
+
+}  // namespace
+}  // namespace pia::transport
+
+namespace pia::dist {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ShmNegotiation, ExplicitShmWireConnects) {
+  NodeCluster cluster;
+  PiaNode& node_a = cluster.add_node("a");
+  PiaNode& node_b = cluster.add_node("b");
+  Subsystem& a = node_a.add_subsystem("ssA");
+  Subsystem& b = node_b.add_subsystem("ssB");
+  const ChannelPair chans = cluster.connect_checked(
+      a, b, ChannelMode::kConservative, Wire::kShm);
+  EXPECT_EQ(a.channel_set().at(chans.a).link().describe(), "shm");
+  EXPECT_EQ(b.channel_set().at(chans.b).link().describe(), "shm");
+}
+
+TEST(ShmNegotiation, EnvForceUpgradesCoLocatedChannels) {
+  ::setenv(kShmEnvVar, "force", 1);
+  NodeCluster cluster;
+  PiaNode& node_a = cluster.add_node("a");
+  PiaNode& node_b = cluster.add_node("b");
+  Subsystem& a = node_a.add_subsystem("ssA");
+  Subsystem& b = node_b.add_subsystem("ssB");
+  const ChannelPair chans =
+      cluster.connect_checked(a, b, ChannelMode::kConservative);
+  ::unsetenv(kShmEnvVar);
+  EXPECT_EQ(a.channel_set().at(chans.a).link().describe(), "shm");
+}
+
+TEST(ShmNegotiation, EnvForbidFallsBackToSpsc) {
+  ::setenv(kShmEnvVar, "forbid", 1);
+  NodeCluster cluster;
+  PiaNode& node_a = cluster.add_node("a");
+  PiaNode& node_b = cluster.add_node("b");
+  Subsystem& a = node_a.add_subsystem("ssA");
+  Subsystem& b = node_b.add_subsystem("ssB");
+  const ChannelPair chans = cluster.connect_checked(
+      a, b, ChannelMode::kConservative, Wire::kShm);
+  ::unsetenv(kShmEnvVar);
+  EXPECT_EQ(a.channel_set().at(chans.a).link().describe(), "spsc");
+}
+
+TEST(ShmNegotiation, RejoinAnnouncesTransportCapability) {
+  // The rejoin handshake carries the capability bitmask as a trailing
+  // varint: present peers record it, and a legacy message without the
+  // field must decode as "TCP baseline" instead of failing.
+  const RejoinMsg sent{.token = 42, .events_sent = 3, .events_received = 5};
+  EXPECT_EQ(sent.transports & kTransportShm, kTransportShm);
+  const Bytes wire = encode_message(sent);
+  const auto decoded = std::get<RejoinMsg>(decode_message(wire));
+  EXPECT_EQ(decoded.transports, kLocalTransports);
+
+  // A pre-capability peer's message ends after `protocol`.
+  serial::OutArchive legacy;
+  legacy.put_u8(12);  // Tag::kRejoin
+  legacy.put_varint(42);
+  legacy.put_varint(3);
+  legacy.put_varint(5);
+  legacy.put_varint(kChannelProtocolVersion);
+  const auto old = std::get<RejoinMsg>(decode_message(legacy.bytes()));
+  EXPECT_EQ(old.transports, 0u);
+  EXPECT_EQ(old.protocol, kChannelProtocolVersion);
+}
+
+TEST(ShmNegotiation, EndToEndPipelineOverShmMatchesLoopback) {
+  // The real acceptance check in miniature: the same producer→sink split
+  // over shm must deliver the identical event stream the loopback oracle
+  // does, quiescing cleanly.
+  testing::SplitPipe oracle(40, ChannelMode::kConservative, Wire::kLoopback);
+  oracle.cluster.start_all();
+  for (const auto& [name, outcome] : oracle.cluster.run_all())
+    ASSERT_EQ(outcome, Subsystem::RunOutcome::kQuiescent) << name;
+
+  testing::SplitPipe dut(40, ChannelMode::kConservative, Wire::kShm);
+  EXPECT_EQ(dut.a->channel_set().at(dut.channels.a).link().describe(), "shm");
+  dut.cluster.start_all();
+  for (const auto& [name, outcome] : dut.cluster.run_all())
+    ASSERT_EQ(outcome, Subsystem::RunOutcome::kQuiescent) << name;
+
+  EXPECT_EQ(dut.sink->received, oracle.sink->received);
+  EXPECT_EQ(dut.sink->times, oracle.sink->times);
+}
+
+}  // namespace
+}  // namespace pia::dist
