@@ -79,6 +79,26 @@ class ChannelEndpoint {
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] ChannelMode mode() const { return mode_; }
+  /// Fence for mode renegotiation: bumped on every set_mode().  A mode
+  /// proposal carries the proposer's epoch; the peer rejects on mismatch,
+  /// so a flip can never apply against a stale view of the channel.
+  [[nodiscard]] std::uint64_t mode_epoch() const { return mode_epoch_; }
+  /// Flips the synchronization mode.  Only the sync engines may call this,
+  /// and only at a barrier (a Chandy–Lamport cut or an image restore) where
+  /// no in-flight traffic straddles the two protocols.
+  void set_mode(ChannelMode mode) {
+    mode_ = mode;
+    ++mode_epoch_;
+  }
+  /// Restore path: adopt a recorded (mode, epoch) pair verbatim.  Both
+  /// endpoints restore from the same cut (or image of it), so adopting the
+  /// recorded epoch — instead of bumping — keeps the two sides' epochs
+  /// equal even when a restore lands mid-negotiation, after one endpoint
+  /// flipped and before the other did.
+  void restore_mode(ChannelMode mode, std::uint64_t epoch) {
+    mode_ = mode;
+    mode_epoch_ = epoch;
+  }
   [[nodiscard]] transport::Link& link() { return *link_; }
 
   /// Swaps in a fresh link (reconnect after a peer crash).  Clears the
@@ -315,6 +335,7 @@ class ChannelEndpoint {
 
   std::string name_;
   ChannelMode mode_;
+  std::uint64_t mode_epoch_ = 0;
   transport::LinkPtr link_;
   std::uint32_t origin_id_;
   std::uint64_t next_send_counter_ = 0;

@@ -329,6 +329,22 @@ void collect_metrics(Subsystem& subsystem, obs::MetricsRegistry& registry,
   registry.set(engine_scope + "/recovery", "recoveries", rec.recoveries);
   registry.set(engine_scope + "/recovery", "rejoins_verified",
                rec.rejoins_verified);
+  const sync::AdaptiveStats& adapt = subsystem.adaptive_stats();
+  registry.set(engine_scope + "/adaptive", "proposals_sent",
+               adapt.proposals_sent);
+  registry.set(engine_scope + "/adaptive", "proposals_received",
+               adapt.proposals_received);
+  registry.set(engine_scope + "/adaptive", "proposals_accepted",
+               adapt.proposals_accepted);
+  registry.set(engine_scope + "/adaptive", "proposals_rejected",
+               adapt.proposals_rejected);
+  registry.set(engine_scope + "/adaptive", "mode_changes",
+               adapt.mode_changes);
+  registry.set(engine_scope + "/adaptive", "to_optimistic",
+               adapt.to_optimistic);
+  registry.set(engine_scope + "/adaptive", "to_conservative",
+               adapt.to_conservative);
+  registry.set(engine_scope + "/adaptive", "hold_slices", adapt.hold_slices);
   if (const SnapshotStore* store = subsystem.snapshot_store()) {
     registry.set(sub_scope, "store_commits", store->stats().commits);
     registry.set(sub_scope, "store_bytes_written",
@@ -372,6 +388,10 @@ void collect_metrics(Subsystem& subsystem, obs::MetricsRegistry& registry,
     registry.set(scope, "input_trimmed", c.input_trimmed);
     registry.set(scope, "granted_in_ticks", c.granted_in.ticks());
     registry.set(scope, "granted_out_ticks", c.granted_out.ticks());
+    // Live sync mode (0 = conservative, 1 = optimistic) and its
+    // renegotiation epoch, so dashboards can see adaptive flips land.
+    registry.set(scope, "mode", static_cast<std::uint64_t>(c.mode()));
+    registry.set(scope, "mode_epoch", c.mode_epoch());
     const transport::LinkStats link = c.link().stats();
     registry.set(scope, "link_messages_sent", link.messages_sent);
     registry.set(scope, "link_messages_received", link.messages_received);

@@ -19,6 +19,13 @@ enum class Tag : std::uint8_t {
   kTerminate,
   kHeartbeat,
   kRejoin,
+  // 13 and 14 are the batch / replica FRAME tags (kBatchFrameTag,
+  // kReplicaFrameTag) — message tags skip them so a frame's first byte
+  // stays unambiguous.
+  kModeProposal = 15,
+  kModeAck,
+  kModeCommit,
+  kModeResume,
 };
 
 void write_send_id(serial::OutArchive& ar, const SendId& id) {
@@ -104,6 +111,25 @@ void encode_message_into(serial::OutArchive& ar,
           ar.put_varint(m.events_received);
           ar.put_varint(m.protocol);
           ar.put_varint(m.transports);
+        } else if constexpr (std::is_same_v<T, ModeProposalMsg>) {
+          ar.put_u8(static_cast<std::uint8_t>(Tag::kModeProposal));
+          ar.put_varint(m.nonce);
+          ar.put_varint(m.epoch);
+          ar.put_u8(m.target);
+          ar.put_varint(m.caps);
+        } else if constexpr (std::is_same_v<T, ModeAckMsg>) {
+          ar.put_u8(static_cast<std::uint8_t>(Tag::kModeAck));
+          ar.put_varint(m.nonce);
+          ar.put_u8(m.phase);
+          ar.put_bool(m.accept);
+          ar.put_u8(m.reason);
+        } else if constexpr (std::is_same_v<T, ModeCommitMsg>) {
+          ar.put_u8(static_cast<std::uint8_t>(Tag::kModeCommit));
+          ar.put_varint(m.nonce);
+          ar.put_varint(m.token);
+        } else if constexpr (std::is_same_v<T, ModeResumeMsg>) {
+          ar.put_u8(static_cast<std::uint8_t>(Tag::kModeResume));
+          ar.put_varint(m.nonce);
         }
       },
       message);
@@ -188,6 +214,32 @@ ChannelMessage decode_message(BytesView data) {
       m.transports = ar.at_end() ? 0 : ar.get_varint();
       return m;
     }
+    case Tag::kModeProposal: {
+      ModeProposalMsg m;
+      m.nonce = ar.get_varint();
+      m.epoch = ar.get_varint();
+      m.target = ar.get_u8();
+      // Trailing sync-capability varint; a fixed-mode peer's encoder (none
+      // exist yet, but the pattern matches RejoinMsg) would omit it.
+      m.caps = ar.at_end() ? 0 : ar.get_varint();
+      return m;
+    }
+    case Tag::kModeAck: {
+      ModeAckMsg m;
+      m.nonce = ar.get_varint();
+      m.phase = ar.get_u8();
+      m.accept = ar.get_bool();
+      m.reason = ar.get_u8();
+      return m;
+    }
+    case Tag::kModeCommit: {
+      ModeCommitMsg m;
+      m.nonce = ar.get_varint();
+      m.token = ar.get_varint();
+      return m;
+    }
+    case Tag::kModeResume:
+      return ModeResumeMsg{.nonce = ar.get_varint()};
   }
   raise(ErrorKind::kProtocol, "unknown channel message tag");
 }
@@ -244,6 +296,10 @@ const char* message_name(const ChannelMessage& message) {
         else if constexpr (std::is_same_v<T, TerminateMsg>) return "terminate";
         else if constexpr (std::is_same_v<T, HeartbeatMsg>) return "heartbeat";
         else if constexpr (std::is_same_v<T, RejoinMsg>) return "rejoin";
+        else if constexpr (std::is_same_v<T, ModeProposalMsg>) return "mode_proposal";
+        else if constexpr (std::is_same_v<T, ModeAckMsg>) return "mode_ack";
+        else if constexpr (std::is_same_v<T, ModeCommitMsg>) return "mode_commit";
+        else if constexpr (std::is_same_v<T, ModeResumeMsg>) return "mode_resume";
         else return "status";
       },
       message);
@@ -255,7 +311,11 @@ bool is_control_message(const ChannelMessage& message) {
          std::holds_alternative<ProbeReply>(message) ||
          std::holds_alternative<TerminateMsg>(message) ||
          std::holds_alternative<HeartbeatMsg>(message) ||
-         std::holds_alternative<RejoinMsg>(message);
+         std::holds_alternative<RejoinMsg>(message) ||
+         std::holds_alternative<ModeProposalMsg>(message) ||
+         std::holds_alternative<ModeAckMsg>(message) ||
+         std::holds_alternative<ModeCommitMsg>(message) ||
+         std::holds_alternative<ModeResumeMsg>(message);
 }
 
 }  // namespace pia::dist

@@ -34,6 +34,14 @@ inline constexpr std::uint64_t kTransportShm = 1u << 0;
 /// Capabilities this build announces.
 inline constexpr std::uint64_t kLocalTransports = kTransportShm;
 
+/// Synchronization-capability bits announced in a ModeProposalMsg (trailing
+/// varint bitmask; absent ⇒ 0 ⇒ a fixed-mode peer that cannot renegotiate).
+/// Like transport capabilities, a missing bit never breaks the wire: the
+/// proposal is rejected and the channel simply keeps its current mode.
+inline constexpr std::uint64_t kSyncAdaptive = 1u << 0;
+/// Sync capabilities this build announces.
+inline constexpr std::uint64_t kLocalSyncCaps = kSyncAdaptive;
+
 /// Globally unique identifier of a sent event: (origin subsystem, counter).
 /// Retractions name the event they cancel by this id.
 struct SendId {
@@ -166,10 +174,51 @@ struct RejoinMsg {
   std::uint64_t transports = kLocalTransports;
 };
 
+/// Mode renegotiation, step 1 (propose).  The proposer asks its peer to
+/// flip this channel's synchronization mode at a future Chandy–Lamport cut.
+/// `nonce` is (proposer subsystem id << 32) | counter so crossed proposals
+/// tie-break deterministically (lower subsystem id wins); `epoch` is the
+/// proposer's view of the channel's mode epoch — a mismatch means the mode
+/// already changed underneath the proposal and the peer must reject it.
+struct ModeProposalMsg {
+  std::uint64_t nonce = 0;
+  std::uint64_t epoch = 0;
+  std::uint8_t target = 0;  // ChannelMode the proposer wants
+  /// Sync capabilities the proposer supports (kSyncAdaptive | ...).
+  /// Trailing varint; absence decodes as 0 (fixed-mode peer).
+  std::uint64_t caps = kLocalSyncCaps;
+};
+
+/// Mode renegotiation, steps 2 and 5 (agree / flipped).  phase 0 answers
+/// the proposal (accept=false carries a reason: 0 = busy, retry later;
+/// 1 = unsupported, never retry on this channel).  phase 1 confirms the
+/// acceptor flipped its endpoint at the cut, releasing the proposer.
+struct ModeAckMsg {
+  std::uint64_t nonce = 0;
+  std::uint8_t phase = 0;   // 0 = agree, 1 = flipped
+  bool accept = false;
+  std::uint8_t reason = 0;  // 0 = busy/retry, 1 = unsupported/never-retry
+};
+
+/// Mode renegotiation, step 3 (cut).  Sent by the proposer after the agree
+/// ack: `token` names the snapshot cut whose marker — already in flight on
+/// this FIFO channel, ahead of this message — is the flip barrier.
+struct ModeCommitMsg {
+  std::uint64_t nonce = 0;
+  std::uint64_t token = 0;
+};
+
+/// Mode renegotiation, step 6 (resume).  Sent by the proposer after its own
+/// flip; the acceptor releases its dispatch hold on receipt.
+struct ModeResumeMsg {
+  std::uint64_t nonce = 0;
+};
+
 using ChannelMessage =
     std::variant<EventMsg, SafeTimeRequest, SafeTimeGrant, MarkMsg,
                  RetractMsg, RunLevelMsg, StatusMsg, ProbeMsg, ProbeReply,
-                 TerminateMsg, HeartbeatMsg, RejoinMsg>;
+                 TerminateMsg, HeartbeatMsg, RejoinMsg, ModeProposalMsg,
+                 ModeAckMsg, ModeCommitMsg, ModeResumeMsg>;
 
 [[nodiscard]] Bytes encode_message(const ChannelMessage& message);
 /// Appends the encoding to `ar` — the scratch-archive form the channel send
@@ -180,8 +229,9 @@ void encode_message_into(serial::OutArchive& ar,
 
 /// First payload byte of a batch frame: `kBatchFrameTag`, then a varint
 /// message count, then count × (varint length + message bytes).  Message
-/// tags stop at 12, so the first byte disambiguates batch frames from bare
-/// single messages — one message per frame still travels in the old format.
+/// tags skip 13 and 14 (they resume at 15 for the mode-negotiation class),
+/// so the first byte disambiguates batch frames from bare single messages —
+/// one message per frame still travels in the old format.
 inline constexpr std::uint8_t kBatchFrameTag = 13;
 
 /// Decodes one link frame — bare message or batch — appending the decoded

@@ -13,14 +13,14 @@ Subsystem::Subsystem(std::string name, std::uint32_t numeric_id)
       scheduler_(name_),
       checkpoints_(scheduler_, CheckpointPolicy::kImmediate) {}
 
-SubsystemStats Subsystem::stats() const {
+// The protocol-cost block of the aggregate goes through cost_sample(), the
+// same accessor the AdaptiveController decides on — the number the
+// controller acted on is always the number metrics export.
+sync::ChannelCostSample Subsystem::cost_sample() const {
   const sync::ConservativeStats& cons = conservative_.stats();
   const sync::OptimisticStats& opt = optimistic_.stats();
   const sync::SnapshotStats& snap = snapshot_.stats();
-  const sync::RecoveryStats& rec = recovery_.stats();
-  SubsystemStats s;
-  s.events_sent = traffic_.events_sent;
-  s.events_received = traffic_.events_received;
+  sync::ChannelCostSample s;
   s.grants_sent = cons.grants_sent;
   s.grants_received = cons.grants_received;
   s.requests_sent = cons.requests_sent;
@@ -29,16 +29,46 @@ SubsystemStats Subsystem::stats() const {
   s.retracts_sent = opt.retracts_sent;
   s.retracts_received = opt.retracts_received;
   s.checkpoints = opt.checkpoints;
+  s.snapshots_invalidated = snap.snapshots_invalidated;
+  return s;
+}
+
+SubsystemStats Subsystem::stats() const {
+  const sync::ChannelCostSample cost = cost_sample();
+  const sync::SnapshotStats& snap = snapshot_.stats();
+  const sync::RecoveryStats& rec = recovery_.stats();
+  SubsystemStats s;
+  s.events_sent = traffic_.events_sent;
+  s.events_received = traffic_.events_received;
+  s.grants_sent = cost.grants_sent;
+  s.grants_received = cost.grants_received;
+  s.requests_sent = cost.requests_sent;
+  s.stalls = cost.stalls;
+  s.rollbacks = cost.rollbacks;
+  s.retracts_sent = cost.retracts_sent;
+  s.retracts_received = cost.retracts_received;
+  s.checkpoints = cost.checkpoints;
   s.marks_received = snap.marks_received;
+  s.mode_changes = adaptive_.stats().mode_changes;
   s.heartbeats_sent = rec.heartbeats_sent;
   s.heartbeats_received = rec.heartbeats_received;
   s.peer_down_events = rec.peer_down_events;
   s.snapshots_persisted = snap.snapshots_persisted;
   s.snapshot_persist_bytes = snap.snapshot_persist_bytes;
-  s.snapshots_invalidated = snap.snapshots_invalidated;
+  s.snapshots_invalidated = cost.snapshots_invalidated;
   s.recoveries = rec.recoveries;
   s.rejoins_verified = rec.rejoins_verified;
   return s;
+}
+
+bool Subsystem::mode_change_allowed() const {
+  // A flip must not race retirement (frozen floor), replica membership
+  // (siblings must stay protocol-identical), or a rejoin handshake whose
+  // counters are still unverified.
+  if (retired() || replica_member_) return false;
+  for (const auto& c : channels_)
+    if (c->rejoin_token.has_value() && !c->rejoin_verified) return false;
+  return true;
 }
 
 ChannelId Subsystem::add_channel(const std::string& channel_name,
@@ -125,6 +155,9 @@ void Subsystem::start() {
 void Subsystem::restore_snapshot_image(BytesView image) {
   PIA_REQUIRE(started_, "restore_snapshot_image before start() on " + name_);
   recovery_.restore_image(image);
+  // The image carried the cut's recorded modes; any half-open negotiation
+  // belonged to the pre-crash timeline.
+  adaptive_.reset();
 }
 
 bool Subsystem::drain() {
@@ -184,6 +217,14 @@ void Subsystem::handle_message(ChannelId channel_id, ChannelMessage message) {
           recovery_.on_heartbeat(channel_id, m);
         } else if constexpr (std::is_same_v<T, RejoinMsg>) {
           recovery_.on_rejoin(channel_id, m);
+        } else if constexpr (std::is_same_v<T, ModeProposalMsg>) {
+          adaptive_.on_proposal(channel_id, m);
+        } else if constexpr (std::is_same_v<T, ModeAckMsg>) {
+          adaptive_.on_ack(channel_id, m);
+        } else if constexpr (std::is_same_v<T, ModeCommitMsg>) {
+          adaptive_.on_commit(channel_id, m);
+        } else if constexpr (std::is_same_v<T, ModeResumeMsg>) {
+          adaptive_.on_resume(channel_id, m);
         }
       },
       std::move(message));
@@ -241,6 +282,10 @@ void Subsystem::send_or_suppress(ChannelEndpoint& endpoint,
 Subsystem::StepResult Subsystem::try_advance(VirtualTime horizon) {
   const VirtualTime t = scheduler_.next_event_time();
   if (t.is_infinite() || t > horizon) return StepResult::kIdle;
+  // Mode-negotiation hold: nothing dispatches (and so nothing sends)
+  // between agreeing to a flip and performing it — the straddle-freedom of
+  // the renegotiation rests on exactly this.
+  if (adaptive_.hold()) return StepResult::kBlocked;
   if (t > conservative_.barrier()) return StepResult::kBlocked;
   // Unconfirmed outputs older than the next dispatch cannot be regenerated
   // any more (send times are monotone): retract them now.
@@ -298,6 +343,7 @@ std::optional<Subsystem::RunOutcome> Subsystem::run_slice(
 
   conservative_.push_grants();
   conservative_.push_status_if_changed();
+  adaptive_.tick();
 
   if (conservative_.terminated()) return RunOutcome::kQuiescent;
   if (channels_.empty() && scheduler_.idle()) return RunOutcome::kQuiescent;
@@ -314,10 +360,12 @@ std::optional<Subsystem::RunOutcome> Subsystem::run_slice(
   // termination probe instead — exiting unilaterally on infinite grants
   // left peers that still needed our probe replies stalled forever
   // (fuzz_cluster seed 13: a conservative leaf next to a mixed chain).
+  // (Never mid-negotiation: a hold means the peer still owes us handshake
+  // messages; exiting now would strand it holding forever.)
   const VirtualTime t = scheduler_.next_event_time();
   if (!config.horizon.is_infinite() && (t.is_infinite() || t > config.horizon) &&
       conservative_.barrier() >= config.horizon &&
-      !optimistic_.has_optimistic_channel()) {
+      !optimistic_.has_optimistic_channel() && !adaptive_.hold()) {
     return RunOutcome::kHorizon;
   }
 

@@ -22,6 +22,10 @@
 //     format, fresh-process restore, and the post-recovery rejoin
 //     handshake.
 //
+//   * sync::AdaptiveController: runtime conservative↔optimistic
+//     renegotiation per channel, flipped atomically at a Chandy–Lamport
+//     cut (see adaptive.hpp for the handshake).
+//
 // The facade owns the run loop, the channel message dispatch, and the
 // outbound send path; engines reach shared infrastructure and each other's
 // services only through sync::EngineContext, which Subsystem implements
@@ -43,6 +47,7 @@
 #include "dist/channel_set.hpp"
 #include "dist/protocol.hpp"
 #include "dist/snapshot_store.hpp"
+#include "dist/sync/adaptive.hpp"
 #include "dist/sync/conservative.hpp"
 #include "dist/sync/engine_context.hpp"
 #include "dist/sync/optimistic.hpp"
@@ -73,6 +78,7 @@ struct SubsystemStats {
   std::uint64_t retracts_received = 0;
   std::uint64_t checkpoints = 0;
   std::uint64_t marks_received = 0;
+  std::uint64_t mode_changes = 0;       // adaptive-sync flips applied locally
   // Crash-recovery layer.
   std::uint64_t heartbeats_sent = 0;
   std::uint64_t heartbeats_received = 0;
@@ -119,6 +125,9 @@ class Subsystem : private sync::EngineContext {
   [[nodiscard]] const sync::RecoveryStats& recovery_stats() const {
     return recovery_.stats();
   }
+  [[nodiscard]] const sync::AdaptiveStats& adaptive_stats() const {
+    return adaptive_.stats();
+  }
 
   // --- channel setup ---------------------------------------------------------
 
@@ -156,6 +165,22 @@ class Subsystem : private sync::EngineContext {
     return optimistic_.checkpoint_interval();
   }
 
+  // --- adaptive synchronization ---------------------------------------------------
+
+  /// Enables measurement-driven per-channel mode renegotiation.  Off by
+  /// default; a disabled subsystem still answers peers' proposals with a
+  /// clean "unsupported" rejection, so enabling one side is always safe.
+  void set_adaptive_sync(const sync::AdaptivePolicy& policy = {}) {
+    adaptive_.enable(policy);
+  }
+
+  /// Forces a renegotiation of `channel_id` to `target` at the next slice
+  /// the facade's arbitration allows (tests, operators).  Deferred — not
+  /// dropped — while a rejoin or failover is in flight.
+  void request_mode_change(ChannelId channel_id, ChannelMode target) {
+    adaptive_.request_mode(channel_id.value(), target);
+  }
+
   // --- runlevel coordination across channels ------------------------------------
 
   /// Asks the peer subsystem to switch one of ITS components.
@@ -165,15 +190,21 @@ class Subsystem : private sync::EngineContext {
   // --- distributed snapshots ------------------------------------------------------
 
   /// Starts a Chandy–Lamport snapshot; returns the token identifying it
-  /// across all subsystems.
-  std::uint64_t initiate_snapshot() { return snapshot_.initiate(); }
+  /// across all subsystems.  (Doubles as the EngineContext service the
+  /// AdaptiveController cuts its mode-flip barrier with.)
+  std::uint64_t initiate_snapshot() override { return snapshot_.initiate(); }
   [[nodiscard]] bool snapshot_complete(std::uint64_t token) const {
     return snapshot_.complete(token);
   }
   /// Restores the local checkpoint of `token` plus its recorded channel
   /// state.  All subsystems must restore the same token (coordinated by the
   /// caller) for a consistent global restore.
-  void restore_snapshot(std::uint64_t token) { snapshot_.restore(token); }
+  void restore_snapshot(std::uint64_t token) {
+    snapshot_.restore(token);
+    // The restore adopted the cut's recorded modes; any half-open
+    // negotiation described the abandoned timeline.
+    adaptive_.reset();
+  }
 
   // --- durable snapshots / crash recovery ---------------------------------------
 
@@ -302,6 +333,7 @@ class Subsystem : private sync::EngineContext {
   /// termination without ever consulting the sibling clones.  They still
   /// relay probes and reply.
   void set_replica_member(bool on) {
+    replica_member_ = on;
     conservative_.set_originate_probes(!on);
   }
 
@@ -403,6 +435,11 @@ class Subsystem : private sync::EngineContext {
       std::uint64_t token) const override {
     return recovery_.export_image(token);
   }
+  [[nodiscard]] sync::ChannelCostSample cost_sample() const override;
+  [[nodiscard]] bool mode_negotiation_hold() const override {
+    return adaptive_.hold();
+  }
+  [[nodiscard]] bool mode_change_allowed() const override;
 
   std::string name_;
   std::uint32_t id_;
@@ -421,6 +458,8 @@ class Subsystem : private sync::EngineContext {
   sync::OptimisticEngine optimistic_{*this};
   sync::SnapshotCoordinator snapshot_{*this};
   sync::RecoveryCoordinator recovery_{*this};
+  sync::AdaptiveController adaptive_{*this};
+  bool replica_member_ = false;
 };
 
 }  // namespace pia::dist

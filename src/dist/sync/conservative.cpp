@@ -186,6 +186,10 @@ void ConservativeEngine::maybe_start_probe() {
   if (!originate_probes_) return;
   if (my_probe_ || terminate_received_) return;
   if (!ctx_.scheduler().idle()) return;
+  // A mode negotiation is holding dispatch: the flush below would emit
+  // retractions across the flip barrier, and a quiescence verdict reached
+  // mid-flip would describe a paused subsystem, not a finished one.
+  if (ctx_.mode_negotiation_hold()) return;
   // Don't spin probe rounds: retry only after something changed — unless a
   // candidate round awaits its confirming twin, which by construction runs
   // with the activity counter unmoved.
@@ -213,7 +217,10 @@ void ConservativeEngine::on_probe(ChannelId channel_id,
   if (std::uint64_t& seen = probe_nonce_seen_[probe.origin];
       probe.nonce > seen)
     seen = probe.nonce;
-  if (!ctx_.scheduler().idle()) {
+  // During a mode negotiation the subsystem is paused, not idle: answer
+  // busy (ok=false) instead of flushing unregenerated output, which would
+  // leak retractions across the flip barrier.
+  if (!ctx_.scheduler().idle() || ctx_.mode_negotiation_hold()) {
     PIA_TRACE("[" << ctx_.subsystem_name() << "] probe nonce=" << probe.nonce
                   << " busy -> ok=false");
     from.send_message(ProbeReply{.origin = probe.origin,

@@ -40,7 +40,32 @@ struct PendingSnapshot {
   std::vector<bool> mark_pending;  // per channel: still recording?
   std::vector<std::vector<EventMsg>> recorded;  // channel state
   SnapshotPositions positions;
+  /// Per-channel (ChannelMode, mode epoch) at checkpoint time.  A cut is a
+  /// mode barrier: restoring it must also restore the modes that were live
+  /// at the cut, or a restore racing a renegotiation would resume with the
+  /// two endpoints disagreeing on protocol.  Epochs are restored verbatim
+  /// (ChannelEndpoint::restore_mode) so both sides stay in step.
+  std::vector<ChannelMode> modes;
+  std::vector<std::uint64_t> mode_epochs;
   bool persisted = false;  // committed to the attached SnapshotStore
+};
+
+/// One channel's protocol-cost counters, assembled from the per-engine
+/// stats blocks by the facade.  The AdaptiveController's decisions and
+/// NodeCluster::metrics() both read THIS accessor, so the number the
+/// controller acted on is always the number the operator sees.
+struct ChannelCostSample {
+  // Conservative-side cost (null-message / grant traffic and blocking).
+  std::uint64_t grants_sent = 0;
+  std::uint64_t grants_received = 0;
+  std::uint64_t requests_sent = 0;
+  std::uint64_t stalls = 0;
+  // Optimistic-side cost (rollback + anti-message volume).
+  std::uint64_t rollbacks = 0;
+  std::uint64_t retracts_sent = 0;
+  std::uint64_t retracts_received = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t snapshots_invalidated = 0;
 };
 
 class EngineContext {
@@ -102,6 +127,24 @@ class EngineContext {
   /// Serializes the completed snapshot `token` into a durable image.
   [[nodiscard]] virtual Bytes export_snapshot_image(
       std::uint64_t token) const = 0;
+
+  // --- services of the AdaptiveController ----------------------------------
+  /// Subsystem-wide protocol cost counters (summed over channels); the
+  /// controller windows successive samples to estimate per-mode overhead.
+  [[nodiscard]] virtual ChannelCostSample cost_sample() const = 0;
+  /// True while a mode negotiation holds dispatch on this subsystem: the
+  /// run loop must not dispatch events, and the conservative engine must
+  /// neither originate termination probes nor answer them ok — both paths
+  /// flush unregenerated output, which would leak retractions across the
+  /// flip barrier.
+  [[nodiscard]] virtual bool mode_negotiation_hold() const = 0;
+  /// Facade arbitration: false while a flip would race a rejoin, a replica
+  /// membership, or retirement; proposals are rejected busy and the
+  /// controller retries after its cooldown.
+  [[nodiscard]] virtual bool mode_change_allowed() const = 0;
+  /// Starts a Chandy–Lamport cut and returns its token (the mode-flip
+  /// barrier).  Forwarded to SnapshotCoordinator::initiate().
+  virtual std::uint64_t initiate_snapshot() = 0;
 };
 
 }  // namespace pia::dist::sync

@@ -86,7 +86,10 @@ Bytes RecoveryCoordinator::export_image(std::uint64_t token) const {
 
   serial::OutArchive ar;
   // Version 2: events use the compact port encoding (see Event::save).
-  serial::begin_section(ar, "pia.dist.recovery", 2);
+  // Version 3: per-channel mode is the CUT-recorded (mode, epoch) pair —
+  // a renegotiation completing after the cut's checkpoint must not leak
+  // its flipped mode into an image of the pre-flip state.
+  serial::begin_section(ar, "pia.dist.recovery", 3);
   ar.put_string(ctx_.subsystem_name());
   ar.put_varint(token);
   ar.put_varint(ctx_.snapshot_next_token());
@@ -121,7 +124,13 @@ Bytes RecoveryCoordinator::export_image(std::uint64_t token) const {
   for (std::uint32_t i = 0; i < channels.size(); ++i) {
     const ChannelEndpoint& c = channels[i];
     ar.put_string(c.name());
-    ar.put_u8(static_cast<std::uint8_t>(c.mode()));
+    const ChannelMode cut_mode =
+        i < pending->modes.size() ? pending->modes[i] : c.mode();
+    const std::uint64_t cut_epoch =
+        i < pending->mode_epochs.size() ? pending->mode_epochs[i]
+                                        : c.mode_epoch();
+    ar.put_u8(static_cast<std::uint8_t>(cut_mode));
+    ar.put_varint(cut_epoch);
     const std::size_t out =
         std::min(pending->positions.out[i], c.output_log.size());
     ar.put_varint(out);
@@ -152,7 +161,7 @@ void RecoveryCoordinator::restore_image(BytesView image) {
   serial::InArchive ar(image);
   const std::uint32_t version =
       serial::expect_section(ar, "pia.dist.recovery");
-  if (version != 1 && version != 2)
+  if (version < 1 || version > 3)
     raise(ErrorKind::kSerialization,
           "unsupported recovery image version " + std::to_string(version));
   // Version-1 images carry the old raw Event port encoding.
@@ -210,10 +219,14 @@ void RecoveryCoordinator::restore_image(BytesView image) {
     if (channel_name != c.name())
       raise(ErrorKind::kState, "recovery image channel '" + channel_name +
                                    "' does not match '" + c.name() + "'");
+    // Adopt the image's (mode, epoch): with runtime renegotiation the
+    // construction-time mode is only a default, and the cut the cluster is
+    // restoring to is the authority on what was live.  The epoch is adopted
+    // verbatim so both endpoints' fences stay equal (the peer restores the
+    // same cut — from its own image or its in-memory snapshot of it).
     const auto mode = static_cast<ChannelMode>(ar.get_u8());
-    if (mode != c.mode())
-      raise(ErrorKind::kState,
-            "recovery image mode mismatch on channel '" + c.name() + "'");
+    const std::uint64_t mode_epoch = version >= 3 ? ar.get_varint() : 0;
+    c.restore_mode(mode, mode_epoch);
 
     c.output_log.clear();
     const std::uint64_t out_count = ar.get_varint();

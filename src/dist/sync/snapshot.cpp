@@ -27,6 +27,7 @@ std::uint64_t SnapshotCoordinator::initiate() {
   pending.positions = ctx_.positions_of(pending.local);
   pending.mark_pending.assign(channels.size(), true);
   pending.recorded.resize(channels.size());
+  record_modes(pending);
   cl_snapshots_.emplace(token, std::move(pending));
   for (auto& c : channels) c->send_message(MarkMsg{.token = token});
   maybe_persist(token);  // complete immediately when channel-less
@@ -47,6 +48,7 @@ void SnapshotCoordinator::on_mark(ChannelId channel_id, const MarkMsg& mark) {
     pending.positions = ctx_.positions_of(pending.local);
     pending.mark_pending.assign(channels.size(), true);
     pending.recorded.resize(channels.size());
+    record_modes(pending);
     // The arrival channel's state is empty: everything the peer sent before
     // its mark was already consumed (FIFO).
     pending.mark_pending[channel_id.value()] = false;
@@ -104,6 +106,12 @@ void SnapshotCoordinator::restore(std::uint64_t token) {
 
   for (std::uint32_t i = 0; i < channels.size(); ++i) {
     ChannelEndpoint& c = channels[i];
+    // The cut is a mode barrier: a mode flip negotiated after it belongs to
+    // the discarded timeline, so adopt the mode (and epoch, verbatim — both
+    // sides restore from the same cut, keeping the endpoints' fences equal)
+    // that was live when the cut's checkpoint was taken.
+    if (i < pending.modes.size())
+      c.restore_mode(pending.modes[i], pending.mode_epochs[i]);
     // Conservative promises describe the discarded future: re-negotiate.
     c.granted_in = VirtualTime::zero();
     c.granted_in_seen = 0;
@@ -166,6 +174,16 @@ void SnapshotCoordinator::reset(std::uint64_t next_token) {
   cl_snapshots_.clear();
   next_cl_token_ = next_token;
   dispatches_since_auto_snapshot_ = 0;
+}
+
+void SnapshotCoordinator::record_modes(PendingSnapshot& pending) const {
+  const ChannelSet& channels = ctx_.channels();
+  pending.modes.reserve(channels.size());
+  pending.mode_epochs.reserve(channels.size());
+  for (const auto& c : channels) {
+    pending.modes.push_back(c->mode());
+    pending.mode_epochs.push_back(c->mode_epoch());
+  }
 }
 
 void SnapshotCoordinator::maybe_persist(std::uint64_t token) {

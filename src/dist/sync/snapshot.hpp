@@ -64,6 +64,10 @@ class SnapshotCoordinator {
  private:
   /// Commits `token` to the attached store if the snapshot just completed.
   void maybe_persist(std::uint64_t token);
+  /// Stamps the per-channel (mode, epoch) pairs live at checkpoint time
+  /// into `pending` — the cut doubles as the mode-flip barrier, so a
+  /// restore must put the modes of the cut back too.
+  void record_modes(PendingSnapshot& pending) const;
 
   EngineContext& ctx_;
   SnapshotStats stats_;

@@ -43,6 +43,7 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kPeerDown: return "peer_down";
     case TraceKind::kSnapshotPersist: return "snapshot_persist";
     case TraceKind::kRecover: return "recover";
+    case TraceKind::kModeChange: return "mode_change";
   }
   return "unknown";
 }

@@ -38,6 +38,7 @@ enum class TraceKind : std::uint8_t {
   kPeerDown,      // liveness timeout expired             a0=channel
   kSnapshotPersist,  // snapshot committed to disk        a0=token, a1=bytes
   kRecover,       // subsystem restored from disk         a0=token
+  kModeChange,    // channel sync mode renegotiated       a0=channel, a1=epoch
 };
 
 [[nodiscard]] const char* trace_kind_name(TraceKind kind);

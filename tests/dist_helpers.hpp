@@ -201,6 +201,12 @@ struct RecoveryOptions {
   std::chrono::milliseconds heartbeat_interval{20};
   std::chrono::milliseconds heartbeat_timeout{500};
   std::size_t retain = 4;
+  /// When set, FuzzCluster::arm_adaptive(adaptive_seed) runs on BOTH the
+  /// wounded and every restarted cluster, so the seed's forced mode flip is
+  /// re-requested across the restart and must defer through the rejoin
+  /// handshake before it can land.
+  bool adaptive = false;
+  std::uint64_t adaptive_seed = 0;
 };
 
 /// The same pipeline distributed per spec.stage_host: one node per
@@ -340,6 +346,38 @@ struct FuzzCluster {
       subsystems[0]->set_auto_snapshot_interval(options.auto_snapshot_every);
   }
 
+  /// Arms runtime mode renegotiation everywhere: an aggressive measurement
+  /// policy (tiny windows, no hysteresis slack) on every subsystem plus one
+  /// seed-derived FORCED flip, so every armed seed exercises at least one
+  /// mid-run conservative<->optimistic handoff regardless of what the cost
+  /// watcher decides.  The result must stay bit-exact: renegotiation may
+  /// only move protocol cost, never events.
+  void arm_adaptive(std::uint64_t seed) {
+    sync::AdaptivePolicy policy;
+    policy.window_slices = 8;
+    policy.hysteresis = 1;
+    policy.min_events = 4;
+    policy.cooldown_windows = 2;
+    for (Subsystem* s : subsystems) s->set_adaptive_sync(policy);
+    if (subsystems.size() < 2) return;
+    // splitmix64 so the choice is decorrelated from the topology seed.
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    // Channel g joins subsystems g and g+1; on the upstream side it is
+    // local channel 0 for subsystem 0 and local channel 1 otherwise (its
+    // channel 0 faces g-1).
+    const auto pair = static_cast<std::size_t>(z % (subsystems.size() - 1));
+    Subsystem& proposer = *subsystems[pair];
+    const ChannelId local{pair == 0 ? std::uint32_t{0} : std::uint32_t{1}};
+    const ChannelMode target =
+        proposer.channel(local).mode() == ChannelMode::kConservative
+            ? ChannelMode::kOptimistic
+            : ChannelMode::kConservative;
+    proposer.request_mode_change(local, target);
+  }
+
   PipelineResult run(std::chrono::milliseconds stall_timeout,
                      std::map<std::string, Subsystem::RunOutcome>* outcomes =
                          nullptr) {
@@ -385,6 +423,7 @@ inline RecoveryReport run_with_crash_and_recover(
     FuzzCluster wounded(spec, modes, wire, latency, fault,
                         checkpoint_intervals, crash, worker_threads);
     wounded.enable_recovery(options);
+    if (options.adaptive) wounded.arm_adaptive(options.adaptive_seed);
     std::map<std::string, Subsystem::RunOutcome> outcomes;
     PipelineResult first = wounded.run(stall_timeout, &outcomes);
     bool all_quiescent = true;
@@ -432,6 +471,10 @@ inline RecoveryReport run_with_crash_and_recover(
                           checkpoint_intervals, std::nullopt,
                           worker_threads);
     restarted.enable_recovery(options);  // re-opens the store directories
+    // Arm BEFORE restore/rejoin: restore preserves the enabled policy and
+    // any forced request, and the controller refuses to propose until every
+    // rejoining channel verifies — the forced flip lands after rejoin.
+    if (options.adaptive) restarted.arm_adaptive(options.adaptive_seed);
     restarted.cluster.start_all();
     ++report.restart_attempts;
     try {

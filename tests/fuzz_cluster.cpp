@@ -21,6 +21,9 @@
 //                                  # mid-run, restart from durable snapshots
 //   fuzz_cluster --shm [...]       # force every channel onto the
 //                                  # shared-memory ring (zero-copy receive)
+//   fuzz_cluster --adaptive [...]  # arm runtime mode renegotiation: an
+//                                  # aggressive cost watcher everywhere plus
+//                                  # one seed-derived forced flip
 //
 // The --recovery arm checks the crash-recovery guarantee instead: each seed
 // additionally derives a crash point (channel, frame budget, endpoint) and
@@ -28,6 +31,14 @@
 // from the newest common on-disk snapshot (falling back to older cuts, then
 // a cold start) and requires the final result to STILL match the
 // uninterrupted single-host oracle bit-exactly.
+//
+// --adaptive composes with the plain, --recovery, --shm, --threads and
+// --replicas arms: channels renegotiate conservative<->optimistic mid-run
+// over snapshot cuts, and the result must STILL be bit-exact — protocol
+// choice may move cost, never events.  Under --recovery the forced flip is
+// re-requested on the restarted cluster, so it has to defer through the
+// rejoin handshake; under --replicas only plain subsystems arm (proposals
+// into a ReplicaSet are refused "unsupported" and pin the channel fixed).
 //
 // Any failure prints the seed and the exact repro command, and exits 1.
 #include <chrono>
@@ -209,7 +220,8 @@ bool stats_recombine(const Subsystem& s) {
          agg.snapshot_persist_bytes == snap.snapshot_persist_bytes &&
          agg.snapshots_invalidated == snap.snapshots_invalidated &&
          agg.recoveries == rec.recoveries &&
-         agg.rejoins_verified == rec.rejoins_verified;
+         agg.rejoins_verified == rec.rejoins_verified &&
+         agg.mode_changes == s.adaptive_stats().mode_changes;
 }
 
 // At clean quiescence every EventMsg sent by some subsystem was received by
@@ -229,11 +241,12 @@ bool events_conserved(const std::vector<Subsystem*>& subsystems,
 bool run_one_config(std::uint64_t seed, const FuzzCase& c,
                     const std::vector<ChannelMode>& modes, bool with_faults,
                     const PipelineResult& reference, bool verbose,
-                    std::size_t threads) {
+                    std::size_t threads, bool adaptive) {
   const transport::FaultPlan plan =
       with_faults ? c.fault : transport::FaultPlan::none();
   FuzzCluster dut(c.spec, modes, c.wire, c.latency, plan,
                   c.checkpoint_intervals, std::nullopt, threads);
+  if (adaptive) dut.arm_adaptive(seed);
   std::map<std::string, Subsystem::RunOutcome> outcomes;
   const PipelineResult result = dut.run(20'000ms, &outcomes);
 
@@ -265,16 +278,23 @@ bool run_one_config(std::uint64_t seed, const FuzzCase& c,
   ok &= stats_ok;
 
   if (ok) {
-    if (verbose)
-      std::printf("  modes=%s faults=%d threads=%zu ... ok (%zu events)\n",
-                  describe_modes(modes).c_str(), with_faults ? 1 : 0, threads,
-                  result.received.size());
+    if (verbose) {
+      std::uint64_t flips = 0;
+      for (const Subsystem* s : dut.subsystems)
+        flips += s->adaptive_stats().mode_changes;
+      std::printf(
+          "  modes=%s faults=%d threads=%zu ... ok (%zu events, %llu "
+          "flips)\n",
+          describe_modes(modes).c_str(), with_faults ? 1 : 0, threads,
+          result.received.size(), static_cast<unsigned long long>(flips));
+    }
     return true;
   }
 
-  std::printf("FAIL seed=%llu modes=%s faults=%d threads=%zu\n",
+  std::printf("FAIL seed=%llu modes=%s faults=%d threads=%zu adaptive=%d\n",
               static_cast<unsigned long long>(seed),
-              describe_modes(modes).c_str(), with_faults ? 1 : 0, threads);
+              describe_modes(modes).c_str(), with_faults ? 1 : 0, threads,
+              adaptive ? 1 : 0);
   std::printf("  case: %s\n", describe_case(c).c_str());
   for (const auto& [name, outcome] : outcomes)
     if (outcome != Subsystem::RunOutcome::kQuiescent)
@@ -287,12 +307,13 @@ bool run_one_config(std::uint64_t seed, const FuzzCase& c,
                       : "HORIZON");
   std::printf("  expected %s\n  got      %s\n",
               dump(reference).c_str(), dump(result).c_str());
-  std::printf("  reproduce: fuzz_cluster --seed=%llu%s%s\n",
+  std::printf("  reproduce: fuzz_cluster --seed=%llu%s%s%s\n",
               static_cast<unsigned long long>(seed),
               c.wire == Wire::kShm ? " --shm" : "",
               threads > 0
                   ? (" --threads=" + std::to_string(threads)).c_str()
-                  : "");
+                  : "",
+              adaptive ? " --adaptive" : "");
   return false;
 }
 
@@ -303,7 +324,7 @@ bool run_one_config(std::uint64_t seed, const FuzzCase& c,
 bool run_recovery_config(std::uint64_t seed, const FuzzCase& c,
                          const std::vector<ChannelMode>& modes,
                          const PipelineResult& reference, bool verbose,
-                         std::size_t threads) {
+                         std::size_t threads, bool adaptive) {
   // The crash point and snapshot cadence derive from the seed too, so every
   // failure reproduces from `--recovery --seed=S` alone.
   Rng crash_rng(seed ^ 0xC4A5ED1AD15EA5EDULL);
@@ -323,12 +344,14 @@ bool run_recovery_config(std::uint64_t seed, const FuzzCase& c,
       std::filesystem::temp_directory_path() /
       ("pia_fuzz_recovery_" + std::to_string(seed) + "_" +
        describe_modes(modes) + "_t" + std::to_string(threads) +
-       (c.wire == Wire::kShm ? "_shm" : ""));
+       (c.wire == Wire::kShm ? "_shm" : "") + (adaptive ? "_adpt" : ""));
   std::filesystem::remove_all(root);
   options.store_root = root.string();
   options.auto_snapshot_every = 4 + crash_rng.below(12);
   options.heartbeat_interval = std::chrono::milliseconds(10);
   options.heartbeat_timeout = std::chrono::milliseconds(800);
+  options.adaptive = adaptive;
+  options.adaptive_seed = seed;
 
   try {
     const testing::RecoveryReport report = testing::run_with_crash_and_recover(
@@ -359,14 +382,15 @@ bool run_recovery_config(std::uint64_t seed, const FuzzCase& c,
   }
   std::printf("  case: %s\n", describe_case(c).c_str());
   std::printf("  stores left in %s\n", root.string().c_str());
-  std::printf("  reproduce: fuzz_cluster --recovery --seed=%llu%s\n",
+  std::printf("  reproduce: fuzz_cluster --recovery --seed=%llu%s%s\n",
               static_cast<unsigned long long>(seed),
-              c.wire == Wire::kShm ? " --shm" : "");
+              c.wire == Wire::kShm ? " --shm" : "",
+              adaptive ? " --adaptive" : "");
   return false;
 }
 
 bool run_recovery_seed(std::uint64_t seed, bool verbose, std::size_t threads,
-                       bool shm) {
+                       bool shm, bool adaptive) {
   FuzzCase c = generate(seed);
   // --shm re-runs the same seed-derived workloads over the shared-memory
   // ring: every case keeps its placement, faults and batch limits, only the
@@ -393,7 +417,8 @@ bool run_recovery_seed(std::uint64_t seed, bool verbose, std::size_t threads,
 
   bool ok = true;
   for (const auto& modes : mode_sets)
-    ok &= run_recovery_config(seed, c, modes, reference, verbose, threads);
+    ok &= run_recovery_config(seed, c, modes, reference, verbose, threads,
+                              adaptive);
   return ok;
 }
 
@@ -572,10 +597,35 @@ bool run_scaleout_seed(std::uint64_t seed, bool verbose,
 // kill fired the group must have promoted a survivor in place (one member
 // dropped, one promotion, no snapshot restore anywhere).
 
+// Arms runtime mode renegotiation on the farm's plain subsystems (clients,
+// stations, frontend).  Replica members stay UNARMED on purpose: a member
+// must never propose (its clones would have to flip in lockstep), so the
+// frontend's measurement-driven proposals into a ReplicaSet are answered
+// "unsupported" and the proposer pins the channel fixed — exercising the
+// rejection path while a failover runs elsewhere.  The forced flip rides a
+// seed-chosen client uplink, whose endpoints are both plain subsystems.
+void arm_adaptive_scaleout(wubbleu::ScaleoutCluster& dut,
+                           std::uint64_t seed) {
+  std::vector<dist::Subsystem*> clients;
+  for (dist::Subsystem* s : dut.cluster().all_subsystems()) {
+    if (s->name().rfind("shard", 0) == 0) continue;
+    s->set_adaptive_sync();  // default measurement policy
+    if (s->name().rfind("client", 0) == 0) clients.push_back(s);
+  }
+  if (clients.empty()) return;
+  Rng pick(seed ^ 0xADA9717EF11A9B5DULL);
+  dist::Subsystem& proposer = *clients[pick.below(clients.size())];
+  const ChannelMode target =
+      proposer.channel(ChannelId{0}).mode() == ChannelMode::kConservative
+          ? ChannelMode::kOptimistic
+          : ChannelMode::kConservative;
+  proposer.request_mode_change(ChannelId{0}, target);
+}
+
 bool run_replicas_config(std::uint64_t seed, wubbleu::ScaleoutSpec spec,
                          bool aggregated, bool kill,
                          const wubbleu::ScaleoutResult& reference,
-                         bool verbose, std::size_t threads) {
+                         bool verbose, std::size_t threads, bool adaptive) {
   Rng salt(seed ^ 0x2E111CA7EDF00DULL);
   spec.aggregated = aggregated;
   spec.worker_threads = threads;
@@ -589,6 +639,7 @@ bool run_replicas_config(std::uint64_t seed, wubbleu::ScaleoutSpec spec,
   }
 
   wubbleu::ScaleoutCluster dut(spec);
+  if (adaptive) arm_adaptive_scaleout(dut, seed);
   const auto outcomes = dut.run();
   // The felled clone's wire dies under it: kDisconnected is its correct
   // exit.  Everyone else must reach clean quiescence.
@@ -656,11 +707,12 @@ bool run_replicas_config(std::uint64_t seed, wubbleu::ScaleoutSpec spec,
   if (!ok) {
     std::printf("  case: %s K=%zu\n", describe_scaleout(spec).c_str(),
                 spec.shard_replicas);
-    std::printf("  reproduce: fuzz_cluster --replicas --seed=%llu%s\n",
+    std::printf("  reproduce: fuzz_cluster --replicas --seed=%llu%s%s\n",
                 static_cast<unsigned long long>(seed),
                 threads > 0
                     ? (" --threads=" + std::to_string(threads)).c_str()
-                    : "");
+                    : "",
+                adaptive ? " --adaptive" : "");
   } else if (verbose) {
     std::printf(
         "  K=%zu agg=%d kill=%d threads=%zu ... ok (%llu fetches, "
@@ -677,8 +729,8 @@ bool run_replicas_config(std::uint64_t seed, wubbleu::ScaleoutSpec spec,
   return ok;
 }
 
-bool run_replicas_seed(std::uint64_t seed, bool verbose,
-                       std::size_t threads) {
+bool run_replicas_seed(std::uint64_t seed, bool verbose, std::size_t threads,
+                       bool adaptive) {
   const wubbleu::ScaleoutSpec spec = generate_scaleout(seed);
   if (verbose)
     std::printf("seed=%llu %s (replicas, threads=%zu)\n",
@@ -690,12 +742,12 @@ bool run_replicas_seed(std::uint64_t seed, bool verbose,
   for (const bool aggregated : {true, false})
     for (const bool kill : {false, true})
       ok &= run_replicas_config(seed, spec, aggregated, kill, reference,
-                                verbose, threads);
+                                verbose, threads, adaptive);
   return ok;
 }
 
 bool run_seed(std::uint64_t seed, bool verbose, std::size_t threads,
-              bool shm) {
+              bool shm, bool adaptive) {
   FuzzCase c = generate(seed);
   if (shm) c.wire = Wire::kShm;
   if (verbose)
@@ -721,7 +773,7 @@ bool run_seed(std::uint64_t seed, bool verbose, std::size_t threads,
   for (const auto& modes : mode_sets)
     for (const bool with_faults : {false, true})
       ok &= run_one_config(seed, c, modes, with_faults, reference, verbose,
-                           threads);
+                           threads, adaptive);
   return ok;
 }
 
@@ -737,6 +789,7 @@ int main(int argc, char** argv) {
   bool scaleout = false;
   bool replicas = false;
   bool shm = false;
+  bool adaptive = false;
   std::size_t threads = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -762,6 +815,8 @@ int main(int argc, char** argv) {
       replicas = true;
     } else if (arg == "--shm") {
       shm = true;
+    } else if (arg == "--adaptive") {
+      adaptive = true;
     } else if (arg == "--verbose" || arg == "-v") {
       verbose = true;
     } else {
@@ -769,7 +824,7 @@ int main(int argc, char** argv) {
                    "usage: fuzz_cluster [--recovery | --scaleout | "
                    "--replicas] [--seed=S | "
                    "--seeds=S1,S2,... | --runs=N [--start-seed=K]] "
-                   "[--shm] [--threads=N] [--verbose]\n");
+                   "[--shm] [--adaptive] [--threads=N] [--verbose]\n");
       return 2;
     }
   }
@@ -802,10 +857,13 @@ int main(int argc, char** argv) {
   std::uint64_t failures = 0;
   for (const std::uint64_t seed : seeds) {
     const bool ok =
-        recovery   ? pia::dist::run_recovery_seed(seed, verbose, threads, shm)
+        recovery   ? pia::dist::run_recovery_seed(seed, verbose, threads, shm,
+                                                  adaptive)
         : scaleout ? pia::dist::run_scaleout_seed(seed, verbose, threads)
-        : replicas ? pia::dist::run_replicas_seed(seed, verbose, threads)
-                   : pia::dist::run_seed(seed, verbose, threads, shm);
+        : replicas ? pia::dist::run_replicas_seed(seed, verbose, threads,
+                                                  adaptive)
+                   : pia::dist::run_seed(seed, verbose, threads, shm,
+                                         adaptive);
     if (!ok) ++failures;
     if (!verbose) {
       std::printf(".");

@@ -114,6 +114,10 @@ class StubContext : public EngineContext {
   Bytes export_snapshot_image(std::uint64_t /*token*/) const override {
     return Bytes{};
   }
+  ChannelCostSample cost_sample() const override { return {}; }
+  bool mode_negotiation_hold() const override { return false; }
+  bool mode_change_allowed() const override { return true; }
+  std::uint64_t initiate_snapshot() override { return snapshot_->initiate(); }
 
  private:
   Scheduler scheduler_{"stub"};

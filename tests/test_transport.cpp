@@ -15,6 +15,8 @@
 
 #include "base/error.hpp"
 #include "base/rng.hpp"
+#include "dist/protocol.hpp"
+#include "dist/subsystem.hpp"
 #include "transport/crc32.hpp"
 #include "transport/fault.hpp"
 #include "transport/frame.hpp"
@@ -467,3 +469,142 @@ TEST(Latency, TcpLinkCanBeDecorated) {
 
 }  // namespace
 }  // namespace pia::transport
+
+// ---------------------------------------------------------------------------
+// Mode-negotiation wire format (adaptive synchronization handshake)
+// ---------------------------------------------------------------------------
+
+namespace pia::dist {
+namespace {
+
+TEST(ModeWire, ProposalRoundTrip) {
+  const ModeProposalMsg in{
+      .nonce = (std::uint64_t{7} << 32) | 42,
+      .epoch = 3,
+      .target = static_cast<std::uint8_t>(ChannelMode::kOptimistic),
+      .caps = kLocalSyncCaps};
+  const auto out = std::get<ModeProposalMsg>(decode_message(encode_message(in)));
+  EXPECT_EQ(out.nonce, in.nonce);
+  EXPECT_EQ(out.epoch, in.epoch);
+  EXPECT_EQ(out.target, in.target);
+  EXPECT_EQ(out.caps, in.caps);
+}
+
+TEST(ModeWire, AckCommitResumeRoundTrip) {
+  const ModeAckMsg ack{.nonce = 9, .phase = 1, .accept = true, .reason = 0};
+  const auto ack_out = std::get<ModeAckMsg>(decode_message(encode_message(ack)));
+  EXPECT_EQ(ack_out.nonce, 9u);
+  EXPECT_EQ(ack_out.phase, 1);
+  EXPECT_TRUE(ack_out.accept);
+
+  const ModeCommitMsg commit{.nonce = 9, .token = 4};
+  const auto commit_out =
+      std::get<ModeCommitMsg>(decode_message(encode_message(commit)));
+  EXPECT_EQ(commit_out.nonce, 9u);
+  EXPECT_EQ(commit_out.token, 4u);
+
+  const ModeResumeMsg resume{.nonce = 9};
+  const auto resume_out =
+      std::get<ModeResumeMsg>(decode_message(encode_message(resume)));
+  EXPECT_EQ(resume_out.nonce, 9u);
+}
+
+TEST(ModeWire, ProposalWithoutTrailingCapsDecodesAsFixedModePeer) {
+  // The capability word is a trailing varint, mirroring the rejoin
+  // transport-caps pattern: a frame from a build that predates it simply
+  // ends sooner, and must decode as caps=0 (a fixed-mode peer), not throw.
+  Bytes wire = encode_message(ModeProposalMsg{
+      .nonce = 1, .epoch = 0,
+      .target = static_cast<std::uint8_t>(ChannelMode::kConservative),
+      .caps = kLocalSyncCaps});
+  ASSERT_EQ(kLocalSyncCaps, 1u);  // encodes as exactly one trailing byte
+  wire.pop_back();
+  const auto out = std::get<ModeProposalMsg>(decode_message(wire));
+  EXPECT_EQ(out.caps, 0u);
+}
+
+TEST(ModeWire, HandshakeMessagesAreControlMessages) {
+  // The termination probe balances event+retract counters; handshake
+  // traffic must not disturb that ledger.
+  EXPECT_TRUE(is_control_message(ChannelMessage{ModeProposalMsg{}}));
+  EXPECT_TRUE(is_control_message(ChannelMessage{ModeAckMsg{}}));
+  EXPECT_TRUE(is_control_message(ChannelMessage{ModeCommitMsg{}}));
+  EXPECT_TRUE(is_control_message(ChannelMessage{ModeResumeMsg{}}));
+}
+
+// Drives two facades' run loops by hand until both go idle (no events are
+// scheduled in these tests, so all progress is protocol traffic).
+void pump(Subsystem& a, Subsystem& b) {
+  const Subsystem::RunConfig cfg{};
+  int quiet = 0;
+  for (int i = 0; i < 400 && quiet < 8; ++i) {
+    bool pa = false;
+    bool pb = false;
+    a.run_slice(cfg, pa);
+    b.run_slice(cfg, pb);
+    quiet = (pa || pb) ? 0 : quiet + 1;
+  }
+}
+
+struct FacadePair {
+  Subsystem a{"adapt_a", 1};
+  Subsystem b{"adapt_b", 2};
+  ChannelId ca;
+  ChannelId cb;
+
+  explicit FacadePair(ChannelMode mode) {
+    auto link = transport::make_loopback_pair();
+    ca = a.add_channel("ab", mode, std::move(link.a));
+    cb = b.add_channel("ab", mode, std::move(link.b));
+    a.start();
+    b.start();
+  }
+};
+
+TEST(ModeNegotiation, PeerWithoutCapabilityRejectsAndChannelStaysFixed) {
+  FacadePair pair(ChannelMode::kConservative);
+  // Only one side opts in: the peer must answer "unsupported" and the
+  // channel must keep its configured mode on BOTH endpoints.
+  pair.a.set_adaptive_sync();
+  pair.a.request_mode_change(pair.ca, ChannelMode::kOptimistic);
+  pump(pair.a, pair.b);
+
+  EXPECT_EQ(pair.a.channel(pair.ca).mode(), ChannelMode::kConservative);
+  EXPECT_EQ(pair.b.channel(pair.cb).mode(), ChannelMode::kConservative);
+  EXPECT_EQ(pair.a.channel(pair.ca).mode_epoch(), 0u);
+  EXPECT_EQ(pair.b.channel(pair.cb).mode_epoch(), 0u);
+  EXPECT_EQ(pair.a.adaptive_stats().proposals_sent, 1u);
+  EXPECT_EQ(pair.a.adaptive_stats().mode_changes, 0u);
+  EXPECT_EQ(pair.b.adaptive_stats().proposals_rejected, 1u);
+  // The "unsupported" answer is remembered: no re-proposal storm.
+  pump(pair.a, pair.b);
+  EXPECT_EQ(pair.a.adaptive_stats().proposals_sent, 1u);
+}
+
+TEST(ModeNegotiation, ForcedFlipLandsOnBothEndpointsAtTheCut) {
+  FacadePair pair(ChannelMode::kConservative);
+  pair.a.set_adaptive_sync();
+  pair.b.set_adaptive_sync();
+  pair.a.request_mode_change(pair.ca, ChannelMode::kOptimistic);
+  pump(pair.a, pair.b);
+
+  EXPECT_EQ(pair.a.channel(pair.ca).mode(), ChannelMode::kOptimistic);
+  EXPECT_EQ(pair.b.channel(pair.cb).mode(), ChannelMode::kOptimistic);
+  // The epoch fence advanced in lockstep.
+  EXPECT_EQ(pair.a.channel(pair.ca).mode_epoch(), 1u);
+  EXPECT_EQ(pair.b.channel(pair.cb).mode_epoch(), 1u);
+  EXPECT_EQ(pair.a.adaptive_stats().mode_changes, 1u);
+  EXPECT_EQ(pair.b.adaptive_stats().mode_changes, 1u);
+  EXPECT_EQ(pair.a.stats().mode_changes, 1u);
+
+  // And back again, symmetrically, proposed from the other side.
+  pair.b.request_mode_change(pair.cb, ChannelMode::kConservative);
+  pump(pair.a, pair.b);
+  EXPECT_EQ(pair.a.channel(pair.ca).mode(), ChannelMode::kConservative);
+  EXPECT_EQ(pair.b.channel(pair.cb).mode(), ChannelMode::kConservative);
+  EXPECT_EQ(pair.a.channel(pair.ca).mode_epoch(), 2u);
+  EXPECT_EQ(pair.b.channel(pair.cb).mode_epoch(), 2u);
+}
+
+}  // namespace
+}  // namespace pia::dist

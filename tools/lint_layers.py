@@ -13,12 +13,16 @@ Layer order (an arrow means "may include"):
 On top of the directory DAG, the sync engines under src/dist/sync/ carry
 stricter rules (the engine split's structural guarantee):
 
-  * an engine (conservative / optimistic / snapshot / recovery) may include
-    its own header, engine_context.hpp, and the dist protocol/channel layer
-    (protocol.hpp, channel.hpp, channel_set.hpp, snapshot_store.hpp) —
-    NEVER another engine, and never the facade layer (subsystem.hpp,
-    node.hpp, topology.hpp); engines communicate only through EngineContext.
+  * an engine (conservative / optimistic / snapshot / recovery / adaptive)
+    may include its own header, engine_context.hpp, and the dist
+    protocol/channel layer (protocol.hpp, channel.hpp, channel_set.hpp,
+    snapshot_store.hpp) — NEVER another engine, and never the facade layer
+    (subsystem.hpp, node.hpp, topology.hpp); engines communicate only
+    through EngineContext.
   * engine_context.hpp itself must not include any engine.
+  * no sync/ file may include transport/ headers directly: engines see
+    remote endpoints only as ChannelEndpoints (channel.hpp owns the Link),
+    so a transport swap can never require an engine change.
 
 The worker pool (src/dist/executor.*) sits beside the facade but below the
 node layer: it drives subsystems only through the public Subsystem slice API
@@ -71,7 +75,7 @@ ALLOWED = {
     "wubbleu": {"base", "serial", "core", "dist", "proc", "wubbleu"},
 }
 
-ENGINES = {"conservative", "optimistic", "snapshot", "recovery"}
+ENGINES = {"conservative", "optimistic", "snapshot", "recovery", "adaptive"}
 
 # dist/ headers an engine may reach (besides lower layers and sync/ itself).
 ENGINE_DIST_ALLOWED = {
@@ -139,6 +143,15 @@ def check_engine(path, errors):
                     f'facade layer ("{inc}"; allowed: '
                     f"{sorted(ENGINE_DIST_ALLOWED)})"
                 )
+        elif inc.startswith("transport/"):
+            # The directory DAG allows dist -> transport, but engines sit
+            # behind the channel abstraction: only channel.hpp may hold a
+            # Link.
+            errors.append(
+                f"{path}:{line_number}: sync engine must not include "
+                f'transport headers directly ("{inc}"); reach links only '
+                f"through ChannelEndpoint"
+            )
         # Lower layers are covered by the directory DAG pass.
 
 
